@@ -1,0 +1,428 @@
+// Benchmarks regenerate every table and figure of the paper's evaluation.
+// Each benchmark runs the corresponding harness end-to-end and reports the
+// headline quantities as custom metrics, so `go test -bench . -benchmem`
+// doubles as the experiment driver. EXPERIMENTS.md records the
+// paper-versus-measured comparison for each.
+package catamount_test
+
+import (
+	"math"
+	"testing"
+
+	cat "catamount"
+	"catamount/internal/cache"
+	"catamount/internal/core"
+	"catamount/internal/graph"
+	"catamount/internal/hw"
+	"catamount/internal/models"
+	"catamount/internal/parallel"
+	"catamount/internal/symbolic"
+	"catamount/internal/tensor"
+)
+
+// BenchmarkTable1AccuracyScaling regenerates Table 1 (data/model scale
+// factors to reach desired SOTA).
+func BenchmarkTable1AccuracyScaling(b *testing.B) {
+	var wordScale, charScale float64
+	for i := 0; i < b.N; i++ {
+		projs, err := cat.AccuracyProjections()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range projs {
+			switch p.Spec.Domain {
+			case cat.WordLM:
+				wordScale = p.ComputedDataScale
+			case cat.CharLM:
+				charScale = p.ComputedDataScale
+			}
+		}
+	}
+	b.ReportMetric(wordScale, "wordlm-data-scale-x(paper:100)")
+	b.ReportMetric(charScale, "charlm-data-scale-x(paper:971)")
+}
+
+// BenchmarkTable2Asymptotics regenerates Table 2 (γ, λ, µ, δ fits).
+func BenchmarkTable2Asymptotics(b *testing.B) {
+	var gammaWord, lambdaWord, deltaWord float64
+	for i := 0; i < b.N; i++ {
+		asyms, err := cat.AsymptoticTable()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range asyms {
+			if a.Domain == cat.WordLM {
+				gammaWord, lambdaWord, deltaWord = a.Gamma, a.Lambda, a.Delta
+			}
+		}
+	}
+	b.ReportMetric(gammaWord, "wordlm-gamma(paper:481)")
+	b.ReportMetric(lambdaWord, "wordlm-lambda(paper:1755)")
+	b.ReportMetric(deltaWord, "wordlm-delta(paper:11.94)")
+}
+
+// BenchmarkTable3FrontierProjection regenerates Table 3 (frontier training
+// requirements and Roofline times).
+func BenchmarkTable3FrontierProjection(b *testing.B) {
+	var wordStep, charEpoch, speechEpoch float64
+	for i := 0; i < b.N; i++ {
+		rows, err := cat.FrontierTable(cat.TargetAccelerator())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Spec.Domain {
+			case cat.WordLM:
+				wordStep = r.StepSeconds
+			case cat.CharLM:
+				charEpoch = r.EpochDays
+			case cat.Speech:
+				speechEpoch = r.EpochDays
+			}
+		}
+	}
+	b.ReportMetric(wordStep, "wordlm-step-s(paper:115)")
+	b.ReportMetric(charEpoch/1e6, "charlm-epoch-Mdays(paper:3.5)")
+	b.ReportMetric(speechEpoch, "speech-epoch-days(paper:93)")
+}
+
+// BenchmarkTable4Accelerator verifies the Table 4 Roofline configuration.
+func BenchmarkTable4Accelerator(b *testing.B) {
+	var ridge float64
+	for i := 0; i < b.N; i++ {
+		ridge = cat.TargetAccelerator().EffectiveRidgePoint()
+	}
+	b.ReportMetric(ridge, "ridge-FLOP/B(paper:19.9)")
+}
+
+// BenchmarkTable5CaseStudy regenerates the word-LM parallelization plan.
+func BenchmarkTable5CaseStudy(b *testing.B) {
+	var bestUtil, awareUtil, finalUtil, finalDays float64
+	for i := 0; i < b.N; i++ {
+		cs, err := cat.WordLMCaseStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestUtil = cs.Stages[0].Utilization
+		awareUtil = cs.Stages[1].Utilization
+		finalUtil = cs.Stages[len(cs.Stages)-1].Utilization
+		finalDays = cs.Stages[len(cs.Stages)-1].DaysPerEpoch
+	}
+	b.ReportMetric(100*bestUtil, "best-util-%(paper:80)")
+	b.ReportMetric(100*awareUtil, "cache-aware-util-%(paper:46)")
+	b.ReportMetric(100*finalUtil, "final-util-%(paper:14.5)")
+	b.ReportMetric(finalDays, "final-days/epoch(paper:7.2)")
+}
+
+// BenchmarkFigure6LearningCurve samples the three-region learning curve.
+func BenchmarkFigure6LearningCurve(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		pts, err := cat.Figure6(cat.WordLM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(pts)
+	}
+	b.ReportMetric(float64(n), "points")
+}
+
+// figureSweeps memoizes the shared Figure 7–9 sweep within one bench run.
+func figureSweeps(b *testing.B) []cat.SweepSeries {
+	b.Helper()
+	s, err := cat.FigureSweeps()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkFigure7Flops regenerates the FLOPs-vs-params series.
+func BenchmarkFigure7Flops(b *testing.B) {
+	var gflops float64
+	for i := 0; i < b.N; i++ {
+		for _, s := range figureSweeps(b) {
+			if s.Domain == cat.WordLM {
+				last := s.Points[len(s.Points)-1]
+				gflops = last.FLOPsPerSample / 1e9
+			}
+		}
+	}
+	b.ReportMetric(gflops, "wordlm-max-GFLOPs/sample(paper:~250)")
+}
+
+// BenchmarkFigure8Bytes regenerates the bytes-vs-params series.
+func BenchmarkFigure8Bytes(b *testing.B) {
+	var gb float64
+	for i := 0; i < b.N; i++ {
+		for _, s := range figureSweeps(b) {
+			if s.Domain == cat.CharLM {
+				last := s.Points[len(s.Points)-1]
+				gb = last.BytesPerStep / 1e9
+			}
+		}
+	}
+	b.ReportMetric(gb, "charlm-max-GB/step")
+}
+
+// BenchmarkFigure9Intensity regenerates the intensity-vs-params series.
+func BenchmarkFigure9Intensity(b *testing.B) {
+	var oi float64
+	for i := 0; i < b.N; i++ {
+		for _, s := range figureSweeps(b) {
+			if s.Domain == cat.WordLM {
+				last := s.Points[len(s.Points)-1]
+				oi = last.Intensity
+			}
+		}
+	}
+	b.ReportMetric(oi, "wordlm-op-intensity(paper:~30-60)")
+}
+
+// BenchmarkFigure10Footprint regenerates the footprint series with the
+// 12 GB allocator simulation.
+func BenchmarkFigure10Footprint(b *testing.B) {
+	var swaps float64
+	for i := 0; i < b.N; i++ {
+		series, err := cat.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		swaps = 0
+		for _, s := range series {
+			for _, p := range s.Points {
+				if p.AllocatorReport.Swapping {
+					swaps++
+				}
+			}
+		}
+	}
+	b.ReportMetric(swaps, "points-hitting-12GB-cap")
+}
+
+// BenchmarkFigure11SubbatchSweep regenerates the word-LM subbatch sweep.
+func BenchmarkFigure11SubbatchSweep(b *testing.B) {
+	var chosen float64
+	for i := 0; i < b.N; i++ {
+		data, err := cat.Figure11(cat.TargetAccelerator())
+		if err != nil {
+			b.Fatal(err)
+		}
+		chosen = data.Chosen["min-time-per-sample"].Subbatch
+	}
+	b.ReportMetric(chosen, "chosen-subbatch(paper:128)")
+}
+
+// BenchmarkFigure12DataParallel regenerates the data-parallel scaling sweep.
+func BenchmarkFigure12DataParallel(b *testing.B) {
+	var days1024 float64
+	for i := 0; i < b.N; i++ {
+		data, err := cat.Figure12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range data.Points {
+			if p.Workers == 1024 {
+				days1024 = p.EpochDays
+			}
+		}
+	}
+	b.ReportMetric(days1024, "epoch-days-at-1024(paper:6.2)")
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks (DESIGN.md §6)
+
+// BenchmarkAblationCacheAwareVsRoofline isolates the Table 5 rows 1→2 drop.
+func BenchmarkAblationCacheAwareVsRoofline(b *testing.B) {
+	m := models.BuildWordLM(models.CaseStudyWordLMConfig())
+	size, err := m.SizeForParams(8e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc := hw.TargetAccelerator()
+	env := m.Env(size, 128)
+	flops := symbolic.MustEval(m.FLOPsExpr(), env)
+	var best, aware float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := cache.GraphTraffic(m.Graph, env, cache.NewTileModel(acc.CacheBytes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		best, aware = cache.UtilizationDrop(flops, rep, acc.StepTime, acc.Utilization)
+	}
+	b.ReportMetric(100*best, "roofline-util-%")
+	b.ReportMetric(100*aware, "cache-aware-util-%")
+}
+
+// BenchmarkAblationSubbatchPolicies compares the three §5.2.1 policies.
+func BenchmarkAblationSubbatchPolicies(b *testing.B) {
+	m := models.MustBuild(models.WordLM)
+	size, err := m.SizeForParams(23.8e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc := hw.TargetAccelerator()
+	chosen := map[hw.SubbatchPolicy]float64{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := hw.SubbatchSweep(core.StepEvalAt(m, size), acc, hw.PowersOfTwo(18))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pol := range []hw.SubbatchPolicy{
+			hw.MinTimePerSample, hw.RidgePointMatch, hw.IntensitySaturation,
+		} {
+			pt, err := hw.ChooseSubbatch(pts, acc, pol, 0.05)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chosen[pol] = pt.Subbatch
+		}
+	}
+	b.ReportMetric(chosen[hw.MinTimePerSample], "min-time-subbatch")
+	b.ReportMetric(chosen[hw.RidgePointMatch], "ridge-match-subbatch")
+	b.ReportMetric(chosen[hw.IntensitySaturation], "saturation-subbatch")
+}
+
+// BenchmarkAblationSchedulerPolicies compares footprint estimates under the
+// FIFO and memory-greedy traversals.
+func BenchmarkAblationSchedulerPolicies(b *testing.B) {
+	m := models.MustBuild(models.WordLM)
+	size, err := m.SizeForParams(1.03e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := m.Env(size, 128)
+	var fifo, greedy float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf, err := m.Graph.Footprint(env, graph.PolicyFIFO)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rg, err := m.Graph.Footprint(env, graph.PolicyMemGreedy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fifo, greedy = rf.PeakBytes, rg.PeakBytes
+	}
+	b.ReportMetric(fifo/1e9, "fifo-footprint-GB")
+	b.ReportMetric(greedy/1e9, "greedy-footprint-GB")
+}
+
+// BenchmarkAblationRingVsNaiveAllReduce compares gradient collectives at the
+// case-study scale.
+func BenchmarkAblationRingVsNaiveAllReduce(b *testing.B) {
+	link := parallel.DefaultInterconnect()
+	payload := 4 * 8e9 // fp32 gradients of the case-study model
+	var ring, naive float64
+	for i := 0; i < b.N; i++ {
+		ring = parallel.RingAllReduceTime(payload, 1024, link)
+		naive = parallel.NaiveAllReduceTime(payload, 1024, link)
+	}
+	b.ReportMetric(ring, "ring-s")
+	b.ReportMetric(naive, "naive-s")
+	b.ReportMetric(naive/ring, "speedup-x")
+}
+
+// BenchmarkAblationLSTMProjection measures the case study's algorithmic
+// optimization (§6.1): per-step FLOPs of the unoptimized Table 3 frontier
+// word LM versus the optimized case-study model (LSTM projection +
+// production vocabulary, sized to the 113.8 GB footprint).
+func BenchmarkAblationLSTMProjection(b *testing.B) {
+	base := models.MustBuild(models.WordLM)
+	size, err := base.SizeForParams(23.8e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fBase := symbolic.MustEval(base.FLOPsExpr(), base.Env(size, 128))
+		cs, err := cat.WordLMCaseStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = fBase / cs.StepFLOPs
+	}
+	b.ReportMetric(ratio, "step-flops-reduction-x(paper:11.7)")
+}
+
+// BenchmarkAblationCommOverlap measures how gradient bucketing hides
+// allreduce time behind backward compute at case-study scale.
+func BenchmarkAblationCommOverlap(b *testing.B) {
+	cfg := parallel.OverlapConfig{
+		ForwardTime:  3.0,
+		BackwardTime: 6.0,
+		UpdateTime:   0.2,
+		GradBytes:    4 * 8e9,
+		Workers:      512,
+		Link:         parallel.DefaultInterconnect(),
+	}
+	var serial, overlapped float64
+	for i := 0; i < b.N; i++ {
+		cfg.Buckets = 1
+		r1, err := parallel.SimulateOverlap(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Buckets = 32
+		r32, err := parallel.SimulateOverlap(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serial, overlapped = r1.StepTime, r32.StepTime
+	}
+	b.ReportMetric(serial, "serial-step-s")
+	b.ReportMetric(overlapped, "32-bucket-step-s")
+	b.ReportMetric(serial/overlapped, "speedup-x")
+}
+
+// BenchmarkAblationHalfPrecision measures the §6.2.3 low-precision memory
+// reduction on the word LM.
+func BenchmarkAblationHalfPrecision(b *testing.B) {
+	full := models.BuildWordLM(models.DefaultWordLMConfig())
+	halfCfg := models.DefaultWordLMConfig()
+	halfCfg.DType = tensor.F16
+	half := models.BuildWordLM(halfCfg)
+	size, err := full.SizeForParams(1.03e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f32, err := full.Graph.Footprint(full.Env(size, 128), graph.PolicyMemGreedy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f16, err := half.Graph.Footprint(half.Env(size, 128), graph.PolicyMemGreedy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = f32.PeakBytes / f16.PeakBytes
+	}
+	b.ReportMetric(ratio, "footprint-reduction-x(paper:1.5-10)")
+}
+
+// BenchmarkAblationEmbeddingSharding isolates the Table 5 final-row memory
+// balancing.
+func BenchmarkAblationEmbeddingSharding(b *testing.B) {
+	stages := []float64{60e9, 17e9, 17e9, 32e9}
+	var before, after float64
+	for i := 0; i < b.N; i++ {
+		out, err := parallel.ShardGroupBytes(stages, 0, 59.5e9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		before = parallel.MaxLoad(stages)
+		after = parallel.MaxLoad(out)
+	}
+	b.ReportMetric(before/1e9, "max-GB-before(paper:60)")
+	b.ReportMetric(after/1e9, "max-GB-after(paper:32)")
+	if math.IsNaN(after) {
+		b.Fatal("nan")
+	}
+}

@@ -1,0 +1,156 @@
+// Package catamount is a Go reproduction of the analysis system behind
+// "Beyond Human-Level Accuracy: Computational Challenges in Deep Learning"
+// (Hestness, Ardalani, Diamos — PPoPP 2019) and of its published artifact,
+// the Catamount compute-graph analyzer.
+//
+// The package exposes the paper's full pipeline:
+//
+//   - five domain training graphs (word LM, char LM, NMT, speech, ResNet)
+//     with symbolic dimensions, explicit backward ops and optimizer updates;
+//   - algorithmic FLOPs / bytes / memory-footprint characterization and the
+//     fitted first-order models of Table 2;
+//   - accuracy-frontier projections from power-law learning curves
+//     (Tables 1 and 3, Figure 6);
+//   - Roofline run-time estimation with subbatch selection (Table 4,
+//     Figure 11);
+//   - the word-LM parallelization case study: cache-hierarchy-aware GEMM
+//     traffic, ring-allreduce data parallelism, layer parallelism, and
+//     embedding sharding (Table 5, Figure 12).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured comparisons.
+package catamount
+
+import (
+	"io"
+
+	"catamount/internal/core"
+	"catamount/internal/graph"
+	"catamount/internal/graphio"
+	"catamount/internal/hw"
+	"catamount/internal/models"
+	"catamount/internal/parallel"
+	"catamount/internal/scaling"
+)
+
+// Domain identifies one of the paper's five application domains.
+type Domain = models.Domain
+
+// The five studied domains.
+const (
+	WordLM  = models.WordLM
+	CharLM  = models.CharLM
+	NMT     = models.NMT
+	Speech  = models.Speech
+	ImageCl = models.ImageCl
+)
+
+// Domains lists all domains in Table 1 order.
+func Domains() []Domain { return models.AllDomains }
+
+// Model is a training-step compute graph with scaling knobs.
+type Model = models.Model
+
+// Requirements is a per-step characterization (FLOPs, bytes, footprint).
+type Requirements = core.Requirements
+
+// Asymptotics holds fitted Table 2 constants (γ, λ, µ, δ).
+type Asymptotics = core.Asymptotics
+
+// Frontier is one Table 3 row.
+type Frontier = core.Frontier
+
+// Projection is one Table 1 accuracy-scaling row.
+type Projection = scaling.Projection
+
+// DomainSpec is the Table 1 input data for one domain.
+type DomainSpec = scaling.DomainSpec
+
+// Accelerator is a Roofline hardware model (Table 4).
+type Accelerator = hw.Accelerator
+
+// CaseStudy is the Table 5 word-LM parallelization result.
+type CaseStudy = parallel.CaseStudyResult
+
+// Build constructs the default training graph for a domain.
+func Build(d Domain) (*Model, error) { return models.Build(d) }
+
+// Analyze characterizes a domain's model at a target parameter count and
+// subbatch size: algorithmic FLOPs, bytes, operational intensity, and
+// minimal memory footprint for one training step.
+func Analyze(d Domain, paramCount, subbatch float64) (Requirements, error) {
+	m, err := models.Build(d)
+	if err != nil {
+		return Requirements{}, err
+	}
+	return AnalyzeModel(m, paramCount, subbatch)
+}
+
+// AnalyzeModel characterizes an already-built model at a parameter count.
+func AnalyzeModel(m *Model, paramCount, subbatch float64) (Requirements, error) {
+	size, err := m.SizeForParams(paramCount)
+	if err != nil {
+		return Requirements{}, err
+	}
+	return core.Characterize(m, size, subbatch, graph.PolicyMemGreedy)
+}
+
+// AccuracyProjections computes Table 1: the data and model growth required
+// to reach each domain's desired SOTA.
+func AccuracyProjections() ([]Projection, error) { return scaling.ProjectAll() }
+
+// AsymptoticTable fits Table 2's first-order requirement models for every
+// domain (γ FLOPs/param, λ + µ·b/√p bytes/param, δ footprint bytes/param).
+func AsymptoticTable() ([]Asymptotics, error) {
+	out := make([]Asymptotics, 0, len(models.AllDomains))
+	for _, d := range models.AllDomains {
+		m, err := models.Build(d)
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.FitAsymptotics(m, core.AsymptoticFitTargets(d),
+			[]float64{16, 64, 256}, m.DefaultBatch, graph.PolicyMemGreedy)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// FrontierTable computes Table 3: per-domain training requirements at the
+// target accuracy on the target accelerator.
+func FrontierTable(acc Accelerator) ([]Frontier, error) {
+	return core.ProjectAllFrontiers(acc, graph.PolicyMemGreedy)
+}
+
+// TargetAccelerator returns the paper's Table 4 configuration.
+func TargetAccelerator() Accelerator { return hw.TargetAccelerator() }
+
+// WordLMCaseStudy runs the §6 step-by-step parallelization plan (Table 5).
+func WordLMCaseStudy() (*CaseStudy, error) {
+	return parallel.RunWordLMCaseStudy(parallel.DefaultCaseStudyConfig())
+}
+
+// SpecFor returns the Table 1 row for a domain.
+func SpecFor(d Domain) (DomainSpec, error) { return scaling.SpecFor(d) }
+
+// Profile is a TFprof-style per-op-kind and per-group cost breakdown.
+type Profile = core.Profile
+
+// ProfileModel computes the per-op breakdown of a model's training step.
+func ProfileModel(m *Model, paramCount, subbatch float64) (*Profile, error) {
+	size, err := m.SizeForParams(paramCount)
+	if err != nil {
+		return nil, err
+	}
+	return core.ProfileGraph(m.Graph, m.Env(size, subbatch))
+}
+
+// SaveCheckpoint serializes a model's compute graph as a JSON checkpoint
+// (the Catamount artifact's save/load capability).
+func SaveCheckpoint(w io.Writer, m *Model) error { return graphio.Save(w, m.Graph) }
+
+// LoadCheckpoint reads a compute graph checkpoint. The result is a bare
+// graph; analyses on it use the graph-level APIs directly.
+func LoadCheckpoint(r io.Reader) (*graph.Graph, error) { return graphio.Load(r) }

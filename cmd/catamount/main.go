@@ -1,0 +1,89 @@
+// Command catamount characterizes one of the paper's five deep learning
+// training workloads at a chosen model size and subbatch: algorithmic FLOPs,
+// bytes accessed, operational intensity, and minimal memory footprint, plus
+// the Roofline step time on the target accelerator.
+//
+// Usage:
+//
+//	catamount -domain wordlm -params 1.03e9 -batch 128
+//	catamount -domain image -params 61e6 -batch 32 -formulas
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	cat "catamount"
+	"catamount/internal/models"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("catamount: ")
+	domain := flag.String("domain", "wordlm",
+		"domain: wordlm, charlm, nmt, speech, image")
+	params := flag.Float64("params", 1.03e9, "target trainable parameter count")
+	batch := flag.Float64("batch", 0, "subbatch size (0 = domain default)")
+	formulas := flag.Bool("formulas", false,
+		"also print the symbolic parameter and FLOP formulas")
+	profile := flag.Bool("profile", false,
+		"print the per-op-kind and per-group cost breakdown")
+	save := flag.String("save", "", "write the compute graph checkpoint to this file")
+	flag.Parse()
+
+	m, err := cat.Build(cat.Domain(*domain))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cat.SaveCheckpoint(f, m); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("checkpoint written to", *save)
+	}
+	if *batch == 0 {
+		*batch = m.DefaultBatch
+	}
+	r, err := cat.AnalyzeModel(m, *params, *batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat.PrintRequirements(os.Stdout, r)
+
+	acc := cat.TargetAccelerator()
+	step := acc.StepTime(r.FLOPsPerStep, r.BytesPerStep)
+	fmt.Printf("Roofline step time on %s\t%.4g s (%.1f%% utilization, %s-bound)\n",
+		acc.Name, step, 100*acc.Utilization(r.FLOPsPerStep, step), bound(acc, r))
+
+	if *formulas {
+		fmt.Println("\nSymbolic parameter count:")
+		fmt.Println("  p =", m.ParamExpr())
+		fmt.Println("\nSymbolic per-step algorithmic FLOPs:")
+		fmt.Println("  c_t =", m.FLOPsExpr())
+	}
+	if *profile {
+		p, err := cat.ProfileModel(m, *params, *batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nPer-op profile (top 12 kinds by FLOPs):")
+		p.Print(os.Stdout, 12)
+	}
+	_ = models.AllDomains
+}
+
+func bound(acc cat.Accelerator, r cat.Requirements) string {
+	if acc.ComputeBound(r.FLOPsPerStep, r.BytesPerStep) {
+		return "compute"
+	}
+	return "bandwidth"
+}

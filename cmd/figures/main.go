@@ -1,0 +1,115 @@
+// Command figures emits the data series behind the paper's Figures 6–12 as
+// CSV, either to stdout or to per-figure files in a directory.
+//
+//	figures -fig 7             one figure to stdout
+//	figures -fig all -out out/ every figure to out/figure_N.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	cat "catamount"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	fig := flag.String("fig", "all", "figure to emit: 6, 7, 8, 9, 10, 11, 12 or all")
+	out := flag.String("out", "", "output directory (default stdout)")
+	flag.Parse()
+
+	writer := func(name string) (io.Writer, func(), error) {
+		if *out == "" {
+			fmt.Printf("# --- %s ---\n", name)
+			return os.Stdout, func() {}, nil
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return nil, nil, err
+		}
+		f, err := os.Create(filepath.Join(*out, name+".csv"))
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, func() { f.Close() }, nil
+	}
+	want := func(t string) bool { return *fig == "all" || *fig == t }
+
+	// Figures 7-9 share one sweep.
+	var sweeps []cat.SweepSeries
+	if want("7") || want("8") || want("9") {
+		var err error
+		sweeps, err = cat.FigureSweeps()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if want("6") {
+		w, done, err := writer("figure_6_learning_curve")
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts, err := cat.Figure6(cat.WordLM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cat.WriteFigure6CSV(w, pts)
+		done()
+	}
+	for _, n := range []string{"7", "8", "9"} {
+		if !want(n) {
+			continue
+		}
+		w, done, err := writer("figure_" + n + "_sweep")
+		if err != nil {
+			log.Fatal(err)
+		}
+		cat.WriteSweepCSV(w, sweeps)
+		done()
+		if *fig != "all" {
+			break // 7, 8 and 9 emit the same sweep columns
+		}
+		break
+	}
+	if want("10") {
+		w, done, err := writer("figure_10_footprint")
+		if err != nil {
+			log.Fatal(err)
+		}
+		series, err := cat.Figure10()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cat.WriteFootprintCSV(w, series)
+		done()
+	}
+	if want("11") {
+		w, done, err := writer("figure_11_subbatch")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := cat.Figure11(cat.TargetAccelerator())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cat.WriteFigure11CSV(w, data)
+		done()
+	}
+	if want("12") {
+		w, done, err := writer("figure_12_data_parallel")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := cat.Figure12()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cat.WriteFigure12CSV(w, data)
+		done()
+	}
+}

@@ -1,0 +1,58 @@
+// Command frontier regenerates the paper's projection tables:
+//
+//	frontier -table 1    accuracy-scaling projections (Table 1)
+//	frontier -table 2    asymptotic requirement models (Table 2)
+//	frontier -table 3    frontier training requirements (Table 3)
+//	frontier -table 4    target accelerator configuration (Table 4)
+//	frontier -table all  everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	cat "catamount"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("frontier: ")
+	table := flag.String("table", "all", "table to print: 1, 2, 3, 4 or all")
+	flag.Parse()
+
+	want := func(t string) bool { return *table == "all" || *table == t }
+
+	if want("1") {
+		projs, err := cat.AccuracyProjections()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Table 1: learning-curve and model-size scaling projections")
+		cat.PrintTable1(os.Stdout, projs)
+		fmt.Println()
+	}
+	if want("2") {
+		asyms, err := cat.AsymptoticTable()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Table 2: asymptotic application-level compute requirements")
+		cat.PrintTable2(os.Stdout, asyms)
+		fmt.Println()
+	}
+	if want("3") {
+		rows, err := cat.FrontierTable(cat.TargetAccelerator())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Table 3: training requirements projected to target accuracy")
+		cat.PrintTable3(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("4") {
+		fmt.Println("Table 4: target accelerator configuration")
+		cat.PrintTable4(os.Stdout, cat.TargetAccelerator())
+	}
+}

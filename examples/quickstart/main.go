@@ -1,0 +1,64 @@
+// Quickstart: characterize the paper's word language model at current-SOTA
+// scale, print its requirement report and symbolic cost formulas, then
+// project it to the accuracy frontier.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	cat "catamount"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Build the word LM training graph (embedding -> 2 LSTM layers
+	//    unrolled 80 steps -> softmax output, with explicit backward ops).
+	m, err := cat.Build(cat.WordLM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Model:", m.Name)
+	fmt.Println("Graph nodes:", len(m.Graph.Nodes()))
+	fmt.Println("Symbolic parameter count: p =", m.ParamExpr())
+	fmt.Println()
+
+	// 2. Characterize one training step at the current-SOTA parameter count
+	//    (~1B params, the paper's Jozefowicz-scale LM) and subbatch 128.
+	r, err := cat.AnalyzeModel(m, 1.03e9, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat.PrintRequirements(os.Stdout, r)
+	fmt.Println()
+
+	// 3. Project to the accuracy frontier: Table 1 scaling plus Table 3
+	//    step/epoch times on the Table 4 accelerator.
+	projs, err := cat.AccuracyProjections()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range projs {
+		if p.Spec.Domain != cat.WordLM {
+			continue
+		}
+		fmt.Printf("To reach %.3g %s (from %.3g), the paper projects %.0fx more data "+
+			"and a %.0fx larger model:\n",
+			p.Spec.DesiredSOTA, p.Spec.Metric, p.Spec.CurrentSOTA,
+			p.PaperDataScale, p.PaperModelScale)
+		fr, err := cat.FrontierTable(cat.TargetAccelerator())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range fr {
+			if f.Spec.Domain == cat.WordLM {
+				fmt.Printf("  %.3g params, %.0f TFLOPs/step, %.0f GB footprint, "+
+					"%.0f s/step, %.3g days/epoch on one accelerator\n",
+					f.TargetParams, f.TFLOPsPerStep, f.FootprintGB,
+					f.StepSeconds, f.EpochDays)
+			}
+		}
+	}
+}

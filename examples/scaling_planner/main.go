@@ -1,0 +1,65 @@
+// Scaling planner: given a domain's power-law learning curve, sweep desired
+// accuracy targets and report the data, model size, and single-accelerator
+// training time each target implies — the paper's §3+§5 pipeline as a
+// planning tool.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	cat "catamount"
+	"catamount/internal/core"
+	"catamount/internal/graph"
+	"catamount/internal/hw"
+	"catamount/internal/models"
+	"catamount/internal/scaling"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	spec, err := cat.SpecFor(cat.WordLM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := cat.Build(cat.WordLM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc := hw.TargetAccelerator()
+	curve := scaling.NormalizedModelCurve(spec.BetaP, spec.CurrentDataSamples, spec.CurrentParams)
+
+	fmt.Printf("Planning for %s (current SOTA %.3g %s at %.3g %ss)\n\n",
+		spec.Name, spec.CurrentSOTA, spec.Metric, spec.CurrentDataSamples, spec.SampleUnit)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Target (nats/word)\tData needed\tData scale\tParams\tStep (s)\tEpoch (days)")
+	for _, target := range []float64{3.2, 3.0, 2.8, 2.6, 2.48} {
+		data, err := spec.Curve.DataForError(target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		params := curve.Params(data)
+		size, err := m.SizeForParams(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := core.Characterize(m, size, m.DefaultBatch, graph.PolicyMemGreedy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		step := acc.StepTime(r.FLOPsPerStep, r.BytesPerStep)
+		steps := data / (m.DefaultBatch * spec.TokensPerSample)
+		fmt.Fprintf(tw, "%.3g\t%.3g %ss\t%.1fx\t%.3g\t%.2f\t%.3g\n",
+			target, data, spec.SampleUnit, data/spec.CurrentDataSamples,
+			params, step, steps*step/86400)
+	}
+	tw.Flush()
+
+	fmt.Println("\nReading: each step down the accuracy curve multiplies data and")
+	fmt.Println("compute; the final row is the paper's frontier target (Table 3).")
+	_ = models.AllDomains
+}

@@ -1,0 +1,155 @@
+package catamount
+
+import (
+	"fmt"
+
+	"catamount/internal/core"
+	"catamount/internal/graph"
+	"catamount/internal/hw"
+	"catamount/internal/models"
+	"catamount/internal/parallel"
+	"catamount/internal/scaling"
+)
+
+// LearningCurvePoint is one Figure 6 sample.
+type LearningCurvePoint = scaling.CurvePoint
+
+// Figure6 samples the three-region learning curve sketch for a domain.
+func Figure6(d Domain) ([]LearningCurvePoint, error) {
+	spec, err := scaling.SpecFor(d)
+	if err != nil {
+		return nil, err
+	}
+	return scaling.LearningCurveSeries(spec, 1e3, 1e15, 4), nil
+}
+
+// SweepSeries is one domain's model-size sweep, the substrate of
+// Figures 7–10.
+type SweepSeries struct {
+	Domain Domain
+	Points []Requirements
+}
+
+// FigureSweeps characterizes every domain across its Figure 7–10 parameter
+// range at the paper's profiling subbatch sizes.
+func FigureSweeps() ([]SweepSeries, error) {
+	out := make([]SweepSeries, 0, len(models.AllDomains))
+	for _, d := range models.AllDomains {
+		m, err := models.Build(d)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := core.SweepParams(m, core.DefaultSweepTargets(d), m.DefaultBatch,
+			graph.PolicyMemGreedy)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepSeries{Domain: d, Points: pts})
+	}
+	return out, nil
+}
+
+// FootprintSeries is one domain's Figure 10 sweep with the simulated
+// framework-allocator view (12 GB device, 80% usable).
+type FootprintSeries struct {
+	Domain Domain
+	Points []core.FootprintPoint
+}
+
+// Figure10 runs the footprint sweep with the allocator simulation.
+func Figure10() ([]FootprintSeries, error) {
+	out := make([]FootprintSeries, 0, len(models.AllDomains))
+	for _, d := range models.AllDomains {
+		m, err := models.Build(d)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := core.FootprintSweep(m, core.DefaultSweepTargets(d), m.DefaultBatch,
+			graph.PolicyMemGreedy)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FootprintSeries{Domain: d, Points: pts})
+	}
+	return out, nil
+}
+
+// Figure11Data is the word-LM subbatch sweep with the accelerator ridge
+// point and the three §5.2.1 policy choices marked.
+type Figure11Data struct {
+	Points     []hw.SubbatchPoint
+	RidgePoint float64
+	Chosen     map[string]hw.SubbatchPoint
+}
+
+// Figure11 sweeps subbatch sizes for the frontier word LM.
+func Figure11(acc Accelerator) (*Figure11Data, error) {
+	m, err := models.Build(WordLM)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := scaling.SpecFor(WordLM)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := scaling.Project(spec)
+	if err != nil {
+		return nil, err
+	}
+	size, err := m.SizeForParams(proj.TargetParams)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := hw.SubbatchSweep(core.StepEvalAt(m, size), acc, hw.PowersOfTwo(18))
+	if err != nil {
+		return nil, err
+	}
+	data := &Figure11Data{
+		Points:     pts,
+		RidgePoint: acc.EffectiveRidgePoint(),
+		Chosen:     make(map[string]hw.SubbatchPoint, 3),
+	}
+	for _, pol := range []hw.SubbatchPolicy{
+		hw.MinTimePerSample, hw.RidgePointMatch, hw.IntensitySaturation,
+	} {
+		pt, err := hw.ChooseSubbatch(pts, acc, pol, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		data.Chosen[pol.String()] = pt
+	}
+	return data, nil
+}
+
+// Figure12Data is the data-parallel scaling sweep of the case-study word LM.
+type Figure12Data struct {
+	Points []parallel.DataParallelPoint
+}
+
+// Figure12 sweeps data-parallel worker counts (1 → 16384) for the
+// cache-aware case-study step.
+func Figure12() (*Figure12Data, error) {
+	cs, err := WordLMCaseStudy()
+	if err != nil {
+		return nil, err
+	}
+	cfg := parallel.DefaultCaseStudyConfig()
+	dp := parallel.DataParallelConfig{
+		StepTime:          cfg.Acc.StepTime(cs.StepFLOPs, cs.CacheAwareBytes),
+		StepFLOPs:         cs.StepFLOPs,
+		GradientBytes:     4 * cs.Params,
+		SubbatchPerWorker: cfg.Subbatch,
+		EpochSamples:      cfg.EpochTokens / float64(cs.Model.SeqLen),
+		Acc:               cfg.Acc,
+		Link:              cfg.Link,
+		Reduce:            parallel.RingAllReduceTime,
+	}
+	var workers []int
+	for w := 1; w <= 16384; w *= 2 {
+		workers = append(workers, w)
+	}
+	return &Figure12Data{Points: dp.Sweep(workers)}, nil
+}
+
+// fmtDomain renders the short domain tag used in CSV headers.
+func fmtDomain(d Domain) string { return fmt.Sprintf("%s", string(d)) }

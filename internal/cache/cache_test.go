@@ -1,0 +1,155 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"catamount/internal/hw"
+	"catamount/internal/models"
+	"catamount/internal/ops"
+	"catamount/internal/symbolic"
+	"catamount/internal/tensor"
+)
+
+func TestTileDim(t *testing.T) {
+	tm := NewTileModel(6e6) // paper's 6 MB L2, shared by 64 resident tiles
+	want := math.Sqrt(6e6 / 64 / 12)
+	if got := tm.TileDim(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("tile = %v, want %v", got, want)
+	}
+	mono := TileModel{CacheBytes: 6e6, ElemSize: 4} // Concurrency 0 => 1
+	if got := mono.TileDim(); math.Abs(got-math.Sqrt(6e6/12)) > 1e-9 {
+		t.Fatalf("monolithic tile = %v", got)
+	}
+}
+
+func TestSmallMatMulNoRestream(t *testing.T) {
+	tm := NewTileModel(6e6)
+	// 50x50x50 fits in one tile pass: factor ~1 (C counted once).
+	f := tm.Restream(50, 50, 50)
+	if f > 1.01 {
+		t.Fatalf("restream = %v for in-cache GEMM", f)
+	}
+}
+
+func TestLargeMatMulRestreams(t *testing.T) {
+	tm := NewTileModel(6e6)
+	// A word-LM-frontier-sized GEMM (m=128, k=2h, n=4h at h≈12000).
+	f := tm.Restream(128, 24000, 48000)
+	if f < 1.2 {
+		t.Fatalf("restream = %v, want noticeable inflation", f)
+	}
+}
+
+func TestBiggerCacheReducesTraffic(t *testing.T) {
+	small := NewTileModel(6e6)
+	big := NewTileModel(60e6)
+	m, k, n := 4096.0, 8192.0, 8192.0
+	if big.MatMulTraffic(m, k, n) >= small.MatMulTraffic(m, k, n) {
+		t.Fatal("larger cache should reduce traffic")
+	}
+}
+
+func TestPropTrafficAtLeastAlgorithmic(t *testing.T) {
+	tm := NewTileModel(6e6)
+	f := func(a, b, c uint16) bool {
+		m, k, n := float64(a%4096+1), float64(b%4096+1), float64(c%4096+1)
+		return tm.MatMulTraffic(m, k, n) >= tm.AlgorithmicBytes(m, k, n)*0.99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphTrafficSimpleGEMM(t *testing.T) {
+	b := ops.NewBuilder("g")
+	x := b.Input("x", tensor.F32, 128, 8192)
+	w := b.Param("w", 8192, 8192)
+	y := b.MatMul(x, w)
+	_ = y
+	tm := NewTileModel(6e6)
+	rep, err := GraphTraffic(b.G, nil, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheAwareBytes < rep.AlgorithmicBytes {
+		t.Fatal("cache-aware bytes below algorithmic")
+	}
+	if rep.GEMMTraffic == 0 {
+		t.Fatal("GEMM not classified")
+	}
+	wantAlg := tm.AlgorithmicBytes(128, 8192, 8192)
+	if math.Abs(rep.AlgorithmicBytes-wantAlg)/wantAlg > 1e-9 {
+		t.Fatalf("alg bytes = %v, want %v", rep.AlgorithmicBytes, wantAlg)
+	}
+}
+
+func TestGraphTrafficNonGEMMUnchanged(t *testing.T) {
+	b := ops.NewBuilder("g")
+	x := b.Input("x", tensor.F32, 1000)
+	y := b.Input("y", tensor.F32, 1000)
+	b.Add(x, y)
+	rep, err := GraphTraffic(b.G, nil, NewTileModel(6e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheAwareBytes != rep.AlgorithmicBytes {
+		t.Fatal("pointwise op should not restream")
+	}
+	if rep.RestreamFactor != 1 {
+		t.Fatalf("factor = %v", rep.RestreamFactor)
+	}
+}
+
+func TestGraphTrafficUnboundSymbol(t *testing.T) {
+	b := ops.NewBuilder("g")
+	x := b.Input("x", tensor.F32, symbolic.S("b"), 10)
+	w := b.Param("w", 10, 10)
+	b.MatMul(x, w)
+	if _, err := GraphTraffic(b.G, symbolic.Env{}, NewTileModel(6e6)); err == nil {
+		t.Fatal("expected unbound symbol error")
+	}
+}
+
+func TestWordLMCaseStudyUtilizationDrop(t *testing.T) {
+	// Paper §6.1: moving from best-case Roofline to the cache-aware model
+	// drops the frontier word LM from 80% to ~46% utilization. Verify the
+	// direction and a material drop on a large projected word LM.
+	m := models.BuildWordLM(models.CaseStudyWordLMConfig())
+	size, err := m.SizeForParams(5e9) // large enough to exceed cache tiles
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := hw.TargetAccelerator()
+	env := m.Env(size, 128)
+	flops := symbolic.MustEval(m.FLOPsExpr(), env)
+	rep, err := GraphTraffic(m.Graph, env, NewTileModel(acc.CacheBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, aware := UtilizationDrop(flops, rep, acc.StepTime, acc.Utilization)
+	if best < 0.7 {
+		t.Fatalf("best-case utilization %.2f, want ~0.8 (compute bound)", best)
+	}
+	if aware >= best {
+		t.Fatal("cache-aware utilization should drop")
+	}
+	if aware > 0.65 || aware < 0.3 {
+		t.Fatalf("cache-aware utilization %.2f, paper reports ~0.46", aware)
+	}
+}
+
+func TestConvGEMMClassified(t *testing.T) {
+	b := ops.NewBuilder("g")
+	x := b.Input("x", tensor.F32, 32, 56, 56, 256)
+	w := b.Param("w", 3, 3, 256, 256)
+	b.Conv2D(x, w, 1, 1)
+	rep, err := GraphTraffic(b.G, nil, NewTileModel(6e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GEMMTraffic == 0 {
+		t.Fatal("conv2d not classified as GEMM")
+	}
+}

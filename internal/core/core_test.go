@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"catamount/internal/graph"
+	"catamount/internal/hw"
+	"catamount/internal/models"
+	"catamount/internal/scaling"
+)
+
+// testWordLM is a reduced word LM that keeps core tests fast while
+// preserving the asymptotic structure (6q + 4 FLOPs/param, λ ≈ 6q·4).
+func testWordLM() *models.Model {
+	return models.BuildWordLM(models.WordLMConfig{Layers: 2, SeqLen: 10, Vocab: 200})
+}
+
+func TestCharacterizeBasics(t *testing.T) {
+	m := testWordLM()
+	r, err := Characterize(m, 512, 32, graph.PolicyMemGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Params <= 0 || r.FLOPsPerStep <= 0 || r.BytesPerStep <= 0 {
+		t.Fatalf("bad requirements: %+v", r)
+	}
+	if r.FLOPsPerSample*32 != r.FLOPsPerStep {
+		t.Fatal("per-sample normalization wrong")
+	}
+	if math.Abs(r.Intensity-r.FLOPsPerStep/r.BytesPerStep) > 1e-12 {
+		t.Fatal("intensity inconsistent")
+	}
+	if r.FootprintBytes < r.PersistentBytes {
+		t.Fatal("footprint below persistent bytes")
+	}
+	ratio := r.BwdFLOPs / r.FwdFLOPs
+	if ratio < 1.7 || ratio > 2.6 {
+		t.Fatalf("bwd/fwd = %.2f", ratio)
+	}
+}
+
+func TestSweepParamsMonotone(t *testing.T) {
+	m := testWordLM()
+	targets := LogSpace(1e6, 1e8, 5)
+	rs, err := SweepParams(m, targets, 16, graph.PolicyMemGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("points = %d", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Params <= rs[i-1].Params {
+			t.Fatal("params not increasing")
+		}
+		if rs[i].FLOPsPerStep <= rs[i-1].FLOPsPerStep {
+			t.Fatal("FLOPs not increasing")
+		}
+		if rs[i].FootprintBytes <= rs[i-1].FootprintBytes {
+			t.Fatal("footprint not increasing")
+		}
+	}
+	// Params should hit the targets.
+	for i, r := range rs {
+		if math.Abs(r.Params-targets[i])/targets[i] > 1e-6 {
+			t.Fatalf("point %d params %.4g, want %.4g", i, r.Params, targets[i])
+		}
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	v := LogSpace(1, 100, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if math.Abs(v[i]-want[i]) > 1e-9 {
+			t.Fatalf("v[%d] = %v", i, v[i])
+		}
+	}
+	if got := LogSpace(5, 50, 1); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("degenerate LogSpace = %v", got)
+	}
+}
+
+func TestDefaultSweepTargetsCoverDomains(t *testing.T) {
+	for _, d := range models.AllDomains {
+		ts := DefaultSweepTargets(d)
+		if len(ts) < 4 {
+			t.Fatalf("%s: too few targets", d)
+		}
+		for i := 1; i < len(ts); i++ {
+			if ts[i] <= ts[i-1] {
+				t.Fatalf("%s: targets not increasing", d)
+			}
+		}
+	}
+}
+
+func TestFitAsymptoticsWordLMShape(t *testing.T) {
+	m := testWordLM()
+	a, err := FitAsymptotics(m, LogSpace(1e7, 1e9, 4), []float64{8, 32, 128}, 32,
+		graph.PolicyMemGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// γ → 6q + 4 = 64 at q=10.
+	if math.Abs(a.Gamma-64)/64 > 0.1 {
+		t.Fatalf("gamma = %.1f, want ~64", a.Gamma)
+	}
+	// λ → ~6q·4 = 240 B/param (per-step weight traffic across fwd, bwd and
+	// gradient aggregation), plus the ~26 B/param update/grad-write floor.
+	if a.Lambda < 180 || a.Lambda > 320 {
+		t.Fatalf("lambda = %.1f, want ~240", a.Lambda)
+	}
+	if a.Mu <= 0 {
+		t.Fatalf("mu = %v, want positive batch-dependent traffic", a.Mu)
+	}
+	if a.BytesR2 < 0.98 {
+		t.Fatalf("bytes fit R2 = %.4f", a.BytesR2)
+	}
+	// δ ≥ 12 B/param (weights + grads + momentum) and below ~3x that for a
+	// small-vocab LM at moderate batch.
+	if a.Delta < 11 || a.Delta > 40 {
+		t.Fatalf("delta = %.1f B/param", a.Delta)
+	}
+	// Intensity formula: rises with b, saturates with p.
+	if a.IntensityAt(1e9, 64) <= a.IntensityAt(1e9, 8) {
+		t.Fatal("intensity not increasing in b")
+	}
+	lim := 64.0 / a.IntensityX // b/(λ/γ) as p→∞... scaled below
+	_ = lim
+	if a.IntensityForm() == "" {
+		t.Fatal("empty intensity form")
+	}
+}
+
+func TestIntensitySaturatesWithModelSize(t *testing.T) {
+	a := Asymptotics{Gamma: 484, Lambda: 1755, Mu: 30784}
+	a.IntensityX = a.Lambda / a.Gamma
+	a.IntensityY = a.Mu / a.Gamma
+	// For fixed b, intensity approaches γ·b/λ as p→∞ (paper §4.4).
+	limit := 484.0 * 128 / 1755
+	got := a.IntensityAt(1e13, 128)
+	if math.Abs(got-limit)/limit > 0.05 {
+		t.Fatalf("intensity at huge p = %.2f, want ~%.2f", got, limit)
+	}
+	if a.IntensityAt(1e8, 128) >= got {
+		t.Fatal("intensity should grow toward the asymptote")
+	}
+}
+
+func TestFitAsymptoticsNeedsEnoughPoints(t *testing.T) {
+	m := testWordLM()
+	if _, err := FitAsymptotics(m, []float64{1e7}, []float64{8, 16}, 8,
+		graph.PolicyMemGreedy); err == nil {
+		t.Fatal("expected too-few-sizes error")
+	}
+	if _, err := FitAsymptotics(m, []float64{1e7, 1e8}, []float64{8}, 8,
+		graph.PolicyMemGreedy); err == nil {
+		t.Fatal("expected too-few-batches error")
+	}
+}
+
+func TestStepEvalAtMatchesCharacterize(t *testing.T) {
+	m := testWordLM()
+	eval := StepEvalAt(m, 512)
+	f, by, _, err := eval(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Characterize(m, 512, 32, graph.PolicyMemGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-r.FLOPsPerStep) > 1 || math.Abs(by-r.BytesPerStep) > 1 {
+		t.Fatal("StepEvalAt disagrees with Characterize")
+	}
+}
+
+func TestProjectFrontierSmallModel(t *testing.T) {
+	// Use the reduced model with a synthetic spec so the test stays fast
+	// but exercises the full Table 3 pipeline.
+	m := testWordLM()
+	spec := scaling.DomainSpec{
+		Domain: models.WordLM, Name: "test", TokensPerSample: 10,
+	}
+	proj := scaling.Projection{
+		Spec:              spec,
+		TargetDataSamples: 1e9,
+		TargetParams:      2e8,
+	}
+	acc := hw.TargetAccelerator()
+	fr, err := ProjectFrontier(m, proj, acc, graph.PolicyMemGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Subbatch < 1 {
+		t.Fatalf("subbatch = %v", fr.Subbatch)
+	}
+	if fr.StepSeconds <= 0 || fr.EpochDays <= 0 {
+		t.Fatalf("times: %+v", fr)
+	}
+	if fr.Utilization <= 0 || fr.Utilization > 0.8001 {
+		t.Fatalf("utilization = %v", fr.Utilization)
+	}
+	// Epoch accounting: steps * stepTime.
+	steps := proj.TargetDataSamples / (fr.Subbatch * spec.TokensPerSample)
+	wantDays := steps * fr.StepSeconds / 86400
+	if math.Abs(fr.EpochDays-wantDays)/wantDays > 1e-9 {
+		t.Fatalf("epoch days %v, want %v", fr.EpochDays, wantDays)
+	}
+}
+
+func TestFootprintSweepAllocatorCap(t *testing.T) {
+	m := testWordLM()
+	pts, err := FootprintSweep(m, LogSpace(1e7, 3e9, 4), 32, graph.PolicyMemGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The largest point (3e9 params ≈ 36 GB at 12 B/param) must exceed the
+	// 9.6 GB usable cap and show swapping; the smallest must not.
+	if pts[0].AllocatorReport.Swapping {
+		t.Fatal("small model should not swap")
+	}
+	last := pts[len(pts)-1]
+	if !last.AllocatorReport.Swapping {
+		t.Fatalf("large model should swap (footprint %.3g)", last.FootprintBytes)
+	}
+	if last.AllocatorReport.DeviceBytes > 9.6e9+1 {
+		t.Fatal("allocator-visible footprint must plateau at the cap")
+	}
+}

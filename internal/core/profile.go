@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"catamount/internal/graph"
+	"catamount/internal/symbolic"
+)
+
+// OpKindProfile aggregates one op kind across the graph — the TFprof-style
+// per-op view the paper's methodology is built on (§4.1).
+type OpKindProfile struct {
+	Kind       string
+	Count      int
+	FLOPs      float64
+	Bytes      float64
+	FLOPsShare float64
+	BytesShare float64
+}
+
+// GroupProfile aggregates one logical layer group.
+type GroupProfile struct {
+	Group      string
+	FLOPs      float64
+	Bytes      float64
+	ParamBytes float64
+	FLOPsShare float64
+}
+
+// Profile is a full per-op-kind and per-group breakdown of a training step.
+type Profile struct {
+	// ByKind is sorted by descending FLOPs.
+	ByKind []OpKindProfile
+	// ByGroup is sorted by group name.
+	ByGroup []GroupProfile
+	// TotalFLOPs / TotalBytes are the step totals.
+	TotalFLOPs, TotalBytes float64
+	// IOBytes is the algorithmic IO staged into the step.
+	IOBytes float64
+}
+
+// ProfileGraph computes the breakdown under the given bindings.
+func ProfileGraph(g *graph.Graph, env symbolic.Env) (*Profile, error) {
+	kind := make(map[string]*OpKindProfile)
+	group := make(map[string]*GroupProfile)
+	p := &Profile{}
+	for _, n := range g.Nodes() {
+		f, err := n.FLOPs().Eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %s: %w", n.Name, err)
+		}
+		by, err := n.Bytes().Eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %s: %w", n.Name, err)
+		}
+		k := n.Op.Kind()
+		kp, ok := kind[k]
+		if !ok {
+			kp = &OpKindProfile{Kind: k}
+			kind[k] = kp
+		}
+		kp.Count++
+		kp.FLOPs += f
+		kp.Bytes += by
+
+		gp, ok := group[n.Group]
+		if !ok {
+			gp = &GroupProfile{Group: n.Group}
+			group[n.Group] = gp
+		}
+		gp.FLOPs += f
+		gp.Bytes += by
+
+		p.TotalFLOPs += f
+		p.TotalBytes += by
+	}
+	for _, t := range g.Tensors() {
+		if t.Kind != graph.Param {
+			continue
+		}
+		by, err := t.Bytes().Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		if gp, ok := group[t.Group]; ok {
+			gp.ParamBytes += by
+		} else {
+			group[t.Group] = &GroupProfile{Group: t.Group, ParamBytes: by}
+		}
+	}
+	io, err := g.AlgorithmicIO().Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	p.IOBytes = io
+
+	for _, kp := range kind {
+		if p.TotalFLOPs > 0 {
+			kp.FLOPsShare = kp.FLOPs / p.TotalFLOPs
+		}
+		if p.TotalBytes > 0 {
+			kp.BytesShare = kp.Bytes / p.TotalBytes
+		}
+		p.ByKind = append(p.ByKind, *kp)
+	}
+	sort.Slice(p.ByKind, func(i, j int) bool {
+		if p.ByKind[i].FLOPs != p.ByKind[j].FLOPs {
+			return p.ByKind[i].FLOPs > p.ByKind[j].FLOPs
+		}
+		return p.ByKind[i].Kind < p.ByKind[j].Kind
+	})
+	for _, gp := range group {
+		if p.TotalFLOPs > 0 {
+			gp.FLOPsShare = gp.FLOPs / p.TotalFLOPs
+		}
+		p.ByGroup = append(p.ByGroup, *gp)
+	}
+	sort.Slice(p.ByGroup, func(i, j int) bool { return p.ByGroup[i].Group < p.ByGroup[j].Group })
+	return p, nil
+}
+
+// Print renders the profile as aligned text tables.
+func (p *Profile) Print(w io.Writer, topK int) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Op kind\tCount\tFLOPs\tFLOPs %\tBytes\tBytes %")
+	for i, kp := range p.ByKind {
+		if topK > 0 && i >= topK {
+			break
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.4g\t%.1f%%\t%.4g\t%.1f%%\n",
+			kp.Kind, kp.Count, kp.FLOPs, 100*kp.FLOPsShare, kp.Bytes, 100*kp.BytesShare)
+	}
+	fmt.Fprintln(tw, "\nLayer group\tFLOPs\tFLOPs %\tBytes\tParam bytes")
+	for _, gp := range p.ByGroup {
+		fmt.Fprintf(tw, "%s\t%.4g\t%.1f%%\t%.4g\t%.4g\n",
+			gp.Group, gp.FLOPs, 100*gp.FLOPsShare, gp.Bytes, gp.ParamBytes)
+	}
+	fmt.Fprintf(tw, "\nTotal\t\t%.4g\t\t%.4g\t(IO: %.4g B)\n",
+		p.TotalFLOPs, p.TotalBytes, p.IOBytes)
+	tw.Flush()
+}

@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"testing"
+
+	"catamount/internal/models"
+	"catamount/internal/ops"
+	"catamount/internal/symbolic"
+	"catamount/internal/tensor"
+)
+
+func BenchmarkGEMM256(b *testing.B) {
+	bb := ops.NewBuilder("g")
+	x := bb.Input("x", tensor.F32, 256, 256)
+	w := bb.Param("w", 256, 256)
+	bb.MatMul(x, w)
+	r, err := NewRuntime(bb.G, nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(3 * 256 * 256 * 4)
+}
+
+func BenchmarkTinyWordLMTrainingStep(b *testing.B) {
+	m := models.BuildWordLM(models.WordLMConfig{Layers: 1, SeqLen: 8, Vocab: 64})
+	env := symbolic.Env{"h": 64, "b": 8}
+	r, err := NewRuntime(m.Graph, env, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTinyResNetTrainingStep(b *testing.B) {
+	m := models.BuildResNet(models.ResNetConfig{Blocks: [4]int{1, 1, 1, 1}, Classes: 10, Image: 32})
+	env := symbolic.Env{"w": 0.125, "b": 2}
+	r, err := NewRuntime(m.Graph, env, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package exec is a numeric reference executor for the compute-graph IR —
+// the repository's stand-in for the paper's TensorFlow + TFprof profiling
+// substrate. It runs training-step graphs on the CPU with instrumented
+// float32 kernels, so the analytical algorithmic-FLOP counts can be
+// validated against arithmetic that is actually performed, and the autodiff
+// construction can be checked against finite differences.
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"catamount/internal/graph"
+	"catamount/internal/ops"
+	"catamount/internal/symbolic"
+	"catamount/internal/tensor"
+)
+
+// Tensor is a concrete dense tensor: float32 values or int32 ids.
+type Tensor struct {
+	Dims []int
+	F    []float32 // nil for integer tensors
+	I    []int32   // nil for float tensors
+}
+
+// NumElems returns the element count.
+func (t *Tensor) NumElems() int {
+	n := 1
+	for _, d := range t.Dims {
+		n *= d
+	}
+	return n
+}
+
+// NewTensor allocates a float tensor.
+func NewTensor(dims ...int) *Tensor {
+	t := &Tensor{Dims: append([]int(nil), dims...)}
+	t.F = make([]float32, t.NumElems())
+	return t
+}
+
+// NewIntTensor allocates an integer tensor.
+func NewIntTensor(dims ...int) *Tensor {
+	t := &Tensor{Dims: append([]int(nil), dims...)}
+	t.I = make([]int32, t.NumElems())
+	return t
+}
+
+// clone deep-copies a tensor.
+func (t *Tensor) clone() *Tensor {
+	c := &Tensor{Dims: append([]int(nil), t.Dims...)}
+	if t.F != nil {
+		c.F = append([]float32(nil), t.F...)
+	}
+	if t.I != nil {
+		c.I = append([]int32(nil), t.I...)
+	}
+	return c
+}
+
+// Profile reports executed work.
+type Profile struct {
+	// TotalFLOPs is the summed per-node count.
+	TotalFLOPs float64
+	// ByNode maps node name to executed FLOPs.
+	ByNode map[string]float64
+}
+
+// Runtime holds concrete values for every tensor of a graph.
+type Runtime struct {
+	G *graph.Graph
+
+	env  symbolic.Env
+	vals map[*graph.Tensor]*Tensor
+	rng  *rand.Rand
+}
+
+// NewRuntime allocates and deterministically initializes all graph inputs,
+// parameters, and optimizer state under the given dimension bindings.
+// Parameters get small random values; integer inputs get random ids
+// (reduced modulo table size at gather time); float inputs get random data.
+func NewRuntime(g *graph.Graph, env symbolic.Env, seed int64) (*Runtime, error) {
+	r := &Runtime{
+		G:    g,
+		env:  env,
+		vals: make(map[*graph.Tensor]*Tensor),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	for _, t := range g.Tensors() {
+		if t.Kind != graph.Input && t.Kind != graph.Param && t.Kind != graph.State {
+			continue
+		}
+		dims, err := t.Shape.Eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("exec: tensor %s: %w", t.Name, err)
+		}
+		var v *Tensor
+		if t.DType == tensor.I32 || t.DType == tensor.I64 {
+			v = NewIntTensor(dims...)
+			for i := range v.I {
+				v.I[i] = int32(r.rng.Intn(1 << 16))
+			}
+		} else {
+			v = NewTensor(dims...)
+			switch t.Kind {
+			case graph.Param:
+				scale := float32(0.2)
+				for i := range v.F {
+					v.F[i] = (r.rng.Float32() - 0.5) * scale
+				}
+			case graph.Input:
+				for i := range v.F {
+					v.F[i] = (r.rng.Float32() - 0.5)
+				}
+			}
+			// State (momentum) stays zero.
+		}
+		r.vals[t] = v
+	}
+	return r, nil
+}
+
+// Value returns the concrete tensor by graph-tensor name.
+func (r *Runtime) Value(name string) (*Tensor, bool) {
+	gt, ok := r.G.TensorByName(name)
+	if !ok {
+		return nil, false
+	}
+	v, ok := r.vals[gt]
+	return v, ok
+}
+
+// SetF overwrites a float tensor's contents.
+func (r *Runtime) SetF(name string, data []float32) error {
+	v, ok := r.Value(name)
+	if !ok || v.F == nil {
+		return fmt.Errorf("exec: no float tensor %q", name)
+	}
+	if len(data) != len(v.F) {
+		return fmt.Errorf("exec: size mismatch for %q: %d vs %d", name, len(data), len(v.F))
+	}
+	copy(v.F, data)
+	return nil
+}
+
+// SetI overwrites an integer tensor's contents.
+func (r *Runtime) SetI(name string, data []int32) error {
+	v, ok := r.Value(name)
+	if !ok || v.I == nil {
+		return fmt.Errorf("exec: no int tensor %q", name)
+	}
+	if len(data) != len(v.I) {
+		return fmt.Errorf("exec: size mismatch for %q: %d vs %d", name, len(data), len(v.I))
+	}
+	copy(v.I, data)
+	return nil
+}
+
+// CopySeedsFrom copies every Input/Param/State value from another runtime of
+// the same graph — used for finite-difference probing.
+func (r *Runtime) CopySeedsFrom(other *Runtime) {
+	for _, t := range r.G.Tensors() {
+		if t.Kind != graph.Input && t.Kind != graph.Param && t.Kind != graph.State {
+			continue
+		}
+		if src, ok := other.vals[t]; ok {
+			r.vals[t] = src.clone()
+		}
+	}
+}
+
+// GradientOf returns the final accumulated gradient tensor feeding a
+// parameter's optimizer update.
+func (r *Runtime) GradientOf(paramName string) (*Tensor, error) {
+	pt, ok := r.G.TensorByName(paramName)
+	if !ok {
+		return nil, fmt.Errorf("exec: no parameter %q", paramName)
+	}
+	for _, n := range r.G.Nodes() {
+		if _, ok := n.Op.(ops.SGDMomentum); ok && len(n.Inputs) == 3 && n.Inputs[0] == pt {
+			v, ok := r.vals[n.Inputs[1]]
+			if !ok {
+				return nil, fmt.Errorf("exec: gradient of %q not computed (run first)", paramName)
+			}
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("exec: no update node for %q", paramName)
+}
+
+// Run executes the full graph once in topological order, returning the
+// executed-FLOP profile.
+func (r *Runtime) Run() (*Profile, error) {
+	order, err := r.G.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	prof := &Profile{ByNode: make(map[string]float64, len(order))}
+	for _, n := range order {
+		flops, err := r.execNode(n)
+		if err != nil {
+			return nil, fmt.Errorf("exec: node %s (%s): %w", n.Name, n.Op.Kind(), err)
+		}
+		prof.ByNode[n.Name] = flops
+		prof.TotalFLOPs += flops
+	}
+	return prof, nil
+}
+
+// in fetches an input value.
+func (r *Runtime) in(n *graph.Node, i int) (*Tensor, error) {
+	v, ok := r.vals[n.Inputs[i]]
+	if !ok {
+		return nil, fmt.Errorf("input %d (%s) not materialized", i, n.Inputs[i].Name)
+	}
+	return v, nil
+}
+
+// alloc materializes an output value.
+func (r *Runtime) alloc(n *graph.Node, i int) (*Tensor, error) {
+	gt := n.Outputs[i]
+	dims, err := gt.Shape.Eval(r.env)
+	if err != nil {
+		return nil, err
+	}
+	var v *Tensor
+	if gt.DType == tensor.I32 || gt.DType == tensor.I64 {
+		v = NewIntTensor(dims...)
+	} else {
+		v = NewTensor(dims...)
+	}
+	r.vals[gt] = v
+	return v, nil
+}

@@ -1,0 +1,1086 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"catamount/internal/graph"
+	"catamount/internal/ops"
+)
+
+const bnEps = 1e-5
+
+// execNode dispatches one node to its kernel and returns executed FLOPs.
+func (r *Runtime) execNode(n *graph.Node) (float64, error) {
+	switch op := n.Op.(type) {
+	case ops.MatMul:
+		return r.matmul(n, op.TransA, op.TransB)
+	case ops.BatchedMatMul:
+		return r.batchedMatMul(n, op.TransA, op.TransB)
+	case ops.Binary:
+		return r.binary(n, op.Fn)
+	case ops.GradAccum:
+		_, err := r.binaryInto(n, "add")
+		return 0, err // aggregation FLOPs are fused into the producer
+	case ops.BiasAdd:
+		return r.biasAdd(n)
+	case ops.Unary:
+		return r.unary(n, op)
+	case ops.UnaryGrad:
+		return r.unaryGrad(n, op)
+	case ops.Embedding:
+		return r.embedding(n)
+	case ops.EmbeddingGrad:
+		return r.embeddingGrad(n)
+	case ops.Softmax:
+		return r.softmax(n)
+	case ops.SoftmaxGrad:
+		return r.softmaxGrad(n)
+	case ops.SoftmaxXent:
+		return r.softmaxXent(n)
+	case ops.SoftmaxXentGrad:
+		return r.softmaxXentGrad(n)
+	case ops.Reduce:
+		return r.reduce(n, op)
+	case ops.Broadcast:
+		return r.broadcast(n, op)
+	case ops.Concat:
+		return r.concat(n, op.Axis)
+	case ops.Split:
+		return r.split(n, op.Axis)
+	case ops.Transpose:
+		return r.transpose(n, op.Perm)
+	case ops.Reshape:
+		return r.reshape(n)
+	case ops.Fill:
+		return r.fill(n, op.Value)
+	case ops.Conv2D:
+		return r.conv2d(n, op.StrideH, op.StrideW)
+	case ops.Conv2DGradInput:
+		return r.conv2dGradInput(n, op.StrideH, op.StrideW)
+	case ops.Conv2DGradWeight:
+		return r.conv2dGradWeight(n, op.StrideH, op.StrideW)
+	case ops.BatchNorm:
+		return r.batchNorm(n)
+	case ops.BatchNormGrad:
+		return r.batchNormGrad(n)
+	case ops.Pool:
+		return r.pool(n, op)
+	case ops.PoolGrad:
+		return r.poolGrad(n, op)
+	case ops.SGDMomentum:
+		return r.sgdMomentum(n, op)
+	}
+	return 0, fmt.Errorf("no kernel for op kind %q", n.Op.Kind())
+}
+
+// ---------------------------------------------------------------------------
+// Dense linear algebra
+
+func (r *Runtime) matmul(n *graph.Node, ta, tb bool) (float64, error) {
+	a, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	bb, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	y, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	m, k := a.Dims[0], a.Dims[1]
+	if ta {
+		m, k = k, m
+	}
+	nn := bb.Dims[1]
+	if tb {
+		nn = bb.Dims[0]
+	}
+	gemm(a.F, bb.F, y.F, m, k, nn, ta, tb)
+	return 2 * float64(m) * float64(k) * float64(nn), nil
+}
+
+// gemm computes Y[m,n] = op(A)·op(B) over flat float32 slices.
+func gemm(a, b, y []float32, m, k, n int, ta, tb bool) {
+	at := func(i, l int) float32 {
+		if ta {
+			return a[l*m+i]
+		}
+		return a[i*k+l]
+	}
+	bt := func(l, j int) float32 {
+		if tb {
+			return b[j*k+l]
+		}
+		return b[l*n+j]
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum float32
+			for l := 0; l < k; l++ {
+				sum += at(i, l) * bt(l, j)
+			}
+			y[i*n+j] = sum
+		}
+	}
+}
+
+func (r *Runtime) batchedMatMul(n *graph.Node, ta, tb bool) (float64, error) {
+	a, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	bb, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	y, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	bd := a.Dims[0]
+	m, k := a.Dims[1], a.Dims[2]
+	if ta {
+		m, k = k, m
+	}
+	nn := bb.Dims[2]
+	if tb {
+		nn = bb.Dims[1]
+	}
+	aStride, bStride, yStride := a.Dims[1]*a.Dims[2], bb.Dims[1]*bb.Dims[2], m*nn
+	for i := 0; i < bd; i++ {
+		gemm(a.F[i*aStride:(i+1)*aStride], bb.F[i*bStride:(i+1)*bStride],
+			y.F[i*yStride:(i+1)*yStride], m, k, nn, ta, tb)
+	}
+	return 2 * float64(bd) * float64(m) * float64(k) * float64(nn), nil
+}
+
+// ---------------------------------------------------------------------------
+// Pointwise
+
+func (r *Runtime) binary(n *graph.Node, fn string) (float64, error) {
+	return r.binaryInto(n, fn)
+}
+
+func (r *Runtime) binaryInto(n *graph.Node, fn string) (float64, error) {
+	a, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	b, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	y, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	switch fn {
+	case "add":
+		for i := range y.F {
+			y.F[i] = a.F[i] + b.F[i]
+		}
+	case "sub":
+		for i := range y.F {
+			y.F[i] = a.F[i] - b.F[i]
+		}
+	case "mul":
+		for i := range y.F {
+			y.F[i] = a.F[i] * b.F[i]
+		}
+	default:
+		return 0, fmt.Errorf("unknown binary fn %q", fn)
+	}
+	return float64(len(y.F)), nil
+}
+
+func (r *Runtime) biasAdd(n *graph.Node) (float64, error) {
+	x, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	bias, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	y, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	inner := len(bias.F)
+	for i := range y.F {
+		y.F[i] = x.F[i] + bias.F[i%inner]
+	}
+	return float64(len(y.F)), nil
+}
+
+func (r *Runtime) unary(n *graph.Node, op ops.Unary) (float64, error) {
+	x, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	y, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	factor := float32(op.Factor)
+	if factor == 0 {
+		factor = 1
+	}
+	for i, v := range x.F {
+		switch op.Fn {
+		case "relu":
+			if v > 0 {
+				y.F[i] = v
+			}
+		case "sigmoid":
+			y.F[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		case "tanh":
+			y.F[i] = float32(math.Tanh(float64(v)))
+		case "scale":
+			y.F[i] = factor * v
+		default:
+			return 0, fmt.Errorf("unknown unary fn %q", op.Fn)
+		}
+	}
+	return op.FlopsPerElem * float64(len(y.F)), nil
+}
+
+func (r *Runtime) unaryGrad(n *graph.Node, op ops.UnaryGrad) (float64, error) {
+	y, err := r.in(n, 0) // saved activation
+	if err != nil {
+		return 0, err
+	}
+	dy, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	dx, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	factor := float32(op.Factor)
+	if factor == 0 {
+		factor = 1
+	}
+	for i := range dx.F {
+		switch op.Fn {
+		case "relu":
+			if y.F[i] > 0 {
+				dx.F[i] = dy.F[i]
+			}
+		case "sigmoid":
+			dx.F[i] = dy.F[i] * y.F[i] * (1 - y.F[i])
+		case "tanh":
+			dx.F[i] = dy.F[i] * (1 - y.F[i]*y.F[i])
+		case "scale":
+			dx.F[i] = dy.F[i] * factor
+		default:
+			return 0, fmt.Errorf("unknown unary-grad fn %q", op.Fn)
+		}
+	}
+	return op.FlopsPerElem * float64(len(dx.F)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Embedding
+
+func (r *Runtime) embedding(n *graph.Node) (float64, error) {
+	ids, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	table, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	y, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	v, h := table.Dims[0], table.Dims[1]
+	for i, id := range ids.I {
+		row := int(id) % v
+		if row < 0 {
+			row += v
+		}
+		copy(y.F[i*h:(i+1)*h], table.F[row*h:(row+1)*h])
+	}
+	return 0, nil
+}
+
+func (r *Runtime) embeddingGrad(n *graph.Node) (float64, error) {
+	ids, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	dy, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	dt, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	v, h := dt.Dims[0], dt.Dims[1]
+	for i, id := range ids.I {
+		row := int(id) % v
+		if row < 0 {
+			row += v
+		}
+		for j := 0; j < h; j++ {
+			dt.F[row*h+j] += dy.F[i*h+j]
+		}
+	}
+	return float64(len(dy.F)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Softmax family
+
+// lastAxisView returns (rows, cols) flattening all but the last axis.
+func lastAxisView(t *Tensor) (int, int) {
+	cols := t.Dims[len(t.Dims)-1]
+	return t.NumElems() / cols, cols
+}
+
+func (r *Runtime) softmax(n *graph.Node) (float64, error) {
+	x, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	y, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	rows, cols := lastAxisView(x)
+	softmaxRows(x.F, y.F, rows, cols)
+	return 4 * float64(len(y.F)), nil
+}
+
+func softmaxRows(x, y []float32, rows, cols int) {
+	for i := 0; i < rows; i++ {
+		row := x[i*cols : (i+1)*cols]
+		out := y[i*cols : (i+1)*cols]
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - max))
+			out[j] = float32(e)
+			sum += e
+		}
+		for j := range out {
+			out[j] = float32(float64(out[j]) / sum)
+		}
+	}
+}
+
+func (r *Runtime) softmaxGrad(n *graph.Node) (float64, error) {
+	y, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	dy, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	dx, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	rows, cols := lastAxisView(y)
+	for i := 0; i < rows; i++ {
+		var dot float64
+		for j := 0; j < cols; j++ {
+			dot += float64(dy.F[i*cols+j] * y.F[i*cols+j])
+		}
+		for j := 0; j < cols; j++ {
+			dx.F[i*cols+j] = y.F[i*cols+j] * (dy.F[i*cols+j] - float32(dot))
+		}
+	}
+	return 4 * float64(len(dx.F)), nil
+}
+
+func (r *Runtime) softmaxXent(n *graph.Node) (float64, error) {
+	logits, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	labels, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	loss, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	probs, err := r.alloc(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	rows, cols := lastAxisView(logits)
+	softmaxRows(logits.F, probs.F, rows, cols)
+	var total float64
+	for i := 0; i < rows; i++ {
+		lab := int(labels.I[i]) % cols
+		if lab < 0 {
+			lab += cols
+		}
+		total += -math.Log(math.Max(float64(probs.F[i*cols+lab]), 1e-30))
+	}
+	loss.F[0] = float32(total / float64(rows))
+	return 5 * float64(logits.NumElems()), nil
+}
+
+func (r *Runtime) softmaxXentGrad(n *graph.Node) (float64, error) {
+	probs, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	labels, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	dLoss, err := r.in(n, 2)
+	if err != nil {
+		return 0, err
+	}
+	dl, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	rows, cols := lastAxisView(probs)
+	scale := dLoss.F[0] / float32(rows) // forward loss is the row mean
+	for i := 0; i < rows; i++ {
+		lab := int(labels.I[i]) % cols
+		if lab < 0 {
+			lab += cols
+		}
+		for j := 0; j < cols; j++ {
+			g := probs.F[i*cols+j]
+			if j == lab {
+				g -= 1
+			}
+			dl.F[i*cols+j] = g * scale
+		}
+	}
+	return 2 * float64(len(dl.F)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Reductions and shape ops
+
+func (r *Runtime) reduce(n *graph.Node, op ops.Reduce) (float64, error) {
+	x, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	y, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	inner := y.NumElems()
+	outer := x.NumElems() / inner
+	for j := 0; j < inner; j++ {
+		var sum float64
+		for o := 0; o < outer; o++ {
+			sum += float64(x.F[o*inner+j])
+		}
+		if op.Mean {
+			sum /= float64(outer)
+		}
+		y.F[j] = float32(sum)
+	}
+	return float64(x.NumElems()), nil
+}
+
+func (r *Runtime) broadcast(n *graph.Node, op ops.Broadcast) (float64, error) {
+	x, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	y, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	inner := x.NumElems()
+	outer := y.NumElems() / inner
+	scale := float32(1)
+	if op.ScaleFlops {
+		scale = 1 / float32(outer)
+	}
+	for o := 0; o < outer; o++ {
+		for j := 0; j < inner; j++ {
+			y.F[o*inner+j] = x.F[j] * scale
+		}
+	}
+	if op.ScaleFlops {
+		return float64(y.NumElems()), nil
+	}
+	return 0, nil
+}
+
+func (r *Runtime) concat(n *graph.Node, axis int) (float64, error) {
+	y, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	outer := 1
+	for d := 0; d < axis; d++ {
+		outer *= y.Dims[d]
+	}
+	inner := 1
+	for d := axis + 1; d < len(y.Dims); d++ {
+		inner *= y.Dims[d]
+	}
+	outAxis := y.Dims[axis]
+	offset := 0
+	for i := range n.Inputs {
+		x, err := r.in(n, i)
+		if err != nil {
+			return 0, err
+		}
+		xAxis := x.Dims[axis]
+		for o := 0; o < outer; o++ {
+			src := x.F[o*xAxis*inner : (o+1)*xAxis*inner]
+			dst := y.F[(o*outAxis+offset)*inner : (o*outAxis+offset)*inner+xAxis*inner]
+			copy(dst, src)
+		}
+		offset += xAxis
+	}
+	return 0, nil
+}
+
+func (r *Runtime) split(n *graph.Node, axis int) (float64, error) {
+	x, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	outer := 1
+	for d := 0; d < axis; d++ {
+		outer *= x.Dims[d]
+	}
+	inner := 1
+	for d := axis + 1; d < len(x.Dims); d++ {
+		inner *= x.Dims[d]
+	}
+	xAxis := x.Dims[axis]
+	isInt := x.I != nil
+	offset := 0
+	for i := range n.Outputs {
+		y, err := r.alloc(n, i)
+		if err != nil {
+			return 0, err
+		}
+		yAxis := y.Dims[axis]
+		for o := 0; o < outer; o++ {
+			if isInt {
+				copy(y.I[o*yAxis*inner:(o+1)*yAxis*inner],
+					x.I[(o*xAxis+offset)*inner:(o*xAxis+offset)*inner+yAxis*inner])
+			} else {
+				copy(y.F[o*yAxis*inner:(o+1)*yAxis*inner],
+					x.F[(o*xAxis+offset)*inner:(o*xAxis+offset)*inner+yAxis*inner])
+			}
+		}
+		offset += yAxis
+	}
+	return 0, nil
+}
+
+func (r *Runtime) transpose(n *graph.Node, perm []int) (float64, error) {
+	x, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	y, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	rank := len(x.Dims)
+	xStr := strides(x.Dims)
+	yStr := strides(y.Dims)
+	idx := make([]int, rank)
+	total := x.NumElems()
+	for flat := 0; flat < total; flat++ {
+		// Decode flat index of x.
+		rem := flat
+		for d := 0; d < rank; d++ {
+			idx[d] = rem / xStr[d]
+			rem %= xStr[d]
+		}
+		// y index: y[d] = x[perm[d]].
+		var yFlat int
+		for d := 0; d < rank; d++ {
+			yFlat += idx[perm[d]] * yStr[d]
+		}
+		y.F[yFlat] = x.F[flat]
+	}
+	return 0, nil
+}
+
+func strides(dims []int) []int {
+	s := make([]int, len(dims))
+	acc := 1
+	for d := len(dims) - 1; d >= 0; d-- {
+		s[d] = acc
+		acc *= dims[d]
+	}
+	return s
+}
+
+func (r *Runtime) reshape(n *graph.Node) (float64, error) {
+	x, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	gt := n.Outputs[0]
+	dims, err := gt.Shape.Eval(r.env)
+	if err != nil {
+		return 0, err
+	}
+	// Views share the underlying buffer.
+	r.vals[gt] = &Tensor{Dims: dims, F: x.F, I: x.I}
+	return 0, nil
+}
+
+func (r *Runtime) fill(n *graph.Node, v float64) (float64, error) {
+	y, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	for i := range y.F {
+		y.F[i] = float32(v)
+	}
+	return 0, nil
+}
+
+// ---------------------------------------------------------------------------
+// Convolution, batch norm, pooling
+
+type convGeom struct {
+	n, h, w, c      int
+	r, s            int
+	k               int
+	sh, sw          int
+	outH, outW      int
+	padTop, padLeft int
+}
+
+func makeConvGeom(xDims, wDims []int, sh, sw int) convGeom {
+	g := convGeom{
+		n: xDims[0], h: xDims[1], w: xDims[2], c: xDims[3],
+		r: wDims[0], s: wDims[1], k: wDims[3], sh: sh, sw: sw,
+	}
+	g.outH = (g.h + sh - 1) / sh
+	g.outW = (g.w + sw - 1) / sw
+	padH := (g.outH-1)*sh + g.r - g.h
+	padW := (g.outW-1)*sw + g.s - g.w
+	if padH < 0 {
+		padH = 0
+	}
+	if padW < 0 {
+		padW = 0
+	}
+	g.padTop, g.padLeft = padH/2, padW/2
+	return g
+}
+
+func (r *Runtime) conv2d(n *graph.Node, sh, sw int) (float64, error) {
+	x, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	w, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	y, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	g := makeConvGeom(x.Dims, w.Dims, sh, sw)
+	for b := 0; b < g.n; b++ {
+		for ho := 0; ho < g.outH; ho++ {
+			for wo := 0; wo < g.outW; wo++ {
+				for k := 0; k < g.k; k++ {
+					var sum float32
+					for rr := 0; rr < g.r; rr++ {
+						hi := ho*g.sh + rr - g.padTop
+						if hi < 0 || hi >= g.h {
+							continue
+						}
+						for ss := 0; ss < g.s; ss++ {
+							wi := wo*g.sw + ss - g.padLeft
+							if wi < 0 || wi >= g.w {
+								continue
+							}
+							for c := 0; c < g.c; c++ {
+								sum += x.F[((b*g.h+hi)*g.w+wi)*g.c+c] *
+									w.F[((rr*g.s+ss)*g.c+c)*g.k+k]
+							}
+						}
+					}
+					y.F[((b*g.outH+ho)*g.outW+wo)*g.k+k] = sum
+				}
+			}
+		}
+	}
+	return 2 * float64(g.n*g.outH*g.outW*g.k*g.r*g.s*g.c), nil
+}
+
+func (r *Runtime) conv2dGradInput(n *graph.Node, sh, sw int) (float64, error) {
+	w, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	dy, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	dx, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	g := makeConvGeom(dx.Dims, w.Dims, sh, sw)
+	for b := 0; b < g.n; b++ {
+		for ho := 0; ho < g.outH; ho++ {
+			for wo := 0; wo < g.outW; wo++ {
+				for k := 0; k < g.k; k++ {
+					dyv := dy.F[((b*g.outH+ho)*g.outW+wo)*g.k+k]
+					for rr := 0; rr < g.r; rr++ {
+						hi := ho*g.sh + rr - g.padTop
+						if hi < 0 || hi >= g.h {
+							continue
+						}
+						for ss := 0; ss < g.s; ss++ {
+							wi := wo*g.sw + ss - g.padLeft
+							if wi < 0 || wi >= g.w {
+								continue
+							}
+							for c := 0; c < g.c; c++ {
+								dx.F[((b*g.h+hi)*g.w+wi)*g.c+c] +=
+									w.F[((rr*g.s+ss)*g.c+c)*g.k+k] * dyv
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return 2 * float64(g.n*g.outH*g.outW*g.k*g.r*g.s*g.c), nil
+}
+
+func (r *Runtime) conv2dGradWeight(n *graph.Node, sh, sw int) (float64, error) {
+	x, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	dy, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	dw, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	g := makeConvGeom(x.Dims, dw.Dims, sh, sw)
+	for b := 0; b < g.n; b++ {
+		for ho := 0; ho < g.outH; ho++ {
+			for wo := 0; wo < g.outW; wo++ {
+				for k := 0; k < g.k; k++ {
+					dyv := dy.F[((b*g.outH+ho)*g.outW+wo)*g.k+k]
+					for rr := 0; rr < g.r; rr++ {
+						hi := ho*g.sh + rr - g.padTop
+						if hi < 0 || hi >= g.h {
+							continue
+						}
+						for ss := 0; ss < g.s; ss++ {
+							wi := wo*g.sw + ss - g.padLeft
+							if wi < 0 || wi >= g.w {
+								continue
+							}
+							for c := 0; c < g.c; c++ {
+								dw.F[((rr*g.s+ss)*g.c+c)*g.k+k] +=
+									x.F[((b*g.h+hi)*g.w+wi)*g.c+c] * dyv
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return 2 * float64(g.n*g.outH*g.outW*g.k*g.r*g.s*g.c), nil
+}
+
+func (r *Runtime) batchNorm(n *graph.Node) (float64, error) {
+	x, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	gamma, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	beta, err := r.in(n, 2)
+	if err != nil {
+		return 0, err
+	}
+	y, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	c := len(gamma.F)
+	rows := x.NumElems() / c
+	mean, varv := bnStats(x.F, rows, c)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < c; j++ {
+			inv := float32(1 / math.Sqrt(varv[j]+bnEps))
+			y.F[i*c+j] = gamma.F[j]*(x.F[i*c+j]-float32(mean[j]))*inv + beta.F[j]
+		}
+	}
+	return 8 * float64(x.NumElems()), nil
+}
+
+func bnStats(x []float32, rows, c int) (mean, varv []float64) {
+	mean = make([]float64, c)
+	varv = make([]float64, c)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < c; j++ {
+			mean[j] += float64(x[i*c+j])
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(rows)
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < c; j++ {
+			d := float64(x[i*c+j]) - mean[j]
+			varv[j] += d * d
+		}
+	}
+	for j := range varv {
+		varv[j] /= float64(rows)
+	}
+	return mean, varv
+}
+
+func (r *Runtime) batchNormGrad(n *graph.Node) (float64, error) {
+	x, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	gamma, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	dy, err := r.in(n, 2)
+	if err != nil {
+		return 0, err
+	}
+	dx, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	dgamma, err := r.alloc(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	dbeta, err := r.alloc(n, 2)
+	if err != nil {
+		return 0, err
+	}
+	c := len(gamma.F)
+	rows := x.NumElems() / c
+	mean, varv := bnStats(x.F, rows, c)
+	invStd := make([]float64, c)
+	for j := range invStd {
+		invStd[j] = 1 / math.Sqrt(varv[j]+bnEps)
+	}
+	sumDy := make([]float64, c)
+	sumDyXhat := make([]float64, c)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < c; j++ {
+			xhat := (float64(x.F[i*c+j]) - mean[j]) * invStd[j]
+			sumDy[j] += float64(dy.F[i*c+j])
+			sumDyXhat[j] += float64(dy.F[i*c+j]) * xhat
+		}
+	}
+	for j := 0; j < c; j++ {
+		dbeta.F[j] = float32(sumDy[j])
+		dgamma.F[j] = float32(sumDyXhat[j])
+	}
+	nf := float64(rows)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < c; j++ {
+			xhat := (float64(x.F[i*c+j]) - mean[j]) * invStd[j]
+			g := float64(gamma.F[j]) * invStd[j] *
+				(float64(dy.F[i*c+j]) - sumDy[j]/nf - xhat*sumDyXhat[j]/nf)
+			dx.F[i*c+j] = float32(g)
+		}
+	}
+	return 11 * float64(x.NumElems()), nil
+}
+
+// poolDims normalizes rank-3 ([n, t, c], time pooling) and rank-4 tensors.
+func poolDims(dims []int) (n, h, w, c int) {
+	if len(dims) == 3 {
+		return dims[0], dims[1], 1, dims[2]
+	}
+	return dims[0], dims[1], dims[2], dims[3]
+}
+
+func (r *Runtime) pool(n *graph.Node, op ops.Pool) (float64, error) {
+	x, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	y, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	nb, h, w, c := poolDims(x.Dims)
+	_, outH, outW, _ := poolDims(y.Dims)
+	padTop, padLeft := poolPads(h, w, outH, outW, op)
+	for b := 0; b < nb; b++ {
+		for ho := 0; ho < outH; ho++ {
+			for wo := 0; wo < outW; wo++ {
+				for ch := 0; ch < c; ch++ {
+					best := float32(math.Inf(-1))
+					var sum float32
+					for kh := 0; kh < op.KH; kh++ {
+						hi := ho*op.SH + kh - padTop
+						if hi < 0 || hi >= h {
+							continue
+						}
+						for kw := 0; kw < op.KW; kw++ {
+							wi := wo*op.SW + kw - padLeft
+							if wi < 0 || wi >= w {
+								continue
+							}
+							v := x.F[((b*h+hi)*w+wi)*c+ch]
+							if v > best {
+								best = v
+							}
+							sum += v
+						}
+					}
+					if op.Max {
+						y.F[((b*outH+ho)*outW+wo)*c+ch] = best
+					} else {
+						y.F[((b*outH+ho)*outW+wo)*c+ch] = sum / float32(op.KH*op.KW)
+					}
+				}
+			}
+		}
+	}
+	return float64(op.KH*op.KW) * float64(y.NumElems()), nil
+}
+
+func poolPads(h, w, outH, outW int, op ops.Pool) (int, int) {
+	padH := (outH-1)*op.SH + op.KH - h
+	padW := (outW-1)*op.SW + op.KW - w
+	if padH < 0 {
+		padH = 0
+	}
+	if padW < 0 {
+		padW = 0
+	}
+	return padH / 2, padW / 2
+}
+
+func (r *Runtime) poolGrad(n *graph.Node, op ops.PoolGrad) (float64, error) {
+	x, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	dy, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	dx, err := r.alloc(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	nb, h, w, c := poolDims(x.Dims)
+	_, outH, outW, _ := poolDims(dy.Dims)
+	fop := ops.Pool{KH: op.KH, KW: op.KW, SH: op.SH, SW: op.SW, Max: op.Max}
+	padTop, padLeft := poolPads(h, w, outH, outW, fop)
+	for b := 0; b < nb; b++ {
+		for ho := 0; ho < outH; ho++ {
+			for wo := 0; wo < outW; wo++ {
+				for ch := 0; ch < c; ch++ {
+					g := dy.F[((b*outH+ho)*outW+wo)*c+ch]
+					if op.Max {
+						bestIdx, best := -1, float32(math.Inf(-1))
+						for kh := 0; kh < op.KH; kh++ {
+							hi := ho*op.SH + kh - padTop
+							if hi < 0 || hi >= h {
+								continue
+							}
+							for kw := 0; kw < op.KW; kw++ {
+								wi := wo*op.SW + kw - padLeft
+								if wi < 0 || wi >= w {
+									continue
+								}
+								idx := ((b*h+hi)*w+wi)*c + ch
+								if x.F[idx] > best {
+									best, bestIdx = x.F[idx], idx
+								}
+							}
+						}
+						if bestIdx >= 0 {
+							dx.F[bestIdx] += g
+						}
+						continue
+					}
+					share := g / float32(op.KH*op.KW)
+					for kh := 0; kh < op.KH; kh++ {
+						hi := ho*op.SH + kh - padTop
+						if hi < 0 || hi >= h {
+							continue
+						}
+						for kw := 0; kw < op.KW; kw++ {
+							wi := wo*op.SW + kw - padLeft
+							if wi < 0 || wi >= w {
+								continue
+							}
+							dx.F[((b*h+hi)*w+wi)*c+ch] += share
+						}
+					}
+				}
+			}
+		}
+	}
+	return float64(dx.NumElems()), nil
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer
+
+func (r *Runtime) sgdMomentum(n *graph.Node, op ops.SGDMomentum) (float64, error) {
+	w, err := r.in(n, 0)
+	if err != nil {
+		return 0, err
+	}
+	g, err := r.in(n, 1)
+	if err != nil {
+		return 0, err
+	}
+	mom, err := r.in(n, 2)
+	if err != nil {
+		return 0, err
+	}
+	mu, lr := float32(op.Mu), float32(op.LR)
+	for i := range w.F {
+		mom.F[i] = mu*mom.F[i] + g.F[i]
+		w.F[i] -= lr * mom.F[i]
+	}
+	return 4 * float64(len(w.F)), nil
+}

@@ -1,0 +1,120 @@
+package exec
+
+import (
+	"testing"
+
+	"catamount/internal/models"
+	"catamount/internal/ops"
+	"catamount/internal/symbolic"
+	"catamount/internal/tensor"
+	"catamount/internal/workload"
+)
+
+// TestTrainingLossDecreases is the end-to-end system check: repeatedly
+// executing the full training-step graph (forward, backward, SGD-momentum
+// updates mutating the weights in place) on fixed data must reduce the loss.
+// This exercises the entire stack the analytical models describe.
+func TestTrainingLossDecreases(t *testing.T) {
+	b := ops.NewBuilder("trainer")
+	bs := symbolic.S("b")
+	x := b.Input("x", tensor.F32, bs, 8)
+	w1 := b.Param("w1", 8, 16)
+	b1 := b.Param("b1", 16)
+	h := b.Tanh(b.BiasAdd(b.MatMul(x, w1), b1))
+	w2 := b.Param("w2", 16, 4)
+	logits := b.MatMul(h, w2)
+	labels := b.Input("labels", tensor.I32, bs)
+	loss := b.SoftmaxXentLoss(logits, labels)
+	if err := ops.Backprop(b, loss, ops.SGDMomentum{LR: 0.2, Mu: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+
+	env := symbolic.Env{"b": 16}
+	r, err := NewRuntime(b.G, env, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed, perfectly learnable data: each sample's class is encoded in
+	// its leading features.
+	xs := make([]float32, 16*8)
+	ys := make([]int32, 16)
+	for i := 0; i < 16; i++ {
+		class := i % 4
+		xs[i*8+class] = 1
+		xs[i*8+4+class] = 0.5
+		ys[i] = int32(class)
+	}
+	if err := r.SetF("x", xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetI("labels", ys); err != nil {
+		t.Fatal(err)
+	}
+
+	lossAt := func() float64 {
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		v, ok := r.Value(loss.Name)
+		if !ok {
+			t.Fatal("no loss value")
+		}
+		return float64(v.F[0])
+	}
+	first := lossAt()
+	var last float64
+	for i := 0; i < 30; i++ {
+		last = lossAt()
+	}
+	if last >= first*0.7 {
+		t.Fatalf("loss did not decrease: %v -> %v after 30 steps", first, last)
+	}
+}
+
+// TestWordLMTrainingStepWithSyntheticCorpus wires the workload generators
+// into the executor: Zipf text feeds the LM graph and a full training step
+// runs end to end — the repository's stand-in for the paper's profiling runs
+// over real corpora.
+func TestWordLMTrainingStepWithSyntheticCorpus(t *testing.T) {
+	const (
+		batch = 4
+		seq   = 6
+		vocab = 50
+	)
+	m := models.BuildWordLM(models.WordLMConfig{Layers: 1, SeqLen: seq, Vocab: vocab})
+	env := symbolic.Env{"h": 32, "b": batch}
+	r, err := NewRuntime(m.Graph, env, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewTextGen(vocab, 1.2, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int32, 0, batch*seq)
+	labels := make([]int32, 0, batch*seq)
+	for i := 0; i < batch; i++ {
+		seqIDs, seqLabels := gen.NextTokenPair(seq)
+		ids = append(ids, seqIDs...)
+		labels = append(labels, seqLabels...)
+	}
+	if err := r.SetI("ids", ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetI("labels", labels); err != nil {
+		t.Fatal(err)
+	}
+	prof, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.TotalFLOPs <= 0 {
+		t.Fatal("no work executed")
+	}
+	// Executed FLOPs must still match the analytical count when fed real
+	// (synthetic) data rather than random initialization.
+	want := symbolic.MustEval(m.FLOPsExpr(), env)
+	if prof.TotalFLOPs != want {
+		t.Fatalf("executed %v != analytical %v", prof.TotalFLOPs, want)
+	}
+}

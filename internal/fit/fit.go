@@ -1,0 +1,215 @@
+// Package fit provides the small regression toolkit used by the
+// characterization engine: ordinary least-squares linear fits, power-law
+// (log-log) fits, and multi-variable linear fits for the paper's
+// first-order requirement models (c_t ≈ γ·p, a_t ≈ λ·p + µ·b·√p, f_t ≈ δ·p).
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// Linear holds y ≈ Slope·x + Intercept.
+type Linear struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// ErrTooFewPoints is returned when a fit is requested with fewer points than
+// free parameters.
+var ErrTooFewPoints = errors.New("fit: too few points")
+
+// LinearLeastSquares fits y ≈ slope·x + intercept by ordinary least squares.
+func LinearLeastSquares(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, errors.New("fit: mismatched lengths")
+	}
+	if len(xs) < 2 {
+		return Linear{}, ErrTooFewPoints
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Linear{}, errors.New("fit: degenerate x values")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	return Linear{Slope: slope, Intercept: intercept, R2: r2(xs, ys, func(x float64) float64 {
+		return slope*x + intercept
+	})}, nil
+}
+
+// ProportionalLeastSquares fits y ≈ slope·x (no intercept).
+func ProportionalLeastSquares(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, errors.New("fit: mismatched lengths")
+	}
+	if len(xs) < 1 {
+		return Linear{}, ErrTooFewPoints
+	}
+	var sxx, sxy float64
+	for i := range xs {
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	if sxx == 0 {
+		return Linear{}, errors.New("fit: degenerate x values")
+	}
+	slope := sxy / sxx
+	return Linear{Slope: slope, R2: r2(xs, ys, func(x float64) float64 { return slope * x })}, nil
+}
+
+// PowerLaw holds y ≈ Alpha·x^Beta.
+type PowerLaw struct {
+	Alpha float64
+	Beta  float64
+	R2    float64
+}
+
+// PowerLawFit fits y ≈ alpha·x^beta via least squares in log-log space.
+// All xs and ys must be strictly positive.
+func PowerLawFit(xs, ys []float64) (PowerLaw, error) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return PowerLaw{}, errors.New("fit: power-law fit requires positive data")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	lin, err := LinearLeastSquares(lx, ly)
+	if err != nil {
+		return PowerLaw{}, err
+	}
+	return PowerLaw{Alpha: math.Exp(lin.Intercept), Beta: lin.Slope, R2: lin.R2}, nil
+}
+
+// Eval returns alpha·x^beta.
+func (p PowerLaw) Eval(x float64) float64 { return p.Alpha * math.Pow(x, p.Beta) }
+
+// TwoTerm holds y ≈ A·u + B·v, the shape of the paper's memory-access model
+// a_t(p, b) = λ·p + µ·b·√p with u = p and v = b·√p.
+type TwoTerm struct {
+	A  float64
+	B  float64
+	R2 float64
+}
+
+// TwoTermLeastSquares fits y ≈ A·u + B·v by normal equations.
+func TwoTermLeastSquares(us, vs, ys []float64) (TwoTerm, error) {
+	if len(us) != len(vs) || len(us) != len(ys) {
+		return TwoTerm{}, errors.New("fit: mismatched lengths")
+	}
+	if len(us) < 2 {
+		return TwoTerm{}, ErrTooFewPoints
+	}
+	var suu, svv, suv, suy, svy float64
+	for i := range us {
+		suu += us[i] * us[i]
+		svv += vs[i] * vs[i]
+		suv += us[i] * vs[i]
+		suy += us[i] * ys[i]
+		svy += vs[i] * ys[i]
+	}
+	den := suu*svv - suv*suv
+	if den == 0 {
+		return TwoTerm{}, errors.New("fit: collinear regressors")
+	}
+	a := (suy*svv - svy*suv) / den
+	b := (svy*suu - suy*suv) / den
+	// R² against the mean of y.
+	var my float64
+	for _, y := range ys {
+		my += y
+	}
+	my /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i := range ys {
+		pred := a*us[i] + b*vs[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - my) * (ys[i] - my)
+	}
+	r := 1.0
+	if ssTot > 0 {
+		r = 1 - ssRes/ssTot
+	}
+	return TwoTerm{A: a, B: b, R2: r}, nil
+}
+
+func r2(xs, ys []float64, pred func(float64) float64) float64 {
+	var my float64
+	for _, y := range ys {
+		my += y
+	}
+	my /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i := range ys {
+		d := ys[i] - pred(xs[i])
+		ssRes += d * d
+		ssTot += (ys[i] - my) * (ys[i] - my)
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}
+
+// AsymptoticSlope estimates lim x→∞ y/x from the two largest-x samples,
+// which is how the characterization engine extracts γ and δ from sweeps.
+func AsymptoticSlope(xs, ys []float64) (float64, error) {
+	if len(xs) < 2 || len(xs) != len(ys) {
+		return 0, ErrTooFewPoints
+	}
+	// Find indices of the two largest x values.
+	i1, i2 := -1, -1
+	for i := range xs {
+		if i1 == -1 || xs[i] > xs[i1] {
+			i2 = i1
+			i1 = i
+		} else if i2 == -1 || xs[i] > xs[i2] {
+			i2 = i
+		}
+	}
+	dx := xs[i1] - xs[i2]
+	if dx == 0 {
+		return 0, errors.New("fit: duplicate extreme x values")
+	}
+	return (ys[i1] - ys[i2]) / dx, nil
+}
+
+// Bisect finds x in [lo, hi] with f(x) ≈ 0 for a monotone f, to within
+// relative tolerance tol. It returns the midpoint after convergence.
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, errors.New("fit: bisection endpoints do not bracket a root")
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		fm := f(mid)
+		if fm == 0 || (hi-lo) <= tol*math.Max(math.Abs(mid), 1) {
+			return mid, nil
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,182 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearLeastSquaresExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	l, err := LinearLeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Slope-2) > 1e-12 || math.Abs(l.Intercept-1) > 1e-12 {
+		t.Fatalf("got slope=%v intercept=%v, want 2, 1", l.Slope, l.Intercept)
+	}
+	if l.R2 < 0.999999 {
+		t.Fatalf("R2 = %v, want ~1", l.R2)
+	}
+}
+
+func TestLinearLeastSquaresErrors(t *testing.T) {
+	if _, err := LinearLeastSquares([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected too-few-points error")
+	}
+	if _, err := LinearLeastSquares([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected degenerate-x error")
+	}
+	if _, err := LinearLeastSquares([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("expected mismatched-length error")
+	}
+}
+
+func TestProportionalLeastSquares(t *testing.T) {
+	xs := []float64{1, 2, 5}
+	ys := []float64{3, 6, 15}
+	l, err := ProportionalLeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Slope-3) > 1e-12 {
+		t.Fatalf("slope = %v, want 3", l.Slope)
+	}
+}
+
+func TestPowerLawFitExact(t *testing.T) {
+	// y = 13 * x^-0.066 (the paper's word LM learning curve).
+	xs := []float64{1e6, 1e7, 1e8, 1e9}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 13 * math.Pow(x, -0.066)
+	}
+	p, err := PowerLawFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Alpha-13) > 1e-6 || math.Abs(p.Beta+0.066) > 1e-9 {
+		t.Fatalf("got alpha=%v beta=%v", p.Alpha, p.Beta)
+	}
+	if math.Abs(p.Eval(1e8)-13*math.Pow(1e8, -0.066)) > 1e-9 {
+		t.Fatal("Eval mismatch")
+	}
+}
+
+func TestPowerLawFitRejectsNonPositive(t *testing.T) {
+	if _, err := PowerLawFit([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for negative x")
+	}
+}
+
+func TestTwoTermLeastSquares(t *testing.T) {
+	// y = 1755*u + 30784*v, the paper's word-LM bytes/param form.
+	us := []float64{1, 2, 3, 4, 5}
+	vs := []float64{10, 7, 3, 9, 2}
+	ys := make([]float64, len(us))
+	for i := range us {
+		ys[i] = 1755*us[i] + 30784*vs[i]
+	}
+	tt, err := TwoTermLeastSquares(us, vs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tt.A-1755) > 1e-6 || math.Abs(tt.B-30784) > 1e-6 {
+		t.Fatalf("got A=%v B=%v", tt.A, tt.B)
+	}
+}
+
+func TestTwoTermCollinear(t *testing.T) {
+	if _, err := TwoTermLeastSquares([]float64{1, 2}, []float64{2, 4}, []float64{1, 2}); err == nil {
+		t.Fatal("expected collinearity error")
+	}
+}
+
+func TestAsymptoticSlope(t *testing.T) {
+	xs := []float64{1, 10, 100, 1000}
+	ys := []float64{500, 5000, 50000, 500000} // slope 500 everywhere
+	s, err := AsymptoticSlope(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-500) > 1e-9 {
+		t.Fatalf("slope = %v, want 500", s)
+	}
+}
+
+func TestAsymptoticSlopeIgnoresSmallXCurvature(t *testing.T) {
+	// y = 481x + 1e6 (affine): asymptotic slope uses the two largest x.
+	xs := []float64{1e6, 1e7, 1e8, 1e9}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 481*x + 1e6
+	}
+	s, err := AsymptoticSlope(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-481) > 1e-6 {
+		t.Fatalf("slope = %v, want 481", s)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-9 {
+		t.Fatalf("root = %v", root)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return x + 10 }, 0, 1, 1e-9); err == nil {
+		t.Fatal("expected bracket error")
+	}
+}
+
+func TestPropLinearFitRecoversLine(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		slope := r.Float64()*100 - 50
+		icept := r.Float64()*100 - 50
+		xs := make([]float64, 8)
+		ys := make([]float64, 8)
+		for i := range xs {
+			xs[i] = float64(i + 1)
+			ys[i] = slope*xs[i] + icept
+		}
+		l, err := LinearLeastSquares(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(l.Slope-slope) < 1e-6 && math.Abs(l.Intercept-icept) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropPowerLawRecovers(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		alpha := 0.5 + r.Float64()*20
+		beta := -0.5 + r.Float64() // in [-0.5, 0.5], the paper's βg range
+		xs := []float64{1e3, 1e4, 1e5, 1e6, 1e7}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = alpha * math.Pow(x, beta)
+		}
+		p, err := PowerLawFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(p.Alpha-alpha) < 1e-5*alpha && math.Abs(p.Beta-beta) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"catamount/internal/symbolic"
+	"catamount/internal/tensor"
+)
+
+// buildChainGraph constructs a deep linear graph for scheduler benchmarks.
+func buildChainGraph(depth int) *Graph {
+	g := New("chain")
+	h := symbolic.S("h")
+	cur := g.NewTensor("x", Input, tensor.F32, tensor.Of(32, h))
+	for i := 0; i < depth; i++ {
+		w := g.NewTensor(fmt.Sprintf("w%d", i), Param, tensor.F32, tensor.Of(h, h))
+		out := g.NewTensor(fmt.Sprintf("a%d", i), Activation, tensor.F32, tensor.Of(32, h))
+		g.MustAddNode(fmt.Sprintf("n%d", i), "", benchOp{}, []*Tensor{cur, w}, []*Tensor{out})
+		cur = out
+	}
+	return g
+}
+
+type benchOp struct{}
+
+func (benchOp) Kind() string { return "bench" }
+func (benchOp) FLOPs(n *Node) symbolic.Expr {
+	return symbolic.Mul(symbolic.C(2), n.Outputs[0].NumElements())
+}
+func (benchOp) Bytes(n *Node) symbolic.Expr { return IOBytes(n) }
+
+func BenchmarkTopoOrder(b *testing.B) {
+	g := buildChainGraph(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TopoOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFootprintGreedy(b *testing.B) {
+	g := buildChainGraph(2000)
+	env := map[string]float64{"h": 512}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Footprint(env, PolicyMemGreedy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFootprintFIFO(b *testing.B) {
+	g := buildChainGraph(2000)
+	env := map[string]float64{"h": 512}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Footprint(env, PolicyFIFO); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalStats(b *testing.B) {
+	g := buildChainGraph(2000)
+	env := symbolic.Env{"h": 512}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.EvalStats(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

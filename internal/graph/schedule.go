@@ -1,0 +1,269 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SchedulePolicy selects the traversal heuristic used when estimating the
+// minimal memory footprint. The true minimum over all topological orders is
+// NP-hard; the paper's artifact likewise uses a single-traversal estimate.
+type SchedulePolicy int
+
+// Scheduling policies.
+const (
+	// PolicyFIFO executes ready nodes in insertion order, mimicking a
+	// straightforward framework executor.
+	PolicyFIFO SchedulePolicy = iota
+	// PolicyMemGreedy executes the ready node with the smallest net live-set
+	// growth (allocation minus frees), a strong footprint-minimizing
+	// heuristic for training graphs.
+	PolicyMemGreedy
+)
+
+func (p SchedulePolicy) String() string {
+	switch p {
+	case PolicyFIFO:
+		return "fifo"
+	case PolicyMemGreedy:
+		return "mem-greedy"
+	}
+	return "unknown"
+}
+
+// ScheduleResult reports the footprint of one simulated traversal.
+type ScheduleResult struct {
+	// PeakBytes is the maximum concurrent allocation: persistent tensors
+	// plus the peak transient live set. This is the paper's "minimal memory
+	// footprint" estimate.
+	PeakBytes float64
+	// PersistentBytes covers Param and State tensors (weights + optimizer
+	// slots), resident for the entire step.
+	PersistentBytes float64
+	// PeakTransientBytes is the activation/gradient peak alone.
+	PeakTransientBytes float64
+	// Order is the traversal that produced the estimate.
+	Order []*Node
+}
+
+// Footprint simulates a topological traversal under env and returns the
+// memory footprint estimate for one training step.
+func (g *Graph) Footprint(env map[string]float64, policy SchedulePolicy) (ScheduleResult, error) {
+	// Pre-evaluate tensor byte sizes.
+	bytes := make([]float64, len(g.tensors))
+	var persistent float64
+	for _, t := range g.tensors {
+		v, err := t.Bytes().Eval(env)
+		if err != nil {
+			return ScheduleResult{}, fmt.Errorf("tensor %s: %w", t.Name, err)
+		}
+		bytes[t.id] = v
+		if t.Persistent() {
+			persistent += v
+		}
+	}
+
+	// Remaining consumer counts for freeable tensors.
+	remaining := make([]int, len(g.tensors))
+	for _, t := range g.tensors {
+		remaining[t.id] = len(t.Consumers)
+	}
+
+	// Transient live set: graph inputs are staged in before the step starts.
+	live := make([]bool, len(g.tensors))
+	var cur float64
+	for _, t := range g.tensors {
+		if t.Kind == Input {
+			live[t.id] = true
+			cur += bytes[t.id]
+		}
+	}
+	peakTransient := cur
+
+	indeg := make([]int, len(g.nodes))
+	for _, n := range g.nodes {
+		for _, t := range n.Inputs {
+			if t.Producer != nil {
+				indeg[n.id]++
+			}
+		}
+	}
+	ready := make([]*Node, 0, 64)
+	for _, n := range g.nodes {
+		if indeg[n.id] == 0 {
+			ready = append(ready, n)
+		}
+	}
+
+	// netDelta estimates the live-set change from executing n.
+	netDelta := func(n *Node) float64 {
+		var d float64
+		for _, t := range n.Outputs {
+			if !t.Persistent() && !live[t.id] {
+				d += bytes[t.id]
+			}
+		}
+		for _, t := range n.Inputs {
+			if !t.Persistent() && live[t.id] && remaining[t.id] == 1 {
+				d -= bytes[t.id]
+			}
+		}
+		return d
+	}
+
+	order := make([]*Node, 0, len(g.nodes))
+	for len(ready) > 0 {
+		var pick int
+		switch policy {
+		case PolicyMemGreedy:
+			best := netDelta(ready[0])
+			for i := 1; i < len(ready); i++ {
+				d := netDelta(ready[i])
+				// Ties break toward insertion order: chained gradient
+				// accumulations only become ready in chain order, so
+				// honoring creation order lets each partial be folded into
+				// the running sum as soon as it is produced.
+				if d < best || (d == best && ready[i].id < ready[pick].id) {
+					best, pick = d, i
+				}
+			}
+		default: // PolicyFIFO: earliest inserted node.
+			pick = 0
+			for i := 1; i < len(ready); i++ {
+				if ready[i].id < ready[pick].id {
+					pick = i
+				}
+			}
+		}
+		n := ready[pick]
+		ready[pick] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, n)
+
+		// Allocate outputs.
+		for _, t := range n.Outputs {
+			if !t.Persistent() && !live[t.id] {
+				live[t.id] = true
+				cur += bytes[t.id]
+			}
+		}
+		if cur > peakTransient {
+			peakTransient = cur
+		}
+		// Free inputs whose last consumer just ran.
+		for _, t := range n.Inputs {
+			remaining[t.id]--
+			if remaining[t.id] == 0 && !t.Persistent() && live[t.id] {
+				live[t.id] = false
+				cur -= bytes[t.id]
+			}
+		}
+		// Outputs nobody consumes (e.g. the reported loss) are freed at step
+		// end; they stay in the live set until then.
+		for _, out := range n.Outputs {
+			for _, c := range out.Consumers {
+				indeg[c.id]--
+				if indeg[c.id] == 0 {
+					ready = append(ready, c)
+				}
+			}
+		}
+	}
+	if len(order) != len(g.nodes) {
+		return ScheduleResult{}, fmt.Errorf("graph: cycle detected during scheduling")
+	}
+	return ScheduleResult{
+		PeakBytes:          persistent + peakTransient,
+		PersistentBytes:    persistent,
+		PeakTransientBytes: peakTransient,
+		Order:              order,
+	}, nil
+}
+
+// AllocatorSim models a framework allocator with a fixed device capacity, as
+// observed in the paper's Figure 10: once the footprint exceeds the usable
+// capacity, the framework swaps tensors to host memory and stops counting
+// them, so the reported device footprint plateaus at the cap.
+type AllocatorSim struct {
+	// CapacityBytes is the device memory size.
+	CapacityBytes float64
+	// UsableFraction is the fraction of capacity the allocator may use
+	// (TensorFlow defaults to ~0.8).
+	UsableFraction float64
+}
+
+// AllocatorReport describes the simulated allocator outcome.
+type AllocatorReport struct {
+	// DeviceBytes is the footprint the allocator reports on-device.
+	DeviceBytes float64
+	// SwappedBytes spilled to host memory.
+	SwappedBytes float64
+	// Swapping reports whether any spill occurred.
+	Swapping bool
+}
+
+// Apply converts a true footprint into the allocator-visible view.
+func (a AllocatorSim) Apply(footprintBytes float64) AllocatorReport {
+	limit := a.CapacityBytes * a.UsableFraction
+	if footprintBytes <= limit {
+		return AllocatorReport{DeviceBytes: footprintBytes}
+	}
+	return AllocatorReport{
+		DeviceBytes:  limit,
+		SwappedBytes: footprintBytes - limit,
+		Swapping:     true,
+	}
+}
+
+// GroupFootprints estimates per-group resident bytes for layer-wise
+// parallelism planning: parameters (plus optimizer state and weight
+// gradients, which the paper's 12 B/param accounting keeps resident) are
+// attributed to their group, and peak transient bytes are attributed to the
+// group active at the peak.
+func (g *Graph) GroupFootprints(env map[string]float64, policy SchedulePolicy) (map[string]float64, error) {
+	res, err := g.Footprint(env, policy)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, t := range g.tensors {
+		if t.Persistent() {
+			v, err := t.Bytes().Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			out[t.Group] += v
+		}
+	}
+	// Attribute the transient peak proportionally to per-group transient
+	// traffic, a first-order split adequate for planning.
+	groupTransient := make(map[string]float64)
+	var totalTransient float64
+	for _, t := range g.tensors {
+		if !t.Persistent() {
+			v, err := t.Bytes().Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			groupTransient[t.Group] += v
+			totalTransient += v
+		}
+	}
+	if totalTransient > 0 {
+		for k, v := range groupTransient {
+			out[k] += res.PeakTransientBytes * v / totalTransient
+		}
+	}
+	return out, nil
+}
+
+// SortedGroupNames returns map keys in sorted order, for deterministic
+// reporting.
+func SortedGroupNames(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,425 @@
+// Package graphio serializes compute graphs to a JSON checkpoint format and
+// loads them back — the counterpart of the Catamount artifact's ability to
+// save and re-load model definitions (TensorFlow MetaGraphDef checkpoints in
+// the original; a self-describing JSON document here). Symbolic dimensions
+// are stored in their canonical textual form and re-parsed on load, so a
+// checkpointed graph analyzes identically to a freshly built one.
+package graphio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"catamount/internal/graph"
+	"catamount/internal/ops"
+	"catamount/internal/symbolic"
+	"catamount/internal/tensor"
+)
+
+// FormatVersion identifies the checkpoint schema.
+const FormatVersion = 1
+
+type fileGraph struct {
+	Version int          `json:"version"`
+	Name    string       `json:"name"`
+	Tensors []fileTensor `json:"tensors"`
+	Nodes   []fileNode   `json:"nodes"`
+}
+
+type fileTensor struct {
+	Name  string   `json:"name"`
+	Kind  string   `json:"kind"`
+	DType string   `json:"dtype"`
+	Group string   `json:"group,omitempty"`
+	Shape []string `json:"shape"`
+}
+
+type fileNode struct {
+	Name    string         `json:"name"`
+	Group   string         `json:"group,omitempty"`
+	Kind    string         `json:"op"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+	Inputs  []string       `json:"inputs"`
+	Outputs []string       `json:"outputs"`
+}
+
+// Save writes the graph as a JSON checkpoint.
+func Save(w io.Writer, g *graph.Graph) error {
+	fg := fileGraph{Version: FormatVersion, Name: g.Name}
+	for _, t := range g.Tensors() {
+		ft := fileTensor{
+			Name:  t.Name,
+			Kind:  t.Kind.String(),
+			DType: t.DType.String(),
+			Group: t.Group,
+			Shape: make([]string, 0, t.Shape.Rank()),
+		}
+		for _, d := range t.Shape {
+			ft.Shape = append(ft.Shape, d.String())
+		}
+		fg.Tensors = append(fg.Tensors, ft)
+	}
+	for _, n := range g.Nodes() {
+		kind, attrs, err := encodeOp(n.Op)
+		if err != nil {
+			return fmt.Errorf("graphio: node %s: %w", n.Name, err)
+		}
+		fn := fileNode{Name: n.Name, Group: n.Group, Kind: kind, Attrs: attrs}
+		for _, t := range n.Inputs {
+			fn.Inputs = append(fn.Inputs, t.Name)
+		}
+		for _, t := range n.Outputs {
+			fn.Outputs = append(fn.Outputs, t.Name)
+		}
+		fg.Nodes = append(fg.Nodes, fn)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(fg)
+}
+
+// Load reads a JSON checkpoint back into a graph.
+func Load(r io.Reader) (*graph.Graph, error) {
+	var fg fileGraph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&fg); err != nil {
+		return nil, fmt.Errorf("graphio: decode: %w", err)
+	}
+	if fg.Version != FormatVersion {
+		return nil, fmt.Errorf("graphio: unsupported version %d", fg.Version)
+	}
+	g := graph.New(fg.Name)
+	byName := make(map[string]*graph.Tensor, len(fg.Tensors))
+	for _, ft := range fg.Tensors {
+		kind, err := parseKind(ft.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: tensor %s: %w", ft.Name, err)
+		}
+		dt, err := parseDType(ft.DType)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: tensor %s: %w", ft.Name, err)
+		}
+		shape := make(tensor.Shape, 0, len(ft.Shape))
+		for _, ds := range ft.Shape {
+			e, err := symbolic.Parse(ds)
+			if err != nil {
+				return nil, fmt.Errorf("graphio: tensor %s dim %q: %w", ft.Name, ds, err)
+			}
+			shape = append(shape, e)
+		}
+		t := g.NewTensor(ft.Name, kind, dt, shape)
+		if t.Name != ft.Name {
+			return nil, fmt.Errorf("graphio: duplicate tensor name %q", ft.Name)
+		}
+		t.Group = ft.Group
+	}
+	for _, fn := range fg.Nodes {
+		op, err := decodeOp(fn.Kind, fn.Attrs)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: node %s: %w", fn.Name, err)
+		}
+		ins := make([]*graph.Tensor, 0, len(fn.Inputs))
+		for _, name := range fn.Inputs {
+			t, ok := byLookup(byName, g, name)
+			if !ok {
+				return nil, fmt.Errorf("graphio: node %s: unknown input %q", fn.Name, name)
+			}
+			ins = append(ins, t)
+		}
+		outs := make([]*graph.Tensor, 0, len(fn.Outputs))
+		for _, name := range fn.Outputs {
+			t, ok := byLookup(byName, g, name)
+			if !ok {
+				return nil, fmt.Errorf("graphio: node %s: unknown output %q", fn.Name, name)
+			}
+			outs = append(outs, t)
+		}
+		if _, err := g.AddNode(fn.Name, fn.Group, op, ins, outs); err != nil {
+			return nil, fmt.Errorf("graphio: %w", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graphio: loaded graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+func byLookup(cache map[string]*graph.Tensor, g *graph.Graph, name string) (*graph.Tensor, bool) {
+	if t, ok := cache[name]; ok {
+		return t, true
+	}
+	t, ok := g.TensorByName(name)
+	if ok {
+		cache[name] = t
+	}
+	return t, ok
+}
+
+// SaveFile writes the graph to path.
+func SaveFile(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Save(f, g)
+}
+
+// LoadFile reads a graph from path.
+func LoadFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func parseKind(s string) (graph.TensorKind, error) {
+	switch s {
+	case "activation":
+		return graph.Activation, nil
+	case "input":
+		return graph.Input, nil
+	case "param":
+		return graph.Param, nil
+	case "state":
+		return graph.State, nil
+	}
+	return 0, fmt.Errorf("unknown tensor kind %q", s)
+}
+
+func parseDType(s string) (tensor.DType, error) {
+	switch s {
+	case "f32":
+		return tensor.F32, nil
+	case "f16":
+		return tensor.F16, nil
+	case "i32":
+		return tensor.I32, nil
+	case "i64":
+		return tensor.I64, nil
+	}
+	return 0, fmt.Errorf("unknown dtype %q", s)
+}
+
+// encodeOp maps a concrete op to its kind tag and attribute map.
+func encodeOp(op graph.Op) (string, map[string]any, error) {
+	switch o := op.(type) {
+	case ops.MatMul:
+		return "matmul", map[string]any{"transA": o.TransA, "transB": o.TransB}, nil
+	case ops.BatchedMatMul:
+		return "batched-matmul", map[string]any{"transA": o.TransA, "transB": o.TransB}, nil
+	case ops.Conv2D:
+		return "conv2d", map[string]any{"strideH": o.StrideH, "strideW": o.StrideW}, nil
+	case ops.Conv2DGradInput:
+		return "conv2d-grad-input", map[string]any{"strideH": o.StrideH, "strideW": o.StrideW}, nil
+	case ops.Conv2DGradWeight:
+		return "conv2d-grad-weight", map[string]any{"strideH": o.StrideH, "strideW": o.StrideW}, nil
+	case ops.Unary:
+		return "unary", map[string]any{"fn": o.Fn, "flops": o.FlopsPerElem, "factor": o.Factor}, nil
+	case ops.UnaryGrad:
+		return "unary-grad", map[string]any{"fn": o.Fn, "flops": o.FlopsPerElem, "factor": o.Factor}, nil
+	case ops.Binary:
+		return "binary", map[string]any{"fn": o.Fn}, nil
+	case ops.BiasAdd:
+		return "bias-add", nil, nil
+	case ops.Embedding:
+		return "embedding", nil, nil
+	case ops.EmbeddingGrad:
+		return "embedding-grad", nil, nil
+	case ops.Softmax:
+		return "softmax", nil, nil
+	case ops.SoftmaxGrad:
+		return "softmax-grad", nil, nil
+	case ops.SoftmaxXent:
+		return "softmax-xent", nil, nil
+	case ops.SoftmaxXentGrad:
+		return "softmax-xent-grad", nil, nil
+	case ops.BatchNorm:
+		return "batchnorm", nil, nil
+	case ops.BatchNormGrad:
+		return "batchnorm-grad", nil, nil
+	case ops.Pool:
+		return "pool", map[string]any{"kh": o.KH, "kw": o.KW, "sh": o.SH, "sw": o.SW, "max": o.Max}, nil
+	case ops.PoolGrad:
+		return "pool-grad", map[string]any{"kh": o.KH, "kw": o.KW, "sh": o.SH, "sw": o.SW, "max": o.Max}, nil
+	case ops.Reduce:
+		return "reduce", map[string]any{"keepDims": o.KeepDims, "mean": o.Mean}, nil
+	case ops.Broadcast:
+		return "broadcast", map[string]any{"scale": o.ScaleFlops}, nil
+	case ops.Concat:
+		return "concat", map[string]any{"axis": o.Axis}, nil
+	case ops.Split:
+		return "split", map[string]any{"axis": o.Axis, "n": o.N}, nil
+	case ops.Transpose:
+		return "transpose", map[string]any{"perm": o.Perm}, nil
+	case ops.Reshape:
+		return "reshape", nil, nil
+	case ops.Fill:
+		return "fill", map[string]any{"value": o.Value}, nil
+	case ops.GradAccum:
+		return "grad-accum", nil, nil
+	case ops.SGDMomentum:
+		return "sgd-momentum", map[string]any{"lr": o.LR, "mu": o.Mu}, nil
+	}
+	return "", nil, fmt.Errorf("unsupported op kind %q", op.Kind())
+}
+
+type attrReader struct {
+	m   map[string]any
+	err error
+}
+
+func (a *attrReader) float(key string) float64 {
+	if a.err != nil {
+		return 0
+	}
+	v, ok := a.m[key]
+	if !ok {
+		a.err = fmt.Errorf("missing attr %q", key)
+		return 0
+	}
+	f, ok := v.(float64)
+	if !ok {
+		a.err = fmt.Errorf("attr %q is not numeric", key)
+		return 0
+	}
+	return f
+}
+
+func (a *attrReader) integer(key string) int { return int(a.float(key)) }
+
+func (a *attrReader) boolean(key string) bool {
+	if a.err != nil {
+		return false
+	}
+	v, ok := a.m[key]
+	if !ok {
+		a.err = fmt.Errorf("missing attr %q", key)
+		return false
+	}
+	b, ok := v.(bool)
+	if !ok {
+		a.err = fmt.Errorf("attr %q is not boolean", key)
+		return false
+	}
+	return b
+}
+
+func (a *attrReader) str(key string) string {
+	if a.err != nil {
+		return ""
+	}
+	v, ok := a.m[key]
+	if !ok {
+		a.err = fmt.Errorf("missing attr %q", key)
+		return ""
+	}
+	s, ok := v.(string)
+	if !ok {
+		a.err = fmt.Errorf("attr %q is not a string", key)
+		return ""
+	}
+	return s
+}
+
+func (a *attrReader) ints(key string) []int {
+	if a.err != nil {
+		return nil
+	}
+	v, ok := a.m[key]
+	if !ok {
+		a.err = fmt.Errorf("missing attr %q", key)
+		return nil
+	}
+	list, ok := v.([]any)
+	if !ok {
+		a.err = fmt.Errorf("attr %q is not a list", key)
+		return nil
+	}
+	out := make([]int, 0, len(list))
+	for _, e := range list {
+		f, ok := e.(float64)
+		if !ok {
+			a.err = fmt.Errorf("attr %q has non-numeric element", key)
+			return nil
+		}
+		out = append(out, int(f))
+	}
+	return out
+}
+
+// decodeOp rebuilds a concrete op from its kind tag and attributes.
+func decodeOp(kind string, attrs map[string]any) (graph.Op, error) {
+	a := &attrReader{m: attrs}
+	var op graph.Op
+	switch kind {
+	case "matmul":
+		op = ops.MatMul{TransA: a.boolean("transA"), TransB: a.boolean("transB")}
+	case "batched-matmul":
+		op = ops.BatchedMatMul{TransA: a.boolean("transA"), TransB: a.boolean("transB")}
+	case "conv2d":
+		op = ops.Conv2D{StrideH: a.integer("strideH"), StrideW: a.integer("strideW")}
+	case "conv2d-grad-input":
+		op = ops.Conv2DGradInput{StrideH: a.integer("strideH"), StrideW: a.integer("strideW")}
+	case "conv2d-grad-weight":
+		op = ops.Conv2DGradWeight{StrideH: a.integer("strideH"), StrideW: a.integer("strideW")}
+	case "unary":
+		op = ops.Unary{Fn: a.str("fn"), FlopsPerElem: a.float("flops"), Factor: a.float("factor")}
+	case "unary-grad":
+		op = ops.UnaryGrad{Fn: a.str("fn"), FlopsPerElem: a.float("flops"), Factor: a.float("factor")}
+	case "binary":
+		op = ops.Binary{Fn: a.str("fn")}
+	case "bias-add":
+		op = ops.BiasAdd{}
+	case "embedding":
+		op = ops.Embedding{}
+	case "embedding-grad":
+		op = ops.EmbeddingGrad{}
+	case "softmax":
+		op = ops.Softmax{}
+	case "softmax-grad":
+		op = ops.SoftmaxGrad{}
+	case "softmax-xent":
+		op = ops.SoftmaxXent{}
+	case "softmax-xent-grad":
+		op = ops.SoftmaxXentGrad{}
+	case "batchnorm":
+		op = ops.BatchNorm{}
+	case "batchnorm-grad":
+		op = ops.BatchNormGrad{}
+	case "pool":
+		op = ops.Pool{KH: a.integer("kh"), KW: a.integer("kw"),
+			SH: a.integer("sh"), SW: a.integer("sw"), Max: a.boolean("max")}
+	case "pool-grad":
+		op = ops.PoolGrad{KH: a.integer("kh"), KW: a.integer("kw"),
+			SH: a.integer("sh"), SW: a.integer("sw"), Max: a.boolean("max")}
+	case "reduce":
+		op = ops.Reduce{KeepDims: a.integer("keepDims"), Mean: a.boolean("mean")}
+	case "broadcast":
+		op = ops.Broadcast{ScaleFlops: a.boolean("scale")}
+	case "concat":
+		op = ops.Concat{Axis: a.integer("axis")}
+	case "split":
+		op = ops.Split{Axis: a.integer("axis"), N: a.integer("n")}
+	case "transpose":
+		op = ops.Transpose{Perm: a.ints("perm")}
+	case "reshape":
+		op = ops.Reshape{}
+	case "fill":
+		op = ops.Fill{Value: a.float("value")}
+	case "grad-accum":
+		op = ops.GradAccum{}
+	case "sgd-momentum":
+		op = ops.SGDMomentum{LR: a.float("lr"), Mu: a.float("mu")}
+	default:
+		return nil, fmt.Errorf("unknown op kind %q", kind)
+	}
+	if a.err != nil {
+		return nil, fmt.Errorf("op %q: %w", kind, a.err)
+	}
+	return op, nil
+}

@@ -1,0 +1,179 @@
+package graphio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"catamount/internal/graph"
+	"catamount/internal/models"
+	"catamount/internal/symbolic"
+)
+
+// roundTrip saves and reloads a graph, asserting analytical equivalence.
+func roundTrip(t *testing.T, g *graph.Graph, env symbolic.Env) *graph.Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(loaded.Nodes()) != len(g.Nodes()) {
+		t.Fatalf("nodes: %d vs %d", len(loaded.Nodes()), len(g.Nodes()))
+	}
+	if len(loaded.Tensors()) != len(g.Tensors()) {
+		t.Fatalf("tensors: %d vs %d", len(loaded.Tensors()), len(g.Tensors()))
+	}
+	if !symbolic.Equal(loaded.ParamCount(), g.ParamCount()) {
+		t.Fatalf("param expr changed: %v vs %v", loaded.ParamCount(), g.ParamCount())
+	}
+	if !symbolic.Equal(loaded.TotalFLOPs(), g.TotalFLOPs()) {
+		t.Fatal("FLOPs expr changed")
+	}
+	if !symbolic.Equal(loaded.TotalBytes(), g.TotalBytes()) {
+		t.Fatal("bytes expr changed")
+	}
+	if env != nil {
+		a, err := g.Footprint(env, graph.PolicyMemGreedy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Footprint(env, graph.PolicyMemGreedy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.PeakBytes != b.PeakBytes {
+			t.Fatalf("footprint changed: %v vs %v", a.PeakBytes, b.PeakBytes)
+		}
+	}
+	return loaded
+}
+
+func TestRoundTripAllDomains(t *testing.T) {
+	cfgs := []*models.Model{
+		models.BuildWordLM(models.WordLMConfig{Layers: 2, SeqLen: 5, Vocab: 40}),
+		models.BuildCharLM(models.CharLMConfig{RecurrenceDepth: 3, SeqLen: 4, Vocab: 20}),
+		models.BuildNMT(models.NMTConfig{SrcLen: 3, TgtLen: 3, Vocab: 30, DecoderLayers: 1}),
+		models.BuildSpeech(models.SpeechConfig{Frames: 6, FeatDim: 8, EncoderLayers: 2,
+			PoolLayers: 1, TgtLen: 2, Vocab: 12, LocConvFilters: 4, LocConvWidth: 3}),
+		models.BuildResNet(models.ResNetConfig{Blocks: [4]int{1, 1, 1, 1}, Classes: 10, Image: 32}),
+	}
+	for _, m := range cfgs {
+		size := 32.0
+		if m.Domain == models.ImageCl {
+			size = 1
+		}
+		roundTrip(t, m.Graph, m.Env(size, 4))
+	}
+}
+
+func TestRoundTripPreservesGroups(t *testing.T) {
+	m := models.BuildWordLM(models.WordLMConfig{Layers: 1, SeqLen: 3, Vocab: 20})
+	loaded := roundTrip(t, m.Graph, nil)
+	want := m.Graph.Groups()
+	got := loaded.Groups()
+	if len(want) != len(got) {
+		t.Fatalf("groups: %v vs %v", got, want)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("groups: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	m := models.BuildWordLM(models.WordLMConfig{Layers: 1, SeqLen: 2, Vocab: 10})
+	path := filepath.Join(t.TempDir(), "wordlm.json")
+	if err := SaveFile(path, m.Graph); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != m.Graph.Name {
+		t.Fatalf("name %q", g.Name)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestLoadRejectsUnknownOp(t *testing.T) {
+	src := `{"version":1,"name":"g","tensors":[
+	  {"name":"x","kind":"input","dtype":"f32","shape":["4"]},
+	  {"name":"y","kind":"activation","dtype":"f32","shape":["4"]}],
+	  "nodes":[{"name":"n","op":"warp-drive","inputs":["x"],"outputs":["y"]}]}`
+	if _, err := Load(strings.NewReader(src)); err == nil {
+		t.Fatal("expected unknown-op error")
+	}
+}
+
+func TestLoadRejectsBadShapeExpr(t *testing.T) {
+	src := `{"version":1,"name":"g","tensors":[
+	  {"name":"x","kind":"input","dtype":"f32","shape":["(("]}],"nodes":[]}`
+	if _, err := Load(strings.NewReader(src)); err == nil {
+		t.Fatal("expected shape parse error")
+	}
+}
+
+func TestLoadRejectsUnknownTensorRefs(t *testing.T) {
+	src := `{"version":1,"name":"g","tensors":[
+	  {"name":"y","kind":"activation","dtype":"f32","shape":["4"]}],
+	  "nodes":[{"name":"n","op":"reshape","inputs":["ghost"],"outputs":["y"]}]}`
+	if _, err := Load(strings.NewReader(src)); err == nil {
+		t.Fatal("expected unknown-input error")
+	}
+}
+
+func TestLoadRejectsBadKinds(t *testing.T) {
+	src := `{"version":1,"name":"g","tensors":[
+	  {"name":"x","kind":"mystery","dtype":"f32","shape":["4"]}],"nodes":[]}`
+	if _, err := Load(strings.NewReader(src)); err == nil {
+		t.Fatal("expected kind error")
+	}
+	src = `{"version":1,"name":"g","tensors":[
+	  {"name":"x","kind":"input","dtype":"f128","shape":["4"]}],"nodes":[]}`
+	if _, err := Load(strings.NewReader(src)); err == nil {
+		t.Fatal("expected dtype error")
+	}
+}
+
+func TestLoadRejectsMissingAttrs(t *testing.T) {
+	src := `{"version":1,"name":"g","tensors":[
+	  {"name":"x","kind":"input","dtype":"f32","shape":["4","4"]},
+	  {"name":"w","kind":"param","dtype":"f32","shape":["4","4"]},
+	  {"name":"y","kind":"activation","dtype":"f32","shape":["4","4"]}],
+	  "nodes":[{"name":"n","op":"matmul","inputs":["x","w"],"outputs":["y"]}]}`
+	if _, err := Load(strings.NewReader(src)); err == nil {
+		t.Fatal("expected missing-attr error")
+	}
+}
+
+func TestCheckpointContainsSymbolicShapes(t *testing.T) {
+	m := models.BuildWordLM(models.WordLMConfig{Layers: 1, SeqLen: 2, Vocab: 10})
+	var buf bytes.Buffer
+	if err := Save(&buf, m.Graph); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"h"`, `"b"`, `"4*h"`, "matmul", "sgd-momentum"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("checkpoint missing %q", want)
+		}
+	}
+}

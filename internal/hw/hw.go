@@ -1,0 +1,208 @@
+// Package hw models target accelerators with the Roofline performance model
+// (paper §5.2, after Williams et al.): training-step time is bounded by
+// either achievable compute throughput or achievable memory bandwidth, and
+// the subbatch size is chosen to minimize per-sample step time (§5.2.1).
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accelerator describes one compute device (paper Table 4).
+type Accelerator struct {
+	// Name identifies the configuration.
+	Name string
+	// PeakFLOPS is 32-bit compute throughput in FLOP/s.
+	PeakFLOPS float64
+	// CacheBytes is the on-chip (L2) cache capacity.
+	CacheBytes float64
+	// MemBandwidth is off-chip memory bandwidth in B/s.
+	MemBandwidth float64
+	// MemCapacity is off-chip memory capacity in bytes.
+	MemCapacity float64
+	// InterconnectBW is the inter-device link bandwidth in B/s.
+	InterconnectBW float64
+	// AchievableCompute and AchievableMemBW are the attainable fractions of
+	// peak (paper: 80% and 70%, consistent with existing hardware).
+	AchievableCompute, AchievableMemBW float64
+}
+
+// TargetAccelerator returns the paper's Table 4 configuration
+// (NVIDIA V100-class).
+func TargetAccelerator() Accelerator {
+	return Accelerator{
+		Name:              "target-v100-class",
+		PeakFLOPS:         15.67e12,
+		CacheBytes:        6e6,
+		MemBandwidth:      898e9,
+		MemCapacity:       32e9,
+		InterconnectBW:    56e9,
+		AchievableCompute: 0.80,
+		AchievableMemBW:   0.70,
+	}
+}
+
+// RidgePoint is the operational intensity (FLOP/B) at which peak compute and
+// peak bandwidth balance (paper: 17.4 FLOP/B).
+func (a Accelerator) RidgePoint() float64 {
+	return a.PeakFLOPS / a.MemBandwidth
+}
+
+// EffectiveRidgePoint uses achievable throughputs (paper: 19.9 FLOP/B).
+func (a Accelerator) EffectiveRidgePoint() float64 {
+	return (a.AchievableCompute * a.PeakFLOPS) / (a.AchievableMemBW * a.MemBandwidth)
+}
+
+// StepTime is the Roofline estimate for a workload of the given algorithmic
+// FLOPs and bytes (paper §5.2.2):
+//
+//	rt = max(ct / (80%·xc), at / (70%·xa))
+func (a Accelerator) StepTime(flops, bytes float64) float64 {
+	ct := flops / (a.AchievableCompute * a.PeakFLOPS)
+	at := bytes / (a.AchievableMemBW * a.MemBandwidth)
+	return math.Max(ct, at)
+}
+
+// ComputeBound reports whether the workload is limited by compute rather
+// than bandwidth under the achievable-roofline model.
+func (a Accelerator) ComputeBound(flops, bytes float64) bool {
+	return flops/bytes >= a.EffectiveRidgePoint()
+}
+
+// Utilization is the algorithmic-FLOP utilization achieved when the workload
+// runs in the given time: flops / (time · peak).
+func (a Accelerator) Utilization(flops, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return flops / (seconds * a.PeakFLOPS)
+}
+
+// Fits reports whether a memory footprint fits in device memory.
+func (a Accelerator) Fits(footprintBytes float64) bool {
+	return footprintBytes <= a.MemCapacity
+}
+
+// ---------------------------------------------------------------------------
+// Subbatch selection (paper §5.2.1, Figure 11)
+
+// StepEval evaluates a training step at a given subbatch size, returning the
+// per-step algorithmic FLOPs, bytes accessed, and memory footprint.
+type StepEval func(subbatch float64) (flops, bytes, footprint float64, err error)
+
+// SubbatchPoint is one sample of the Figure 11 sweep.
+type SubbatchPoint struct {
+	Subbatch       float64
+	FLOPs          float64
+	Bytes          float64
+	Intensity      float64 // graph-level operational intensity
+	StepTime       float64
+	TimePerSample  float64
+	FootprintBytes float64
+	Utilization    float64
+}
+
+// SubbatchSweep evaluates the step across subbatch sizes (Figure 11's x axis).
+func SubbatchSweep(eval StepEval, acc Accelerator, subbatches []float64) ([]SubbatchPoint, error) {
+	out := make([]SubbatchPoint, 0, len(subbatches))
+	for _, b := range subbatches {
+		f, by, fp, err := eval(b)
+		if err != nil {
+			return nil, fmt.Errorf("hw: subbatch %v: %w", b, err)
+		}
+		t := acc.StepTime(f, by)
+		out = append(out, SubbatchPoint{
+			Subbatch:       b,
+			FLOPs:          f,
+			Bytes:          by,
+			Intensity:      f / by,
+			StepTime:       t,
+			TimePerSample:  t / b,
+			FootprintBytes: fp,
+			Utilization:    acc.Utilization(f, t),
+		})
+	}
+	return out, nil
+}
+
+// SubbatchPolicy selects among the three §5.2.1 points of interest.
+type SubbatchPolicy int
+
+// The paper's three candidate policies.
+const (
+	// MinTimePerSample picks the smallest subbatch whose per-sample time is
+	// within tolerance of the sweep minimum (the paper's preferred policy).
+	MinTimePerSample SubbatchPolicy = iota
+	// RidgePointMatch picks the smallest subbatch whose graph-level
+	// operational intensity reaches the accelerator's effective ridge point.
+	RidgePointMatch
+	// IntensitySaturation picks the smallest subbatch whose intensity is
+	// within tolerance of the sweep's maximum intensity (large footprint).
+	IntensitySaturation
+)
+
+func (p SubbatchPolicy) String() string {
+	switch p {
+	case MinTimePerSample:
+		return "min-time-per-sample"
+	case RidgePointMatch:
+		return "ridge-point-match"
+	case IntensitySaturation:
+		return "intensity-saturation"
+	}
+	return "unknown"
+}
+
+// ChooseSubbatch applies a policy to a sweep. tol is the relative tolerance
+// (e.g. 0.05) used by MinTimePerSample and IntensitySaturation.
+func ChooseSubbatch(points []SubbatchPoint, acc Accelerator, policy SubbatchPolicy, tol float64) (SubbatchPoint, error) {
+	if len(points) == 0 {
+		return SubbatchPoint{}, fmt.Errorf("hw: empty subbatch sweep")
+	}
+	switch policy {
+	case MinTimePerSample:
+		best := math.Inf(1)
+		for _, p := range points {
+			if p.TimePerSample < best {
+				best = p.TimePerSample
+			}
+		}
+		for _, p := range points {
+			if p.TimePerSample <= best*(1+tol) {
+				return p, nil
+			}
+		}
+	case RidgePointMatch:
+		ridge := acc.EffectiveRidgePoint()
+		for _, p := range points {
+			if p.Intensity >= ridge {
+				return p, nil
+			}
+		}
+		return points[len(points)-1], nil
+	case IntensitySaturation:
+		best := 0.0
+		for _, p := range points {
+			if p.Intensity > best {
+				best = p.Intensity
+			}
+		}
+		for _, p := range points {
+			if p.Intensity >= best*(1-tol) {
+				return p, nil
+			}
+		}
+	}
+	return points[len(points)-1], nil
+}
+
+// PowersOfTwo returns {1, 2, 4, ..., 2^max} as float64s — the standard
+// Figure 11 sweep domain.
+func PowersOfTwo(max int) []float64 {
+	out := make([]float64, 0, max+1)
+	for i := 0; i <= max; i++ {
+		out = append(out, float64(int64(1)<<uint(i)))
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package hw
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestTargetAcceleratorRidgePoints(t *testing.T) {
+	a := TargetAccelerator()
+	// Paper §5.2: ridge point 17.4 FLOP/B, rising to 19.9 with achievable
+	// throughputs.
+	if r := a.RidgePoint(); math.Abs(r-17.45) > 0.1 {
+		t.Fatalf("ridge = %.2f, want ~17.4", r)
+	}
+	if r := a.EffectiveRidgePoint(); math.Abs(r-19.94) > 0.1 {
+		t.Fatalf("effective ridge = %.2f, want ~19.9", r)
+	}
+}
+
+func TestStepTimeRoofline(t *testing.T) {
+	a := TargetAccelerator()
+	// Compute-bound: intensity far above ridge.
+	flops, bytes := 1e15, 1e12
+	want := flops / (0.8 * a.PeakFLOPS)
+	if got := a.StepTime(flops, bytes); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("compute-bound time = %v, want %v", got, want)
+	}
+	if !a.ComputeBound(flops, bytes) {
+		t.Fatal("should be compute bound")
+	}
+	// Bandwidth-bound: intensity far below ridge.
+	flops, bytes = 1e12, 1e12
+	want = bytes / (0.7 * a.MemBandwidth)
+	if got := a.StepTime(flops, bytes); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("bw-bound time = %v, want %v", got, want)
+	}
+	if a.ComputeBound(flops, bytes) {
+		t.Fatal("should be bandwidth bound")
+	}
+}
+
+func TestUtilizationBestCase(t *testing.T) {
+	a := TargetAccelerator()
+	// A perfectly compute-bound workload achieves exactly the achievable
+	// fraction (80%).
+	flops := 1e15
+	tm := a.StepTime(flops, 1) // negligible bytes
+	if u := a.Utilization(flops, tm); math.Abs(u-0.8) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.8", u)
+	}
+	if a.Utilization(1, 0) != 0 {
+		t.Fatal("zero-time utilization must be 0")
+	}
+}
+
+func TestFits(t *testing.T) {
+	a := TargetAccelerator()
+	if !a.Fits(31e9) || a.Fits(33e9) {
+		t.Fatal("Fits misjudges 32GB capacity")
+	}
+}
+
+// syntheticEval mimics a recurrent model: flops ∝ b, bytes = fixed + c·b.
+func syntheticEval(fixedBytes, bytesPerSample, flopsPerSample float64) StepEval {
+	return func(b float64) (float64, float64, float64, error) {
+		return flopsPerSample * b, fixedBytes + bytesPerSample*b, 1e9 + 1e7*b, nil
+	}
+}
+
+func TestSubbatchSweepMonotoneIntensity(t *testing.T) {
+	a := TargetAccelerator()
+	eval := syntheticEval(4e9, 1e6, 481e9)
+	pts, err := SubbatchSweep(eval, a, PowersOfTwo(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Intensity < pts[i-1].Intensity {
+			t.Fatalf("intensity not monotone at %v", pts[i].Subbatch)
+		}
+		if pts[i].TimePerSample > pts[i-1].TimePerSample*1.0001 {
+			t.Fatalf("time/sample increased at %v", pts[i].Subbatch)
+		}
+	}
+	// Intensity saturates at flopsPerSample/bytesPerSample.
+	last := pts[len(pts)-1]
+	if limit := 481e9 / 1e6; last.Intensity > limit {
+		t.Fatalf("intensity %v above saturation %v", last.Intensity, limit)
+	}
+}
+
+func TestChooseSubbatchPolicies(t *testing.T) {
+	a := TargetAccelerator()
+	eval := syntheticEval(4e9, 1e6, 481e9)
+	pts, err := SubbatchSweep(eval, a, PowersOfTwo(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	minT, err := ChooseSubbatch(pts, a, MinTimePerSample, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridge, err := ChooseSubbatch(pts, a, RidgePointMatch, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat, err := ChooseSubbatch(pts, a, IntensitySaturation, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §5.2.1: ridge-point match under-utilizes (picks a smaller
+	// subbatch than min-time), and saturation needs a much larger subbatch
+	// and footprint than min-time.
+	if ridge.Subbatch > minT.Subbatch {
+		t.Fatalf("ridge subbatch %v > min-time subbatch %v", ridge.Subbatch, minT.Subbatch)
+	}
+	if sat.Subbatch < minT.Subbatch {
+		t.Fatalf("saturation subbatch %v < min-time subbatch %v", sat.Subbatch, minT.Subbatch)
+	}
+	if sat.FootprintBytes <= minT.FootprintBytes {
+		t.Fatal("saturation should cost more footprint")
+	}
+	// Min-time subbatch should land ~1-2x above the ridge-match subbatch
+	// (paper: about 1.5x) for recurrent-shaped workloads.
+	ratio := minT.Subbatch / ridge.Subbatch
+	if ratio < 1 || ratio > 8 {
+		t.Fatalf("min-time/ridge subbatch ratio = %v, want small multiple", ratio)
+	}
+}
+
+func TestChooseSubbatchEmpty(t *testing.T) {
+	if _, err := ChooseSubbatch(nil, TargetAccelerator(), MinTimePerSample, 0.05); err == nil {
+		t.Fatal("expected error for empty sweep")
+	}
+}
+
+func TestSubbatchSweepPropagatesError(t *testing.T) {
+	bad := func(float64) (float64, float64, float64, error) {
+		return 0, 0, 0, errors.New("boom")
+	}
+	if _, err := SubbatchSweep(bad, TargetAccelerator(), []float64{1}); err == nil {
+		t.Fatal("expected propagated error")
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	p := PowersOfTwo(3)
+	want := []float64{1, 2, 4, 8}
+	if len(p) != len(want) {
+		t.Fatalf("len = %d", len(p))
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("p[%d] = %v", i, p[i])
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package models
+
+import (
+	"testing"
+
+	"catamount/internal/graph"
+)
+
+func BenchmarkBuildWordLM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = BuildWordLM(DefaultWordLMConfig())
+	}
+}
+
+func BenchmarkBuildCharLM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = BuildCharLM(DefaultCharLMConfig())
+	}
+}
+
+func BenchmarkBuildSpeech(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = BuildSpeech(DefaultSpeechConfig())
+	}
+}
+
+func BenchmarkBuildResNet50(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = BuildResNet(DefaultResNetConfig())
+	}
+}
+
+func BenchmarkWordLMFootprint(b *testing.B) {
+	m := BuildWordLM(DefaultWordLMConfig())
+	env := m.Env(5903, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Graph.Footprint(env, graph.PolicyMemGreedy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWordLMFLOPsEval(b *testing.B) {
+	m := BuildWordLM(DefaultWordLMConfig())
+	expr := m.FLOPsExpr()
+	env := m.Env(5903, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expr.Eval(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

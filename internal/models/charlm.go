@@ -1,0 +1,109 @@
+package models
+
+import (
+	"fmt"
+
+	"catamount/internal/graph"
+	"catamount/internal/ops"
+	"catamount/internal/symbolic"
+	"catamount/internal/tensor"
+)
+
+// CharLMConfig parameterizes the recurrent highway network character LM
+// (paper §2.3, after Zilly et al.): embedding → one deep RHN layer with
+// RecurrenceDepth stacked micro-layers per time step → softmax output.
+type CharLMConfig struct {
+	// RecurrenceDepth is the number of highway micro-layers per time step.
+	RecurrenceDepth int
+	// SeqLen is the unroll length in characters (paper: 100–300).
+	SeqLen int
+	// Vocab is the character vocabulary (small, so embedding/output are a
+	// minor share of footprint).
+	Vocab int
+	// DType selects the training precision (F32 default, F16 halves the
+	// weight and activation footprint — the paper's §6.2.3 low-precision
+	// direction).
+	DType tensor.DType
+}
+
+// DefaultCharLMConfig matches the paper's profiling setup: recurrence depth
+// 10 unrolled 150 steps (FLOPs/param → ~6·150 ≈ 900).
+func DefaultCharLMConfig() CharLMConfig {
+	return CharLMConfig{RecurrenceDepth: 10, SeqLen: 150, Vocab: 128}
+}
+
+// rhnStep applies one full RHN time step: the first micro-layer consumes
+// [x, s], deeper micro-layers transform s alone. Gates are fused into one
+// matmul producing (H, T); carry is 1−T.
+//
+//	s ← s + T ⊙ (H − s)
+func rhnStep(b *ops.Builder, x, s *graph.Tensor, firstW, firstB *graph.Tensor,
+	deepW, deepB []*graph.Tensor) *graph.Tensor {
+	// Micro-layer 0: [x, s]·W → (H, T).
+	cat := b.Concat(1, x, s)
+	z := b.BiasAdd(b.MatMul(cat, firstW), firstB)
+	gates := b.Split(z, 1, 2)
+	hGate := b.Tanh(gates[0])
+	tGate := b.Sigmoid(gates[1])
+	diff := b.Sub(hGate, s)
+	s = b.Add(s, b.Mul(tGate, diff))
+	// Deeper micro-layers.
+	for d := range deepW {
+		z := b.BiasAdd(b.MatMul(s, deepW[d]), deepB[d])
+		gates := b.Split(z, 1, 2)
+		hGate := b.Tanh(gates[0])
+		tGate := b.Sigmoid(gates[1])
+		diff := b.Sub(hGate, s)
+		s = b.Add(s, b.Mul(tGate, diff))
+	}
+	return s
+}
+
+// BuildCharLM constructs the character LM training graph.
+func BuildCharLM(cfg CharLMConfig) *Model {
+	b := ops.NewBuilder("charlm")
+	b.DType = cfg.DType
+	h := symbolic.S("h")
+	bs := symbolic.S("b")
+	q := cfg.SeqLen
+
+	m := &Model{
+		Name: fmt.Sprintf("charlm(depth=%d,q=%d,v=%d)",
+			cfg.RecurrenceDepth, q, cfg.Vocab),
+		Domain:       CharLM,
+		SizeSymbol:   "h",
+		BatchSymbol:  "b",
+		SeqLen:       q,
+		DefaultBatch: 96,
+	}
+
+	b.Group("embed")
+	table := b.Param("embedding", cfg.Vocab, h)
+	ids := b.Input("ids", tensor.I32, bs, q)
+	emb := b.Embedding(table, ids)
+	slices := b.Split(emb, 1, q)
+
+	b.Group("rhn")
+	two := symbolic.Mul(symbolic.C(2), h)
+	firstW := b.Param("rhn/w0", symbolic.Add(h, h), two)
+	firstB := b.Param("rhn/b0", two)
+	deepW := make([]*graph.Tensor, cfg.RecurrenceDepth-1)
+	deepB := make([]*graph.Tensor, cfg.RecurrenceDepth-1)
+	for d := range deepW {
+		deepW[d] = b.Param(fmt.Sprintf("rhn/w%d", d+1), h, two)
+		deepB[d] = b.Param(fmt.Sprintf("rhn/b%d", d+1), two)
+	}
+	s := b.Zeros("rhn/s0", bs, h)
+	steps := make([]*graph.Tensor, q)
+	for t := 0; t < q; t++ {
+		x := b.Reshape(slices[t], bs, h)
+		s = rhnStep(b, x, s, firstW, firstB, deepW, deepB)
+		steps[t] = s
+	}
+
+	b.Group("output")
+	labels := b.Input("labels", tensor.I32, bs, q)
+	loss := timeDistributedOutput(b, steps, h, bs, cfg.Vocab, labels)
+
+	return attachTraining(b, loss, m)
+}

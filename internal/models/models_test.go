@@ -1,0 +1,363 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"catamount/internal/graph"
+	"catamount/internal/ops"
+	"catamount/internal/symbolic"
+)
+
+// tiny configs keep structural tests fast.
+func tinyWordLM() WordLMConfig {
+	return WordLMConfig{Layers: 2, SeqLen: 4, Vocab: 50}
+}
+
+func tinyCharLM() CharLMConfig {
+	return CharLMConfig{RecurrenceDepth: 3, SeqLen: 5, Vocab: 30}
+}
+
+func tinyNMT() NMTConfig {
+	return NMTConfig{SrcLen: 3, TgtLen: 3, Vocab: 40, DecoderLayers: 2}
+}
+
+func tinySpeech() SpeechConfig {
+	return SpeechConfig{Frames: 8, FeatDim: 8, EncoderLayers: 2, PoolLayers: 1,
+		TgtLen: 3, Vocab: 12, LocConvFilters: 4, LocConvWidth: 3}
+}
+
+func tinyResNet() ResNetConfig {
+	return ResNetConfig{Blocks: [4]int{1, 1, 1, 1}, Classes: 10, Image: 32}
+}
+
+func TestAllTinyModelsValidate(t *testing.T) {
+	ms := []*Model{
+		BuildWordLM(tinyWordLM()),
+		BuildCharLM(tinyCharLM()),
+		BuildNMT(tinyNMT()),
+		BuildSpeech(tinySpeech()),
+		BuildResNet(tinyResNet()),
+	}
+	for _, m := range ms {
+		if err := m.Graph.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if len(m.Graph.Params()) == 0 {
+			t.Errorf("%s: no parameters", m.Name)
+		}
+	}
+}
+
+func TestWordLMParamFormula(t *testing.T) {
+	// Paper §4.2: p ≈ 8h²l + 2hv (embedding + recurrent + output), plus
+	// small bias terms. Check the symbolic parameter count against the
+	// closed form at several h.
+	cfg := tinyWordLM()
+	m := BuildWordLM(cfg)
+	for _, h := range []float64{16, 64, 256} {
+		got := m.Params(h)
+		// Exact accounting: embed hv + per-layer (2h·4h + 4h) + softmax
+		// (hv + v).
+		v := float64(cfg.Vocab)
+		want := h*v + float64(cfg.Layers)*(8*h*h+4*h) + h*v + v
+		if math.Abs(got-want) > 0.5 {
+			t.Fatalf("h=%v: params=%v, want %v", h, got, want)
+		}
+	}
+}
+
+func TestWordLMForwardFLOPsFormula(t *testing.T) {
+	// Paper §4.2: forward FLOPs per sample ≈ q(16h²l + 2hv) for large h.
+	cfg := WordLMConfig{Layers: 2, SeqLen: 8, Vocab: 100}
+	m := BuildWordLM(cfg)
+	h := 4096.0
+	env := m.Env(h, 1)
+	fwd, _, err := ops.ForwardBackwardSplit(m.Graph, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, l, v := float64(cfg.SeqLen), float64(cfg.Layers), float64(cfg.Vocab)
+	want := q * (16*h*h*l + 2*h*v)
+	if ratio := fwd / want; ratio < 1.0 || ratio > 1.15 {
+		t.Fatalf("fwd=%.3g, closed form %.3g, ratio %.3f outside [1, 1.15]", fwd, want, ratio)
+	}
+}
+
+func TestBackwardTwiceForwardAllDomains(t *testing.T) {
+	// Paper §2.1: backprop ≈ 2x forward FLOPs for every architecture.
+	ms := []*Model{
+		BuildWordLM(tinyWordLM()),
+		BuildCharLM(tinyCharLM()),
+		BuildNMT(tinyNMT()),
+		BuildSpeech(tinySpeech()),
+		BuildResNet(tinyResNet()),
+	}
+	for _, m := range ms {
+		size := 64.0
+		if m.Domain == ImageCl {
+			size = 1
+		}
+		fwd, bwd, err := ops.ForwardBackwardSplit(m.Graph, m.Env(size, 32))
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		ratio := bwd / fwd
+		if ratio < 1.7 || ratio > 2.6 {
+			t.Errorf("%s: bwd/fwd = %.2f, want ~2", m.Name, ratio)
+		}
+	}
+}
+
+func TestFLOPsLinearInParams(t *testing.T) {
+	// Paper §4.2 (Figure 7): per-step FLOPs grow linearly with parameter
+	// count for moderately large models. Check that FLOPs/param stabilizes
+	// as h doubles.
+	m := BuildWordLM(WordLMConfig{Layers: 2, SeqLen: 8, Vocab: 100})
+	var prev float64
+	for i, h := range []float64{1024, 2048, 4096} {
+		env := m.Env(h, 1)
+		f := symbolic.MustEval(m.FLOPsExpr(), env)
+		ratio := f / m.Params(h)
+		if i > 0 && math.Abs(ratio-prev)/prev > 0.02 {
+			t.Fatalf("FLOPs/param drifted: %v -> %v", prev, ratio)
+		}
+		prev = ratio
+	}
+	// Asymptote: 3 traversals * 2q FLOPs per parameter per traversal, plus
+	// 4 FLOPs/param from the momentum update.
+	want := 6.0*8 + 4
+	if math.Abs(prev-want)/want > 0.1 {
+		t.Fatalf("FLOPs/param = %.1f, want ~%.0f (6q + 4)", prev, want)
+	}
+}
+
+func TestCharLMSixQ(t *testing.T) {
+	// Char LM FLOPs/param → 6q (the paper's 900 at q=150).
+	m := BuildCharLM(CharLMConfig{RecurrenceDepth: 3, SeqLen: 10, Vocab: 30})
+	h := 4096.0
+	ratio := symbolic.MustEval(m.FLOPsExpr(), m.Env(h, 1)) / m.Params(h)
+	if math.Abs(ratio-64)/64 > 0.1 {
+		t.Fatalf("FLOPs/param = %.1f, want ~64 (6q + 4, q=10)", ratio)
+	}
+}
+
+func TestSizeForParamsInverts(t *testing.T) {
+	ms := []*Model{
+		BuildWordLM(tinyWordLM()),
+		BuildResNet(tinyResNet()),
+	}
+	for _, m := range ms {
+		target := 5e6
+		size, err := m.SizeForParams(target)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		got := m.Params(size)
+		if math.Abs(got-target)/target > 1e-6 {
+			t.Fatalf("%s: params(size)=%v, want %v", m.Name, got, target)
+		}
+	}
+}
+
+func TestSizeForParamsUnreachable(t *testing.T) {
+	m := BuildWordLM(tinyWordLM())
+	if _, err := m.SizeForParams(math.Inf(1)); err == nil {
+		t.Fatal("expected unreachable error")
+	}
+}
+
+func TestResNetDepthConfigs(t *testing.T) {
+	for _, depth := range []int{26, 50, 101, 152} {
+		cfg, err := ResNetDepthConfig(depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := cfg.Blocks[0] + cfg.Blocks[1] + cfg.Blocks[2] + cfg.Blocks[3]
+		if sum <= 0 {
+			t.Fatalf("depth %d: no blocks", depth)
+		}
+	}
+	if _, err := ResNetDepthConfig(37); err == nil {
+		t.Fatal("expected error for unsupported depth")
+	}
+}
+
+func TestResNet50ParamCountAtWidth1(t *testing.T) {
+	// Standard bottleneck ResNet-50 has ~25.5M params; ours should land
+	// within a few percent (we use projection-shortcut bottlenecks and
+	// same-padding convs).
+	m := BuildResNet(DefaultResNetConfig())
+	p := m.Params(1)
+	if p < 23e6 || p > 29e6 {
+		t.Fatalf("ResNet-50 params = %.3gM, want ~25.5M", p/1e6)
+	}
+}
+
+func TestResNetDeeperHasMoreParams(t *testing.T) {
+	c50 := DefaultResNetConfig()
+	c152, _ := ResNetDepthConfig(152)
+	p50 := BuildResNet(c50).Params(1)
+	p152 := BuildResNet(c152).Params(1)
+	if p152 <= p50 {
+		t.Fatalf("resnet152 (%.3g) should exceed resnet50 (%.3g)", p152, p50)
+	}
+}
+
+func TestProjectionReducesFLOPs(t *testing.T) {
+	// The case study's LSTM projection cuts output-layer FLOPs sharply at
+	// production vocabulary sizes (§6.1: 11.7x total step-time reduction).
+	base := BuildWordLM(WordLMConfig{Layers: 2, SeqLen: 8, Vocab: 100000})
+	proj := BuildWordLM(WordLMConfig{Layers: 2, SeqLen: 8, Vocab: 100000,
+		Projection: true, ProjectionFraction: 0.25})
+	h := 2048.0
+	fBase := symbolic.MustEval(base.FLOPsExpr(), base.Env(h, 1))
+	fProj := symbolic.MustEval(proj.FLOPsExpr(), proj.Env(h, 1))
+	if fProj >= fBase {
+		t.Fatalf("projection did not reduce FLOPs: %.3g vs %.3g", fProj, fBase)
+	}
+	if fBase/fProj < 2 {
+		t.Fatalf("projection reduction only %.2fx at vocab 100k", fBase/fProj)
+	}
+}
+
+func TestFootprintIncludesOptimizerState(t *testing.T) {
+	// Weights + gradients + momentum give the ~12 B/param floor the paper
+	// reports for language models (Table 2).
+	m := BuildWordLM(WordLMConfig{Layers: 2, SeqLen: 8, Vocab: 100})
+	h := 2048.0
+	res, err := m.Graph.Footprint(m.Env(h, 1), graph.PolicyMemGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Params(h)
+	perParam := res.PeakBytes / p
+	if perParam < 8 || perParam > 20 {
+		t.Fatalf("footprint/param = %.2f B, want in [8, 20]", perParam)
+	}
+	if res.PersistentBytes < 8*p {
+		t.Fatalf("persistent %.3g < 8 B/param", res.PersistentBytes)
+	}
+}
+
+func TestFootprintGrowsWithBatch(t *testing.T) {
+	m := BuildCharLM(tinyCharLM())
+	small, err := m.Graph.Footprint(m.Env(64, 1), graph.PolicyMemGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := m.Graph.Footprint(m.Env(64, 256), graph.PolicyMemGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.PeakBytes <= small.PeakBytes {
+		t.Fatalf("footprint did not grow with batch: %v vs %v", small.PeakBytes, big.PeakBytes)
+	}
+	if big.PersistentBytes != small.PersistentBytes {
+		t.Fatal("persistent bytes must not depend on batch")
+	}
+}
+
+func TestGroupsCoverModelStructure(t *testing.T) {
+	m := BuildWordLM(tinyWordLM())
+	groups := m.Graph.Groups()
+	want := map[string]bool{"embed": true, "lstm0": true, "lstm1": true, "output": true}
+	for g := range want {
+		found := false
+		for _, got := range groups {
+			if got == g {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing group %q in %v", g, groups)
+		}
+	}
+}
+
+func TestBuildByDomain(t *testing.T) {
+	for _, d := range AllDomains {
+		m, err := Build(d)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if m.Domain != d {
+			t.Fatalf("domain mismatch: %v vs %v", m.Domain, d)
+		}
+		if m.DefaultBatch <= 0 || m.SeqLen <= 0 {
+			t.Fatalf("%s: bad defaults %+v", d, m)
+		}
+	}
+	if _, err := Build(Domain("nope")); err == nil {
+		t.Fatal("expected unknown-domain error")
+	}
+}
+
+func TestNMTAttentionPresent(t *testing.T) {
+	m := BuildNMT(tinyNMT())
+	var batched, softmax int
+	for _, n := range m.Graph.Nodes() {
+		switch n.Op.Kind() {
+		case "batched-matmul":
+			batched++
+		case "softmax":
+			softmax++
+		}
+	}
+	if batched < 2*3 { // score + context per decoder step (fwd only)
+		t.Fatalf("batched matmuls = %d, want >= 6", batched)
+	}
+	if softmax < 3 {
+		t.Fatalf("attention softmaxes = %d, want >= 3", softmax)
+	}
+}
+
+func TestSpeechHasLocationConv(t *testing.T) {
+	m := BuildSpeech(tinySpeech())
+	var convs int
+	for _, n := range m.Graph.Nodes() {
+		if n.Op.Kind() == "conv2d" {
+			convs++
+		}
+	}
+	if convs < 3 { // one per decoder step
+		t.Fatalf("location convs = %d, want >= TgtLen", convs)
+	}
+}
+
+func TestSpeechPyramidalPoolingShrinksTime(t *testing.T) {
+	m := BuildSpeech(tinySpeech())
+	// With Frames=8 and one pooled layer, the attention should span 4
+	// encoder steps: look for softmax over last dim 4.
+	found := false
+	for _, tns := range m.Graph.Tensors() {
+		if tns.Producer != nil && tns.Producer.Op.Kind() == "softmax" &&
+			tns.Shape.Rank() == 3 {
+			if c, ok := symbolic.IsConst(tns.Shape.Dim(2)); ok && c == 4 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no attention softmax over pooled encoder length 4")
+	}
+}
+
+func TestRecurrentFootprintSchedulerHandlesAccumulationChains(t *testing.T) {
+	// Regression test for the scheduler tie-breaking fix: per-timestep
+	// weight-gradient partials must fold into the running sum promptly, so
+	// peak transient memory stays near a small multiple of the weight size
+	// rather than q times it.
+	cfg := WordLMConfig{Layers: 1, SeqLen: 16, Vocab: 64}
+	m := BuildWordLM(cfg)
+	h := 512.0
+	res, err := m.Graph.Footprint(m.Env(h, 1), graph.PolicyMemGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weightBytes := 4 * (8*h*h + 4*h)
+	if res.PeakTransientBytes > 6*weightBytes {
+		t.Fatalf("transient %.3g > 6x weight bytes %.3g: accumulation chain not folded",
+			res.PeakTransientBytes, weightBytes)
+	}
+}

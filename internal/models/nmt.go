@@ -1,0 +1,105 @@
+package models
+
+import (
+	"fmt"
+
+	"catamount/internal/graph"
+	"catamount/internal/ops"
+	"catamount/internal/symbolic"
+	"catamount/internal/tensor"
+)
+
+// NMTConfig parameterizes the translation model (paper §2.4, after Luong et
+// al.): a bidirectional-LSTM encoder, a stacked-LSTM decoder, and a global
+// attention context + selection layer.
+type NMTConfig struct {
+	// SrcLen and TgtLen are source/target sequence lengths in word pieces
+	// (FLOPs/param → ~6·25 ≈ 149 at the paper's sentence lengths).
+	SrcLen, TgtLen int
+	// Vocab is the shared word-piece vocabulary size.
+	Vocab int
+	// DecoderLayers is the stacked decoder depth.
+	DecoderLayers int
+	// DType selects the training precision (F32 default, F16 halves the
+	// weight and activation footprint — the paper's §6.2.3 low-precision
+	// direction).
+	DType tensor.DType
+}
+
+// DefaultNMTConfig matches the paper's profiling setup.
+func DefaultNMTConfig() NMTConfig {
+	return NMTConfig{SrcLen: 25, TgtLen: 25, Vocab: 32000, DecoderLayers: 2}
+}
+
+// BuildNMT constructs the NMT training graph.
+func BuildNMT(cfg NMTConfig) *Model {
+	b := ops.NewBuilder("nmt")
+	b.DType = cfg.DType
+	h := symbolic.S("h")
+	bs := symbolic.S("b")
+
+	m := &Model{
+		Name: fmt.Sprintf("nmt(qs=%d,qt=%d,v=%d)",
+			cfg.SrcLen, cfg.TgtLen, cfg.Vocab),
+		Domain:       NMT,
+		SizeSymbol:   "h",
+		BatchSymbol:  "b",
+		SeqLen:       cfg.SrcLen,
+		DefaultBatch: 96,
+	}
+
+	// Encoder: embedding → bi-LSTM → uni-LSTM.
+	b.Group("encoder")
+	srcTable := b.Param("src_embedding", cfg.Vocab, h)
+	srcIDs := b.Input("src_ids", tensor.I32, bs, cfg.SrcLen)
+	srcEmb := b.Embedding(srcTable, srcIDs)
+	srcSlices := b.Split(srcEmb, 1, cfg.SrcLen)
+	encSteps := make([]*graph.Tensor, cfg.SrcLen)
+	for t := range encSteps {
+		encSteps[t] = b.Reshape(srcSlices[t], bs, h)
+	}
+	bi := biLSTMLayer(b, "enc_bi", encSteps, h, h, bs)
+	two := symbolic.Mul(symbolic.C(2), h)
+	top := uniLSTMLayer(b, "enc_top", bi, two, h, bs)
+	henc := stackTime3(b, top, bs, h) // [b, qs, h]
+
+	// Decoder: embedding → stacked LSTM → attention context + selection.
+	b.Group("decoder")
+	tgtTable := b.Param("tgt_embedding", cfg.Vocab, h)
+	tgtIDs := b.Input("tgt_ids", tensor.I32, bs, cfg.TgtLen)
+	tgtEmb := b.Embedding(tgtTable, tgtIDs)
+	tgtSlices := b.Split(tgtEmb, 1, cfg.TgtLen)
+
+	decW := make([]*graph.Tensor, cfg.DecoderLayers)
+	decB := make([]*graph.Tensor, cfg.DecoderLayers)
+	decSt := make([]lstmState, cfg.DecoderLayers)
+	for l := 0; l < cfg.DecoderLayers; l++ {
+		name := fmt.Sprintf("dec_lstm%d", l)
+		decW[l], decB[l] = lstmParams(b, name, h, h)
+		decSt[l] = newLSTMState(b, name, bs, h)
+	}
+
+	b.Group("attention")
+	wCtx := b.Param("attn_combine", two, h)
+	bCtx := b.Param("attn_combine_b", h)
+
+	attnSteps := make([]*graph.Tensor, cfg.TgtLen)
+	for t := 0; t < cfg.TgtLen; t++ {
+		b.Group("decoder")
+		x := b.Reshape(tgtSlices[t], bs, h)
+		for l := 0; l < cfg.DecoderLayers; l++ {
+			decSt[l] = lstmStep(b, x, decSt[l], decW[l], decB[l])
+			x = decSt[l].h
+		}
+		b.Group("attention")
+		ctx, _ := dotAttention(b, x, henc, h, bs, cfg.SrcLen)
+		combined := b.Concat(1, x, ctx)
+		attnSteps[t] = b.Tanh(b.BiasAdd(b.MatMul(combined, wCtx), bCtx))
+	}
+
+	b.Group("output")
+	labels := b.Input("labels", tensor.I32, bs, cfg.TgtLen)
+	loss := timeDistributedOutput(b, attnSteps, h, bs, cfg.Vocab, labels)
+
+	return attachTraining(b, loss, m)
+}

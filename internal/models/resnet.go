@@ -1,0 +1,127 @@
+package models
+
+import (
+	"fmt"
+
+	"catamount/internal/graph"
+	"catamount/internal/ops"
+	"catamount/internal/symbolic"
+	"catamount/internal/tensor"
+)
+
+// ResNetConfig parameterizes the bottleneck ResNet (paper §2.2, after He et
+// al.): a stem convolution, four residual groups of bottleneck blocks, and a
+// fully connected classifier. Width is symbolic ("w", a multiplier on the
+// standard 64/128/256/512 channel progression) because the paper grows image
+// models by depth and channel count.
+type ResNetConfig struct {
+	// Blocks is the bottleneck block count per residual group
+	// ([3,4,6,3] = ResNet-50, [3,4,23,3] = ResNet-101, [3,8,36,3] = ResNet-152).
+	Blocks [4]int
+	// Classes is the classifier output width.
+	Classes int
+	// Image is the (square) input resolution.
+	Image int
+	// DType selects the training precision (F32 default, F16 halves the
+	// weight and activation footprint — the paper's §6.2.3 low-precision
+	// direction).
+	DType tensor.DType
+}
+
+// DefaultResNetConfig is a bottleneck ResNet-50 on ImageNet-sized inputs.
+func DefaultResNetConfig() ResNetConfig {
+	return ResNetConfig{Blocks: [4]int{3, 4, 6, 3}, Classes: 1000, Image: 224}
+}
+
+// ResNetDepthConfig returns the standard bottleneck block layout for the
+// given nominal depth (50, 101 or 152).
+func ResNetDepthConfig(depth int) (ResNetConfig, error) {
+	cfg := DefaultResNetConfig()
+	switch depth {
+	case 50:
+		cfg.Blocks = [4]int{3, 4, 6, 3}
+	case 101:
+		cfg.Blocks = [4]int{3, 4, 23, 3}
+	case 152:
+		cfg.Blocks = [4]int{3, 8, 36, 3}
+	case 26:
+		cfg.Blocks = [4]int{2, 2, 2, 2}
+	default:
+		return cfg, fmt.Errorf("models: unsupported ResNet depth %d", depth)
+	}
+	return cfg, nil
+}
+
+// bottleneckBlock applies conv1x1(mid) → conv3x3(mid, stride) → conv1x1(out)
+// with batch norms, ReLUs, and a (possibly projected) skip connection.
+func bottleneckBlock(b *ops.Builder, name string, x *graph.Tensor,
+	mid, out symbolic.Expr, stride int) *graph.Tensor {
+
+	inC := x.Shape.Dim(3)
+	w1 := b.Param(name+"/conv1_w", 1, 1, inC, mid)
+	y := b.ReLU(b.BatchNormLayer(name+"/bn1", b.Conv2D(x, w1, 1, 1)))
+	w2 := b.Param(name+"/conv2_w", 3, 3, mid, mid)
+	y = b.ReLU(b.BatchNormLayer(name+"/bn2", b.Conv2D(y, w2, stride, stride)))
+	w3 := b.Param(name+"/conv3_w", 1, 1, mid, out)
+	y = b.BatchNormLayer(name+"/bn3", b.Conv2D(y, w3, 1, 1))
+
+	skip := x
+	if stride != 1 || !symbolic.Equal(inC, out) {
+		ws := b.Param(name+"/proj_w", 1, 1, inC, out)
+		skip = b.BatchNormLayer(name+"/proj_bn", b.Conv2D(x, ws, stride, stride))
+	}
+	return b.ReLU(b.Add(y, skip))
+}
+
+// BuildResNet constructs the ResNet training graph.
+func BuildResNet(cfg ResNetConfig) *Model {
+	b := ops.NewBuilder("resnet")
+	b.DType = cfg.DType
+	w := symbolic.S("w")
+	bs := symbolic.S("b")
+
+	total := cfg.Blocks[0] + cfg.Blocks[1] + cfg.Blocks[2] + cfg.Blocks[3]
+	m := &Model{
+		Name:         fmt.Sprintf("resnet(blocks=%v,depth~%d)", cfg.Blocks, 3*total+2),
+		Domain:       ImageCl,
+		SizeSymbol:   "w",
+		BatchSymbol:  "b",
+		SeqLen:       1,
+		DefaultBatch: 32,
+	}
+
+	ch := func(base int) symbolic.Expr {
+		return symbolic.Mul(symbolic.C(float64(base)), w)
+	}
+
+	b.Group("stem")
+	x := b.Input("image", b.DType, bs, cfg.Image, cfg.Image, 3)
+	wStem := b.Param("stem/conv_w", 7, 7, 3, ch(64))
+	y := b.ReLU(b.BatchNormLayer("stem/bn", b.Conv2D(x, wStem, 2, 2)))
+	y = b.Pool(y, 3, 3, 2, 2, true)
+
+	for gi := 0; gi < 4; gi++ {
+		b.Group(fmt.Sprintf("group%d", gi+1))
+		mid := ch(64 << gi)
+		out := ch(256 << gi)
+		for blk := 0; blk < cfg.Blocks[gi]; blk++ {
+			stride := 1
+			if blk == 0 && gi > 0 {
+				stride = 2
+			}
+			y = bottleneckBlock(b, fmt.Sprintf("g%d/blk%d", gi+1, blk), y, mid, out, stride)
+		}
+	}
+
+	b.Group("head")
+	spatial, _ := symbolic.IsConst(y.Shape.Dim(1))
+	y = b.Pool(y, int(spatial), int(spatial), int(spatial), int(spatial), false)
+	flat := b.Reshape(y, bs, ch(2048))
+	wFC := b.Param("fc/w", ch(2048), cfg.Classes)
+	bFC := b.Param("fc/b", cfg.Classes)
+	logits := b.BiasAdd(b.MatMul(flat, wFC), bFC)
+	labels := b.Input("labels", tensor.I32, bs)
+	loss := b.SoftmaxXentLoss(logits, labels)
+
+	return attachTraining(b, loss, m)
+}

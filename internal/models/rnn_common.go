@@ -1,0 +1,76 @@
+package models
+
+import (
+	"catamount/internal/graph"
+	"catamount/internal/ops"
+	"catamount/internal/symbolic"
+)
+
+// biLSTMLayer runs forward and backward LSTMs over the step sequence and
+// concatenates their per-step outputs into [b, 2h] tensors.
+func biLSTMLayer(b *ops.Builder, name string, steps []*graph.Tensor,
+	inDim, hidden, batch symbolic.Expr) []*graph.Tensor {
+
+	q := len(steps)
+	wf, bf := lstmParams(b, name+"/fwd", inDim, hidden)
+	wb, bb := lstmParams(b, name+"/bwd", inDim, hidden)
+
+	fwdOut := make([]*graph.Tensor, q)
+	st := newLSTMState(b, name+"/fwd", batch, hidden)
+	for t := 0; t < q; t++ {
+		st = lstmStep(b, steps[t], st, wf, bf)
+		fwdOut[t] = st.h
+	}
+	bwdOut := make([]*graph.Tensor, q)
+	st = newLSTMState(b, name+"/bwd", batch, hidden)
+	for t := q - 1; t >= 0; t-- {
+		st = lstmStep(b, steps[t], st, wb, bb)
+		bwdOut[t] = st.h
+	}
+	out := make([]*graph.Tensor, q)
+	for t := 0; t < q; t++ {
+		out[t] = b.Concat(1, fwdOut[t], bwdOut[t])
+	}
+	return out
+}
+
+// uniLSTMLayer runs a single-direction LSTM over the step sequence.
+func uniLSTMLayer(b *ops.Builder, name string, steps []*graph.Tensor,
+	inDim, hidden, batch symbolic.Expr) []*graph.Tensor {
+
+	w, bias := lstmParams(b, name, inDim, hidden)
+	st := newLSTMState(b, name, batch, hidden)
+	out := make([]*graph.Tensor, len(steps))
+	for t := range steps {
+		st = lstmStep(b, steps[t], st, w, bias)
+		out[t] = st.h
+	}
+	return out
+}
+
+// poolTime halves the time axis of a step sequence (the pyramidal encoder
+// reduction), returning the shorter sequence of [b, d] steps.
+func poolTime(b *ops.Builder, steps []*graph.Tensor, dim, batch symbolic.Expr, factor int) []*graph.Tensor {
+	seq := stackTime3(b, steps, batch, dim)
+	pooled := b.Pool1D(seq, factor)
+	q := (len(steps) + factor - 1) / factor
+	parts := b.Split(pooled, 1, q)
+	out := make([]*graph.Tensor, q)
+	for t := range out {
+		out[t] = b.Reshape(parts[t], batch, dim)
+	}
+	return out
+}
+
+// dotAttention computes one Luong-style attention read: softmax(q·Kᵀ)·K.
+// query is [b, d]; keys is [b, qEnc, d]. Returns ([b, d] context,
+// [b, qEnc] alignment).
+func dotAttention(b *ops.Builder, query, keys *graph.Tensor,
+	dim, batch symbolic.Expr, qEnc int) (*graph.Tensor, *graph.Tensor) {
+
+	q3 := b.Reshape(query, batch, 1, dim)
+	scores := b.BatchedMatMul(q3, keys, false, true) // [b, 1, qEnc]
+	attn := b.Softmax(scores)
+	ctx := b.BatchedMatMul(attn, keys, false, false) // [b, 1, d]
+	return b.Reshape(ctx, batch, dim), b.Reshape(attn, batch, qEnc)
+}

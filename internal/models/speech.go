@@ -1,0 +1,138 @@
+package models
+
+import (
+	"fmt"
+
+	"catamount/internal/graph"
+	"catamount/internal/ops"
+	"catamount/internal/symbolic"
+	"catamount/internal/tensor"
+)
+
+// SpeechConfig parameterizes the hybrid attention speech model (paper §2.5,
+// after Battenberg et al.): a pyramidal bidirectional-LSTM encoder with
+// inter-layer time pooling, and an LSTM decoder with a location-aware
+// (convolutional) attention context layer.
+type SpeechConfig struct {
+	// Frames is the input utterance length in feature frames.
+	Frames int
+	// FeatDim is the per-frame filterbank feature width.
+	FeatDim int
+	// EncoderLayers is the number of bi-LSTM encoder layers; time pooling
+	// by 2 follows each of the first PoolLayers layers.
+	EncoderLayers int
+	// PoolLayers counts the encoder layers followed by 2x time pooling.
+	PoolLayers int
+	// TgtLen is the decoded transcript length in characters.
+	TgtLen int
+	// Vocab is the output character vocabulary.
+	Vocab int
+	// LocConvFilters and LocConvWidth shape the attention location conv.
+	LocConvFilters, LocConvWidth int
+	// DType selects the training precision (F32 default, F16 halves the
+	// weight and activation footprint — the paper's §6.2.3 low-precision
+	// direction).
+	DType tensor.DType
+}
+
+// DefaultSpeechConfig matches the paper's profiling setup: ~300 recurrent
+// encoder steps with pyramidal pooling.
+func DefaultSpeechConfig() SpeechConfig {
+	return SpeechConfig{
+		Frames:         300,
+		FeatDim:        40,
+		EncoderLayers:  3,
+		PoolLayers:     2,
+		TgtLen:         100,
+		Vocab:          30,
+		LocConvFilters: 32,
+		LocConvWidth:   15,
+	}
+}
+
+// BuildSpeech constructs the speech recognition training graph.
+func BuildSpeech(cfg SpeechConfig) *Model {
+	b := ops.NewBuilder("speech")
+	b.DType = cfg.DType
+	h := symbolic.S("h")
+	bs := symbolic.S("b")
+
+	m := &Model{
+		Name: fmt.Sprintf("speech(T=%d,enc=%d,qt=%d)",
+			cfg.Frames, cfg.EncoderLayers, cfg.TgtLen),
+		Domain:       Speech,
+		SizeSymbol:   "h",
+		BatchSymbol:  "b",
+		SeqLen:       cfg.Frames,
+		DefaultBatch: 128,
+	}
+
+	// Pyramidal encoder.
+	b.Group("encoder")
+	audio := b.Input("audio", tensor.F32, bs, cfg.Frames, cfg.FeatDim)
+	frames := b.Split(audio, 1, cfg.Frames)
+	steps := make([]*graph.Tensor, cfg.Frames)
+	for t := range steps {
+		steps[t] = b.Reshape(frames[t], bs, cfg.FeatDim)
+	}
+	inDim := symbolic.Expr(symbolic.C(float64(cfg.FeatDim)))
+	two := symbolic.Mul(symbolic.C(2), h)
+	for l := 0; l < cfg.EncoderLayers; l++ {
+		steps = biLSTMLayer(b, fmt.Sprintf("enc%d", l), steps, inDim, h, bs)
+		inDim = two
+		if l < cfg.PoolLayers {
+			steps = poolTime(b, steps, two, bs, 2)
+		}
+	}
+	qEnc := len(steps)
+	henc := stackTime3(b, steps, bs, two) // [b, qEnc, 2h]
+
+	// Decoder with location-aware attention.
+	b.Group("decoder")
+	table := b.Param("char_embedding", cfg.Vocab, h)
+	ids := b.Input("tgt_ids", tensor.I32, bs, cfg.TgtLen)
+	emb := b.Embedding(table, ids)
+	tgtSlices := b.Split(emb, 1, cfg.TgtLen)
+	decW, decB := lstmParams(b, "dec_lstm", h, h)
+	decSt := newLSTMState(b, "dec_lstm", bs, h)
+
+	b.Group("attention")
+	wQuery := b.Param("attn_query", h, two) // project decoder state to key width
+	locConv := b.Param("attn_loc_conv",     // small conv over alignments (§2.5)
+		cfg.LocConvWidth, 1, 1, cfg.LocConvFilters)
+	wLoc := b.Param("attn_loc_proj", cfg.LocConvFilters, 1)
+	wCtx := b.Param("attn_combine", symbolic.Add(h, two), h)
+	bCtx := b.Param("attn_combine_b", h)
+
+	align := b.Zeros("attn_align0", bs, qEnc)
+	attnSteps := make([]*graph.Tensor, cfg.TgtLen)
+	for t := 0; t < cfg.TgtLen; t++ {
+		b.Group("decoder")
+		x := b.Reshape(tgtSlices[t], bs, h)
+		decSt = lstmStep(b, x, decSt, decW, decB)
+		b.Group("attention")
+		// Location features from the previous alignment.
+		loc4 := b.Reshape(align, bs, qEnc, 1, 1)
+		locFeat := b.Conv2D(loc4, locConv, 1, 1) // [b, qEnc, 1, F]
+		locFlat := b.Reshape(locFeat, symbolic.Mul(bs, symbolic.C(float64(qEnc))), cfg.LocConvFilters)
+		locScore := b.MatMul(locFlat, wLoc) // [b*qEnc, 1]
+		locScore3 := b.Reshape(locScore, bs, 1, qEnc)
+		// Content scores.
+		query := b.MatMul(decSt.h, wQuery) // [b, 2h]
+		q3 := b.Reshape(query, bs, 1, two)
+		content := b.BatchedMatMul(q3, henc, false, true) // [b, 1, qEnc]
+		scores := b.Add(content, locScore3)
+		attn := b.Softmax(scores)
+		ctx3 := b.BatchedMatMul(attn, henc, false, false) // [b, 1, 2h]
+		ctx := b.Reshape(ctx3, bs, two)
+		align = b.Reshape(attn, bs, qEnc)
+		combined := b.Concat(1, decSt.h, ctx)
+		attnSteps[t] = b.Tanh(b.BiasAdd(b.MatMul(combined, wCtx), bCtx))
+	}
+
+	b.Group("output")
+	labels := b.Input("labels", tensor.I32, bs, cfg.TgtLen)
+	loss := timeDistributedOutput(b, attnSteps, h, bs, cfg.Vocab, labels)
+
+	return attachTraining(b, loss, m)
+}

@@ -1,0 +1,109 @@
+package models
+
+import (
+	"fmt"
+
+	"catamount/internal/graph"
+	"catamount/internal/ops"
+	"catamount/internal/symbolic"
+	"catamount/internal/tensor"
+)
+
+// WordLMConfig parameterizes the LSTM word language model (paper §2.3):
+// embedding → stacked LSTM layers unrolled over SeqLen steps → fully
+// connected softmax output. Hidden width stays symbolic ("h").
+type WordLMConfig struct {
+	// Layers is the stacked LSTM depth.
+	Layers int
+	// SeqLen is the unroll length in tokens.
+	SeqLen int
+	// Vocab is the word vocabulary size.
+	Vocab int
+	// Projection inserts an LSTM projection layer that reduces the last
+	// hidden layer to ProjectionFraction·h before the output layer — the
+	// case study's algorithmic optimization (§6.1, after Sak et al.).
+	Projection bool
+	// ProjectionFraction is the reduced width as a fraction of h (e.g. 0.25).
+	ProjectionFraction float64
+	// DType selects the training precision (F32 default, F16 halves the
+	// weight and activation footprint — the paper's §6.2.3 low-precision
+	// direction).
+	DType tensor.DType
+}
+
+// DefaultWordLMConfig matches the paper's profiling setup: 2 LSTM layers
+// unrolled 80 steps (FLOPs/param → ~6·80 ≈ 481) with a modest vocabulary.
+func DefaultWordLMConfig() WordLMConfig {
+	return WordLMConfig{Layers: 2, SeqLen: 80, Vocab: 40000}
+}
+
+// CaseStudyWordLMConfig is the §6 variant: production vocabulary (Jozefowicz
+// et al.) and the LSTM projection optimization enabled.
+func CaseStudyWordLMConfig() WordLMConfig {
+	return WordLMConfig{
+		Layers:             2,
+		SeqLen:             80,
+		Vocab:              793470,
+		Projection:         true,
+		ProjectionFraction: 0.25,
+	}
+}
+
+// BuildWordLM constructs the word LM training graph.
+func BuildWordLM(cfg WordLMConfig) *Model {
+	b := ops.NewBuilder("wordlm")
+	b.DType = cfg.DType
+	h := symbolic.S("h")
+	bs := symbolic.S("b")
+	q := cfg.SeqLen
+
+	m := &Model{
+		Name: fmt.Sprintf("wordlm(l=%d,q=%d,v=%d,proj=%v)",
+			cfg.Layers, q, cfg.Vocab, cfg.Projection),
+		Domain:       WordLM,
+		SizeSymbol:   "h",
+		BatchSymbol:  "b",
+		SeqLen:       q,
+		DefaultBatch: 128,
+	}
+
+	// Embedding: a table lookup with no FLOPs but a large share of the
+	// weight footprint (§2.3).
+	b.Group("embed")
+	table := b.Param("embedding", cfg.Vocab, h)
+	ids := b.Input("ids", tensor.I32, bs, q)
+	emb := b.Embedding(table, ids)
+	slices := b.Split(emb, 1, q)
+	steps := make([]*graph.Tensor, q)
+	for t := 0; t < q; t++ {
+		steps[t] = b.Reshape(slices[t], bs, h)
+	}
+
+	// Stacked recurrent layers: most compute lives in these matmuls.
+	for l := 0; l < cfg.Layers; l++ {
+		name := fmt.Sprintf("lstm%d", l)
+		b.Group(name)
+		w, bias := lstmParams(b, name, h, h)
+		st := newLSTMState(b, name, bs, h)
+		for t := 0; t < q; t++ {
+			st = lstmStep(b, steps[t], st, w, bias)
+			steps[t] = st.h
+		}
+	}
+
+	// Output layer: responsible for a large share of activation footprint.
+	b.Group("output")
+	outDim := symbolic.Expr(h)
+	if cfg.Projection {
+		r := symbolic.Mul(symbolic.C(cfg.ProjectionFraction), h)
+		wp := b.Param("projection", h, r)
+		for t := 0; t < q; t++ {
+			steps[t] = b.MatMul(steps[t], wp)
+		}
+		outDim = r
+	}
+	labels := b.Input("labels", tensor.I32, bs, q)
+	loss := timeDistributedOutput(b, steps, outDim, bs, cfg.Vocab, labels)
+
+	return attachTraining(b, loss, m)
+}

@@ -1,0 +1,492 @@
+package ops
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"catamount/internal/graph"
+	"catamount/internal/symbolic"
+	"catamount/internal/tensor"
+)
+
+func evalExpr(t *testing.T, e symbolic.Expr, env symbolic.Env) float64 {
+	t.Helper()
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("eval %v: %v", e, err)
+	}
+	return v
+}
+
+func TestMatMulFLOPs(t *testing.T) {
+	b := NewBuilder("t")
+	x := b.Input("x", tensor.F32, 8, 16)
+	w := b.Param("w", 16, 32)
+	y := b.MatMul(x, w)
+	if !y.Shape.Equal(tensor.Of(8, 32)) {
+		t.Fatalf("shape = %s", y.Shape)
+	}
+	n := b.G.Nodes()[0]
+	if got := evalExpr(t, n.FLOPs(), nil); got != 2*8*16*32 {
+		t.Fatalf("flops = %v, want %v", got, 2*8*16*32)
+	}
+	// bytes: x(8*16*4) + w(16*32*4) + y(8*32*4)
+	want := float64(8*16*4 + 16*32*4 + 8*32*4)
+	if got := evalExpr(t, n.Bytes(), nil); got != want {
+		t.Fatalf("bytes = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulSymbolicFLOPs(t *testing.T) {
+	b := NewBuilder("t")
+	h := symbolic.S("h")
+	bs := symbolic.S("b")
+	x := b.Input("x", tensor.F32, bs, h)
+	w := b.Param("w", h, symbolic.Mul(symbolic.C(4), h))
+	y := b.MatMul(x, w)
+	_ = y
+	n := b.G.Nodes()[0]
+	// 2 * b * 4h * h = 8*b*h^2
+	want := symbolic.Mul(symbolic.C(8), bs, symbolic.Pow(h, symbolic.C(2)))
+	if !symbolic.Equal(n.FLOPs(), want) {
+		t.Fatalf("flops = %v, want %v", n.FLOPs(), want)
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if err, ok := r.(error); !ok || !errors.Is(err, errShape) {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	b := NewBuilder("t")
+	x := b.Input("x", tensor.F32, 8, 16)
+	w := b.Param("w", 17, 32)
+	b.MatMul(x, w)
+}
+
+func TestBatchedMatMulShapes(t *testing.T) {
+	b := NewBuilder("t")
+	bs := symbolic.S("b")
+	x := b.Input("x", tensor.F32, bs, 1, 64)
+	h := b.Input("henc", tensor.F32, bs, 25, 64)
+	// scores = x · hᵀ -> [b, 1, 25]
+	scores := b.BatchedMatMul(x, h, false, true)
+	if !scores.Shape.Equal(tensor.Of(bs, 1, 25)) {
+		t.Fatalf("scores shape = %s", scores.Shape)
+	}
+	// context = softmax(scores) · h -> [b, 1, 64]
+	ctx := b.BatchedMatMul(b.Softmax(scores), h, false, false)
+	if !ctx.Shape.Equal(tensor.Of(bs, 1, 64)) {
+		t.Fatalf("ctx shape = %s", ctx.Shape)
+	}
+	env := symbolic.Env{"b": 2}
+	n := scores.Producer
+	if got := evalExpr(t, n.FLOPs(), env); got != 2*2*1*25*64 {
+		t.Fatalf("flops = %v", got)
+	}
+}
+
+func TestConv2DFLOPs(t *testing.T) {
+	b := NewBuilder("t")
+	x := b.Input("x", tensor.F32, 1, 56, 56, 64)
+	w := b.Param("w", 3, 3, 64, 128)
+	y := b.Conv2D(x, w, 1, 1)
+	if !y.Shape.Equal(tensor.Of(1, 56, 56, 128)) {
+		t.Fatalf("shape = %s", y.Shape)
+	}
+	want := float64(2 * 1 * 56 * 56 * 128 * 3 * 3 * 64)
+	if got := evalExpr(t, y.Producer.FLOPs(), nil); got != want {
+		t.Fatalf("flops = %v, want %v", got, want)
+	}
+}
+
+func TestConv2DStride(t *testing.T) {
+	b := NewBuilder("t")
+	x := b.Input("x", tensor.F32, 1, 224, 224, 3)
+	w := b.Param("w", 7, 7, 3, 64)
+	y := b.Conv2D(x, w, 2, 2)
+	if !y.Shape.Equal(tensor.Of(1, 112, 112, 64)) {
+		t.Fatalf("shape = %s", y.Shape)
+	}
+}
+
+func TestEmbeddingZeroFLOPs(t *testing.T) {
+	b := NewBuilder("t")
+	table := b.Param("emb", 40000, 512)
+	ids := b.Input("ids", tensor.I32, 4, 20)
+	out := b.Embedding(table, ids)
+	if !out.Shape.Equal(tensor.Of(4, 20, 512)) {
+		t.Fatalf("shape = %s", out.Shape)
+	}
+	n := out.Producer
+	if got := evalExpr(t, n.FLOPs(), nil); got != 0 {
+		t.Fatalf("flops = %v, want 0", got)
+	}
+	// Bytes: ids (4*20*4) + 2 * out (4*20*512*4); table not streamed.
+	want := float64(4*20*4) + 2*float64(4*20*512*4)
+	if got := evalExpr(t, n.Bytes(), nil); got != want {
+		t.Fatalf("bytes = %v, want %v", got, want)
+	}
+}
+
+func TestConcatSplitRoundTrip(t *testing.T) {
+	b := NewBuilder("t")
+	x := b.Input("x", tensor.F32, 4, 100)
+	h := b.Input("h", tensor.F32, 4, 28)
+	cat := b.Concat(1, x, h)
+	if !cat.Shape.Equal(tensor.Of(4, 128)) {
+		t.Fatalf("concat shape = %s", cat.Shape)
+	}
+	parts := b.Split(cat, 1, 4)
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	for _, p := range parts {
+		if !p.Shape.Equal(tensor.Of(4, 32)) {
+			t.Fatalf("part shape = %s", p.Shape)
+		}
+	}
+}
+
+func TestSplitIndivisiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder("t")
+	x := b.Input("x", tensor.F32, 4, 10)
+	b.Split(x, 1, 3)
+}
+
+func TestReshapeFreeAndChecked(t *testing.T) {
+	b := NewBuilder("t")
+	bs, q, h := symbolic.S("b"), 20, symbolic.S("h")
+	x := b.Input("x", tensor.F32, bs, q, h)
+	y := b.Reshape(x, symbolic.Mul(bs, symbolic.C(20)), h)
+	if got := evalExpr(t, y.Producer.Bytes(), symbolic.Env{"b": 2, "h": 8}); got != 0 {
+		t.Fatalf("reshape bytes = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on element count mismatch")
+		}
+	}()
+	b.Reshape(x, bs, h)
+}
+
+func TestReducePaths(t *testing.T) {
+	b := NewBuilder("t")
+	x := b.Input("x", tensor.F32, 6, 5)
+	s := b.ReduceSum(x, 1)
+	if !s.Shape.Equal(tensor.Of(5)) {
+		t.Fatalf("reduce shape = %s", s.Shape)
+	}
+	if got := evalExpr(t, s.Producer.FLOPs(), nil); got != 30 {
+		t.Fatalf("reduce flops = %v", got)
+	}
+	m := b.ReduceMean(x, 1)
+	if !m.Shape.Equal(tensor.Of(5)) {
+		t.Fatalf("mean shape = %s", m.Shape)
+	}
+}
+
+func TestSoftmaxXentLoss(t *testing.T) {
+	b := NewBuilder("t")
+	logits := b.Input("logits", tensor.F32, 8, 100)
+	labels := b.Input("labels", tensor.I32, 8)
+	loss := b.SoftmaxXentLoss(logits, labels)
+	if loss.Shape.Rank() != 0 {
+		t.Fatalf("loss not scalar: %s", loss.Shape)
+	}
+	n := loss.Producer
+	if got := evalExpr(t, n.FLOPs(), nil); got != 5*8*100 {
+		t.Fatalf("xent flops = %v", got)
+	}
+}
+
+func TestBatchNormCreatesParams(t *testing.T) {
+	b := NewBuilder("t")
+	b.Group("stem")
+	x := b.Input("x", tensor.F32, 2, 8, 8, 16)
+	y := b.BatchNormLayer("bn0", x)
+	if !y.Shape.Equal(x.Shape) {
+		t.Fatalf("bn shape changed: %s", y.Shape)
+	}
+	params := b.G.Params()
+	if len(params) != 2 {
+		t.Fatalf("params = %d, want 2 (gamma, beta)", len(params))
+	}
+	for _, p := range params {
+		if p.Group != "stem" {
+			t.Fatalf("param group = %q", p.Group)
+		}
+	}
+}
+
+func TestPool1D(t *testing.T) {
+	b := NewBuilder("t")
+	x := b.Input("x", tensor.F32, symbolic.S("b"), 300, 256)
+	y := b.Pool1D(x, 2)
+	if !y.Shape.Equal(tensor.Of(symbolic.S("b"), 150, 256)) {
+		t.Fatalf("pool1d shape = %s", y.Shape)
+	}
+}
+
+func TestTransposePermutation(t *testing.T) {
+	b := NewBuilder("t")
+	x := b.Input("x", tensor.F32, 2, 3, 5)
+	y := b.Transpose(x, 2, 0, 1)
+	if !y.Shape.Equal(tensor.Of(5, 2, 3)) {
+		t.Fatalf("transpose shape = %s", y.Shape)
+	}
+}
+
+// buildTinyMLP constructs a 2-layer perceptron with loss: a minimal complete
+// training graph.
+func buildTinyMLP(t *testing.T) (*Builder, *graph.Tensor) {
+	t.Helper()
+	b := NewBuilder("mlp")
+	bs := symbolic.S("b")
+	b.Group("fc1")
+	x := b.Input("x", tensor.F32, bs, 64)
+	w1 := b.Param("w1", 64, 32)
+	bias1 := b.Param("b1", 32)
+	h := b.ReLU(b.BiasAdd(b.MatMul(x, w1), bias1))
+	b.Group("fc2")
+	w2 := b.Param("w2", 32, 10)
+	logits := b.MatMul(h, w2)
+	labels := b.Input("labels", tensor.I32, bs)
+	loss := b.SoftmaxXentLoss(logits, labels)
+	return b, loss
+}
+
+func TestBackpropBuildsValidGraph(t *testing.T) {
+	b, loss := buildTinyMLP(t)
+	fwdNodes := len(b.G.Nodes())
+	if err := Backprop(b, loss, SGDMomentum{LR: 0.01, Mu: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.G.Nodes()) <= fwdNodes {
+		t.Fatal("backprop added no nodes")
+	}
+	// All params must have momentum state and an update node.
+	var updates int
+	for _, n := range b.G.Nodes() {
+		if n.Op.Kind() == "sgd-momentum" {
+			updates++
+		}
+	}
+	if updates != len(b.G.Params()) {
+		t.Fatalf("updates = %d, params = %d", updates, len(b.G.Params()))
+	}
+}
+
+func TestBackpropRequiresScalarLoss(t *testing.T) {
+	b := NewBuilder("t")
+	x := b.Input("x", tensor.F32, 4, 4)
+	w := b.Param("w", 4, 4)
+	y := b.MatMul(x, w)
+	if err := Backprop(b, y, SGDMomentum{}); err == nil {
+		t.Fatal("expected scalar-loss error")
+	}
+}
+
+func TestBackwardIsRoughlyTwiceForwardForMatMulGraphs(t *testing.T) {
+	// Paper §2.1: backprop of matrix ops costs ~2x the forward FLOPs.
+	b := NewBuilder("chain")
+	bs := symbolic.S("b")
+	x := b.Input("x", tensor.F32, bs, 512)
+	cur := x
+	for i := 0; i < 4; i++ {
+		w := b.Param("w", 512, 512)
+		cur = b.MatMul(cur, w)
+	}
+	// Project to tiny logits so loss-layer FLOPs are negligible.
+	wOut := b.Param("wout", 512, 8)
+	logits := b.MatMul(cur, wOut)
+	labels := b.Input("labels", tensor.I32, bs)
+	loss := b.SoftmaxXentLoss(logits, labels)
+	if err := Backprop(b, loss, SGDMomentum{LR: 0.1, Mu: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	fwd, bwd, err := ForwardBackwardSplit(b.G, symbolic.Env{"b": 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := bwd / fwd
+	if math.Abs(ratio-2) > 0.15 {
+		t.Fatalf("bwd/fwd = %.3f, want ~2", ratio)
+	}
+}
+
+func TestBackpropAccumulatesFanOutGrads(t *testing.T) {
+	// y = a*x + b*x reuses x twice; dx must be accumulated.
+	b := NewBuilder("t")
+	bs := symbolic.S("b")
+	x := b.Input("x", tensor.F32, bs, 16)
+	w1 := b.Param("w1", 16, 16)
+	w2 := b.Param("w2", 16, 16)
+	y := b.Add(b.MatMul(x, w1), b.MatMul(x, w2))
+	wOut := b.Param("wo", 16, 4)
+	logits := b.MatMul(y, wOut)
+	labels := b.Input("labels", tensor.I32, bs)
+	loss := b.SoftmaxXentLoss(logits, labels)
+	if err := Backprop(b, loss, SGDMomentum{}); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one accumulation node should exist for x's gradient.
+	var accs int
+	for _, n := range b.G.Nodes() {
+		if strings.HasPrefix(n.Name, "bwd/acc:") {
+			accs++
+		}
+	}
+	if accs < 1 {
+		t.Fatal("no gradient accumulation emitted")
+	}
+	if err := b.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackpropThroughConcatSplit(t *testing.T) {
+	// LSTM-style: concat -> matmul -> split -> elementwise merge.
+	b := NewBuilder("t")
+	bs := symbolic.S("b")
+	x := b.Input("x", tensor.F32, bs, 24)
+	h := b.Input("h", tensor.F32, bs, 8)
+	w := b.Param("w", 32, 16)
+	cat := b.Concat(1, x, h)
+	z := b.MatMul(cat, w)
+	parts := b.Split(z, 1, 2)
+	merged := b.Mul(b.Sigmoid(parts[0]), b.Tanh(parts[1]))
+	wo := b.Param("wo", 8, 4)
+	logits := b.MatMul(merged, wo)
+	labels := b.Input("labels", tensor.I32, bs)
+	loss := b.SoftmaxXentLoss(logits, labels)
+	if err := Backprop(b, loss, SGDMomentum{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The concat's backward split must produce grads with the input shapes.
+	for _, n := range b.G.Nodes() {
+		if n.Op.Kind() == "split" && strings.HasPrefix(n.Name, "bwd/") &&
+			strings.Contains(n.Name, "concat") {
+			if !n.Outputs[0].Shape.Equal(tensor.Of(bs, 24)) {
+				t.Fatalf("dX shape = %s", n.Outputs[0].Shape)
+			}
+			if !n.Outputs[1].Shape.Equal(tensor.Of(bs, 8)) {
+				t.Fatalf("dH shape = %s", n.Outputs[1].Shape)
+			}
+			return
+		}
+	}
+	t.Fatal("no backward split found for concat")
+}
+
+func TestBackpropConvGraph(t *testing.T) {
+	b := NewBuilder("cnn")
+	bs := symbolic.S("b")
+	x := b.Input("x", tensor.F32, bs, 8, 8, 3)
+	w := b.Param("w", 3, 3, 3, 16)
+	y := b.ReLU(b.BatchNormLayer("bn", b.Conv2D(x, w, 1, 1)))
+	p := b.Pool(y, 2, 2, 2, 2, true)
+	flat := b.Reshape(p, bs, 4*4*16)
+	wo := b.Param("wo", 4*4*16, 10)
+	logits := b.MatMul(flat, wo)
+	labels := b.Input("labels", tensor.I32, bs)
+	loss := b.SoftmaxXentLoss(logits, labels)
+	if err := Backprop(b, loss, SGDMomentum{LR: 0.1, Mu: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fwd, bwd, err := ForwardBackwardSplit(b.G, symbolic.Env{"b": 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bwd <= fwd {
+		t.Fatalf("conv backward (%v) should exceed forward (%v)", bwd, fwd)
+	}
+}
+
+func TestBackpropEmbedding(t *testing.T) {
+	b := NewBuilder("emb")
+	bs := symbolic.S("b")
+	table := b.Param("table", 1000, 32)
+	ids := b.Input("ids", tensor.I32, bs, 4)
+	e := b.Embedding(table, ids)
+	flat := b.Reshape(e, symbolic.Mul(bs, symbolic.C(4)), 32)
+	wo := b.Param("wo", 32, 8)
+	logits := b.MatMul(flat, wo)
+	labels := b.Input("labels", tensor.I32, symbolic.Mul(bs, symbolic.C(4)))
+	loss := b.SoftmaxXentLoss(logits, labels)
+	if err := Backprop(b, loss, SGDMomentum{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The embedding gradient must have the dense table shape.
+	found := false
+	for _, n := range b.G.Nodes() {
+		if n.Op.Kind() == "embedding-grad" {
+			found = true
+			if !n.Outputs[0].Shape.Equal(tensor.Of(1000, 32)) {
+				t.Fatalf("dTable shape = %s", n.Outputs[0].Shape)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no embedding-grad node")
+	}
+}
+
+func TestIsGradKind(t *testing.T) {
+	if !IsGradKind("sigmoid-grad") || !IsGradKind("sgd-momentum") || !IsGradKind("fill") {
+		t.Fatal("grad kinds misclassified")
+	}
+	if IsGradKind("matmul") || IsGradKind("conv2d") {
+		t.Fatal("forward kinds misclassified")
+	}
+}
+
+func TestSGDMomentumCosts(t *testing.T) {
+	b := NewBuilder("t")
+	bs := symbolic.S("b")
+	x := b.Input("x", tensor.F32, bs, 16)
+	w := b.Param("w", 16, 4)
+	logits := b.MatMul(x, w)
+	labels := b.Input("labels", tensor.I32, bs)
+	loss := b.SoftmaxXentLoss(logits, labels)
+	if err := Backprop(b, loss, SGDMomentum{LR: 0.1, Mu: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range b.G.Nodes() {
+		if n.Op.Kind() != "sgd-momentum" {
+			continue
+		}
+		if got := evalExpr(t, n.FLOPs(), symbolic.Env{"b": 1}); got != 4*16*4 {
+			t.Fatalf("update flops = %v, want %v", got, 4*16*4)
+		}
+		if got := evalExpr(t, n.Bytes(), symbolic.Env{"b": 1}); got != 5*16*4*4 {
+			t.Fatalf("update bytes = %v, want %v", got, 5*16*4*4)
+		}
+		return
+	}
+	t.Fatal("no update node")
+}

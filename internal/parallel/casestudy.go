@@ -1,0 +1,249 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+
+	"catamount/internal/cache"
+	"catamount/internal/fit"
+	"catamount/internal/graph"
+	"catamount/internal/hw"
+	"catamount/internal/models"
+	"catamount/internal/symbolic"
+)
+
+// CaseStudyConfig parameterizes the §6 word-LM case study.
+type CaseStudyConfig struct {
+	// TargetFootprintGB sizes the projected LSTM: the paper's Table 5 lists
+	// a 113.8 GB per-step footprint for the optimized (projection + full
+	// vocabulary) frontier word LM.
+	TargetFootprintGB float64
+	// Subbatch is the per-worker subbatch (128, from §5.2.1).
+	Subbatch float64
+	// EpochTokens is the frontier dataset size (77B words).
+	EpochTokens float64
+	// DataParallelOptions are the worker counts reported in Table 5.
+	DataParallelOptions []int
+	// LayerStages is the layer-parallel placement (§6.2.2: one stage per
+	// model layer — embedding, each LSTM, output).
+	LayerStages [][]string
+	// Microbatches is the pipeline depth used for the fill factor.
+	Microbatches int
+	// Acc and Link describe the hardware.
+	Acc  hw.Accelerator
+	Link Interconnect
+	// Reduce is the gradient collective (ring allreduce by default).
+	Reduce AllReduce
+	// SchedulePolicy selects the footprint traversal heuristic.
+	SchedulePolicy graph.SchedulePolicy
+}
+
+// DefaultCaseStudyConfig reproduces the paper's Table 5 setup.
+func DefaultCaseStudyConfig() CaseStudyConfig {
+	return CaseStudyConfig{
+		TargetFootprintGB:   113.8,
+		Subbatch:            128,
+		EpochTokens:         77e9,
+		DataParallelOptions: []int{1024, 512},
+		LayerStages:         [][]string{{"embed"}, {"lstm0"}, {"lstm1"}, {"output"}},
+		Microbatches:        8,
+		Acc:                 hw.TargetAccelerator(),
+		Link:                DefaultInterconnect(),
+		Reduce:              RingAllReduceTime,
+		SchedulePolicy:      graph.PolicyMemGreedy,
+	}
+}
+
+// CaseStudyStage is one Table 5 row.
+type CaseStudyStage struct {
+	// Name describes the optimization stage.
+	Name string
+	// Accels is the total accelerator count.
+	Accels int
+	// GlobalBatch is the aggregate batch size.
+	GlobalBatch float64
+	// MemPerAccelGB is the per-accelerator memory requirement; one entry
+	// when uniform, one per pipeline stage after layer parallelism.
+	MemPerAccelGB []float64
+	// CacheMB is the modeled L2 capacity (0 = best-case, no cache model).
+	CacheMB float64
+	// DaysPerEpoch and Utilization are the Table 5 outcome columns.
+	DaysPerEpoch float64
+	Utilization  float64
+	// Fits reports whether every accelerator's share is within capacity.
+	Fits bool
+}
+
+// CaseStudyResult is the full Table 5 reproduction.
+type CaseStudyResult struct {
+	// Model is the optimized word LM (projection + production vocabulary).
+	Model *models.Model
+	// Size and Params describe the solved configuration.
+	Size, Params float64
+	// StepFLOPs and AlgBytes are per-worker per-step totals.
+	StepFLOPs, AlgBytes float64
+	// CacheAwareBytes includes GEMM re-streaming.
+	CacheAwareBytes float64
+	// Stages are the Table 5 rows in order.
+	Stages []CaseStudyStage
+}
+
+// RunWordLMCaseStudy executes the step-by-step parallelization plan.
+func RunWordLMCaseStudy(cfg CaseStudyConfig) (*CaseStudyResult, error) {
+	m := models.BuildWordLM(models.CaseStudyWordLMConfig())
+	res := &CaseStudyResult{Model: m}
+
+	// Size the model so the per-step footprint matches the paper's 113.8 GB.
+	target := cfg.TargetFootprintGB * 1e9
+	footAt := func(size float64) float64 {
+		fp, err := m.Graph.Footprint(m.Env(size, cfg.Subbatch), cfg.SchedulePolicy)
+		if err != nil {
+			return math.NaN()
+		}
+		return fp.PeakBytes
+	}
+	size, err := fit.Bisect(func(s float64) float64 { return footAt(s) - target },
+		64, 1e6, 1e-6)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: sizing case-study model: %w", err)
+	}
+	res.Size = size
+	res.Params = m.Params(size)
+	env := m.Env(size, cfg.Subbatch)
+
+	res.StepFLOPs = symbolic.MustEval(m.FLOPsExpr(), env)
+	res.AlgBytes = symbolic.MustEval(m.BytesExpr(), env)
+	footprint := footAt(size)
+
+	tokensPerSample := float64(m.SeqLen)
+	epochSamples := cfg.EpochTokens / tokensPerSample
+	epochDays := func(stepTime, workers float64) float64 {
+		steps := epochSamples / (cfg.Subbatch * workers)
+		return steps * stepTime / 86400
+	}
+	uniformFits := func(gb float64) bool { return gb*1e9 <= cfg.Acc.MemCapacity }
+
+	// Stage 1: best-case Roofline.
+	tBest := cfg.Acc.StepTime(res.StepFLOPs, res.AlgBytes)
+	res.Stages = append(res.Stages, CaseStudyStage{
+		Name:          "Best-case (Roofline) Baseline",
+		Accels:        1,
+		GlobalBatch:   cfg.Subbatch,
+		MemPerAccelGB: []float64{footprint / 1e9},
+		DaysPerEpoch:  epochDays(tBest, 1),
+		Utilization:   cfg.Acc.Utilization(res.StepFLOPs, tBest),
+		Fits:          uniformFits(footprint / 1e9),
+	})
+
+	// Stage 2: cache-hierarchy-aware.
+	rep, err := cache.GraphTraffic(m.Graph, env, cache.NewTileModel(cfg.Acc.CacheBytes))
+	if err != nil {
+		return nil, err
+	}
+	res.CacheAwareBytes = rep.CacheAwareBytes
+	tAware := cfg.Acc.StepTime(res.StepFLOPs, rep.CacheAwareBytes)
+	res.Stages = append(res.Stages, CaseStudyStage{
+		Name:          "Cache-hierarchy-aware Baseline",
+		Accels:        1,
+		GlobalBatch:   cfg.Subbatch,
+		MemPerAccelGB: []float64{footprint / 1e9},
+		CacheMB:       cfg.Acc.CacheBytes / 1e6,
+		DaysPerEpoch:  epochDays(tAware, 1),
+		Utilization:   cfg.Acc.Utilization(res.StepFLOPs, tAware),
+		Fits:          uniformFits(footprint / 1e9),
+	})
+
+	// Stage 3: data parallelism options.
+	dp := DataParallelConfig{
+		StepTime:          tAware,
+		StepFLOPs:         res.StepFLOPs,
+		GradientBytes:     4 * res.Params,
+		SubbatchPerWorker: cfg.Subbatch,
+		EpochSamples:      epochSamples,
+		Acc:               cfg.Acc,
+		Link:              cfg.Link,
+		Reduce:            cfg.Reduce,
+	}
+	var lastDP DataParallelPoint
+	for i, workers := range cfg.DataParallelOptions {
+		pt := dp.Point(workers)
+		lastDP = pt
+		res.Stages = append(res.Stages, CaseStudyStage{
+			Name:          fmt.Sprintf("w/ Data Parallelism (Option %d)", i+1),
+			Accels:        workers,
+			GlobalBatch:   pt.GlobalBatch,
+			MemPerAccelGB: []float64{footprint / 1e9},
+			CacheMB:       cfg.Acc.CacheBytes / 1e6,
+			DaysPerEpoch:  pt.EpochDays,
+			Utilization:   pt.Utilization,
+			Fits:          uniformFits(footprint / 1e9),
+		})
+	}
+
+	// Stage 4: layer-wise model parallelism on top of the last DP option.
+	groupFLOPs := make(map[string]float64)
+	for g, e := range m.Graph.GroupFLOPs() {
+		groupFLOPs[g] = symbolic.MustEval(e, env)
+	}
+	groupFoot, err := m.Graph.GroupFootprints(env, cfg.SchedulePolicy)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := PlanLayerParallel(groupFLOPs, groupFoot, cfg.LayerStages, cfg.Microbatches)
+	if err != nil {
+		return nil, err
+	}
+	k := len(plan.Stages)
+	throughput := float64(k) * plan.Efficiency
+	stageMem := make([]float64, k)
+	for i, st := range plan.Stages {
+		stageMem[i] = st.FootprintBytes / 1e9
+	}
+	layerStage := CaseStudyStage{
+		Name:          fmt.Sprintf("+ Layer Parallelism (%dx)", k),
+		Accels:        lastDP.Workers * k,
+		GlobalBatch:   lastDP.GlobalBatch,
+		MemPerAccelGB: stageMem,
+		CacheMB:       cfg.Acc.CacheBytes / 1e6,
+		DaysPerEpoch:  lastDP.EpochDays / throughput,
+		Utilization:   lastDP.Utilization * plan.Efficiency,
+		Fits:          MaxLoad(stageMem)*1e9 <= cfg.Acc.MemCapacity,
+	}
+	res.Stages = append(res.Stages, layerStage)
+
+	// Stage 5: shard the embedding layer across stages to even memory.
+	embedIdx := -1
+	for i, groups := range cfg.LayerStages {
+		for _, g := range groups {
+			if g == "embed" {
+				embedIdx = i
+			}
+		}
+	}
+	if embedIdx < 0 {
+		return nil, fmt.Errorf("parallel: no embed stage in placement")
+	}
+	stageBytes := make([]float64, k)
+	for i := range stageMem {
+		stageBytes[i] = stageMem[i] * 1e9
+	}
+	balanced, err := ShardGroupBytes(stageBytes, embedIdx, stageBytes[embedIdx])
+	if err != nil {
+		return nil, err
+	}
+	balancedGB := make([]float64, k)
+	for i, v := range balanced {
+		balancedGB[i] = v / 1e9
+	}
+	res.Stages = append(res.Stages, CaseStudyStage{
+		Name:          "+ Shard the Embedding Layer",
+		Accels:        lastDP.Workers * k,
+		GlobalBatch:   lastDP.GlobalBatch,
+		MemPerAccelGB: balancedGB,
+		CacheMB:       cfg.Acc.CacheBytes / 1e6,
+		DaysPerEpoch:  layerStage.DaysPerEpoch,
+		Utilization:   layerStage.Utilization,
+		Fits:          MaxLoad(balancedGB)*1e9 <= cfg.Acc.MemCapacity,
+	})
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+)
+
+// OverlapConfig describes communication/computation overlap for synchronous
+// SGD: gradients are grouped into buckets that begin their allreduce as soon
+// as backprop produces them, hiding communication behind remaining backward
+// compute (the optimization direction of the paper's cited gradient
+// compression / communication works, §6.2.3).
+type OverlapConfig struct {
+	// ForwardTime, BackwardTime, UpdateTime are per-step compute phases in
+	// seconds on one worker.
+	ForwardTime, BackwardTime, UpdateTime float64
+	// GradBytes is the total gradient payload.
+	GradBytes float64
+	// Buckets is the number of gradient buckets (1 = no overlap: a single
+	// allreduce after backward completes).
+	Buckets int
+	// Workers and Link describe the cluster; Reduce the collective.
+	Workers int
+	Link    Interconnect
+	Reduce  AllReduce
+}
+
+// OverlapResult reports the simulated step.
+type OverlapResult struct {
+	// StepTime is the overlapped step latency.
+	StepTime float64
+	// SerialStepTime is the no-overlap baseline (compute, then one
+	// monolithic allreduce).
+	SerialStepTime float64
+	// ExposedCommTime is communication not hidden behind compute.
+	ExposedCommTime float64
+	// HiddenFraction is 1 - exposed/total communication.
+	HiddenFraction float64
+}
+
+// SimulateOverlap runs a small event simulation: bucket i's gradients become
+// available at forward + backward·(i+1)/B, and bucket allreduces serialize
+// on the network interface.
+func SimulateOverlap(cfg OverlapConfig) (OverlapResult, error) {
+	if cfg.Buckets < 1 {
+		return OverlapResult{}, fmt.Errorf("parallel: need >= 1 bucket")
+	}
+	if cfg.Workers < 1 {
+		return OverlapResult{}, fmt.Errorf("parallel: need >= 1 worker")
+	}
+	reduce := cfg.Reduce
+	if reduce == nil {
+		reduce = RingAllReduceTime
+	}
+	bucketBytes := cfg.GradBytes / float64(cfg.Buckets)
+	bucketComm := reduce(bucketBytes, cfg.Workers, cfg.Link)
+	totalComm := reduce(cfg.GradBytes, cfg.Workers, cfg.Link)
+
+	computeEnd := cfg.ForwardTime + cfg.BackwardTime
+	var netFree float64
+	var lastFinish float64
+	for i := 0; i < cfg.Buckets; i++ {
+		ready := cfg.ForwardTime + cfg.BackwardTime*float64(i+1)/float64(cfg.Buckets)
+		start := math.Max(ready, netFree)
+		netFree = start + bucketComm
+		lastFinish = netFree
+	}
+	step := math.Max(computeEnd, lastFinish) + cfg.UpdateTime
+	serial := computeEnd + totalComm + cfg.UpdateTime
+
+	res := OverlapResult{
+		StepTime:        step,
+		SerialStepTime:  serial,
+		ExposedCommTime: math.Max(0, step-computeEnd-cfg.UpdateTime),
+	}
+	bucketTotal := bucketComm * float64(cfg.Buckets)
+	if bucketTotal > 0 {
+		res.HiddenFraction = 1 - res.ExposedCommTime/bucketTotal
+	}
+	return res, nil
+}

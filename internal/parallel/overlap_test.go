@@ -1,0 +1,108 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func overlapBase() OverlapConfig {
+	return OverlapConfig{
+		ForwardTime:  1.0,
+		BackwardTime: 2.0,
+		UpdateTime:   0.1,
+		GradBytes:    4 * 8e9,
+		Buckets:      16,
+		Workers:      512,
+		Link:         DefaultInterconnect(),
+	}
+}
+
+func TestSimulateOverlapValidation(t *testing.T) {
+	cfg := overlapBase()
+	cfg.Buckets = 0
+	if _, err := SimulateOverlap(cfg); err == nil {
+		t.Fatal("expected bucket error")
+	}
+	cfg = overlapBase()
+	cfg.Workers = 0
+	if _, err := SimulateOverlap(cfg); err == nil {
+		t.Fatal("expected worker error")
+	}
+}
+
+func TestOverlapBeatsSerial(t *testing.T) {
+	res, err := SimulateOverlap(overlapBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StepTime >= res.SerialStepTime {
+		t.Fatalf("overlap (%v) should beat serial (%v)", res.StepTime, res.SerialStepTime)
+	}
+	if res.HiddenFraction <= 0 || res.HiddenFraction > 1 {
+		t.Fatalf("hidden fraction = %v", res.HiddenFraction)
+	}
+}
+
+func TestOneBucketAlmostSerial(t *testing.T) {
+	cfg := overlapBase()
+	cfg.Buckets = 1
+	res, err := SimulateOverlap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one bucket the allreduce starts when backward ends — exactly the
+	// serial schedule.
+	if math.Abs(res.StepTime-res.SerialStepTime) > 1e-9 {
+		t.Fatalf("1-bucket %v != serial %v", res.StepTime, res.SerialStepTime)
+	}
+}
+
+func TestMoreBucketsHideMoreComm(t *testing.T) {
+	var prev float64 = math.Inf(1)
+	for _, buckets := range []int{1, 2, 4, 16, 64} {
+		cfg := overlapBase()
+		cfg.Buckets = buckets
+		res, err := SimulateOverlap(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ring latency terms grow with bucket count, so allow tiny noise.
+		if res.StepTime > prev*1.001 {
+			t.Fatalf("step time rose at %d buckets: %v > %v", buckets, res.StepTime, prev)
+		}
+		prev = res.StepTime
+	}
+}
+
+func TestOverlapLowerBound(t *testing.T) {
+	// Step time can never drop below compute time plus the trailing
+	// bucket's communication.
+	cfg := overlapBase()
+	cfg.Buckets = 1024
+	res, err := SimulateOverlap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compute := cfg.ForwardTime + cfg.BackwardTime + cfg.UpdateTime
+	if res.StepTime < compute {
+		t.Fatalf("step %v below compute %v", res.StepTime, compute)
+	}
+}
+
+func TestPropOverlapBetweenBounds(t *testing.T) {
+	f := func(bRaw, wRaw uint8) bool {
+		cfg := overlapBase()
+		cfg.Buckets = int(bRaw%32) + 1
+		cfg.Workers = int(wRaw%128) + 2
+		res, err := SimulateOverlap(cfg)
+		if err != nil {
+			return false
+		}
+		compute := cfg.ForwardTime + cfg.BackwardTime + cfg.UpdateTime
+		return res.StepTime >= compute-1e-9 && res.StepTime <= res.SerialStepTime+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

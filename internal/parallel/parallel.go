@@ -1,0 +1,280 @@
+// Package parallel models the paper's §6 parallelization strategies for
+// frontier-scale training: synchronous-SGD data parallelism over a
+// ring-allreduce (Figure 12), layer-wise model parallelism, and embedding
+// sharding — composed into the step-by-step word-LM case study of Table 5.
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"catamount/internal/hw"
+)
+
+// Interconnect describes inter-accelerator links.
+type Interconnect struct {
+	// BandwidthBytes is the per-link bandwidth in B/s.
+	BandwidthBytes float64
+	// LatencySec is the per-hop latency.
+	LatencySec float64
+}
+
+// DefaultInterconnect matches the paper's Table 4 (56 GB/s links,
+// NVLink/InfiniBand-400Gb class).
+func DefaultInterconnect() Interconnect {
+	return Interconnect{BandwidthBytes: 56e9, LatencySec: 1.5e-6}
+}
+
+// AllReduce is any collective-time model.
+type AllReduce func(payloadBytes float64, workers int, link Interconnect) float64
+
+// RingAllReduceTime is the bandwidth-optimal ring collective (after
+// Patarasuk & Yuan): each worker sends 2·(n−1)/n of the payload, in 2·(n−1)
+// latency-bound steps.
+func RingAllReduceTime(payloadBytes float64, workers int, link Interconnect) float64 {
+	if workers <= 1 {
+		return 0
+	}
+	n := float64(workers)
+	return 2*(n-1)/n*payloadBytes/link.BandwidthBytes + 2*(n-1)*link.LatencySec
+}
+
+// NaiveAllReduceTime is the gather-broadcast strawman used as an ablation:
+// a root receives and redistributes the full payload from every worker.
+func NaiveAllReduceTime(payloadBytes float64, workers int, link Interconnect) float64 {
+	if workers <= 1 {
+		return 0
+	}
+	n := float64(workers)
+	return 2*(n-1)*payloadBytes/link.BandwidthBytes + 2*(n-1)*link.LatencySec
+}
+
+// ---------------------------------------------------------------------------
+// Data parallelism (Figure 12)
+
+// DataParallelConfig describes one per-worker training step to scale out.
+type DataParallelConfig struct {
+	// StepTime is the per-worker compute time for one step (seconds).
+	StepTime float64
+	// StepFLOPs is the per-worker algorithmic FLOPs per step.
+	StepFLOPs float64
+	// GradientBytes is the allreduce payload (4 B per parameter for fp32).
+	GradientBytes float64
+	// SubbatchPerWorker is the per-worker samples per step.
+	SubbatchPerWorker float64
+	// EpochSamples is the number of training samples in one epoch.
+	EpochSamples float64
+	// Acc is the accelerator; Link the interconnect; Reduce the collective.
+	Acc    hw.Accelerator
+	Link   Interconnect
+	Reduce AllReduce
+}
+
+// DataParallelPoint is one Figure 12 sample.
+type DataParallelPoint struct {
+	Workers     int
+	GlobalBatch float64
+	ComputeTime float64
+	CommTime    float64
+	StepTime    float64
+	EpochDays   float64
+	Utilization float64
+}
+
+// Point evaluates synchronous-SGD data parallelism at a worker count.
+func (c DataParallelConfig) Point(workers int) DataParallelPoint {
+	reduce := c.Reduce
+	if reduce == nil {
+		reduce = RingAllReduceTime
+	}
+	comm := reduce(c.GradientBytes, workers, c.Link)
+	step := c.StepTime + comm
+	global := c.SubbatchPerWorker * float64(workers)
+	steps := c.EpochSamples / global
+	return DataParallelPoint{
+		Workers:     workers,
+		GlobalBatch: global,
+		ComputeTime: c.StepTime,
+		CommTime:    comm,
+		StepTime:    step,
+		EpochDays:   steps * step / 86400,
+		Utilization: c.StepFLOPs / (step * c.Acc.PeakFLOPS),
+	}
+}
+
+// Sweep evaluates a list of worker counts.
+func (c DataParallelConfig) Sweep(workers []int) []DataParallelPoint {
+	out := make([]DataParallelPoint, 0, len(workers))
+	for _, w := range workers {
+		out = append(out, c.Point(w))
+	}
+	return out
+}
+
+// WorkersForEpochDays returns the smallest power-of-two worker count whose
+// epoch time is at most targetDays, or an error if maxWorkers is too few.
+func (c DataParallelConfig) WorkersForEpochDays(targetDays float64, maxWorkers int) (DataParallelPoint, error) {
+	for w := 1; w <= maxWorkers; w *= 2 {
+		p := c.Point(w)
+		if p.EpochDays <= targetDays {
+			return p, nil
+		}
+	}
+	return DataParallelPoint{}, fmt.Errorf("parallel: %g days unreachable within %d workers",
+		targetDays, maxWorkers)
+}
+
+// ---------------------------------------------------------------------------
+// Layer-wise model parallelism (§6.2.2)
+
+// Stage is one model-parallel pipeline stage.
+type Stage struct {
+	// Groups are the model layer groups placed on this stage.
+	Groups []string
+	// FLOPs is the stage's per-step compute load.
+	FLOPs float64
+	// FootprintBytes is the stage's resident memory.
+	FootprintBytes float64
+}
+
+// LayerPlan is a layer-parallel placement with its pipeline efficiency.
+type LayerPlan struct {
+	Stages []Stage
+	// Balance is Σt / (k·max t): 1.0 for perfectly balanced stages.
+	Balance float64
+	// Fill is the pipeline fill fraction m/(m+k−1) for m microbatches.
+	Fill float64
+	// Efficiency = Balance · Fill multiplies the data-parallel utilization.
+	Efficiency float64
+}
+
+// PlanLayerParallel places layer groups onto pipeline stages and computes
+// the efficiency loss. groupFLOPs and groupFoot map group name to per-step
+// FLOPs and resident bytes; placement lists the groups for each stage.
+func PlanLayerParallel(groupFLOPs, groupFoot map[string]float64,
+	placement [][]string, microbatches int) (LayerPlan, error) {
+
+	if len(placement) == 0 {
+		return LayerPlan{}, fmt.Errorf("parallel: empty placement")
+	}
+	if microbatches < 1 {
+		microbatches = 1
+	}
+	plan := LayerPlan{Stages: make([]Stage, 0, len(placement))}
+	var total, maxStage float64
+	seen := make(map[string]bool)
+	for _, groups := range placement {
+		st := Stage{Groups: groups}
+		for _, g := range groups {
+			f, ok := groupFLOPs[g]
+			if !ok {
+				return LayerPlan{}, fmt.Errorf("parallel: unknown group %q", g)
+			}
+			if seen[g] {
+				return LayerPlan{}, fmt.Errorf("parallel: group %q placed twice", g)
+			}
+			seen[g] = true
+			st.FLOPs += f
+			st.FootprintBytes += groupFoot[g]
+		}
+		total += st.FLOPs
+		if st.FLOPs > maxStage {
+			maxStage = st.FLOPs
+		}
+		plan.Stages = append(plan.Stages, st)
+	}
+	for g := range groupFLOPs {
+		if !seen[g] {
+			return LayerPlan{}, fmt.Errorf("parallel: group %q not placed", g)
+		}
+	}
+	k := float64(len(placement))
+	if maxStage > 0 {
+		plan.Balance = total / (k * maxStage)
+	}
+	m := float64(microbatches)
+	plan.Fill = m / (m + k - 1)
+	plan.Efficiency = plan.Balance * plan.Fill
+	return plan, nil
+}
+
+// ---------------------------------------------------------------------------
+// Embedding sharding (§6.2.2)
+
+// ShardGroupBytes removes shardBytes from stage ownerIdx and water-fills it
+// across all stages to minimize the maximum per-stage load — the paper's
+// embedding split that evens {60,17,17,32} GB into {32,31,31,32} GB.
+// Returns the balanced per-stage byte loads.
+func ShardGroupBytes(stageBytes []float64, ownerIdx int, shardBytes float64) ([]float64, error) {
+	if ownerIdx < 0 || ownerIdx >= len(stageBytes) {
+		return nil, fmt.Errorf("parallel: owner index %d out of range", ownerIdx)
+	}
+	if shardBytes < 0 || shardBytes > stageBytes[ownerIdx] {
+		return nil, fmt.Errorf("parallel: shard bytes %g exceed owner load %g",
+			shardBytes, stageBytes[ownerIdx])
+	}
+	base := make([]float64, len(stageBytes))
+	copy(base, stageBytes)
+	base[ownerIdx] -= shardBytes
+
+	// Water-fill: raise the lowest stages toward a common level until the
+	// shard is fully distributed.
+	type idxLoad struct {
+		idx  int
+		load float64
+	}
+	order := make([]idxLoad, len(base))
+	for i, v := range base {
+		order[i] = idxLoad{i, v}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].load < order[j].load })
+
+	remaining := shardBytes
+	out := make([]float64, len(base))
+	copy(out, base)
+	for i := 0; i < len(order) && remaining > 0; i++ {
+		// Level the first i+1 stages up to the next stage's load (or
+		// exhaust the remaining bytes evenly).
+		level := math.Inf(1)
+		if i+1 < len(order) {
+			level = order[i+1].load
+		}
+		var need float64
+		for j := 0; j <= i; j++ {
+			need += level - out[order[j].idx]
+		}
+		if need >= remaining || math.IsInf(level, 1) {
+			per := remaining / float64(i+1)
+			// Equalize among the first i+1 stages.
+			var cur float64
+			for j := 0; j <= i; j++ {
+				cur += out[order[j].idx]
+			}
+			target := (cur + remaining) / float64(i+1)
+			for j := 0; j <= i; j++ {
+				out[order[j].idx] = target
+			}
+			remaining = 0
+			_ = per
+			break
+		}
+		for j := 0; j <= i; j++ {
+			out[order[j].idx] = level
+		}
+		remaining -= need
+	}
+	return out, nil
+}
+
+// MaxLoad returns the largest element (the per-accelerator memory
+// requirement after placement).
+func MaxLoad(loads []float64) float64 {
+	var m float64
+	for _, v := range loads {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,307 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"catamount/internal/hw"
+)
+
+func TestRingAllReduceSingleWorkerFree(t *testing.T) {
+	if RingAllReduceTime(1e9, 1, DefaultInterconnect()) != 0 {
+		t.Fatal("single worker should not communicate")
+	}
+}
+
+func TestRingAllReduceBandwidthTerm(t *testing.T) {
+	link := Interconnect{BandwidthBytes: 56e9}
+	// n -> inf: time -> 2·payload/bw.
+	got := RingAllReduceTime(56e9, 1<<20, link)
+	if math.Abs(got-2) > 0.01 {
+		t.Fatalf("asymptotic ring time = %v, want ~2s", got)
+	}
+	// Two workers reduce half the limit plus latency.
+	got = RingAllReduceTime(56e9, 2, link)
+	if math.Abs(got-1) > 0.01 {
+		t.Fatalf("2-worker ring time = %v, want ~1s", got)
+	}
+}
+
+func TestNaiveAllReduceWorseThanRing(t *testing.T) {
+	link := DefaultInterconnect()
+	for _, n := range []int{2, 8, 64, 1024} {
+		ring := RingAllReduceTime(4e9, n, link)
+		naive := NaiveAllReduceTime(4e9, n, link)
+		if naive < ring {
+			t.Fatalf("naive (%v) should not beat ring (%v) at n=%d", naive, ring, n)
+		}
+	}
+}
+
+func TestPropRingMonotoneInPayload(t *testing.T) {
+	link := DefaultInterconnect()
+	f := func(a, b uint32, n uint8) bool {
+		workers := int(n%63) + 2
+		p1, p2 := float64(a), float64(b)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return RingAllReduceTime(p1, workers, link) <= RingAllReduceTime(p2, workers, link)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testDPConfig() DataParallelConfig {
+	return DataParallelConfig{
+		StepTime:          10.0,
+		StepFLOPs:         0.46 * 10 * hw.TargetAccelerator().PeakFLOPS, // 46% util at 1 worker
+		GradientBytes:     4 * 9.5e9,
+		SubbatchPerWorker: 128,
+		EpochSamples:      77e9 / 80,
+		Acc:               hw.TargetAccelerator(),
+		Link:              DefaultInterconnect(),
+	}
+}
+
+func TestDataParallelScalingShape(t *testing.T) {
+	// Figure 12: epoch time falls, utilization falls, as workers grow.
+	cfg := testDPConfig()
+	pts := cfg.Sweep([]int{1, 4, 16, 64, 256, 1024, 4096, 16384})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].EpochDays >= pts[i-1].EpochDays {
+			t.Fatalf("epoch days not decreasing at %d workers", pts[i].Workers)
+		}
+		if pts[i].Utilization > pts[i-1].Utilization+1e-12 {
+			t.Fatalf("utilization increased at %d workers", pts[i].Workers)
+		}
+	}
+	// Communication grows with workers but is bounded by 2·payload/bw.
+	bound := 2*cfg.GradientBytes/cfg.Link.BandwidthBytes +
+		2*16384*cfg.Link.LatencySec
+	if last := pts[len(pts)-1]; last.CommTime > bound {
+		t.Fatalf("comm %v above ring bound %v", last.CommTime, bound)
+	}
+}
+
+func TestDataParallelEpochAccounting(t *testing.T) {
+	cfg := testDPConfig()
+	p := cfg.Point(512)
+	steps := cfg.EpochSamples / (128 * 512)
+	want := steps * p.StepTime / 86400
+	if math.Abs(p.EpochDays-want)/want > 1e-12 {
+		t.Fatalf("epoch days = %v, want %v", p.EpochDays, want)
+	}
+	if p.GlobalBatch != 128*512 {
+		t.Fatalf("global batch = %v", p.GlobalBatch)
+	}
+}
+
+func TestWorkersForEpochDays(t *testing.T) {
+	cfg := testDPConfig()
+	pt, err := cfg.WorkersForEpochDays(7, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.EpochDays > 7 {
+		t.Fatalf("epoch days %v > 7", pt.EpochDays)
+	}
+	if _, err := cfg.WorkersForEpochDays(1e-9, 2); err == nil {
+		t.Fatal("expected unreachable error")
+	}
+}
+
+func TestPlanLayerParallelBalanced(t *testing.T) {
+	flops := map[string]float64{"a": 100, "b": 100, "c": 100, "d": 100}
+	foot := map[string]float64{"a": 10, "b": 10, "c": 10, "d": 10}
+	plan, err := PlanLayerParallel(flops, foot, [][]string{{"a"}, {"b"}, {"c"}, {"d"}}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Balance-1) > 1e-9 {
+		t.Fatalf("balance = %v", plan.Balance)
+	}
+	if plan.Efficiency < 0.999 {
+		t.Fatalf("efficiency = %v for perfectly balanced deep pipeline", plan.Efficiency)
+	}
+}
+
+func TestPlanLayerParallelImbalanced(t *testing.T) {
+	// One dominant stage halves the balance (paper: layer parallelism costs
+	// ~23 points of utilization).
+	flops := map[string]float64{"embed": 0, "l0": 100, "l1": 100, "out": 200}
+	foot := map[string]float64{"embed": 60e9, "l0": 17e9, "l1": 17e9, "out": 32e9}
+	plan, err := PlanLayerParallel(flops, foot, [][]string{{"embed"}, {"l0"}, {"l1"}, {"out"}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Balance-0.5) > 1e-9 {
+		t.Fatalf("balance = %v, want 0.5", plan.Balance)
+	}
+	wantFill := 8.0 / 11.0
+	if math.Abs(plan.Fill-wantFill) > 1e-9 {
+		t.Fatalf("fill = %v, want %v", plan.Fill, wantFill)
+	}
+	if plan.Stages[0].FootprintBytes != 60e9 {
+		t.Fatalf("stage footprint = %v", plan.Stages[0].FootprintBytes)
+	}
+}
+
+func TestPlanLayerParallelErrors(t *testing.T) {
+	flops := map[string]float64{"a": 1, "b": 1}
+	foot := map[string]float64{"a": 1, "b": 1}
+	if _, err := PlanLayerParallel(flops, foot, nil, 1); err == nil {
+		t.Fatal("expected empty placement error")
+	}
+	if _, err := PlanLayerParallel(flops, foot, [][]string{{"a"}}, 1); err == nil {
+		t.Fatal("expected unplaced-group error")
+	}
+	if _, err := PlanLayerParallel(flops, foot, [][]string{{"a"}, {"a"}, {"b"}}, 1); err == nil {
+		t.Fatal("expected duplicate-placement error")
+	}
+	if _, err := PlanLayerParallel(flops, foot, [][]string{{"a"}, {"zzz"}}, 1); err == nil {
+		t.Fatal("expected unknown-group error")
+	}
+}
+
+func TestShardGroupBytesPaperExample(t *testing.T) {
+	// Paper §6.2.2: {60, 17, 17, 32} GB evens out to ~{32, 31, 31, 32} GB
+	// after splitting the embedding (the 60 GB stage holds ~59.5 GB of
+	// embedding).
+	stages := []float64{60e9, 17e9, 17e9, 32e9}
+	out, err := ShardGroupBytes(stages, 0, 59.5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total preserved.
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if math.Abs(sum-126e9)/126e9 > 1e-9 {
+		t.Fatalf("total changed: %v", sum)
+	}
+	// Max load drops from 60 GB to ~32 GB.
+	if MaxLoad(out) > 33e9 {
+		t.Fatalf("max load %v, want ~32 GB", MaxLoad(out))
+	}
+	if MaxLoad(out) < 31e9 {
+		t.Fatalf("max load %v suspiciously low", MaxLoad(out))
+	}
+}
+
+func TestShardGroupBytesErrors(t *testing.T) {
+	if _, err := ShardGroupBytes([]float64{1, 2}, 5, 0); err == nil {
+		t.Fatal("expected index error")
+	}
+	if _, err := ShardGroupBytes([]float64{1, 2}, 0, 5); err == nil {
+		t.Fatal("expected excess-shard error")
+	}
+}
+
+func TestPropShardNeverIncreasesMax(t *testing.T) {
+	f := func(a, b, c, d uint16) bool {
+		stages := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1, float64(d) + 1}
+		before := MaxLoad(stages)
+		out, err := ShardGroupBytes(stages, 0, stages[0]*0.9)
+		if err != nil {
+			return false
+		}
+		var sum, sumBefore float64
+		for i := range out {
+			sum += out[i]
+			sumBefore += stages[i]
+		}
+		return MaxLoad(out) <= before+1e-9 && math.Abs(sum-sumBefore) < 1e-6*sumBefore+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordLMCaseStudyTable5Shape(t *testing.T) {
+	res, err := RunWordLMCaseStudy(DefaultCaseStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 6 {
+		t.Fatalf("stages = %d, want 6 (Table 5 rows)", len(res.Stages))
+	}
+	best, aware := res.Stages[0], res.Stages[1]
+	dp1, dp2 := res.Stages[2], res.Stages[3]
+	layer, shard := res.Stages[4], res.Stages[5]
+
+	// Row 1: best-case utilization 80%, footprint ~113.8 GB, doesn't fit.
+	if math.Abs(best.Utilization-0.80) > 0.01 {
+		t.Fatalf("best-case utilization = %.3f", best.Utilization)
+	}
+	if math.Abs(best.MemPerAccelGB[0]-113.8) > 1.5 {
+		t.Fatalf("footprint = %.1f GB, want ~113.8", best.MemPerAccelGB[0])
+	}
+	if best.Fits {
+		t.Fatal("113.8 GB must not fit in 32 GB")
+	}
+	// Row 2: cache-aware utilization drops markedly (paper: 46%).
+	if aware.Utilization >= best.Utilization-0.1 {
+		t.Fatalf("cache-aware utilization %.3f did not drop from %.3f",
+			aware.Utilization, best.Utilization)
+	}
+	if aware.DaysPerEpoch <= best.DaysPerEpoch {
+		t.Fatal("cache-aware epoch must take longer")
+	}
+	// Rows 3-4: data parallelism slashes epoch time, costs some utilization.
+	if dp1.Accels != 1024 || dp2.Accels != 512 {
+		t.Fatalf("DP accels = %d, %d", dp1.Accels, dp2.Accels)
+	}
+	if dp1.DaysPerEpoch >= aware.DaysPerEpoch/100 {
+		t.Fatalf("1024-way DP days = %.1f, want ~3 orders below %f",
+			dp1.DaysPerEpoch, aware.DaysPerEpoch)
+	}
+	if dp1.Utilization > aware.Utilization {
+		t.Fatal("DP should not raise utilization")
+	}
+	if dp2.DaysPerEpoch <= dp1.DaysPerEpoch {
+		t.Fatal("fewer workers must take longer")
+	}
+	// Row 5: layer parallelism multiplies accelerators, drops utilization,
+	// reduces epoch time, and cuts per-accelerator memory.
+	if layer.Accels != 2048 {
+		t.Fatalf("layer accels = %d, want 2048", layer.Accels)
+	}
+	if layer.Utilization >= dp2.Utilization {
+		t.Fatal("layer parallelism must cost utilization")
+	}
+	if layer.DaysPerEpoch >= dp2.DaysPerEpoch {
+		t.Fatal("layer parallelism should reduce epoch days")
+	}
+	if len(layer.MemPerAccelGB) != 4 {
+		t.Fatalf("stage memory entries = %d", len(layer.MemPerAccelGB))
+	}
+	if MaxLoad(layer.MemPerAccelGB) >= best.MemPerAccelGB[0] {
+		t.Fatal("layer parallelism must cut per-accelerator memory")
+	}
+	// Row 6: sharding evens memory without changing time.
+	if MaxLoad(shard.MemPerAccelGB) > MaxLoad(layer.MemPerAccelGB)+1e-9 {
+		t.Fatal("sharding must not raise the max load")
+	}
+	if shard.DaysPerEpoch != layer.DaysPerEpoch {
+		t.Fatal("sharding is free in the model")
+	}
+	// Water-fill optimality: the sharded max equals the larger of the
+	// biggest non-embedding stage and the all-even average (the paper's
+	// {60,17,17,32} -> {32,31,31,32} has the output stage as that bound).
+	var total, maxNonEmbed float64
+	for i, v := range layer.MemPerAccelGB {
+		total += v
+		if i != 0 && v > maxNonEmbed { // stage 0 holds the embedding
+			maxNonEmbed = v
+		}
+	}
+	optimal := math.Max(maxNonEmbed, total/float64(len(layer.MemPerAccelGB)))
+	if MaxLoad(shard.MemPerAccelGB) > optimal*1.001 {
+		t.Fatalf("sharded max %v above water-fill optimum %v: %v",
+			MaxLoad(shard.MemPerAccelGB), optimal, shard.MemPerAccelGB)
+	}
+}

@@ -1,0 +1,213 @@
+package scaling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"catamount/internal/models"
+)
+
+func TestLearningCurveRoundTrip(t *testing.T) {
+	c := LearningCurve{Alpha: 13.0, Beta: -0.066}
+	m := 768e6
+	err := c.Error(m)
+	back, e := c.DataForError(err)
+	if e != nil {
+		t.Fatal(e)
+	}
+	if math.Abs(back-m)/m > 1e-9 {
+		t.Fatalf("round trip %v -> %v", m, back)
+	}
+}
+
+func TestLearningCurveMatchesCurrentSOTA(t *testing.T) {
+	// The published (α, βg) evaluated at the current dataset size must
+	// reproduce the current SOTA accuracy within rounding (paper Table 1).
+	for _, s := range Specs() {
+		got := s.Curve.Error(s.CurrentDataSamples)
+		if math.Abs(got-s.CurrentSOTA)/s.CurrentSOTA > 0.06 {
+			t.Errorf("%s: curve(current data) = %.4g, SOTA = %.4g", s.Name, got, s.CurrentSOTA)
+		}
+	}
+}
+
+func TestDataForErrorRejectsDegenerate(t *testing.T) {
+	if _, err := (LearningCurve{Alpha: 1, Beta: 0.1}).DataForError(0.5); err == nil {
+		t.Fatal("expected error for positive exponent")
+	}
+	if _, err := (LearningCurve{Alpha: 1, Beta: -0.1}).DataForError(0); err == nil {
+		t.Fatal("expected error for zero target")
+	}
+}
+
+func TestNormalizedModelCurve(t *testing.T) {
+	c := NormalizedModelCurve(0.68, 768e6, 1.03e9)
+	if math.Abs(c.Params(768e6)-1.03e9)/1.03e9 > 1e-12 {
+		t.Fatalf("anchor violated: %v", c.Params(768e6))
+	}
+	// 100x data -> 100^0.68 ≈ 23x params.
+	scale := c.Params(768e8) / c.Params(768e6)
+	if math.Abs(scale-math.Pow(100, 0.68)) > 1e-9 {
+		t.Fatalf("scale = %v", scale)
+	}
+}
+
+func TestSpecsCoverAllDomains(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 5 {
+		t.Fatalf("specs = %d, want 5", len(specs))
+	}
+	for _, d := range models.AllDomains {
+		if _, err := SpecFor(d); err != nil {
+			t.Errorf("missing spec for %s", d)
+		}
+	}
+	if _, err := SpecFor(models.Domain("bogus")); err == nil {
+		t.Fatal("expected error for unknown domain")
+	}
+}
+
+func TestProjectionsMatchPaperTable1Shape(t *testing.T) {
+	// The computed scales must land in the paper's 33–971x data and
+	// 6.6–456x model ranges, preserve the language >> vision/speech
+	// ordering, and reproduce word LM / NMT / ResNet scales closely.
+	projs, err := ProjectAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDomain := map[models.Domain]Projection{}
+	for _, p := range projs {
+		byDomain[p.Spec.Domain] = p
+	}
+
+	within := func(got, want, tol float64) bool {
+		return math.Abs(got-want)/want <= tol
+	}
+	if p := byDomain[models.WordLM]; !within(p.ComputedDataScale, 100, 0.10) {
+		t.Errorf("wordlm data scale = %.1f, paper 100", p.ComputedDataScale)
+	}
+	if p := byDomain[models.NMT]; !within(p.ComputedDataScale, 750, 0.10) {
+		t.Errorf("nmt data scale = %.1f, paper 750", p.ComputedDataScale)
+	}
+	if p := byDomain[models.ImageCl]; !within(p.ComputedDataScale, 81, 0.10) {
+		t.Errorf("image data scale = %.1f, paper 81", p.ComputedDataScale)
+	}
+	if p := byDomain[models.WordLM]; !within(p.ComputedModelScale, 23, 0.15) {
+		t.Errorf("wordlm model scale = %.1f, paper 23", p.ComputedModelScale)
+	}
+	if p := byDomain[models.NMT]; !within(p.ComputedModelScale, 90, 0.15) {
+		t.Errorf("nmt model scale = %.1f, paper 90", p.ComputedModelScale)
+	}
+	// Language domains need far more data than speech/vision.
+	if byDomain[models.CharLM].ComputedDataScale <= byDomain[models.ImageCl].ComputedDataScale {
+		t.Error("char LM should need more data growth than image classification")
+	}
+	if byDomain[models.NMT].ComputedDataScale <= byDomain[models.Speech].ComputedDataScale {
+		t.Error("NMT should need more data growth than speech")
+	}
+	// Published-scale consistency: model scale == data scale ^ βp.
+	for _, p := range projs {
+		want := math.Pow(p.PaperDataScale, p.Spec.BetaP)
+		if !within(p.PaperModelScale, want, 0.06) {
+			t.Errorf("%s: paper scales inconsistent: %v vs %v^%v",
+				p.Spec.Name, p.PaperModelScale, p.PaperDataScale, p.Spec.BetaP)
+		}
+	}
+}
+
+func TestProjectionTargetsMatchTable3(t *testing.T) {
+	cases := map[models.Domain]struct{ data, params float64 }{
+		models.WordLM:  {77e9, 23.8e9},
+		models.CharLM:  {3.4e12, 146e9},
+		models.NMT:     {97.4e9, 18.9e9},
+		models.Speech:  {14e9, 727e6},
+		models.ImageCl: {103e6, 732e6},
+	}
+	for d, want := range cases {
+		spec, err := SpecFor(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Project(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.TargetDataSamples-want.data)/want.data > 0.05 {
+			t.Errorf("%s: target data %.3g, Table 3 %.3g", d, p.TargetDataSamples, want.data)
+		}
+		if math.Abs(p.TargetParams-want.params)/want.params > 0.05 {
+			t.Errorf("%s: target params %.3g, Table 3 %.3g", d, p.TargetParams, want.params)
+		}
+	}
+}
+
+func TestAccuracyImprovementRange(t *testing.T) {
+	// Paper: desired SOTA is 1.4x–3.9x better than current SOTA.
+	projs, err := ProjectAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range projs {
+		if p.AccuracyImprovement < 1.3 || p.AccuracyImprovement > 4.0 {
+			t.Errorf("%s: improvement %.2fx outside the paper's 1.4–3.9x", p.Spec.Name, p.AccuracyImprovement)
+		}
+	}
+}
+
+func TestLearningCurveSeriesRegions(t *testing.T) {
+	spec, _ := SpecFor(models.WordLM)
+	pts := LearningCurveSeries(spec, 1, 1e15, 4)
+	if len(pts) == 0 {
+		t.Fatal("empty series")
+	}
+	seen := map[string]bool{}
+	prev := math.Inf(1)
+	for _, p := range pts {
+		seen[p.Region] = true
+		if p.Error > prev+1e-12 {
+			t.Fatalf("error increased along the curve at m=%g", p.DataSamples)
+		}
+		prev = p.Error
+		if p.Error > spec.BestGuessError || p.Error < spec.IrreducibleError {
+			t.Fatalf("error %v outside [irreducible, best-guess]", p.Error)
+		}
+	}
+	for _, r := range []string{"small-data", "power-law", "irreducible"} {
+		if !seen[r] {
+			t.Errorf("region %q never sampled", r)
+		}
+	}
+}
+
+func TestLearningCurveSeriesDegenerateInputs(t *testing.T) {
+	spec, _ := SpecFor(models.WordLM)
+	if pts := LearningCurveSeries(spec, -1, 10, 4); pts != nil {
+		t.Fatal("expected nil for negative min")
+	}
+	if pts := LearningCurveSeries(spec, 10, 5, 4); pts != nil {
+		t.Fatal("expected nil for max < min")
+	}
+}
+
+func TestPropProjectionMonotone(t *testing.T) {
+	// Easier targets require less data; projection must be monotone in the
+	// desired error.
+	spec, _ := SpecFor(models.CharLM)
+	f := func(a, b uint8) bool {
+		e1 := 0.3 + float64(a%100)/100 // in [0.3, 1.3)
+		e2 := 0.3 + float64(b%100)/100
+		if e1 == e2 {
+			return true
+		}
+		d1, err1 := spec.Curve.DataForError(e1)
+		d2, err2 := spec.Curve.DataForError(e2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return (e1 < e2) == (d1 > d2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

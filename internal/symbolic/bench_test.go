@@ -1,0 +1,48 @@
+package symbolic
+
+import "testing"
+
+func BenchmarkAddCollection(b *testing.B) {
+	// Collecting many like terms is the hot path when summing per-node
+	// costs over large graphs.
+	terms := make([]Expr, 0, 1000)
+	h := S("h")
+	bsym := S("b")
+	for i := 0; i < 1000; i++ {
+		terms = append(terms, Mul(C(float64(i%7+1)), bsym, Pow(h, C(float64(i%3)))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Add(terms...)
+	}
+}
+
+func BenchmarkEvalPolynomial(b *testing.B) {
+	e := MustParse("160079 + 2.88e+07*b + 320032*h + 1.920856e+07*b*h + 7680*b*h^2 + 64*h^2")
+	env := Env{"h": 5903.5, "b": 128}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubs(b *testing.B) {
+	e := MustParse("16*h^2 + 80008*h + 40000")
+	bind := map[string]Expr{"h": MustParse("2*g + 5")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Subs(bind)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := "b*p^0.5*(3.65*p^0.5 + 64*b)^(-1) + max(1, ceil(p/4096))"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNumbers(t *testing.T) {
+	cases := map[string]float64{
+		"42":       42,
+		"3.5":      3.5,
+		"1e3":      1000,
+		"1e+09":    1e9,
+		"2.5E-3":   0.0025,
+		"0.5":      0.5,
+		"-7":       -7,
+		"- 7":      -7,
+		"+(3)":     3,
+		"-(2 + 3)": -5,
+	}
+	for src, want := range cases {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		got, err := e.Eval(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Parse(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestParseArithmetic(t *testing.T) {
+	cases := map[string]float64{
+		"2 + 3*4":        14,
+		"(2 + 3)*4":      20,
+		"2^10":           1024,
+		"2^3^2":          512, // right associative
+		"10 - 4 - 3":     3,   // left associative
+		"12/4/3":         1,
+		"2*3 + 4*5":      26,
+		"-2^2":           -4, // -(2^2), standard precedence
+		"max(3, 7)":      7,
+		"min(3, 7, 1)":   1,
+		"ceil(9/4)":      3,
+		"floor(9/4)":     2,
+		"log2(64)":       6,
+		"sqrt(49)":       7,
+		"max(2*3, 5)":    6,
+		"ceil(sqrt(10))": 4,
+	}
+	for src, want := range cases {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		got, err := e.Eval(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Parse(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestParseSymbols(t *testing.T) {
+	e, err := Parse("16*h^2 + 80008*h + 40000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Eval(Env{"h": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 16*100+80008*10+40000 {
+		t.Fatalf("got %v", got)
+	}
+	// Canonical equality with the constructed form.
+	want := Add(Mul(C(16), Pow(S("h"), C(2))), Mul(C(80008), S("h")), C(40000))
+	if !Equal(e, want) {
+		t.Fatalf("parsed %v, want %v", e, want)
+	}
+}
+
+func TestParseUnderscoreIdent(t *testing.T) {
+	e, err := Parse("hidden_dim * n_layers2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Eval(Env{"hidden_dim": 4, "n_layers2": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 12 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"2 +",
+		"(2 + 3",
+		"2 + 3)",
+		"foo(1)",
+		"max()",
+		"ceil(1, 2)",
+		"sqrt()",
+		"2 $ 3",
+		"1..2",
+		"* 3",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("((")
+}
+
+func TestParseDivisionAsNegativePower(t *testing.T) {
+	e := MustParse("x/y")
+	v, err := e.Eval(Env{"x": 10, "y": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2.5 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+// TestPropParseRoundTrip: parsing the canonical rendering reproduces the
+// expression exactly — the property that makes graph serialization safe.
+func TestPropParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, 4)
+		parsed, err := Parse(e.String())
+		if err != nil {
+			t.Logf("render %q failed to parse: %v", e.String(), err)
+			return false
+		}
+		return Equal(e, parsed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropParseRoundTripWithFractionalPowers covers sqrt-style exponents,
+// which render as x^0.5.
+func TestPropParseRoundTripWithFractionalPowers(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := Mul(Sqrt(randExpr(r, 3)), randExpr(r, 2))
+		parsed, err := Parse(e.String())
+		if err != nil {
+			return false
+		}
+		return Equal(e, parsed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseModelFormulas(t *testing.T) {
+	// Real formulas produced by the model builders must round-trip.
+	for _, src := range []string{
+		"40000 + 80008*h + 16*h^2",
+		"160079 + 2.88e+07*b + 320032*h + 1.920856e+07*b*h + 7680*b*h^2 + 64*h^2",
+		"b*p^0.5*(3.65*p^0.5 + 64*b)^(-1)",
+	} {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		re, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", e.String(), err)
+		}
+		if !Equal(e, re) {
+			t.Fatalf("round trip changed %q -> %q", e.String(), re.String())
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package tensor defines symbolic tensor shapes and element types for the
+// compute-graph IR. Dimensions are symbolic expressions so a single graph
+// can be analyzed across batch sizes and model widths without rebuilding.
+package tensor
+
+import (
+	"strings"
+
+	"catamount/internal/symbolic"
+)
+
+// DType enumerates tensor element types.
+type DType int
+
+// Supported element types.
+const (
+	F32 DType = iota // 32-bit float
+	F16              // 16-bit float
+	I32              // 32-bit integer (e.g. token ids)
+	I64              // 64-bit integer
+)
+
+// Size returns the element size in bytes.
+func (d DType) Size() int {
+	switch d {
+	case F32, I32:
+		return 4
+	case F16:
+		return 2
+	case I64:
+		return 8
+	}
+	return 4
+}
+
+func (d DType) String() string {
+	switch d {
+	case F32:
+		return "f32"
+	case F16:
+		return "f16"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	}
+	return "f32"
+}
+
+// Shape is an ordered list of symbolic dimensions.
+type Shape []symbolic.Expr
+
+// Of builds a shape from a mix of ints and symbolic expressions.
+func Of(dims ...any) Shape {
+	s := make(Shape, len(dims))
+	for i, d := range dims {
+		switch v := d.(type) {
+		case int:
+			s[i] = symbolic.C(float64(v))
+		case int64:
+			s[i] = symbolic.C(float64(v))
+		case float64:
+			s[i] = symbolic.C(v)
+		case symbolic.Expr:
+			s[i] = v
+		default:
+			panic("tensor: unsupported dimension type")
+		}
+	}
+	return s
+}
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s) }
+
+// NumElements returns the symbolic product of all dimensions
+// (1 for a scalar).
+func (s Shape) NumElements() symbolic.Expr {
+	if len(s) == 0 {
+		return symbolic.One
+	}
+	return symbolic.Mul([]symbolic.Expr(s)...)
+}
+
+// Bytes returns the symbolic byte size of a tensor with this shape and dtype.
+func (s Shape) Bytes(d DType) symbolic.Expr {
+	return symbolic.Mul(s.NumElements(), symbolic.C(float64(d.Size())))
+}
+
+// Dim returns the i-th dimension; negative indices count from the end.
+func (s Shape) Dim(i int) symbolic.Expr {
+	if i < 0 {
+		i += len(s)
+	}
+	return s[i]
+}
+
+// Equal reports whether two shapes are structurally identical.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if !symbolic.Equal(s[i], o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Shape) String() string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = d.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Eval returns the concrete dimension values under env.
+func (s Shape) Eval(env symbolic.Env) ([]int, error) {
+	out := make([]int, len(s))
+	for i, d := range s {
+		v, err := d.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int(v + 0.5)
+	}
+	return out, nil
+}

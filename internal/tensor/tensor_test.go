@@ -1,0 +1,112 @@
+package tensor
+
+import (
+	"testing"
+
+	"catamount/internal/symbolic"
+)
+
+func TestDTypeSizes(t *testing.T) {
+	cases := []struct {
+		d    DType
+		size int
+		name string
+	}{
+		{F32, 4, "f32"},
+		{F16, 2, "f16"},
+		{I32, 4, "i32"},
+		{I64, 8, "i64"},
+	}
+	for _, c := range cases {
+		if c.d.Size() != c.size {
+			t.Errorf("%v.Size() = %d, want %d", c.d, c.d.Size(), c.size)
+		}
+		if c.d.String() != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.d, c.d.String(), c.name)
+		}
+	}
+}
+
+func TestOfMixedDims(t *testing.T) {
+	b := symbolic.S("b")
+	s := Of(b, 128, symbolic.S("h"))
+	if s.Rank() != 3 {
+		t.Fatalf("rank = %d, want 3", s.Rank())
+	}
+	n, err := s.NumElements().Eval(symbolic.Env{"b": 4, "h": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4*128*16 {
+		t.Fatalf("numel = %v, want %v", n, 4*128*16)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	s := Of(10, 10)
+	v, err := s.Bytes(F32).Eval(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 400 {
+		t.Fatalf("bytes = %v, want 400", v)
+	}
+	v, err = s.Bytes(F16).Eval(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 200 {
+		t.Fatalf("f16 bytes = %v, want 200", v)
+	}
+}
+
+func TestScalarShape(t *testing.T) {
+	s := Of()
+	if v, _ := s.NumElements().Eval(nil); v != 1 {
+		t.Fatalf("scalar numel = %v, want 1", v)
+	}
+}
+
+func TestDimNegativeIndex(t *testing.T) {
+	s := Of(2, 3, 5)
+	if v, _ := s.Dim(-1).Eval(nil); v != 5 {
+		t.Fatalf("Dim(-1) = %v, want 5", v)
+	}
+	if v, _ := s.Dim(0).Eval(nil); v != 2 {
+		t.Fatalf("Dim(0) = %v, want 2", v)
+	}
+}
+
+func TestShapeEqual(t *testing.T) {
+	h := symbolic.S("h")
+	if !Of(h, 4).Equal(Of(h, 4)) {
+		t.Fatal("identical shapes not equal")
+	}
+	if Of(h, 4).Equal(Of(h, 5)) {
+		t.Fatal("different shapes equal")
+	}
+	if Of(h).Equal(Of(h, h)) {
+		t.Fatal("different ranks equal")
+	}
+}
+
+func TestShapeEval(t *testing.T) {
+	h := symbolic.S("h")
+	dims, err := Of(h, 3).Eval(symbolic.Env{"h": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims[0] != 7 || dims[1] != 3 {
+		t.Fatalf("dims = %v", dims)
+	}
+	if _, err := Of(symbolic.S("zz")).Eval(symbolic.Env{}); err == nil {
+		t.Fatal("expected unbound error")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	s := Of(symbolic.S("b"), 2)
+	if s.String() != "[b, 2]" {
+		t.Fatalf("got %q", s.String())
+	}
+}

@@ -1,0 +1,197 @@
+// Package workload generates the synthetic training data that stands in for
+// the paper's proprietary corpora (1B-word text, multi-terabyte speech,
+// ImageNet-scale images). Only dataset sizes and per-step sequence-length
+// variability enter the paper's analysis (§4.1 profiles 100–500 random steps
+// and averages, because recurrent models unroll to the longest sample in
+// each batch), so Zipf text, character streams, synthetic filterbank frames,
+// and random images exercise the identical code paths.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TextGen samples token ids from a Zipf distribution — the standard
+// heavy-tailed model of natural-language token frequencies.
+type TextGen struct {
+	// Vocab is the vocabulary size.
+	Vocab int
+
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewTextGen creates a Zipf(s) sampler over a vocabulary. s must be > 1;
+// 1.2 approximates English word frequencies.
+func NewTextGen(vocab int, s float64, seed int64) (*TextGen, error) {
+	if vocab < 2 {
+		return nil, fmt.Errorf("workload: vocab %d too small", vocab)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: zipf s must exceed 1, got %v", s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &TextGen{
+		Vocab: vocab,
+		rng:   rng,
+		zipf:  rand.NewZipf(rng, s, 1, uint64(vocab-1)),
+	}, nil
+}
+
+// Sample draws n token ids.
+func (g *TextGen) Sample(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(g.zipf.Uint64())
+	}
+	return out
+}
+
+// NextTokenPair draws a sequence and its next-token labels (the LM training
+// target): labels[i] is the token following ids[i].
+func (g *TextGen) NextTokenPair(n int) (ids, labels []int32) {
+	seq := g.Sample(n + 1)
+	return seq[:n], seq[1:]
+}
+
+// LengthDist is a log-normal sequence-length distribution clipped to
+// [Min, Max] — utterance and sentence lengths are classically log-normal.
+type LengthDist struct {
+	// LogMean and LogSigma parameterize ln(length).
+	LogMean, LogSigma float64
+	// Min and Max clip the support.
+	Min, Max int
+}
+
+// SentenceLengths approximates NMT sentence lengths (~25 word pieces).
+func SentenceLengths() LengthDist {
+	return LengthDist{LogMean: math.Log(25), LogSigma: 0.4, Min: 4, Max: 100}
+}
+
+// UtteranceLengths approximates speech utterances (~300 frames).
+func UtteranceLengths() LengthDist {
+	return LengthDist{LogMean: math.Log(300), LogSigma: 0.35, Min: 50, Max: 1200}
+}
+
+// Sample draws one length.
+func (d LengthDist) Sample(rng *rand.Rand) int {
+	v := math.Exp(rng.NormFloat64()*d.LogSigma + d.LogMean)
+	n := int(v + 0.5)
+	if n < d.Min {
+		n = d.Min
+	}
+	if n > d.Max {
+		n = d.Max
+	}
+	return n
+}
+
+// Batch is one padded training batch: recurrent models unroll to the longest
+// sample, so padding inflates per-step compute (§4.1).
+type Batch struct {
+	// Lengths are the raw sample lengths.
+	Lengths []int
+	// MaxLen is the unroll length for this step.
+	MaxLen int
+	// RealTokens and PaddedTokens count useful vs allocated tokens.
+	RealTokens, PaddedTokens int
+}
+
+// MakeBatch samples a batch of the given size.
+func MakeBatch(d LengthDist, batch int, rng *rand.Rand) Batch {
+	b := Batch{Lengths: make([]int, batch)}
+	for i := range b.Lengths {
+		n := d.Sample(rng)
+		b.Lengths[i] = n
+		b.RealTokens += n
+		if n > b.MaxLen {
+			b.MaxLen = n
+		}
+	}
+	b.PaddedTokens = b.MaxLen * batch
+	return b
+}
+
+// PaddingWaste is the fraction of allocated tokens that are padding.
+func (b Batch) PaddingWaste() float64 {
+	if b.PaddedTokens == 0 {
+		return 0
+	}
+	return 1 - float64(b.RealTokens)/float64(b.PaddedTokens)
+}
+
+// StepStats summarizes a per-step quantity over many profiled steps.
+type StepStats struct {
+	Mean, Std, Min, Max float64
+	Steps               int
+}
+
+// ProfileSteps reproduces the paper's profiling methodology: sample `steps`
+// random batches, evaluate a per-step cost that depends on the batch unroll
+// length, and report the distribution. costAt receives the step's unroll
+// length (MaxLen).
+func ProfileSteps(d LengthDist, batch, steps int, seed int64,
+	costAt func(unroll int) float64) (StepStats, error) {
+
+	if steps < 1 || batch < 1 {
+		return StepStats{}, fmt.Errorf("workload: need positive steps and batch")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sum, sumSq float64
+	st := StepStats{Min: math.Inf(1), Max: math.Inf(-1), Steps: steps}
+	for i := 0; i < steps; i++ {
+		b := MakeBatch(d, batch, rng)
+		c := costAt(b.MaxLen)
+		sum += c
+		sumSq += c * c
+		if c < st.Min {
+			st.Min = c
+		}
+		if c > st.Max {
+			st.Max = c
+		}
+	}
+	st.Mean = sum / float64(steps)
+	st.Std = math.Sqrt(math.Max(0, sumSq/float64(steps)-st.Mean*st.Mean))
+	return st, nil
+}
+
+// AudioFrames synthesizes filterbank-like features: smoothed noise with a
+// slowly varying envelope, enough to exercise the speech input path.
+func AudioFrames(frames, featDim int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, frames*featDim)
+	prev := make([]float64, featDim)
+	for t := 0; t < frames; t++ {
+		env := 0.5 + 0.5*math.Sin(2*math.Pi*float64(t)/37)
+		for f := 0; f < featDim; f++ {
+			prev[f] = 0.8*prev[f] + 0.2*rng.NormFloat64()
+			out[t*featDim+f] = float32(env * prev[f])
+		}
+	}
+	return out
+}
+
+// ImageBatch synthesizes a batch of images in [0,1) NHWC layout.
+func ImageBatch(n, hw, c int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n*hw*hw*c)
+	for i := range out {
+		out[i] = rng.Float32()
+	}
+	return out
+}
+
+// DatasetSpec sizes a synthetic dataset in both samples and bytes, used by
+// the epoch accounting in examples.
+type DatasetSpec struct {
+	// Samples is the dataset size in the domain's sample unit.
+	Samples float64
+	// BytesPerSample converts to storage size.
+	BytesPerSample float64
+}
+
+// Bytes returns the dataset's storage footprint.
+func (d DatasetSpec) Bytes() float64 { return d.Samples * d.BytesPerSample }

@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTextGenValidation(t *testing.T) {
+	if _, err := NewTextGen(1, 1.2, 0); err == nil {
+		t.Fatal("expected vocab error")
+	}
+	if _, err := NewTextGen(100, 0.9, 0); err == nil {
+		t.Fatal("expected s error")
+	}
+}
+
+func TestTextGenZipfShape(t *testing.T) {
+	g, err := NewTextGen(1000, 1.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := g.Sample(200000)
+	counts := make([]int, 1000)
+	for _, id := range ids {
+		if id < 0 || int(id) >= 1000 {
+			t.Fatalf("id %d out of range", id)
+		}
+		counts[id]++
+	}
+	// Zipf: token 0 strictly most frequent, head dominates tail.
+	if counts[0] <= counts[10] {
+		t.Fatalf("head not dominant: c0=%d c10=%d", counts[0], counts[10])
+	}
+	var head, tail int
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	for i := 500; i < 1000; i++ {
+		tail += counts[i]
+	}
+	if head <= tail {
+		t.Fatalf("top-10 (%d) should outweigh bottom-500 (%d)", head, tail)
+	}
+}
+
+func TestTextGenDeterministic(t *testing.T) {
+	g1, _ := NewTextGen(100, 1.2, 42)
+	g2, _ := NewTextGen(100, 1.2, 42)
+	a, b := g1.Sample(100), g2.Sample(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestNextTokenPairAligned(t *testing.T) {
+	g, _ := NewTextGen(100, 1.2, 3)
+	ids, labels := g.NextTokenPair(50)
+	if len(ids) != 50 || len(labels) != 50 {
+		t.Fatalf("lengths %d, %d", len(ids), len(labels))
+	}
+	for i := 0; i < 49; i++ {
+		if labels[i] != ids[i+1] {
+			t.Fatalf("labels not shifted at %d", i)
+		}
+	}
+}
+
+func TestLengthDistBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := SentenceLengths()
+	for i := 0; i < 10000; i++ {
+		n := d.Sample(rng)
+		if n < d.Min || n > d.Max {
+			t.Fatalf("length %d outside [%d, %d]", n, d.Min, d.Max)
+		}
+	}
+}
+
+func TestLengthDistMedianNearLogMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := UtteranceLengths()
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(rng))
+	}
+	mean := sum / n
+	// Log-normal mean = exp(µ + σ²/2) ≈ 319 for utterances.
+	want := math.Exp(d.LogMean + d.LogSigma*d.LogSigma/2)
+	if math.Abs(mean-want)/want > 0.1 {
+		t.Fatalf("mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestMakeBatchAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := MakeBatch(SentenceLengths(), 64, rng)
+	if len(b.Lengths) != 64 {
+		t.Fatalf("lengths = %d", len(b.Lengths))
+	}
+	if b.PaddedTokens != b.MaxLen*64 {
+		t.Fatal("padded token accounting wrong")
+	}
+	if b.RealTokens > b.PaddedTokens {
+		t.Fatal("real tokens exceed padded tokens")
+	}
+	w := b.PaddingWaste()
+	if w < 0 || w >= 1 {
+		t.Fatalf("waste = %v", w)
+	}
+}
+
+func TestPropPaddingWasteGrowsWithBatch(t *testing.T) {
+	// Bigger batches pad to a longer max: expected waste is non-decreasing
+	// in batch size (checked on expectation over many draws).
+	d := SentenceLengths()
+	waste := func(batch int, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		var sum float64
+		for i := 0; i < 200; i++ {
+			sum += MakeBatch(d, batch, rng).PaddingWaste()
+		}
+		return sum / 200
+	}
+	f := func(seed int64) bool {
+		return waste(4, seed) <= waste(64, seed)+0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileStepsMethodology(t *testing.T) {
+	// Per-step cost proportional to unroll length: the profile's mean must
+	// sit between the distribution min and max costs, with nonzero spread
+	// (the paper's reason for averaging over 100-500 steps).
+	st, err := ProfileSteps(SentenceLengths(), 32, 300, 5, func(unroll int) float64 {
+		return float64(unroll) * 1e9
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steps != 300 {
+		t.Fatalf("steps = %d", st.Steps)
+	}
+	if st.Min >= st.Max {
+		t.Fatal("no step-to-step variability")
+	}
+	if st.Mean < st.Min || st.Mean > st.Max {
+		t.Fatal("mean outside [min, max]")
+	}
+	if st.Std <= 0 {
+		t.Fatal("zero std")
+	}
+}
+
+func TestProfileStepsErrors(t *testing.T) {
+	if _, err := ProfileSteps(SentenceLengths(), 0, 10, 1, func(int) float64 { return 1 }); err == nil {
+		t.Fatal("expected batch error")
+	}
+	if _, err := ProfileSteps(SentenceLengths(), 1, 0, 1, func(int) float64 { return 1 }); err == nil {
+		t.Fatal("expected steps error")
+	}
+}
+
+func TestAudioFramesShapeAndDeterminism(t *testing.T) {
+	a := AudioFrames(300, 40, 9)
+	if len(a) != 300*40 {
+		t.Fatalf("len = %d", len(a))
+	}
+	b := AudioFrames(300, 40, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	var nonzero int
+	for _, v := range a {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < len(a)/2 {
+		t.Fatal("audio mostly zero")
+	}
+}
+
+func TestImageBatchRange(t *testing.T) {
+	img := ImageBatch(2, 8, 3, 4)
+	if len(img) != 2*8*8*3 {
+		t.Fatalf("len = %d", len(img))
+	}
+	for _, v := range img {
+		if v < 0 || v >= 1 {
+			t.Fatalf("pixel %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestDatasetSpecBytes(t *testing.T) {
+	d := DatasetSpec{Samples: 77e9, BytesPerSample: 5}
+	if d.Bytes() != 385e9 {
+		t.Fatalf("bytes = %v", d.Bytes())
+	}
+}
