@@ -17,8 +17,13 @@
 //     traffic, ring-allreduce data parallelism, layer parallelism, and
 //     embedding sharding (Table 5, Figure 12).
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-versus-measured comparisons.
+// Two API layers are exposed. The package-level functions (Analyze,
+// AsymptoticTable, FrontierTable, the figure generators) are conveniences
+// over a shared process-wide Engine. An Engine is an analysis session that
+// memoizes each domain's built model together with its compiled expression
+// programs, so sweeps and repeated queries never rebuild or re-derive
+// anything; long-lived servers should hold their own NewEngine. See
+// README.md for a tour.
 package catamount
 
 import (
@@ -77,22 +82,26 @@ func Build(d Domain) (*Model, error) { return models.Build(d) }
 
 // Analyze characterizes a domain's model at a target parameter count and
 // subbatch size: algorithmic FLOPs, bytes, operational intensity, and
-// minimal memory footprint for one training step.
+// minimal memory footprint for one training step. It uses the shared
+// DefaultEngine, so the domain's model is built and compiled once per
+// process.
 func Analyze(d Domain, paramCount, subbatch float64) (Requirements, error) {
-	m, err := models.Build(d)
-	if err != nil {
-		return Requirements{}, err
-	}
-	return AnalyzeModel(m, paramCount, subbatch)
+	return defaultEngine.Analyze(d, paramCount, subbatch)
 }
 
-// AnalyzeModel characterizes an already-built model at a parameter count.
+// AnalyzeModel characterizes an already-built (possibly custom-configured)
+// model at a parameter count. The model is compiled on every call; prefer
+// Engine.Analyze for repeated queries on default domain models.
 func AnalyzeModel(m *Model, paramCount, subbatch float64) (Requirements, error) {
-	size, err := m.SizeForParams(paramCount)
+	a, err := core.NewAnalyzer(m)
 	if err != nil {
 		return Requirements{}, err
 	}
-	return core.Characterize(m, size, subbatch, graph.PolicyMemGreedy)
+	size, err := a.SizeForParams(paramCount)
+	if err != nil {
+		return Requirements{}, err
+	}
+	return a.Characterize(size, subbatch, graph.PolicyMemGreedy)
 }
 
 // AccuracyProjections computes Table 1: the data and model growth required
@@ -100,36 +109,26 @@ func AnalyzeModel(m *Model, paramCount, subbatch float64) (Requirements, error) 
 func AccuracyProjections() ([]Projection, error) { return scaling.ProjectAll() }
 
 // AsymptoticTable fits Table 2's first-order requirement models for every
-// domain (γ FLOPs/param, λ + µ·b/√p bytes/param, δ footprint bytes/param).
+// domain (γ FLOPs/param, λ + µ·b/√p bytes/param, δ footprint bytes/param)
+// through the shared DefaultEngine.
 func AsymptoticTable() ([]Asymptotics, error) {
-	out := make([]Asymptotics, 0, len(models.AllDomains))
-	for _, d := range models.AllDomains {
-		m, err := models.Build(d)
-		if err != nil {
-			return nil, err
-		}
-		a, err := core.FitAsymptotics(m, core.AsymptoticFitTargets(d),
-			[]float64{16, 64, 256}, m.DefaultBatch, graph.PolicyMemGreedy)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, a)
-	}
-	return out, nil
+	return defaultEngine.AsymptoticTable()
 }
 
 // FrontierTable computes Table 3: per-domain training requirements at the
-// target accuracy on the target accelerator.
+// target accuracy on the target accelerator, through the shared
+// DefaultEngine.
 func FrontierTable(acc Accelerator) ([]Frontier, error) {
-	return core.ProjectAllFrontiers(acc, graph.PolicyMemGreedy)
+	return defaultEngine.FrontierTable(acc)
 }
 
 // TargetAccelerator returns the paper's Table 4 configuration.
 func TargetAccelerator() Accelerator { return hw.TargetAccelerator() }
 
-// WordLMCaseStudy runs the §6 step-by-step parallelization plan (Table 5).
+// WordLMCaseStudy runs the §6 step-by-step parallelization plan (Table 5),
+// memoized on the shared DefaultEngine.
 func WordLMCaseStudy() (*CaseStudy, error) {
-	return parallel.RunWordLMCaseStudy(parallel.DefaultCaseStudyConfig())
+	return defaultEngine.WordLMCaseStudy()
 }
 
 // SpecFor returns the Table 1 row for a domain.
@@ -138,13 +137,19 @@ func SpecFor(d Domain) (DomainSpec, error) { return scaling.SpecFor(d) }
 // Profile is a TFprof-style per-op-kind and per-group cost breakdown.
 type Profile = core.Profile
 
-// ProfileModel computes the per-op breakdown of a model's training step.
+// ProfileModel computes the per-op breakdown of a model's training step. The
+// model is compiled on every call; prefer Engine.Profile for repeated
+// queries on default domain models.
 func ProfileModel(m *Model, paramCount, subbatch float64) (*Profile, error) {
-	size, err := m.SizeForParams(paramCount)
+	a, err := core.NewAnalyzer(m)
 	if err != nil {
 		return nil, err
 	}
-	return core.ProfileGraph(m.Graph, m.Env(size, subbatch))
+	size, err := a.SizeForParams(paramCount)
+	if err != nil {
+		return nil, err
+	}
+	return a.Profile(size, subbatch)
 }
 
 // SaveCheckpoint serializes a model's compute graph as a JSON checkpoint

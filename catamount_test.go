@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	cat "catamount"
@@ -67,6 +68,9 @@ func TestAccuracyProjectionsTable1(t *testing.T) {
 }
 
 func TestAsymptoticTableOrderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits Table 2 asymptotes across all domains")
+	}
 	asyms, err := cat.AsymptoticTable()
 	if err != nil {
 		t.Fatal(err)
@@ -114,6 +118,9 @@ func TestAsymptoticTableOrderings(t *testing.T) {
 }
 
 func TestFrontierTable3Segmentation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("projects Table 3 across all domains")
+	}
 	rows, err := cat.FrontierTable(cat.TargetAccelerator())
 	if err != nil {
 		t.Fatal(err)
@@ -174,6 +181,9 @@ func TestTargetAcceleratorTable4(t *testing.T) {
 }
 
 func TestCaseStudyTable5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full parallelization case study")
+	}
 	cs, err := cat.WordLMCaseStudy()
 	if err != nil {
 		t.Fatal(err)
@@ -205,6 +215,9 @@ func TestFigure6Regions(t *testing.T) {
 }
 
 func TestFigureSweepsCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps every domain across its figure range")
+	}
 	series, err := cat.FigureSweeps()
 	if err != nil {
 		t.Fatal(err)
@@ -236,6 +249,9 @@ func TestFigureSweepsCSV(t *testing.T) {
 }
 
 func TestFigure10AllocatorPlateau(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps every domain footprint range")
+	}
 	series, err := cat.Figure10()
 	if err != nil {
 		t.Fatal(err)
@@ -262,6 +278,9 @@ func TestFigure10AllocatorPlateau(t *testing.T) {
 }
 
 func TestFigure11SubbatchChoices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps frontier word-LM subbatches")
+	}
 	acc := cat.TargetAccelerator()
 	data, err := cat.Figure11(acc)
 	if err != nil {
@@ -294,6 +313,9 @@ func TestFigure11SubbatchChoices(t *testing.T) {
 }
 
 func TestFigure12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the case study and data-parallel sweep")
+	}
 	data, err := cat.Figure12()
 	if err != nil {
 		t.Fatal(err)
@@ -403,4 +425,103 @@ func TestPrintRequirementsReport(t *testing.T) {
 			t.Fatalf("report missing %q", want)
 		}
 	}
+}
+
+func TestEngineMatchesPackageLevelAnalyze(t *testing.T) {
+	eng := cat.NewEngine()
+	got, err := eng.Analyze(cat.WordLM, 1e8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cat.Analyze(cat.WordLM, 1e8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params != want.Params || got.FLOPsPerStep != want.FLOPsPerStep ||
+		got.BytesPerStep != want.BytesPerStep || got.FootprintBytes != want.FootprintBytes {
+		t.Fatalf("engine %+v != package-level %+v", got, want)
+	}
+}
+
+func TestEngineMemoizesAnalyzers(t *testing.T) {
+	eng := cat.NewEngine()
+	a1, err := eng.Analyzer(cat.ImageCl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := eng.Analyzer(cat.ImageCl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("engine rebuilt an analyzer for the same domain")
+	}
+	m, err := eng.Model(cat.ImageCl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != a1.Model {
+		t.Fatal("engine model is not the analyzer's model")
+	}
+	if _, err := eng.Analyzer(cat.Domain("bogus")); err == nil {
+		t.Fatal("expected error for unknown domain")
+	}
+}
+
+func TestEngineProfile(t *testing.T) {
+	eng := cat.NewEngine()
+	p, err := eng.Profile(cat.WordLM, 1e8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ByKind[0].Kind != "matmul" {
+		t.Fatalf("top kind %s", p.ByKind[0].Kind)
+	}
+	if p.IOBytes <= 0 {
+		t.Fatal("no IO reported")
+	}
+}
+
+func TestEngineConcurrentQueries(t *testing.T) {
+	eng := cat.NewEngine()
+	// The two smallest graphs keep this fast under -short while still
+	// exercising concurrent memoization and evaluation.
+	domains := []cat.Domain{cat.ImageCl, cat.NMT}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if _, err := eng.Analyze(domains[w%len(domains)], 5e7, 16); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedModelExprConcurrentAccess(t *testing.T) {
+	// Engine.Model hands the same *Model to every caller; its lazy
+	// expression caches must be pre-warmed so concurrent access is safe.
+	eng := cat.NewEngine()
+	m, err := eng.Model(cat.ImageCl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = m.ParamExpr()
+			_ = m.FLOPsExpr()
+			_ = m.BytesExpr()
+		}()
+	}
+	wg.Wait()
 }

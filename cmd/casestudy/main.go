@@ -15,7 +15,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("casestudy: ")
-	cs, err := cat.WordLMCaseStudy()
+	cs, err := cat.DefaultEngine().WordLMCaseStudy()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,7 +16,6 @@ import (
 	"os"
 
 	cat "catamount"
-	"catamount/internal/models"
 )
 
 func main() {
@@ -33,7 +32,10 @@ func main() {
 	save := flag.String("save", "", "write the compute graph checkpoint to this file")
 	flag.Parse()
 
-	m, err := cat.Build(cat.Domain(*domain))
+	// One Engine session serves every query below; the model is built and
+	// compiled exactly once.
+	eng := cat.DefaultEngine()
+	m, err := eng.Model(cat.Domain(*domain))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func main() {
 	if *batch == 0 {
 		*batch = m.DefaultBatch
 	}
-	r, err := cat.AnalyzeModel(m, *params, *batch)
+	r, err := eng.Analyze(cat.Domain(*domain), *params, *batch)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,14 +73,13 @@ func main() {
 		fmt.Println("  c_t =", m.FLOPsExpr())
 	}
 	if *profile {
-		p, err := cat.ProfileModel(m, *params, *batch)
+		p, err := eng.Profile(cat.Domain(*domain), *params, *batch)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("\nPer-op profile (top 12 kinds by FLOPs):")
 		p.Print(os.Stdout, 12)
 	}
-	_ = models.AllDomains
 }
 
 func bound(acc cat.Accelerator, r cat.Requirements) string {

@@ -39,11 +39,15 @@ func main() {
 	}
 	want := func(t string) bool { return *fig == "all" || *fig == t }
 
+	// One Engine session backs every figure, so the domains' models are
+	// built and compiled once even when emitting all figures.
+	eng := cat.DefaultEngine()
+
 	// Figures 7-9 share one sweep.
 	var sweeps []cat.SweepSeries
 	if want("7") || want("8") || want("9") {
 		var err error
-		sweeps, err = cat.FigureSweeps()
+		sweeps, err = eng.FigureSweeps()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -81,7 +85,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		series, err := cat.Figure10()
+		series, err := eng.Figure10()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -93,7 +97,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		data, err := cat.Figure11(cat.TargetAccelerator())
+		data, err := eng.Figure11(cat.TargetAccelerator())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -105,7 +109,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		data, err := cat.Figure12()
+		data, err := eng.Figure12()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,260 @@
+package catamount
+
+import (
+	"sync"
+
+	"catamount/internal/core"
+	"catamount/internal/graph"
+	"catamount/internal/hw"
+	"catamount/internal/models"
+	"catamount/internal/parallel"
+	"catamount/internal/scaling"
+)
+
+// Engine is a reusable analysis session. It memoizes each domain's built
+// model together with its compiled program bundle, so repeated queries —
+// table regenerations, figure sweeps, interactive what-ifs — pay the graph
+// construction and expression compilation cost exactly once per domain.
+//
+// An Engine is safe for concurrent use. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	mu      sync.Mutex
+	entries map[Domain]*engineEntry
+
+	csOnce    sync.Once
+	caseStudy *CaseStudy
+	csErr     error
+}
+
+// engineEntry builds one domain's analyzer at most once. Builds run outside
+// the engine-wide lock, so a slow first build of one domain never blocks
+// memoized lookups of another.
+type engineEntry struct {
+	once sync.Once
+	a    *core.Analyzer
+	err  error
+}
+
+// NewEngine creates an empty analysis session. Models are built and compiled
+// lazily, on first use of each domain.
+func NewEngine() *Engine {
+	return &Engine{entries: make(map[Domain]*engineEntry)}
+}
+
+// Analyzer returns the domain's compiled analysis session, building and
+// compiling the model on first use.
+func (e *Engine) Analyzer(d Domain) (*core.Analyzer, error) {
+	e.mu.Lock()
+	ent, ok := e.entries[d]
+	if !ok {
+		ent = &engineEntry{}
+		e.entries[d] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		m, err := models.Build(d)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		ent.a, ent.err = core.NewAnalyzer(m)
+	})
+	return ent.a, ent.err
+}
+
+// Model returns the engine's memoized model for a domain. The model is
+// shared: treat it as read-only.
+func (e *Engine) Model(d Domain) (*Model, error) {
+	a, err := e.Analyzer(d)
+	if err != nil {
+		return nil, err
+	}
+	return a.Model, nil
+}
+
+// Analyze characterizes a domain at a target parameter count and subbatch.
+func (e *Engine) Analyze(d Domain, paramCount, subbatch float64) (Requirements, error) {
+	a, err := e.Analyzer(d)
+	if err != nil {
+		return Requirements{}, err
+	}
+	size, err := a.SizeForParams(paramCount)
+	if err != nil {
+		return Requirements{}, err
+	}
+	return a.Characterize(size, subbatch, graph.PolicyMemGreedy)
+}
+
+// Profile computes the per-op-kind and per-group cost breakdown of a
+// domain's training step.
+func (e *Engine) Profile(d Domain, paramCount, subbatch float64) (*Profile, error) {
+	a, err := e.Analyzer(d)
+	if err != nil {
+		return nil, err
+	}
+	size, err := a.SizeForParams(paramCount)
+	if err != nil {
+		return nil, err
+	}
+	return a.Profile(size, subbatch)
+}
+
+// AsymptoticTable fits Table 2's first-order requirement models for every
+// domain through the session's compiled models.
+func (e *Engine) AsymptoticTable() ([]Asymptotics, error) {
+	out := make([]Asymptotics, 0, len(models.AllDomains))
+	for _, d := range models.AllDomains {
+		a, err := e.Analyzer(d)
+		if err != nil {
+			return nil, err
+		}
+		asym, err := a.FitAsymptotics(core.AsymptoticFitTargets(d),
+			[]float64{16, 64, 256}, a.Model.DefaultBatch, graph.PolicyMemGreedy)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, asym)
+	}
+	return out, nil
+}
+
+// FrontierTable computes Table 3 through the session's compiled models.
+func (e *Engine) FrontierTable(acc Accelerator) ([]Frontier, error) {
+	projs, err := scaling.ProjectAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Frontier, 0, len(projs))
+	for _, proj := range projs {
+		a, err := e.Analyzer(proj.Spec.Domain)
+		if err != nil {
+			return nil, err
+		}
+		f, err := a.ProjectFrontier(proj, acc, graph.PolicyMemGreedy)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// WordLMCaseStudy runs the §6 parallelization plan (Table 5), memoizing the
+// result: the case study is deterministic and several figures reuse it.
+func (e *Engine) WordLMCaseStudy() (*CaseStudy, error) {
+	e.csOnce.Do(func() {
+		e.caseStudy, e.csErr = parallel.RunWordLMCaseStudy(parallel.DefaultCaseStudyConfig())
+	})
+	return e.caseStudy, e.csErr
+}
+
+// FigureSweeps characterizes every domain across its Figure 7–10 parameter
+// range at the paper's profiling subbatch sizes.
+func (e *Engine) FigureSweeps() ([]SweepSeries, error) {
+	out := make([]SweepSeries, 0, len(models.AllDomains))
+	for _, d := range models.AllDomains {
+		a, err := e.Analyzer(d)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := a.SweepParams(core.DefaultSweepTargets(d), a.Model.DefaultBatch,
+			graph.PolicyMemGreedy)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepSeries{Domain: d, Points: pts})
+	}
+	return out, nil
+}
+
+// Figure10 runs the footprint sweep with the 12 GB allocator simulation.
+func (e *Engine) Figure10() ([]FootprintSeries, error) {
+	out := make([]FootprintSeries, 0, len(models.AllDomains))
+	for _, d := range models.AllDomains {
+		a, err := e.Analyzer(d)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := a.FootprintSweep(core.DefaultSweepTargets(d), a.Model.DefaultBatch,
+			graph.PolicyMemGreedy)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FootprintSeries{Domain: d, Points: pts})
+	}
+	return out, nil
+}
+
+// Figure11 sweeps subbatch sizes for the frontier word LM.
+func (e *Engine) Figure11(acc Accelerator) (*Figure11Data, error) {
+	a, err := e.Analyzer(WordLM)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := scaling.SpecFor(WordLM)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := scaling.Project(spec)
+	if err != nil {
+		return nil, err
+	}
+	size, err := a.SizeForParams(proj.TargetParams)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := hw.SubbatchSweep(a.StepEval(size), acc, hw.PowersOfTwo(18))
+	if err != nil {
+		return nil, err
+	}
+	data := &Figure11Data{
+		Points:     pts,
+		RidgePoint: acc.EffectiveRidgePoint(),
+		Chosen:     make(map[string]hw.SubbatchPoint, 3),
+	}
+	for _, pol := range []hw.SubbatchPolicy{
+		hw.MinTimePerSample, hw.RidgePointMatch, hw.IntensitySaturation,
+	} {
+		pt, err := hw.ChooseSubbatch(pts, acc, pol, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		data.Chosen[pol.String()] = pt
+	}
+	return data, nil
+}
+
+// Figure12 sweeps data-parallel worker counts (1 → 16384) for the
+// cache-aware case-study step.
+func (e *Engine) Figure12() (*Figure12Data, error) {
+	cs, err := e.WordLMCaseStudy()
+	if err != nil {
+		return nil, err
+	}
+	cfg := parallel.DefaultCaseStudyConfig()
+	dp := parallel.DataParallelConfig{
+		StepTime:          cfg.Acc.StepTime(cs.StepFLOPs, cs.CacheAwareBytes),
+		StepFLOPs:         cs.StepFLOPs,
+		GradientBytes:     4 * cs.Params,
+		SubbatchPerWorker: cfg.Subbatch,
+		EpochSamples:      cfg.EpochTokens / float64(cs.Model.SeqLen),
+		Acc:               cfg.Acc,
+		Link:              cfg.Link,
+		Reduce:            parallel.RingAllReduceTime,
+	}
+	var workers []int
+	for w := 1; w <= 16384; w *= 2 {
+		workers = append(workers, w)
+	}
+	return &Figure12Data{Points: dp.Sweep(workers)}, nil
+}
+
+// defaultEngine backs the package-level convenience functions, so callers
+// that stay on the simple API still share one compiled session per process.
+var defaultEngine = NewEngine()
+
+// DefaultEngine returns the shared session behind the package-level
+// functions (Analyze, AsymptoticTable, FrontierTable, the figure
+// generators). Long-lived callers may also hold their own NewEngine.
+func DefaultEngine() *Engine { return defaultEngine }

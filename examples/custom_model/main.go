@@ -48,13 +48,17 @@ func main() {
 		b.G.Name, len(b.G.Nodes()), len(b.G.Params()))
 	fmt.Println("Symbolic step FLOPs:", b.G.TotalFLOPs())
 
-	// Analytical characterization at batch 4.
+	// Analytical characterization at batch 4, through the compiled bundle:
+	// every cost expression is lowered to a slot-indexed program once, and
+	// each new evaluation point is just "write slots, run programs".
 	env := symbolic.Env{"b": 4}
-	stats, err := b.G.EvalStats(env)
-	if err != nil {
+	c := b.G.Compile()
+	slots := c.NewSlots()
+	if err := c.Bind(slots, env); err != nil {
 		log.Fatal(err)
 	}
-	fp, err := b.G.Footprint(env, graph.PolicyMemGreedy)
+	stats := c.EvalStats(slots)
+	fp, err := c.Footprint(slots, graph.PolicyMemGreedy, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,11 +82,12 @@ func main() {
 	fmt.Printf("Training-step loss: %.4f (random init, 10 classes: ~ln(10)=2.30)\n",
 		lossVal.F[0])
 
-	// The same graph re-characterized at a larger batch — no rebuild needed.
-	stats64, err := b.G.EvalStats(symbolic.Env{"b": 64})
-	if err != nil {
+	// The same compiled graph re-characterized at a larger batch — no
+	// rebuild, no recompilation, just a new slot value.
+	if err := c.Bind(slots, symbolic.Env{"b": 64}); err != nil {
 		log.Fatal(err)
 	}
+	stats64 := c.EvalStats(slots)
 	fmt.Printf("\nAnalytical @ b=64: FLOPs=%.0f (%.1fx the b=4 step)\n",
 		stats64.FLOPs, stats64.FLOPs/stats.FLOPs)
 	_ = core.LogSpace // the core package offers sweeps for custom models too

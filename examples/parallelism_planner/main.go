@@ -16,7 +16,7 @@ func main() {
 	log.SetFlags(0)
 
 	fmt.Println("=== Baseline: paper's Table 4 accelerator (32 GB HBM, 6 MB L2) ===")
-	base, err := cat.WordLMCaseStudy()
+	base, err := cat.DefaultEngine().WordLMCaseStudy()
 	if err != nil {
 		log.Fatal(err)
 	}

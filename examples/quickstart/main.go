@@ -14,9 +14,12 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	// 1. Build the word LM training graph (embedding -> 2 LSTM layers
-	//    unrolled 80 steps -> softmax output, with explicit backward ops).
-	m, err := cat.Build(cat.WordLM)
+	// 1. Start an analysis session and get the word LM training graph
+	//    (embedding -> 2 LSTM layers unrolled 80 steps -> softmax output,
+	//    with explicit backward ops). The Engine builds and compiles each
+	//    domain's model once and reuses it for every query below.
+	eng := cat.NewEngine()
+	m, err := eng.Model(cat.WordLM)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,7 +30,7 @@ func main() {
 
 	// 2. Characterize one training step at the current-SOTA parameter count
 	//    (~1B params, the paper's Jozefowicz-scale LM) and subbatch 128.
-	r, err := cat.AnalyzeModel(m, 1.03e9, 128)
+	r, err := eng.Analyze(cat.WordLM, 1.03e9, 128)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +51,7 @@ func main() {
 			"and a %.0fx larger model:\n",
 			p.Spec.DesiredSOTA, p.Spec.Metric, p.Spec.CurrentSOTA,
 			p.PaperDataScale, p.PaperModelScale)
-		fr, err := cat.FrontierTable(cat.TargetAccelerator())
+		fr, err := eng.FrontierTable(cat.TargetAccelerator())
 		if err != nil {
 			log.Fatal(err)
 		}

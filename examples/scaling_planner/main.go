@@ -11,7 +11,6 @@ import (
 	"text/tabwriter"
 
 	cat "catamount"
-	"catamount/internal/core"
 	"catamount/internal/graph"
 	"catamount/internal/hw"
 	"catamount/internal/models"
@@ -25,10 +24,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m, err := cat.Build(cat.WordLM)
+	// One compiled Analyzer serves the whole accuracy sweep: the model is
+	// built and its cost expressions compiled exactly once.
+	a, err := cat.DefaultEngine().Analyzer(cat.WordLM)
 	if err != nil {
 		log.Fatal(err)
 	}
+	m := a.Model
 	acc := hw.TargetAccelerator()
 	curve := scaling.NormalizedModelCurve(spec.BetaP, spec.CurrentDataSamples, spec.CurrentParams)
 
@@ -43,11 +45,11 @@ func main() {
 			log.Fatal(err)
 		}
 		params := curve.Params(data)
-		size, err := m.SizeForParams(params)
+		size, err := a.SizeForParams(params)
 		if err != nil {
 			log.Fatal(err)
 		}
-		r, err := core.Characterize(m, size, m.DefaultBatch, graph.PolicyMemGreedy)
+		r, err := a.Characterize(size, m.DefaultBatch, graph.PolicyMemGreedy)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,9 +4,7 @@ import (
 	"fmt"
 
 	"catamount/internal/core"
-	"catamount/internal/graph"
 	"catamount/internal/hw"
-	"catamount/internal/models"
 	"catamount/internal/parallel"
 	"catamount/internal/scaling"
 )
@@ -31,22 +29,10 @@ type SweepSeries struct {
 }
 
 // FigureSweeps characterizes every domain across its Figure 7–10 parameter
-// range at the paper's profiling subbatch sizes.
+// range at the paper's profiling subbatch sizes, through the shared
+// DefaultEngine.
 func FigureSweeps() ([]SweepSeries, error) {
-	out := make([]SweepSeries, 0, len(models.AllDomains))
-	for _, d := range models.AllDomains {
-		m, err := models.Build(d)
-		if err != nil {
-			return nil, err
-		}
-		pts, err := core.SweepParams(m, core.DefaultSweepTargets(d), m.DefaultBatch,
-			graph.PolicyMemGreedy)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepSeries{Domain: d, Points: pts})
-	}
-	return out, nil
+	return defaultEngine.FigureSweeps()
 }
 
 // FootprintSeries is one domain's Figure 10 sweep with the simulated
@@ -56,22 +42,10 @@ type FootprintSeries struct {
 	Points []core.FootprintPoint
 }
 
-// Figure10 runs the footprint sweep with the allocator simulation.
+// Figure10 runs the footprint sweep with the allocator simulation, through
+// the shared DefaultEngine.
 func Figure10() ([]FootprintSeries, error) {
-	out := make([]FootprintSeries, 0, len(models.AllDomains))
-	for _, d := range models.AllDomains {
-		m, err := models.Build(d)
-		if err != nil {
-			return nil, err
-		}
-		pts, err := core.FootprintSweep(m, core.DefaultSweepTargets(d), m.DefaultBatch,
-			graph.PolicyMemGreedy)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, FootprintSeries{Domain: d, Points: pts})
-	}
-	return out, nil
+	return defaultEngine.Figure10()
 }
 
 // Figure11Data is the word-LM subbatch sweep with the accelerator ridge
@@ -82,43 +56,10 @@ type Figure11Data struct {
 	Chosen     map[string]hw.SubbatchPoint
 }
 
-// Figure11 sweeps subbatch sizes for the frontier word LM.
+// Figure11 sweeps subbatch sizes for the frontier word LM, through the
+// shared DefaultEngine.
 func Figure11(acc Accelerator) (*Figure11Data, error) {
-	m, err := models.Build(WordLM)
-	if err != nil {
-		return nil, err
-	}
-	spec, err := scaling.SpecFor(WordLM)
-	if err != nil {
-		return nil, err
-	}
-	proj, err := scaling.Project(spec)
-	if err != nil {
-		return nil, err
-	}
-	size, err := m.SizeForParams(proj.TargetParams)
-	if err != nil {
-		return nil, err
-	}
-	pts, err := hw.SubbatchSweep(core.StepEvalAt(m, size), acc, hw.PowersOfTwo(18))
-	if err != nil {
-		return nil, err
-	}
-	data := &Figure11Data{
-		Points:     pts,
-		RidgePoint: acc.EffectiveRidgePoint(),
-		Chosen:     make(map[string]hw.SubbatchPoint, 3),
-	}
-	for _, pol := range []hw.SubbatchPolicy{
-		hw.MinTimePerSample, hw.RidgePointMatch, hw.IntensitySaturation,
-	} {
-		pt, err := hw.ChooseSubbatch(pts, acc, pol, 0.05)
-		if err != nil {
-			return nil, err
-		}
-		data.Chosen[pol.String()] = pt
-	}
-	return data, nil
+	return defaultEngine.Figure11(acc)
 }
 
 // Figure12Data is the data-parallel scaling sweep of the case-study word LM.
@@ -127,28 +68,9 @@ type Figure12Data struct {
 }
 
 // Figure12 sweeps data-parallel worker counts (1 → 16384) for the
-// cache-aware case-study step.
+// cache-aware case-study step, through the shared DefaultEngine.
 func Figure12() (*Figure12Data, error) {
-	cs, err := WordLMCaseStudy()
-	if err != nil {
-		return nil, err
-	}
-	cfg := parallel.DefaultCaseStudyConfig()
-	dp := parallel.DataParallelConfig{
-		StepTime:          cfg.Acc.StepTime(cs.StepFLOPs, cs.CacheAwareBytes),
-		StepFLOPs:         cs.StepFLOPs,
-		GradientBytes:     4 * cs.Params,
-		SubbatchPerWorker: cfg.Subbatch,
-		EpochSamples:      cfg.EpochTokens / float64(cs.Model.SeqLen),
-		Acc:               cfg.Acc,
-		Link:              cfg.Link,
-		Reduce:            parallel.RingAllReduceTime,
-	}
-	var workers []int
-	for w := 1; w <= 16384; w *= 2 {
-		workers = append(workers, w)
-	}
-	return &Figure12Data{Points: dp.Sweep(workers)}, nil
+	return defaultEngine.Figure12()
 }
 
 // fmtDomain renders the short domain tag used in CSV headers.

@@ -1,0 +1,3 @@
+module catamount
+
+go 1.24

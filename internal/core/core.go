@@ -14,13 +14,10 @@ import (
 	"fmt"
 	"math"
 
-	"catamount/internal/fit"
 	"catamount/internal/graph"
 	"catamount/internal/hw"
 	"catamount/internal/models"
-	"catamount/internal/ops"
 	"catamount/internal/scaling"
-	"catamount/internal/symbolic"
 )
 
 // Requirements is a full characterization of one training step at a concrete
@@ -50,62 +47,28 @@ type Requirements struct {
 }
 
 // Characterize evaluates one (size, batch) point, including the footprint
-// traversal.
+// traversal. It compiles the model on every call; callers evaluating many
+// points should build one Analyzer (or use the top-level Engine) so the
+// model is compiled exactly once.
 func Characterize(m *models.Model, size, batch float64, policy graph.SchedulePolicy) (Requirements, error) {
-	env := m.Env(size, batch)
-	r := Requirements{
-		Domain: m.Domain,
-		Name:   m.Name,
-		Size:   size,
-		Batch:  batch,
-	}
-	var err error
-	if r.Params, err = m.ParamExpr().Eval(env); err != nil {
-		return r, err
-	}
-	if r.FLOPsPerStep, err = m.FLOPsExpr().Eval(env); err != nil {
-		return r, err
-	}
-	if r.BytesPerStep, err = m.BytesExpr().Eval(env); err != nil {
-		return r, err
-	}
-	r.FLOPsPerSample = r.FLOPsPerStep / batch
-	if r.BytesPerStep > 0 {
-		r.Intensity = r.FLOPsPerStep / r.BytesPerStep
-	}
-	res, err := m.Graph.Footprint(env, policy)
+	a, err := NewAnalyzer(m)
 	if err != nil {
-		return r, err
+		return Requirements{Domain: m.Domain, Name: m.Name, Size: size, Batch: batch}, err
 	}
-	r.FootprintBytes = res.PeakBytes
-	r.PersistentBytes = res.PersistentBytes
-	if r.IOBytes, err = m.Graph.AlgorithmicIO().Eval(env); err != nil {
-		return r, err
-	}
-	if r.FwdFLOPs, r.BwdFLOPs, err = ops.ForwardBackwardSplit(m.Graph, env); err != nil {
-		return r, err
-	}
-	return r, nil
+	return a.Characterize(size, batch, policy)
 }
 
 // SweepParams characterizes the model at a list of target parameter counts
-// with a fixed subbatch — the x-axis sweep behind Figures 7–10.
+// with a fixed subbatch — the x-axis sweep behind Figures 7–10. The model is
+// compiled once and the points fan out across a bounded worker pool.
 func SweepParams(m *models.Model, paramTargets []float64, batch float64,
 	policy graph.SchedulePolicy) ([]Requirements, error) {
 
-	out := make([]Requirements, 0, len(paramTargets))
-	for _, target := range paramTargets {
-		size, err := m.SizeForParams(target)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s at %g params: %w", m.Domain, target, err)
-		}
-		r, err := Characterize(m, size, batch, policy)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	a, err := NewAnalyzer(m)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return a.SweepParams(paramTargets, batch, policy)
 }
 
 // DefaultSweepTargets returns the paper's Figure 7–10 x-range for a domain
@@ -186,99 +149,16 @@ func (a Asymptotics) IntensityForm() string {
 
 // FitAsymptotics fits the Table 2 first-order models from sweeps. The γ fit
 // uses per-sample FLOPs at the largest sizes; the (λ, µ) fit uses a
-// size × batch grid; δ uses the footprint slope at footBatch.
+// size × batch grid; δ uses the footprint slope at footBatch. The model is
+// compiled once; see Analyzer.FitAsymptotics.
 func FitAsymptotics(m *models.Model, paramTargets, batches []float64,
 	footBatch float64, policy graph.SchedulePolicy) (Asymptotics, error) {
 
-	a := Asymptotics{Domain: m.Domain}
-	if len(paramTargets) < 2 || len(batches) < 2 {
-		return a, fmt.Errorf("core: asymptotics need >=2 sizes and batches")
-	}
-
-	// γ from the two largest sizes at batch 1 (per-sample normalization).
-	ps := make([]float64, 0, len(paramTargets))
-	fs := make([]float64, 0, len(paramTargets))
-	for _, target := range paramTargets {
-		size, err := m.SizeForParams(target)
-		if err != nil {
-			return a, err
-		}
-		env := m.Env(size, 1)
-		p, err := m.ParamExpr().Eval(env)
-		if err != nil {
-			return a, err
-		}
-		f, err := m.FLOPsExpr().Eval(env)
-		if err != nil {
-			return a, err
-		}
-		ps = append(ps, p)
-		fs = append(fs, f)
-	}
-	gamma, err := fit.AsymptoticSlope(ps, fs)
+	a, err := NewAnalyzer(m)
 	if err != nil {
-		return a, err
+		return Asymptotics{Domain: m.Domain}, err
 	}
-	a.Gamma = gamma
-
-	// (λ, µ) by two-term least squares over the grid.
-	var us, vs, ys []float64
-	for _, target := range paramTargets {
-		size, err := m.SizeForParams(target)
-		if err != nil {
-			return a, err
-		}
-		for _, b := range batches {
-			env := m.Env(size, b)
-			p, err := m.ParamExpr().Eval(env)
-			if err != nil {
-				return a, err
-			}
-			by, err := m.BytesExpr().Eval(env)
-			if err != nil {
-				return a, err
-			}
-			us = append(us, p)
-			vs = append(vs, b*math.Sqrt(p))
-			ys = append(ys, by)
-		}
-	}
-	tt, err := fit.TwoTermLeastSquares(us, vs, ys)
-	if err != nil {
-		return a, err
-	}
-	a.Lambda, a.Mu, a.BytesR2 = tt.A, tt.B, tt.R2
-
-	// δ from the footprint slope at the profiling subbatch.
-	var fps, foots []float64
-	for _, target := range []float64{paramTargets[len(paramTargets)-2], paramTargets[len(paramTargets)-1]} {
-		size, err := m.SizeForParams(target)
-		if err != nil {
-			return a, err
-		}
-		env := m.Env(size, footBatch)
-		res, err := m.Graph.Footprint(env, policy)
-		if err != nil {
-			return a, err
-		}
-		p, err := m.ParamExpr().Eval(env)
-		if err != nil {
-			return a, err
-		}
-		fps = append(fps, p)
-		foots = append(foots, res.PeakBytes)
-	}
-	delta, err := fit.AsymptoticSlope(fps, foots)
-	if err != nil {
-		return a, err
-	}
-	a.Delta = delta
-
-	if a.Gamma > 0 {
-		a.IntensityX = a.Lambda / a.Gamma
-		a.IntensityY = a.Mu / a.Gamma
-	}
-	return a, nil
+	return a.FitAsymptotics(paramTargets, batches, footBatch, policy)
 }
 
 // ---------------------------------------------------------------------------
@@ -310,66 +190,26 @@ type Frontier struct {
 // footprint traversal is skipped during sweeps (reported as 0) because only
 // the chosen point needs it.
 func StepEvalAt(m *models.Model, size float64) hw.StepEval {
-	return func(b float64) (float64, float64, float64, error) {
-		env := m.Env(size, b)
-		f, err := m.FLOPsExpr().Eval(env)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		by, err := m.BytesExpr().Eval(env)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		return f, by, 0, nil
+	a, err := NewAnalyzer(m)
+	if err != nil {
+		return func(float64) (float64, float64, float64, error) { return 0, 0, 0, err }
 	}
+	return a.StepEval(size)
 }
 
 // ProjectFrontier computes one Table 3 row.
 func ProjectFrontier(m *models.Model, proj scaling.Projection, acc hw.Accelerator,
 	policy graph.SchedulePolicy) (Frontier, error) {
 
-	f := Frontier{
-		Spec:              proj.Spec,
-		TargetDataSamples: proj.TargetDataSamples,
-		TargetParams:      proj.TargetParams,
-	}
-	size, err := m.SizeForParams(proj.TargetParams)
+	a, err := NewAnalyzer(m)
 	if err != nil {
-		return f, err
+		return Frontier{Spec: proj.Spec}, err
 	}
-	f.Size = size
-
-	sweep, err := hw.SubbatchSweep(StepEvalAt(m, size), acc, hw.PowersOfTwo(10))
-	if err != nil {
-		return f, err
-	}
-	chosen, err := hw.ChooseSubbatch(sweep, acc, hw.MinTimePerSample, 0.05)
-	if err != nil {
-		return f, err
-	}
-	// Already-compute-bound models (CNNs) minimize per-sample time at any
-	// subbatch; floor the choice at the paper's profiled subbatch, which
-	// reflects kernel-occupancy needs the Roofline cannot see.
-	f.Subbatch = math.Max(chosen.Subbatch, m.DefaultBatch)
-
-	r, err := Characterize(m, size, f.Subbatch, policy)
-	if err != nil {
-		return f, err
-	}
-	f.TFLOPsPerStep = r.FLOPsPerStep / 1e12
-	f.TBPerStep = r.BytesPerStep / 1e12
-	f.FootprintGB = r.FootprintBytes / 1e9
-	f.StepSeconds = acc.StepTime(r.FLOPsPerStep, r.BytesPerStep)
-	f.Utilization = acc.Utilization(r.FLOPsPerStep, f.StepSeconds)
-	f.MemoryMultiple = r.FootprintBytes / acc.MemCapacity
-
-	samplesPerStep := f.Subbatch * proj.Spec.TokensPerSample
-	steps := proj.TargetDataSamples / samplesPerStep
-	f.EpochDays = steps * f.StepSeconds / 86400
-	return f, nil
+	return a.ProjectFrontier(proj, acc, policy)
 }
 
-// ProjectAllFrontiers builds every Table 3 row in domain order.
+// ProjectAllFrontiers builds every Table 3 row in domain order, building and
+// compiling each domain model once.
 func ProjectAllFrontiers(acc hw.Accelerator, policy graph.SchedulePolicy) ([]Frontier, error) {
 	projs, err := scaling.ProjectAll()
 	if err != nil {
@@ -404,24 +244,9 @@ type FootprintPoint struct {
 func FootprintSweep(m *models.Model, paramTargets []float64, batch float64,
 	policy graph.SchedulePolicy) ([]FootprintPoint, error) {
 
-	sim := graph.AllocatorSim{CapacityBytes: 12e9, UsableFraction: 0.8}
-	out := make([]FootprintPoint, 0, len(paramTargets))
-	for _, target := range paramTargets {
-		size, err := m.SizeForParams(target)
-		if err != nil {
-			return nil, err
-		}
-		env := m.Env(size, batch)
-		res, err := m.Graph.Footprint(env, policy)
-		if err != nil {
-			return nil, err
-		}
-		p := symbolic.MustEval(m.ParamExpr(), env)
-		out = append(out, FootprintPoint{
-			Params:          p,
-			FootprintBytes:  res.PeakBytes,
-			AllocatorReport: sim.Apply(res.PeakBytes),
-		})
+	a, err := NewAnalyzer(m)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return a.FootprintSweep(paramTargets, batch, policy)
 }

@@ -42,20 +42,28 @@ type Profile struct {
 	IOBytes float64
 }
 
-// ProfileGraph computes the breakdown under the given bindings.
+// ProfileGraph computes the breakdown under the given bindings. The graph is
+// compiled first, so arbitrary (including checkpoint-loaded) graphs profile
+// through the same fast path as the domain models.
 func ProfileGraph(g *graph.Graph, env symbolic.Env) (*Profile, error) {
+	c := graph.Compile(g)
+	slots := c.NewSlots()
+	if err := c.Bind(slots, env); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return profileCompiled(c, slots)
+}
+
+// profileCompiled aggregates a compiled graph's per-node costs under one slot
+// binding.
+func profileCompiled(c *graph.Compiled, slots []float64) (*Profile, error) {
+	g := c.Graph
 	kind := make(map[string]*OpKindProfile)
 	group := make(map[string]*GroupProfile)
 	p := &Profile{}
-	for _, n := range g.Nodes() {
-		f, err := n.FLOPs().Eval(env)
-		if err != nil {
-			return nil, fmt.Errorf("core: node %s: %w", n.Name, err)
-		}
-		by, err := n.Bytes().Eval(env)
-		if err != nil {
-			return nil, fmt.Errorf("core: node %s: %w", n.Name, err)
-		}
+	for i, n := range g.Nodes() {
+		f := c.NodeFLOPs[i].Eval(slots)
+		by := c.NodeBytes[i].Eval(slots)
 		k := n.Op.Kind()
 		kp, ok := kind[k]
 		if !ok {
@@ -77,25 +85,18 @@ func ProfileGraph(g *graph.Graph, env symbolic.Env) (*Profile, error) {
 		p.TotalFLOPs += f
 		p.TotalBytes += by
 	}
-	for _, t := range g.Tensors() {
+	for i, t := range g.Tensors() {
 		if t.Kind != graph.Param {
 			continue
 		}
-		by, err := t.Bytes().Eval(env)
-		if err != nil {
-			return nil, err
-		}
+		by := c.TensorBytes[i].Eval(slots)
 		if gp, ok := group[t.Group]; ok {
 			gp.ParamBytes += by
 		} else {
 			group[t.Group] = &GroupProfile{Group: t.Group, ParamBytes: by}
 		}
 	}
-	io, err := g.AlgorithmicIO().Eval(env)
-	if err != nil {
-		return nil, err
-	}
-	p.IOBytes = io
+	p.IOBytes = c.IO.Eval(slots)
 
 	for _, kp := range kind {
 		if p.TotalFLOPs > 0 {

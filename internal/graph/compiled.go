@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"fmt"
+
+	"catamount/internal/symbolic"
+)
+
+// Compiled is a precompiled analysis bundle for one graph: every node's
+// FLOP/byte expression and every tensor's byte expression lowered into
+// slot-indexed programs against one shared symbol table, plus the headline
+// totals. Build it once per graph, then sweep by writing slot values and
+// running programs — no expression re-derivation, no tree walking, no map
+// lookups per point.
+//
+// A Compiled is immutable after construction and safe for concurrent use;
+// callers supply their own slot buffers (NewSlots), one per goroutine.
+type Compiled struct {
+	Graph *Graph
+	// Syms maps symbol names to slot indices for every program below.
+	Syms *symbolic.SymTab
+
+	// NodeFLOPs / NodeBytes hold per-node cost programs in Nodes() order.
+	NodeFLOPs []*symbolic.Program
+	NodeBytes []*symbolic.Program
+	// TensorBytes holds per-tensor byte-size programs in Tensors() order.
+	TensorBytes []*symbolic.Program
+
+	// ParamCount, TotalFLOPs, TotalBytes, and IO are the graph-level totals.
+	ParamCount *symbolic.Program
+	TotalFLOPs *symbolic.Program
+	TotalBytes *symbolic.Program
+	IO         *symbolic.Program
+}
+
+// Compile derives and caches every node's cost expressions, then lowers all
+// of them — plus per-tensor byte sizes and the graph totals — into programs
+// sharing one symbol table.
+func Compile(g *Graph) *Compiled {
+	// Warm the per-node expression caches (synchronized, once per graph),
+	// then build the symbol table over every expression for deterministic
+	// slot order.
+	g.WarmCosts()
+	exprs := make([]symbolic.Expr, 0, 2*len(g.nodes)+len(g.tensors))
+	for _, n := range g.nodes {
+		exprs = append(exprs, n.FLOPs(), n.Bytes())
+	}
+	for _, t := range g.tensors {
+		exprs = append(exprs, t.Bytes())
+	}
+	syms := symbolic.SymTabFor(exprs...)
+
+	c := &Compiled{
+		Graph:       g,
+		Syms:        syms,
+		NodeFLOPs:   make([]*symbolic.Program, len(g.nodes)),
+		NodeBytes:   make([]*symbolic.Program, len(g.nodes)),
+		TensorBytes: make([]*symbolic.Program, len(g.tensors)),
+	}
+	for i, n := range g.nodes {
+		c.NodeFLOPs[i] = symbolic.Compile(n.FLOPs(), syms)
+		c.NodeBytes[i] = symbolic.Compile(n.Bytes(), syms)
+	}
+	for i, t := range g.tensors {
+		c.TensorBytes[i] = symbolic.Compile(t.Bytes(), syms)
+	}
+	c.ParamCount = symbolic.Compile(g.ParamCount(), syms)
+	c.TotalFLOPs = symbolic.Compile(g.TotalFLOPs(), syms)
+	c.TotalBytes = symbolic.Compile(g.TotalBytes(), syms)
+	c.IO = symbolic.Compile(g.AlgorithmicIO(), syms)
+	return c
+}
+
+// Compile returns the graph's precompiled analysis bundle.
+func (g *Graph) Compile() *Compiled { return Compile(g) }
+
+// NewSlots allocates a slot buffer sized for the bundle's symbol table.
+// Each concurrently evaluating goroutine needs its own buffer.
+func (c *Compiled) NewSlots() []float64 { return c.Syms.NewSlots() }
+
+// Bind fills slots from env. Every graph symbol must be bound; extra env
+// entries are ignored.
+func (c *Compiled) Bind(slots []float64, env symbolic.Env) error {
+	return c.Syms.Bind(slots, env)
+}
+
+// EvalStats computes the headline numeric quantities for one slot binding.
+func (c *Compiled) EvalStats(slots []float64) Stats {
+	s := Stats{Params: c.ParamCount.Eval(slots)}
+	for i := range c.NodeFLOPs {
+		s.FLOPs += c.NodeFLOPs[i].Eval(slots)
+		s.Bytes += c.NodeBytes[i].Eval(slots)
+	}
+	if s.Bytes > 0 {
+		s.Intensity = s.FLOPs / s.Bytes
+	}
+	return s
+}
+
+// Footprint runs the schedule simulation for one slot binding, evaluating
+// tensor sizes through the compiled programs. scratch, when non-nil, is
+// reused for the per-tensor byte sizes (it is grown as needed); pass nil to
+// allocate internally.
+func (c *Compiled) Footprint(slots []float64, policy SchedulePolicy, scratch []float64) (ScheduleResult, error) {
+	bytes := scratch
+	if cap(bytes) < len(c.TensorBytes) {
+		bytes = make([]float64, len(c.TensorBytes))
+	}
+	bytes = bytes[:len(c.TensorBytes)]
+	for i, p := range c.TensorBytes {
+		bytes[i] = p.Eval(slots)
+	}
+	return c.Graph.simulateFootprint(bytes, policy)
+}
+
+// NodeCosts evaluates every node's FLOPs and bytes into the provided slices
+// (grown as needed) and returns them, in Nodes() order.
+func (c *Compiled) NodeCosts(slots []float64, flops, bytes []float64) (f, b []float64) {
+	n := len(c.NodeFLOPs)
+	if cap(flops) < n {
+		flops = make([]float64, n)
+	}
+	if cap(bytes) < n {
+		bytes = make([]float64, n)
+	}
+	flops, bytes = flops[:n], bytes[:n]
+	for i := range c.NodeFLOPs {
+		flops[i] = c.NodeFLOPs[i].Eval(slots)
+		bytes[i] = c.NodeBytes[i].Eval(slots)
+	}
+	return flops, bytes
+}
+
+// BindValues writes values for the named symbols into slots, for callers
+// that sweep a few knobs without rebuilding an Env map per point. Symbols
+// absent from the graph are ignored (a cost expression may not reference
+// every knob).
+func (c *Compiled) BindValues(slots []float64, names []string, values []float64) error {
+	if len(names) != len(values) {
+		return fmt.Errorf("graph: %d names but %d values", len(names), len(values))
+	}
+	for i, name := range names {
+		if slot, ok := c.Syms.Slot(name); ok {
+			slots[slot] = values[i]
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"catamount/internal/symbolic"
 	"catamount/internal/tensor"
@@ -97,13 +98,34 @@ type Node struct {
 	Outputs []*Tensor
 
 	id int
+
+	// flopsExpr / bytesExpr cache the op-derived cost expressions, which are
+	// pure functions of the (immutable) wiring. Deriving them per query was
+	// the dominant cost of repeated graph characterization.
+	flopsExpr symbolic.Expr
+	bytesExpr symbolic.Expr
 }
 
-// FLOPs returns the node's algorithmic FLOPs.
-func (n *Node) FLOPs() symbolic.Expr { return n.Op.FLOPs(n) }
+// FLOPs returns the node's algorithmic FLOPs, derived from the op once and
+// cached. The first call per node is an unsynchronized cache fill; the
+// graph-level analysis entry points (EvalStats, the totals, Compile) warm
+// every node exactly once under Graph.WarmCosts, so concurrent use through
+// them is race-free.
+func (n *Node) FLOPs() symbolic.Expr {
+	if n.flopsExpr == nil {
+		n.flopsExpr = n.Op.FLOPs(n)
+	}
+	return n.flopsExpr
+}
 
-// Bytes returns the node's algorithmic bytes accessed.
-func (n *Node) Bytes() symbolic.Expr { return n.Op.Bytes(n) }
+// Bytes returns the node's algorithmic bytes accessed, derived once and
+// cached under the same rules as FLOPs.
+func (n *Node) Bytes() symbolic.Expr {
+	if n.bytesExpr == nil {
+		n.bytesExpr = n.Op.Bytes(n)
+	}
+	return n.bytesExpr
+}
 
 func (n *Node) String() string {
 	return fmt.Sprintf("%s(%s)", n.Name, n.Op.Kind())
@@ -130,6 +152,22 @@ type Graph struct {
 	tensors  []*Tensor
 	byName   map[string]*Tensor
 	nameSeqs map[string]int
+
+	warmOnce sync.Once
+}
+
+// WarmCosts derives and caches every node's FLOP and byte expressions,
+// exactly once per graph. All graph-level analysis entry points call it
+// first, making their per-node cache reads race-free even when several
+// goroutines analyze the same graph concurrently. (It must not run while
+// nodes are still being added.)
+func (g *Graph) WarmCosts() {
+	g.warmOnce.Do(func() {
+		for _, n := range g.nodes {
+			n.FLOPs()
+			n.Bytes()
+		}
+	})
 }
 
 // New creates an empty graph.
@@ -262,6 +300,7 @@ func (g *Graph) AlgorithmicIO() symbolic.Expr {
 // TotalFLOPs returns the symbolic algorithmic FLOPs for one traversal of the
 // whole graph (one training step if the graph includes backward ops).
 func (g *Graph) TotalFLOPs() symbolic.Expr {
+	g.WarmCosts()
 	parts := make([]symbolic.Expr, 0, len(g.nodes))
 	for _, n := range g.nodes {
 		parts = append(parts, n.FLOPs())
@@ -272,6 +311,7 @@ func (g *Graph) TotalFLOPs() symbolic.Expr {
 // TotalBytes returns the symbolic algorithmic bytes accessed by one
 // traversal of the whole graph.
 func (g *Graph) TotalBytes() symbolic.Expr {
+	g.WarmCosts()
 	parts := make([]symbolic.Expr, 0, len(g.nodes))
 	for _, n := range g.nodes {
 		parts = append(parts, n.Bytes())
@@ -281,6 +321,7 @@ func (g *Graph) TotalBytes() symbolic.Expr {
 
 // GroupFLOPs returns per-group symbolic FLOPs totals.
 func (g *Graph) GroupFLOPs() map[string]symbolic.Expr {
+	g.WarmCosts()
 	acc := make(map[string][]symbolic.Expr)
 	for _, n := range g.nodes {
 		acc[n.Group] = append(acc[n.Group], n.FLOPs())
@@ -382,6 +423,7 @@ type Stats struct {
 
 // EvalStats computes numeric totals under env.
 func (g *Graph) EvalStats(env symbolic.Env) (Stats, error) {
+	g.WarmCosts()
 	p, err := g.ParamCount().Eval(env)
 	if err != nil {
 		return Stats{}, err

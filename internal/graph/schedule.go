@@ -47,19 +47,39 @@ type ScheduleResult struct {
 }
 
 // Footprint simulates a topological traversal under env and returns the
-// memory footprint estimate for one training step.
+// memory footprint estimate for one training step. Hot paths that sweep many
+// evaluation points should compile the graph once and use
+// Compiled.Footprint, which replaces the per-tensor tree walk below with
+// precompiled programs.
 func (g *Graph) Footprint(env map[string]float64, policy SchedulePolicy) (ScheduleResult, error) {
 	// Pre-evaluate tensor byte sizes.
 	bytes := make([]float64, len(g.tensors))
-	var persistent float64
 	for _, t := range g.tensors {
 		v, err := t.Bytes().Eval(env)
 		if err != nil {
 			return ScheduleResult{}, fmt.Errorf("tensor %s: %w", t.Name, err)
 		}
 		bytes[t.id] = v
+	}
+	return g.simulateFootprint(bytes, policy)
+}
+
+// simulateFootprint runs the traversal simulation over pre-evaluated
+// per-tensor byte sizes (indexed by tensor id). It is the shared core of
+// Graph.Footprint and Compiled.Footprint.
+//
+// The ready set is an indexed min-heap keyed by the policy's priority
+// (net live-set delta for mem-greedy, insertion order for FIFO), with
+// decrease-key maintenance instead of a full rescan per pick. A ready
+// node's delta can only change when one of its input tensors drops to a
+// single remaining consumer — its own inputs cannot be freed and its
+// outputs cannot become live while it waits — so adjusting exactly that
+// consumer keeps every key equal to a fresh recomputation.
+func (g *Graph) simulateFootprint(bytes []float64, policy SchedulePolicy) (ScheduleResult, error) {
+	var persistent float64
+	for _, t := range g.tensors {
 		if t.Persistent() {
-			persistent += v
+			persistent += bytes[t.id]
 		}
 	}
 
@@ -88,12 +108,6 @@ func (g *Graph) Footprint(env map[string]float64, policy SchedulePolicy) (Schedu
 			}
 		}
 	}
-	ready := make([]*Node, 0, 64)
-	for _, n := range g.nodes {
-		if indeg[n.id] == 0 {
-			ready = append(ready, n)
-		}
-	}
 
 	// netDelta estimates the live-set change from executing n.
 	netDelta := func(n *Node) float64 {
@@ -110,34 +124,27 @@ func (g *Graph) Footprint(env map[string]float64, policy SchedulePolicy) (Schedu
 		}
 		return d
 	}
+	// keyFor orders the ready heap. Ties break toward insertion order (the
+	// heap compares node ids after keys): chained gradient accumulations
+	// only become ready in chain order, so honoring creation order lets
+	// each partial be folded into the running sum as soon as it is produced.
+	keyFor := func(n *Node) float64 {
+		if policy == PolicyMemGreedy {
+			return netDelta(n)
+		}
+		return float64(n.id) // FIFO: earliest inserted node.
+	}
+
+	ready := newNodeHeap(len(g.nodes))
+	for _, n := range g.nodes {
+		if indeg[n.id] == 0 {
+			ready.push(n.id, keyFor(n))
+		}
+	}
 
 	order := make([]*Node, 0, len(g.nodes))
-	for len(ready) > 0 {
-		var pick int
-		switch policy {
-		case PolicyMemGreedy:
-			best := netDelta(ready[0])
-			for i := 1; i < len(ready); i++ {
-				d := netDelta(ready[i])
-				// Ties break toward insertion order: chained gradient
-				// accumulations only become ready in chain order, so
-				// honoring creation order lets each partial be folded into
-				// the running sum as soon as it is produced.
-				if d < best || (d == best && ready[i].id < ready[pick].id) {
-					best, pick = d, i
-				}
-			}
-		default: // PolicyFIFO: earliest inserted node.
-			pick = 0
-			for i := 1; i < len(ready); i++ {
-				if ready[i].id < ready[pick].id {
-					pick = i
-				}
-			}
-		}
-		n := ready[pick]
-		ready[pick] = ready[len(ready)-1]
-		ready = ready[:len(ready)-1]
+	for ready.len() > 0 {
+		n := g.nodes[ready.pop()]
 		order = append(order, n)
 
 		// Allocate outputs.
@@ -153,9 +160,26 @@ func (g *Graph) Footprint(env map[string]float64, policy SchedulePolicy) (Schedu
 		// Free inputs whose last consumer just ran.
 		for _, t := range n.Inputs {
 			remaining[t.id]--
-			if remaining[t.id] == 0 && !t.Persistent() && live[t.id] {
+			if t.Persistent() || !live[t.id] {
+				continue
+			}
+			switch remaining[t.id] {
+			case 0:
 				live[t.id] = false
 				cur -= bytes[t.id]
+			case 1:
+				if policy != PolicyMemGreedy {
+					break
+				}
+				// Exactly one unexecuted consumer entry remains; freeing t
+				// now counts toward that consumer's net delta. If it is not
+				// ready yet, its key is computed fresh when it is pushed.
+				for _, c := range t.Consumers {
+					if ready.contains(c.id) {
+						ready.decrease(c.id, ready.key(c.id)-bytes[t.id])
+						break
+					}
+				}
 			}
 		}
 		// Outputs nobody consumes (e.g. the reported loss) are freed at step
@@ -164,7 +188,7 @@ func (g *Graph) Footprint(env map[string]float64, policy SchedulePolicy) (Schedu
 			for _, c := range out.Consumers {
 				indeg[c.id]--
 				if indeg[c.id] == 0 {
-					ready = append(ready, c)
+					ready.push(c.id, keyFor(c))
 				}
 			}
 		}
@@ -178,6 +202,99 @@ func (g *Graph) Footprint(env map[string]float64, policy SchedulePolicy) (Schedu
 		PeakTransientBytes: peakTransient,
 		Order:              order,
 	}, nil
+}
+
+// nodeHeap is an indexed binary min-heap of node ids ordered by (key, id).
+// The id tie-break keeps traversal deterministic and insertion-ordered.
+type nodeHeap struct {
+	keys []float64 // by node id
+	pos  []int32   // by node id; -1 when absent
+	arr  []int32   // heap order
+}
+
+func newNodeHeap(n int) *nodeHeap {
+	h := &nodeHeap{
+		keys: make([]float64, n),
+		pos:  make([]int32, n),
+		arr:  make([]int32, 0, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *nodeHeap) len() int             { return len(h.arr) }
+func (h *nodeHeap) contains(id int) bool { return h.pos[id] >= 0 }
+func (h *nodeHeap) key(id int) float64   { return h.keys[id] }
+
+func (h *nodeHeap) less(a, b int32) bool {
+	if h.keys[a] != h.keys[b] {
+		return h.keys[a] < h.keys[b]
+	}
+	return a < b
+}
+
+func (h *nodeHeap) push(id int, key float64) {
+	h.keys[id] = key
+	h.pos[id] = int32(len(h.arr))
+	h.arr = append(h.arr, int32(id))
+	h.siftUp(len(h.arr) - 1)
+}
+
+func (h *nodeHeap) pop() int {
+	top := h.arr[0]
+	last := len(h.arr) - 1
+	h.arr[0] = h.arr[last]
+	h.pos[h.arr[0]] = 0
+	h.arr = h.arr[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return int(top)
+}
+
+// decrease lowers id's key; key must not exceed the current one.
+func (h *nodeHeap) decrease(id int, key float64) {
+	h.keys[id] = key
+	h.siftUp(int(h.pos[id]))
+}
+
+func (h *nodeHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.arr[i], h.arr[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *nodeHeap) siftDown(i int) {
+	n := len(h.arr)
+	for {
+		left, right := 2*i+1, 2*i+2
+		min := i
+		if left < n && h.less(h.arr[left], h.arr[min]) {
+			min = left
+		}
+		if right < n && h.less(h.arr[right], h.arr[min]) {
+			min = right
+		}
+		if min == i {
+			return
+		}
+		h.swap(i, min)
+		i = min
+	}
+}
+
+func (h *nodeHeap) swap(i, j int) {
+	h.arr[i], h.arr[j] = h.arr[j], h.arr[i]
+	h.pos[h.arr[i]] = int32(i)
+	h.pos[h.arr[j]] = int32(j)
 }
 
 // AllocatorSim models a framework allocator with a fixed device capacity, as

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"catamount/internal/graph"
+	"catamount/internal/symbolic"
 )
 
 // Backprop appends explicit backward ops to the builder's graph for the
@@ -339,20 +340,32 @@ func unaryGradCost(fn string) float64 {
 	return 2
 }
 
+// ForwardBackwardFLOPs returns the symbolic FLOP totals of the forward and
+// backward (including optimizer) node populations, for callers that compile
+// the split once and evaluate it per sweep point.
+func ForwardBackwardFLOPs(g *graph.Graph) (fwd, bwd symbolic.Expr) {
+	g.WarmCosts() // synchronize the per-node cost-cache fill
+	var fwdTerms, bwdTerms []symbolic.Expr
+	for _, n := range g.Nodes() {
+		if isBackwardNode(n) {
+			bwdTerms = append(bwdTerms, n.FLOPs())
+		} else {
+			fwdTerms = append(fwdTerms, n.FLOPs())
+		}
+	}
+	return symbolic.Add(fwdTerms...), symbolic.Add(bwdTerms...)
+}
+
 // ForwardBackwardSplit evaluates FLOPs separately for forward and backward
 // (including optimizer) node populations — used to validate the paper's
 // ~2x-backward observation.
 func ForwardBackwardSplit(g *graph.Graph, env map[string]float64) (fwd, bwd float64, err error) {
-	for _, n := range g.Nodes() {
-		v, e := n.FLOPs().Eval(env)
-		if e != nil {
-			return 0, 0, e
-		}
-		if isBackwardNode(n) {
-			bwd += v
-		} else {
-			fwd += v
-		}
+	fe, be := ForwardBackwardFLOPs(g)
+	if fwd, err = fe.Eval(env); err != nil {
+		return 0, 0, err
+	}
+	if bwd, err = be.Eval(env); err != nil {
+		return 0, 0, err
 	}
 	return fwd, bwd, nil
 }

@@ -28,6 +28,36 @@ func BenchmarkEvalPolynomial(b *testing.B) {
 	}
 }
 
+// BenchmarkTreeEval and BenchmarkCompiledEval compare the two evaluation
+// strategies on the same word-LM-shaped cost polynomial. The compiled form
+// must be allocation-free per call.
+func BenchmarkTreeEval(b *testing.B) {
+	e := MustParse("160079 + 2.88e+07*b + 320032*h + 1.920856e+07*b*h + 7680*b*h^2 + 64*h^2")
+	env := Env{"h": 5903.5, "b": 128}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompiledEval(b *testing.B) {
+	e := MustParse("160079 + 2.88e+07*b + 320032*h + 1.920856e+07*b*h + 7680*b*h^2 + 64*h^2")
+	st := SymTabFor(e)
+	p := Compile(e, st)
+	slots := st.NewSlots()
+	if err := st.Bind(slots, Env{"h": 5903.5, "b": 128}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Eval(slots)
+	}
+}
+
 func BenchmarkSubs(b *testing.B) {
 	e := MustParse("16*h^2 + 80008*h + 40000")
 	bind := map[string]Expr{"h": MustParse("2*g + 5")}

@@ -1,0 +1,345 @@
+package symbolic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file lowers canonical Expr trees into flat, slot-indexed postfix
+// programs. A sweep then becomes "write slots, run programs": symbol lookup
+// happens once at compile time (name -> slot index), and every subsequent
+// evaluation is a tight loop over a []float64 with no map accesses, no
+// interface dispatch, and no heap allocation.
+
+// SymTab assigns each symbol name a dense slot index shared by every program
+// compiled against it. Bind once per sweep point, then evaluate any number of
+// programs against the same slot buffer.
+type SymTab struct {
+	slots map[string]int
+	names []string
+}
+
+// NewSymTab creates a symbol table pre-populated with the given names, in
+// order.
+func NewSymTab(names ...string) *SymTab {
+	t := &SymTab{slots: make(map[string]int, len(names))}
+	for _, n := range names {
+		t.Intern(n)
+	}
+	return t
+}
+
+// Intern returns the slot index for name, assigning the next free slot on
+// first use.
+func (t *SymTab) Intern(name string) int {
+	if i, ok := t.slots[name]; ok {
+		return i
+	}
+	i := len(t.names)
+	t.slots[name] = i
+	t.names = append(t.names, name)
+	return i
+}
+
+// Slot returns the slot index for name, if interned.
+func (t *SymTab) Slot(name string) (int, bool) {
+	i, ok := t.slots[name]
+	return i, ok
+}
+
+// Len returns the number of interned symbols.
+func (t *SymTab) Len() int { return len(t.names) }
+
+// Names returns the interned symbol names in slot order. The caller must not
+// modify the returned slice.
+func (t *SymTab) Names() []string { return t.names }
+
+// NewSlots allocates a zeroed slot buffer sized for the table.
+func (t *SymTab) NewSlots() []float64 { return make([]float64, len(t.names)) }
+
+// Bind writes env values into slots. Every interned symbol must be bound;
+// env entries for unknown symbols are ignored (an env may serve several
+// tables).
+func (t *SymTab) Bind(slots []float64, env Env) error {
+	if len(slots) < len(t.names) {
+		return fmt.Errorf("symbolic: slot buffer has %d slots, table needs %d", len(slots), len(t.names))
+	}
+	for i, name := range t.names {
+		v, ok := env[name]
+		if !ok {
+			return fmt.Errorf("symbolic: unbound symbol %q", name)
+		}
+		slots[i] = v
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Program representation
+
+type opcode uint8
+
+const (
+	opConst opcode = iota // push val
+	opLoad                // push slots[arg]
+	opAdd                 // pop b, a; push a + b
+	opMul                 // pop b, a; push a * b
+	opPow                 // pop exp, base; push base^exp
+	opPowC                // pop base; push base^val (constant exponent)
+	opMax                 // pop b, a; push max(a, b)
+	opMin                 // pop b, a; push min(a, b)
+	opCeil                // pop a; push ceil(a)
+	opFloor               // pop a; push floor(a)
+	opLog2                // pop a; push log2(a)
+)
+
+type instr struct {
+	op  opcode
+	arg int32
+	val float64
+}
+
+// Program is a compiled expression: a postfix instruction sequence over a
+// slot-indexed symbol buffer. Programs are immutable after compilation and
+// safe for concurrent evaluation.
+type Program struct {
+	code  []instr
+	depth int // maximum operand-stack depth
+	src   Expr
+}
+
+// maxInlineStack bounds the operand stack that Eval keeps on the goroutine
+// stack. N-ary sums and products are folded into binary ops at compile time,
+// so depth grows with expression nesting, not term count; real analysis
+// expressions stay far below this.
+const maxInlineStack = 64
+
+// Expr returns the expression the program was compiled from.
+func (p *Program) Expr() Expr { return p.src }
+
+// Depth returns the operand-stack depth Eval requires.
+func (p *Program) Depth() int { return p.depth }
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.code) }
+
+// String renders a readable disassembly, one instruction per line.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for i, in := range p.code {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		switch in.op {
+		case opConst:
+			fmt.Fprintf(&sb, "const %g", in.val)
+		case opLoad:
+			fmt.Fprintf(&sb, "load %d", in.arg)
+		case opAdd:
+			sb.WriteString("add")
+		case opMul:
+			sb.WriteString("mul")
+		case opPow:
+			sb.WriteString("pow")
+		case opPowC:
+			fmt.Fprintf(&sb, "powc %g", in.val)
+		case opMax:
+			sb.WriteString("max")
+		case opMin:
+			sb.WriteString("min")
+		case opCeil:
+			sb.WriteString("ceil")
+		case opFloor:
+			sb.WriteString("floor")
+		case opLog2:
+			sb.WriteString("log2")
+		}
+	}
+	return sb.String()
+}
+
+// Eval runs the program against a slot buffer previously filled via
+// SymTab.Bind (or written directly at known slot indices). It performs no
+// heap allocation and is safe to call from multiple goroutines.
+func (p *Program) Eval(slots []float64) float64 {
+	if p.depth <= maxInlineStack {
+		var buf [maxInlineStack]float64
+		return p.run(slots, buf[:p.depth])
+	}
+	return p.run(slots, make([]float64, p.depth))
+}
+
+func (p *Program) run(slots, stack []float64) float64 {
+	sp := 0
+	for _, in := range p.code {
+		switch in.op {
+		case opConst:
+			stack[sp] = in.val
+			sp++
+		case opLoad:
+			stack[sp] = slots[in.arg]
+			sp++
+		case opAdd:
+			sp--
+			stack[sp-1] += stack[sp]
+		case opMul:
+			sp--
+			stack[sp-1] *= stack[sp]
+		case opPow:
+			sp--
+			stack[sp-1] = math.Pow(stack[sp-1], stack[sp])
+		case opPowC:
+			b := stack[sp-1]
+			switch in.val {
+			case -1:
+				stack[sp-1] = 1 / b
+			case 0.5:
+				stack[sp-1] = math.Sqrt(b)
+			case 2:
+				stack[sp-1] = b * b
+			case 3:
+				stack[sp-1] = b * b * b
+			default:
+				stack[sp-1] = math.Pow(b, in.val)
+			}
+		case opMax:
+			sp--
+			if stack[sp] > stack[sp-1] {
+				stack[sp-1] = stack[sp]
+			}
+		case opMin:
+			sp--
+			if stack[sp] < stack[sp-1] {
+				stack[sp-1] = stack[sp]
+			}
+		case opCeil:
+			stack[sp-1] = math.Ceil(stack[sp-1])
+		case opFloor:
+			stack[sp-1] = math.Floor(stack[sp-1])
+		case opLog2:
+			stack[sp-1] = math.Log2(stack[sp-1])
+		}
+	}
+	return stack[sp-1]
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+
+// Compile lowers expr into a Program against symtab, interning any symbols
+// the table has not seen. N-ary sums, products, and extrema fold into chains
+// of binary ops in canonical term order, so compiled evaluation reproduces
+// the tree walk's summation order. Constant-exponent powers use direct fast
+// paths (reciprocal, square root, squaring), which may differ from
+// math.Pow by an ulp.
+func Compile(expr Expr, symtab *SymTab) *Program {
+	c := compiler{symtab: symtab}
+	c.emit(expr)
+	return &Program{code: c.code, depth: c.maxDepth, src: expr}
+}
+
+// CompileAll compiles each expression against one shared table, so a batch
+// of programs can be evaluated against a single slot buffer per sweep point.
+func CompileAll(exprs []Expr, symtab *SymTab) []*Program {
+	out := make([]*Program, len(exprs))
+	for i, e := range exprs {
+		out[i] = Compile(e, symtab)
+	}
+	return out
+}
+
+// SymTabFor builds a symbol table covering every symbol of the given
+// expressions, in sorted order for determinism.
+func SymTabFor(exprs ...Expr) *SymTab {
+	set := make(map[string]bool)
+	for _, e := range exprs {
+		e.CollectSymbols(set)
+	}
+	names := mapKeys(set)
+	sort.Strings(names)
+	return NewSymTab(names...)
+}
+
+type compiler struct {
+	symtab   *SymTab
+	code     []instr
+	depth    int
+	maxDepth int
+}
+
+func (c *compiler) push(in instr, delta int) {
+	c.code = append(c.code, in)
+	c.depth += delta
+	if c.depth > c.maxDepth {
+		c.maxDepth = c.depth
+	}
+}
+
+func (c *compiler) emit(e Expr) {
+	switch v := e.(type) {
+	case Const:
+		c.push(instr{op: opConst, val: float64(v)}, 1)
+	case Symbol:
+		slot := c.symtab.Intern(string(v))
+		c.push(instr{op: opLoad, arg: int32(slot)}, 1)
+	case add:
+		for i, t := range v.terms {
+			c.emit(t)
+			if i > 0 {
+				c.push(instr{op: opAdd}, -1)
+			}
+		}
+	case mul:
+		first := true
+		if v.coef != 1 {
+			c.push(instr{op: opConst, val: v.coef}, 1)
+			first = false
+		}
+		for _, f := range v.factors {
+			c.emit(f)
+			if !first {
+				c.push(instr{op: opMul}, -1)
+			}
+			first = false
+		}
+	case pow:
+		c.emit(v.base)
+		if ec, ok := v.exp.(Const); ok {
+			c.push(instr{op: opPowC, val: float64(ec)}, 0)
+			return
+		}
+		c.emit(v.exp)
+		c.push(instr{op: opPow}, -1)
+	case call:
+		switch v.fn {
+		case "max", "min":
+			op := opMax
+			if v.fn == "min" {
+				op = opMin
+			}
+			for i, a := range v.args {
+				c.emit(a)
+				if i > 0 {
+					c.push(instr{op: op}, -1)
+				}
+			}
+		case "ceil":
+			c.emit(v.args[0])
+			c.push(instr{op: opCeil}, 0)
+		case "floor":
+			c.emit(v.args[0])
+			c.push(instr{op: opFloor}, 0)
+		case "log2":
+			c.emit(v.args[0])
+			c.push(instr{op: opLog2}, 0)
+		default:
+			// Canonical constructors only build the functions above; reaching
+			// this is a programming error in the symbolic package itself.
+			panic(fmt.Sprintf("symbolic: cannot compile unknown function %q", v.fn))
+		}
+	default:
+		panic(fmt.Sprintf("symbolic: cannot compile %T", e))
+	}
+}

@@ -1,0 +1,89 @@
+// Property-style equivalence tests for the expression compiler, run over
+// every node expression of all five domain training graphs — the compiler's
+// real workload. This is an external test package so it can import the
+// model builders without an import cycle.
+package symbolic_test
+
+import (
+	"math"
+	"testing"
+
+	"catamount/internal/models"
+	"catamount/internal/symbolic"
+)
+
+// domainEnvs are representative (size, batch) points per domain, spanning
+// profiling and frontier scales, including a non-integral solved size.
+func domainEnvs(m *models.Model) []symbolic.Env {
+	points := []struct{ size, batch float64 }{
+		{16, 1},
+		{512, 32},
+		{1024, 128},
+		{5903.5, 256},
+	}
+	envs := make([]symbolic.Env, 0, len(points))
+	for _, p := range points {
+		envs = append(envs, m.Env(p.size, p.batch))
+	}
+	return envs
+}
+
+func relClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-12*math.Max(scale, 1)
+}
+
+// TestCompiledEvalMatchesTreeEvalAllDomains compiles every node FLOPs/bytes
+// expression and every tensor byte expression of each domain graph against
+// one shared symbol table, and asserts Program.Eval matches the tree-walk
+// Expr.Eval at several sweep points.
+func TestCompiledEvalMatchesTreeEvalAllDomains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds all five domain graphs")
+	}
+	for _, d := range models.AllDomains {
+		d := d
+		t.Run(string(d), func(t *testing.T) {
+			m := models.MustBuild(d)
+			var exprs []symbolic.Expr
+			var names []string
+			for _, n := range m.Graph.Nodes() {
+				exprs = append(exprs, n.FLOPs(), n.Bytes())
+				names = append(names, n.Name+"/flops", n.Name+"/bytes")
+			}
+			for _, tn := range m.Graph.Tensors() {
+				exprs = append(exprs, tn.Bytes())
+				names = append(names, tn.Name+"/tensor-bytes")
+			}
+			exprs = append(exprs, m.ParamExpr(), m.FLOPsExpr(), m.BytesExpr())
+			names = append(names, "params", "total-flops", "total-bytes")
+
+			st := symbolic.NewSymTab()
+			progs := symbolic.CompileAll(exprs, st)
+			slots := st.NewSlots()
+			for _, env := range domainEnvs(m) {
+				if err := st.Bind(slots, env); err != nil {
+					t.Fatalf("bind %v: %v", env, err)
+				}
+				mismatches := 0
+				for i, e := range exprs {
+					want, err := e.Eval(env)
+					if err != nil {
+						t.Fatalf("%s: tree eval: %v", names[i], err)
+					}
+					got := progs[i].Eval(slots)
+					if !relClose(got, want) {
+						t.Errorf("%s at %v: compiled %v != tree %v", names[i], env, got, want)
+						if mismatches++; mismatches > 5 {
+							t.Fatal("too many mismatches")
+						}
+					}
+				}
+			}
+		})
+	}
+}

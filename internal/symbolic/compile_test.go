@@ -1,0 +1,145 @@
+package symbolic
+
+import (
+	"testing"
+)
+
+func TestCompileMatchesTreeEval(t *testing.T) {
+	exprs := []string{
+		"42",
+		"h",
+		"h + b",
+		"2*h*b + 3*h - b",
+		"16*h^2 + 80008*h + 40000",
+		"160079 + 2.88e+07*b + 320032*h + 1.920856e+07*b*h + 7680*b*h^2 + 64*h^2",
+		"h^0.5",
+		"h^(-1)",
+		"h^3*b^2",
+		"b*h^0.5*(3.65*h^0.5 + 64*b)^(-1)",
+		"max(h, b, 12)",
+		"min(h, 2*b)",
+		"ceil(h/128)*floor(b/2)",
+		"log2(h)*b",
+		"max(1, ceil(h/4096)) + min(h, b)^2",
+		"(h + b)^(b/h)",
+	}
+	envs := []Env{
+		{"h": 1, "b": 1},
+		{"h": 512, "b": 128},
+		{"h": 5903.5, "b": 32},
+		{"h": 0.25, "b": 7},
+		{"h": 1e6, "b": 3},
+	}
+	for _, src := range exprs {
+		e := MustParse(src)
+		st := SymTabFor(e)
+		p := Compile(e, st)
+		slots := st.NewSlots()
+		for _, env := range envs {
+			if err := st.Bind(slots, env); err != nil {
+				t.Fatalf("%s: bind: %v", src, err)
+			}
+			want, err := e.Eval(env)
+			if err != nil {
+				t.Fatalf("%s: tree eval: %v", src, err)
+			}
+			got := p.Eval(slots)
+			if !almostEqual(got, want) {
+				t.Errorf("%s at %v: compiled %v, tree %v", src, env, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileAllSharesSymTab(t *testing.T) {
+	a := MustParse("h^2 + b")
+	b := MustParse("b*q + h")
+	st := NewSymTab()
+	progs := CompileAll([]Expr{a, b}, st)
+	if st.Len() != 3 {
+		t.Fatalf("symtab has %d symbols, want 3", st.Len())
+	}
+	slots := st.NewSlots()
+	if err := st.Bind(slots, Env{"h": 3, "b": 5, "q": 7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := progs[0].Eval(slots); got != 14 {
+		t.Fatalf("h^2+b = %v, want 14", got)
+	}
+	if got := progs[1].Eval(slots); got != 38 {
+		t.Fatalf("b*q+h = %v, want 38", got)
+	}
+}
+
+func TestSymTabBindErrors(t *testing.T) {
+	st := NewSymTab("h", "b")
+	if err := st.Bind(st.NewSlots(), Env{"h": 1}); err == nil {
+		t.Fatal("expected unbound-symbol error")
+	}
+	if err := st.Bind(make([]float64, 1), Env{"h": 1, "b": 2}); err == nil {
+		t.Fatal("expected short-buffer error")
+	}
+	// Extra env entries are ignored.
+	if err := st.Bind(st.NewSlots(), Env{"h": 1, "b": 2, "z": 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymTabInternStable(t *testing.T) {
+	st := NewSymTab("b", "h")
+	if i := st.Intern("b"); i != 0 {
+		t.Fatalf("re-intern moved slot: %d", i)
+	}
+	if i := st.Intern("q"); i != 2 {
+		t.Fatalf("new symbol slot %d, want 2", i)
+	}
+	if i, ok := st.Slot("h"); !ok || i != 1 {
+		t.Fatalf("Slot(h) = %d, %v", i, ok)
+	}
+	if got := st.Names(); len(got) != 3 || got[0] != "b" || got[2] != "q" {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestCompileDeepExpressionUsesHeapStack(t *testing.T) {
+	// Nest powers past the inline stack bound to exercise the fallback.
+	e := S("h")
+	for i := 0; i < maxInlineStack+8; i++ {
+		e = Pow(S("h"), Add(e, C(0)))
+	}
+	st := SymTabFor(e)
+	p := Compile(e, st)
+	if p.Depth() <= maxInlineStack {
+		t.Skipf("expression did not exceed inline stack (depth %d)", p.Depth())
+	}
+	slots := st.NewSlots()
+	if err := st.Bind(slots, Env{"h": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Eval(slots); got != 1 {
+		t.Fatalf("1^... = %v", got)
+	}
+}
+
+func TestProgramDisassembly(t *testing.T) {
+	e := MustParse("2*h + max(b, 3)")
+	p := Compile(e, NewSymTab("h", "b"))
+	dis := p.String()
+	for _, want := range []string{"const 2", "load 0", "mul", "load 1", "max", "add"} {
+		if !contains(dis, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+	if p.Len() == 0 || p.Expr() == nil {
+		t.Fatal("empty program metadata")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
