@@ -28,6 +28,7 @@ package catamount
 
 import (
 	"io"
+	"os"
 
 	"catamount/internal/core"
 	"catamount/internal/graph"
@@ -89,15 +90,26 @@ func Analyze(d Domain, paramCount, subbatch float64) (Requirements, error) {
 	return defaultEngine.Analyze(d, paramCount, subbatch)
 }
 
+// sessionAt compiles a one-shot analysis session for an already-built model
+// and solves the size hyperparameter hitting the target parameter count —
+// the shared front half of AnalyzeModel and ProfileModel.
+func sessionAt(m *Model, paramCount float64) (*core.Analyzer, float64, error) {
+	a, err := core.NewAnalyzer(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	size, err := a.SizeForParams(paramCount)
+	if err != nil {
+		return nil, 0, err
+	}
+	return a, size, nil
+}
+
 // AnalyzeModel characterizes an already-built (possibly custom-configured)
 // model at a parameter count. The model is compiled on every call; prefer
 // Engine.Analyze for repeated queries on default domain models.
 func AnalyzeModel(m *Model, paramCount, subbatch float64) (Requirements, error) {
-	a, err := core.NewAnalyzer(m)
-	if err != nil {
-		return Requirements{}, err
-	}
-	size, err := a.SizeForParams(paramCount)
+	a, size, err := sessionAt(m, paramCount)
 	if err != nil {
 		return Requirements{}, err
 	}
@@ -125,6 +137,36 @@ func FrontierTable(acc Accelerator) ([]Frontier, error) {
 // TargetAccelerator returns the paper's Table 4 configuration.
 func TargetAccelerator() Accelerator { return hw.TargetAccelerator() }
 
+// Accelerators returns the named Roofline catalog: the Table 4 target plus
+// A100-, H100-, TPUv3-, and CPU-class presets. Every accelerator-taking
+// API (FrontierTable, Figure11, WordLMCaseStudyOn, the catamountd
+// endpoints) accepts any entry.
+func Accelerators() []Accelerator { return hw.Catalog() }
+
+// AcceleratorByName finds a catalog entry by name or alias ("v100",
+// "a100", ...), case-insensitively.
+func AcceleratorByName(name string) (Accelerator, error) { return hw.Lookup(name) }
+
+// ResolveAccelerator turns a command-line -accel flag value into a device:
+// "" means the paper's Table 4 target, "@path" loads a custom accelerator
+// from a JSON file (the catalog interchange schema), anything else is a
+// catalog name or alias.
+func ResolveAccelerator(ref string) (Accelerator, error) {
+	switch {
+	case ref == "":
+		return hw.TargetAccelerator(), nil
+	case ref[0] == '@':
+		f, err := os.Open(ref[1:])
+		if err != nil {
+			return Accelerator{}, err
+		}
+		defer f.Close()
+		return hw.ReadAccelerator(f)
+	default:
+		return hw.Lookup(ref)
+	}
+}
+
 // WordLMCaseStudy runs the §6 step-by-step parallelization plan (Table 5),
 // memoized on the shared DefaultEngine.
 func WordLMCaseStudy() (*CaseStudy, error) {
@@ -141,11 +183,7 @@ type Profile = core.Profile
 // model is compiled on every call; prefer Engine.Profile for repeated
 // queries on default domain models.
 func ProfileModel(m *Model, paramCount, subbatch float64) (*Profile, error) {
-	a, err := core.NewAnalyzer(m)
-	if err != nil {
-		return nil, err
-	}
-	size, err := a.SizeForParams(paramCount)
+	a, size, err := sessionAt(m, paramCount)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -15,12 +16,24 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("casestudy: ")
-	cs, err := cat.DefaultEngine().WordLMCaseStudy()
+	accel := flag.String("accel", "",
+		"Roofline accelerator: catalog name (v100, a100, h100, tpuv3, cpu), @file.json, or empty for the paper's target")
+	flag.Parse()
+
+	acc, err := cat.ResolveAccelerator(*accel)
 	if err != nil {
 		log.Fatal(err)
 	}
+	cs, err := cat.DefaultEngine().WordLMCaseStudyOn(acc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *accel != "" {
+		fmt.Printf("Replayed on %s (%.1f TFLOP/s, %.0f GB/s, %.0f GB)\n\n",
+			acc.Name, acc.PeakFLOPS/1e12, acc.MemBandwidth/1e9, acc.MemCapacity/1e9)
+	}
 	fmt.Println("Table 5: step-by-step process of training the word LM to target accuracy")
-	cat.PrintTable5(os.Stdout, cs)
+	cat.PrintTable5For(os.Stdout, cs, acc)
 	fmt.Println()
 	fmt.Println("Notes:")
 	fmt.Println("  - the LSTM projection + production vocabulary model is sized so its")

@@ -7,6 +7,8 @@
 //
 //	catamount -domain wordlm -params 1.03e9 -batch 128
 //	catamount -domain image -params 61e6 -batch 32 -formulas
+//	catamount -domain nmt -params 2e8 -accel a100
+//	catamount -domain nmt -params 2e8 -accel @my-device.json
 package main
 
 import (
@@ -30,7 +32,14 @@ func main() {
 	profile := flag.Bool("profile", false,
 		"print the per-op-kind and per-group cost breakdown")
 	save := flag.String("save", "", "write the compute graph checkpoint to this file")
+	accel := flag.String("accel", "",
+		"Roofline accelerator: catalog name (v100, a100, h100, tpuv3, cpu), @file.json, or empty for the paper's target")
 	flag.Parse()
+
+	acc, err := cat.ResolveAccelerator(*accel)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// One Engine session serves every query below; the model is built and
 	// compiled exactly once.
@@ -61,7 +70,6 @@ func main() {
 	}
 	cat.PrintRequirements(os.Stdout, r)
 
-	acc := cat.TargetAccelerator()
 	step := acc.StepTime(r.FLOPsPerStep, r.BytesPerStep)
 	fmt.Printf("Roofline step time on %s\t%.4g s (%.1f%% utilization, %s-bound)\n",
 		acc.Name, step, 100*acc.Utilization(r.FLOPsPerStep, step), bound(acc, r))

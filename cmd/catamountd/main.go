@@ -1,0 +1,92 @@
+// Command catamountd serves the catamount analysis engine over HTTP/JSON:
+// per-domain characterization, frontier projections, figure sweeps,
+// subbatch selection, the word-LM case study, the accelerator catalog, and
+// checkpoint upload-and-analyze — with single-flight request coalescing,
+// a bounded LRU response cache, a concurrency limiter, request deadlines,
+// and graceful shutdown.
+//
+// Usage:
+//
+//	catamountd -addr :8080
+//	curl 'localhost:8080/v1/analyze?domain=wordlm&params=1.03e9&batch=128'
+//	curl 'localhost:8080/v1/frontier?accel=a100'
+//	curl 'localhost:8080/metrics'
+//
+// See the README's "Serving: catamountd" section for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	cat "catamount"
+	"catamount/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("catamountd: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheEntries := flag.Int("cache", 1024, "LRU response cache entries")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent request limit (0 = 4x GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown drain window")
+	warm := flag.Bool("warm", false, "build and compile every domain model before listening")
+	flag.Parse()
+
+	eng := cat.NewEngine()
+	if *warm {
+		start := time.Now()
+		for _, d := range cat.Domains() {
+			if _, err := eng.Analyzer(d); err != nil {
+				log.Fatalf("warming %s: %v", d, err)
+			}
+		}
+		log.Printf("warmed %d domain models in %v", len(cat.Domains()), time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := server.New(server.Config{
+		Engine:       eng,
+		CacheEntries: *cacheEntries,
+		MaxInFlight:  *maxInFlight,
+		Timeout:      *timeout,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		// Bound body reads too: checkpoint uploads stream through the
+		// handler, and a stalled upload should not hold a connection (and
+		// an admission slot) past the request deadline.
+		ReadTimeout: *timeout + 10*time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		log.Printf("shutting down, draining for up to %v", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("forced shutdown: %v", err)
+			hs.Close()
+		}
+	}()
+
+	log.Printf("listening on %s (cache %d entries, timeout %v)", *addr, *cacheEntries, *timeout)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	log.Printf("bye")
+}

@@ -21,7 +21,14 @@ func main() {
 	log.SetPrefix("figures: ")
 	fig := flag.String("fig", "all", "figure to emit: 6, 7, 8, 9, 10, 11, 12 or all")
 	out := flag.String("out", "", "output directory (default stdout)")
+	accel := flag.String("accel", "",
+		"Roofline accelerator for Figures 11 and 12: catalog name (v100, a100, h100, tpuv3, cpu), @file.json, or empty for the paper's target")
 	flag.Parse()
+
+	acc, err := cat.ResolveAccelerator(*accel)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	writer := func(name string) (io.Writer, func(), error) {
 		if *out == "" {
@@ -97,7 +104,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		data, err := eng.Figure11(cat.TargetAccelerator())
+		data, err := eng.Figure11(acc)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -109,7 +116,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		data, err := eng.Figure12()
+		data, err := eng.Figure12On(acc)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -20,8 +20,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("frontier: ")
 	table := flag.String("table", "all", "table to print: 1, 2, 3, 4 or all")
+	accel := flag.String("accel", "",
+		"Roofline accelerator for Tables 3 and 4: catalog name (v100, a100, h100, tpuv3, cpu), @file.json, or empty for the paper's target")
 	flag.Parse()
 
+	acc, err := cat.ResolveAccelerator(*accel)
+	if err != nil {
+		log.Fatal(err)
+	}
 	want := func(t string) bool { return *table == "all" || *table == t }
 
 	// Tables 2 and 3 share one Engine session: each domain model is built
@@ -47,16 +53,16 @@ func main() {
 		fmt.Println()
 	}
 	if want("3") {
-		rows, err := eng.FrontierTable(cat.TargetAccelerator())
+		rows, err := eng.FrontierTable(acc)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("Table 3: training requirements projected to target accuracy")
-		cat.PrintTable3(os.Stdout, rows)
+		cat.PrintTable3For(os.Stdout, rows, acc)
 		fmt.Println()
 	}
 	if want("4") {
 		fmt.Println("Table 4: target accelerator configuration")
-		cat.PrintTable4(os.Stdout, cat.TargetAccelerator())
+		cat.PrintTable4(os.Stdout, acc)
 	}
 }

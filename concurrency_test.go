@@ -1,0 +1,162 @@
+package catamount
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestEngineConcurrentMixedQueries hammers one Engine from many goroutines
+// with mixed Analyze / Profile / Figure11 / FrontierTable queries across
+// domains and catalog accelerators. Run under -race it verifies the lazily
+// memoized model builds, the per-accelerator case-study map, and the
+// compiled program evaluation are all safe for the serving workload
+// catamountd puts on them.
+func TestEngineConcurrentMixedQueries(t *testing.T) {
+	eng := NewEngine()
+	accs := Accelerators()
+	goroutines := 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*16)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, d := range Domains() {
+				if _, err := eng.Analyze(d, 1e8+float64(g)*1e7, 32); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := eng.Profile(d, 5e7, 16); err != nil {
+					errs <- err
+					return
+				}
+			}
+			// One heavy accelerator-parameterized query per goroutine, with
+			// the device rotated so concurrent queries mix catalog entries.
+			if _, err := eng.Figure11(accs[g%len(accs)]); err != nil {
+				errs <- err
+				return
+			}
+			if !testing.Short() {
+				if _, err := eng.FrontierTable(accs[g%len(accs)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineCaseStudyMemoizedPerAccelerator checks that concurrent case
+// study requests for the same device share one computation (pointer
+// identity) while different devices memoize separately.
+func TestEngineCaseStudyMemoizedPerAccelerator(t *testing.T) {
+	eng := NewEngine()
+	const goroutines = 8
+	results := make([]*CaseStudy, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cs, err := eng.WordLMCaseStudyOn(TargetAccelerator())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = cs
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d got a different case-study instance", g)
+		}
+	}
+	// WordLMCaseStudy (the default-target convenience) shares the entry.
+	cs, err := eng.WordLMCaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs != results[0] {
+		t.Fatal("default case study did not reuse the memoized target entry")
+	}
+}
+
+// TestCatalogAcceleratorsAcrossAnalyses runs FrontierTable, Figure11, and
+// the word-LM case study against every named catalog accelerator — the
+// scenario-diversity axis the catalog exists for.
+func TestCatalogAcceleratorsAcrossAnalyses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog replay is not run in -short mode")
+	}
+	accs := Accelerators()
+	if len(accs) < 5 {
+		t.Fatalf("catalog has %d entries, want >= 5", len(accs))
+	}
+	eng := NewEngine()
+	for _, acc := range accs {
+		rows, err := eng.FrontierTable(acc)
+		if err != nil {
+			t.Fatalf("%s: FrontierTable: %v", acc.Name, err)
+		}
+		if len(rows) != len(Domains()) {
+			t.Fatalf("%s: %d frontier rows", acc.Name, len(rows))
+		}
+		for _, f := range rows {
+			if f.StepSeconds <= 0 || math.IsNaN(f.StepSeconds) || math.IsInf(f.StepSeconds, 0) {
+				t.Fatalf("%s/%s: step time %v", acc.Name, f.Spec.Domain, f.StepSeconds)
+			}
+		}
+		fig, err := eng.Figure11(acc)
+		if err != nil {
+			t.Fatalf("%s: Figure11: %v", acc.Name, err)
+		}
+		if len(fig.Chosen) != 3 {
+			t.Fatalf("%s: %d chosen policies", acc.Name, len(fig.Chosen))
+		}
+		cs, err := eng.WordLMCaseStudyOn(acc)
+		if err != nil {
+			t.Fatalf("%s: case study: %v", acc.Name, err)
+		}
+		for _, st := range cs.Stages {
+			if st.DaysPerEpoch <= 0 || math.IsNaN(st.DaysPerEpoch) {
+				t.Fatalf("%s/%s: days/epoch %v", acc.Name, st.Name, st.DaysPerEpoch)
+			}
+		}
+	}
+	// Faster memory and compute must show up in the projections: the H100
+	// frontier word LM step should beat the V100 one.
+	v100, _ := eng.FrontierTable(TargetAccelerator())
+	h100acc, err := AcceleratorByName("h100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h100, _ := eng.FrontierTable(h100acc)
+	if h100[0].StepSeconds >= v100[0].StepSeconds {
+		t.Fatalf("h100 step %v not faster than v100 %v", h100[0].StepSeconds, v100[0].StepSeconds)
+	}
+}
+
+// TestRejectedAcceleratorsSurfaceEverywhere checks the Validate gate on
+// every accelerator-taking Engine entry point.
+func TestRejectedAcceleratorsSurfaceEverywhere(t *testing.T) {
+	eng := NewEngine()
+	bad := TargetAccelerator()
+	bad.MemBandwidth = 0
+	if _, err := eng.FrontierTable(bad); err == nil {
+		t.Fatal("FrontierTable accepted a zero-bandwidth accelerator")
+	}
+	if _, err := eng.Figure11(bad); err == nil {
+		t.Fatal("Figure11 accepted a zero-bandwidth accelerator")
+	}
+	if _, err := eng.WordLMCaseStudyOn(bad); err == nil {
+		t.Fatal("WordLMCaseStudyOn accepted a zero-bandwidth accelerator")
+	}
+}

@@ -1,6 +1,7 @@
 package catamount
 
 import (
+	"container/list"
 	"sync"
 
 	"catamount/internal/core"
@@ -22,9 +23,25 @@ type Engine struct {
 	mu      sync.Mutex
 	entries map[Domain]*engineEntry
 
-	csOnce    sync.Once
-	caseStudy *CaseStudy
-	csErr     error
+	// caseStudies memoizes the §6 parallelization plan per accelerator:
+	// the case study is deterministic for a given device, and several
+	// figures and endpoints reuse it. Accelerator is a comparable value
+	// type, so the device itself is the key — two configs differing in
+	// any field memoize separately. csOrder tracks recency (front = most
+	// recent) so long-tail custom devices evict instead of pinning the
+	// memo or disabling it for later devices.
+	csMu        sync.Mutex
+	caseStudies map[Accelerator]*caseStudyEntry
+	csOrder     *list.List // of Accelerator
+}
+
+// caseStudyEntry runs one accelerator's case study at most once, outside
+// the map lock.
+type caseStudyEntry struct {
+	once sync.Once
+	cs   *CaseStudy
+	err  error
+	elem *list.Element
 }
 
 // engineEntry builds one domain's analyzer at most once. Builds run outside
@@ -39,7 +56,11 @@ type engineEntry struct {
 // NewEngine creates an empty analysis session. Models are built and compiled
 // lazily, on first use of each domain.
 func NewEngine() *Engine {
-	return &Engine{entries: make(map[Domain]*engineEntry)}
+	return &Engine{
+		entries:     make(map[Domain]*engineEntry),
+		caseStudies: make(map[Accelerator]*caseStudyEntry),
+		csOrder:     list.New(),
+	}
 }
 
 // Analyzer returns the domain's compiled analysis session, building and
@@ -73,13 +94,24 @@ func (e *Engine) Model(d Domain) (*Model, error) {
 	return a.Model, nil
 }
 
-// Analyze characterizes a domain at a target parameter count and subbatch.
-func (e *Engine) Analyze(d Domain, paramCount, subbatch float64) (Requirements, error) {
+// sessionAt resolves a domain's memoized analyzer and the size
+// hyperparameter hitting the target parameter count — the shared front
+// half of Analyze and Profile.
+func (e *Engine) sessionAt(d Domain, paramCount float64) (*core.Analyzer, float64, error) {
 	a, err := e.Analyzer(d)
 	if err != nil {
-		return Requirements{}, err
+		return nil, 0, err
 	}
 	size, err := a.SizeForParams(paramCount)
+	if err != nil {
+		return nil, 0, err
+	}
+	return a, size, nil
+}
+
+// Analyze characterizes a domain at a target parameter count and subbatch.
+func (e *Engine) Analyze(d Domain, paramCount, subbatch float64) (Requirements, error) {
+	a, size, err := e.sessionAt(d, paramCount)
 	if err != nil {
 		return Requirements{}, err
 	}
@@ -89,11 +121,7 @@ func (e *Engine) Analyze(d Domain, paramCount, subbatch float64) (Requirements, 
 // Profile computes the per-op-kind and per-group cost breakdown of a
 // domain's training step.
 func (e *Engine) Profile(d Domain, paramCount, subbatch float64) (*Profile, error) {
-	a, err := e.Analyzer(d)
-	if err != nil {
-		return nil, err
-	}
-	size, err := a.SizeForParams(paramCount)
+	a, size, err := e.sessionAt(d, paramCount)
 	if err != nil {
 		return nil, err
 	}
@@ -119,8 +147,13 @@ func (e *Engine) AsymptoticTable() ([]Asymptotics, error) {
 	return out, nil
 }
 
-// FrontierTable computes Table 3 through the session's compiled models.
+// FrontierTable computes Table 3 through the session's compiled models, on
+// any validated accelerator — the Table 4 target, a catalog entry, or a
+// custom device.
 func (e *Engine) FrontierTable(acc Accelerator) ([]Frontier, error) {
+	if err := acc.Validate(); err != nil {
+		return nil, err
+	}
 	projs, err := scaling.ProjectAll()
 	if err != nil {
 		return nil, err
@@ -140,13 +173,44 @@ func (e *Engine) FrontierTable(acc Accelerator) ([]Frontier, error) {
 	return out, nil
 }
 
-// WordLMCaseStudy runs the §6 parallelization plan (Table 5), memoizing the
-// result: the case study is deterministic and several figures reuse it.
+// WordLMCaseStudy runs the §6 parallelization plan (Table 5) on the paper's
+// Table 4 target, memoized.
 func (e *Engine) WordLMCaseStudy() (*CaseStudy, error) {
-	e.csOnce.Do(func() {
-		e.caseStudy, e.csErr = parallel.RunWordLMCaseStudy(parallel.DefaultCaseStudyConfig())
+	return e.WordLMCaseStudyOn(hw.TargetAccelerator())
+}
+
+// maxCaseStudyEntries bounds the per-accelerator memo: generous for the
+// catalog plus interactive what-ifs, while long-tail custom devices (each
+// retaining a full case-study result) evict least-recently-used entries
+// instead of growing the memo without bound.
+const maxCaseStudyEntries = 64
+
+// WordLMCaseStudyOn replays the §6 parallelization plan on another
+// accelerator, memoizing per device (LRU-bounded): the case study is
+// deterministic and several figures and server endpoints reuse it.
+func (e *Engine) WordLMCaseStudyOn(acc Accelerator) (*CaseStudy, error) {
+	if err := acc.Validate(); err != nil {
+		return nil, err
+	}
+	e.csMu.Lock()
+	ent, ok := e.caseStudies[acc]
+	if ok {
+		e.csOrder.MoveToFront(ent.elem)
+	} else {
+		for len(e.caseStudies) >= maxCaseStudyEntries {
+			oldest := e.csOrder.Back()
+			e.csOrder.Remove(oldest)
+			delete(e.caseStudies, oldest.Value.(Accelerator))
+		}
+		ent = &caseStudyEntry{}
+		ent.elem = e.csOrder.PushFront(acc)
+		e.caseStudies[acc] = ent
+	}
+	e.csMu.Unlock()
+	ent.once.Do(func() {
+		ent.cs, ent.err = parallel.RunWordLMCaseStudy(parallel.CaseStudyConfigFor(acc))
 	})
-	return e.caseStudy, e.csErr
+	return ent.cs, ent.err
 }
 
 // FigureSweeps characterizes every domain across its Figure 7–10 parameter
@@ -186,21 +250,44 @@ func (e *Engine) Figure10() ([]FootprintSeries, error) {
 	return out, nil
 }
 
-// Figure11 sweeps subbatch sizes for the frontier word LM.
-func (e *Engine) Figure11(acc Accelerator) (*Figure11Data, error) {
-	a, err := e.Analyzer(WordLM)
+// SubbatchSelection is the result of a §5.2.1 subbatch-policy sweep: the
+// Figure 11 curve for one domain at a fixed parameter count on one
+// accelerator, with the chosen point per policy.
+type SubbatchSelection struct {
+	Domain     Domain                      `json:"domain"`
+	Params     float64                     `json:"params"`
+	RidgePoint float64                     `json:"effective_ridge_point"`
+	Points     []hw.SubbatchPoint          `json:"points"`
+	Chosen     map[string]hw.SubbatchPoint `json:"chosen"`
+}
+
+// SubbatchSelect sweeps subbatch sizes (1 … 2^18) for a domain at a target
+// parameter count on any validated accelerator and applies the given
+// policies. params <= 0 selects the domain's accuracy-frontier model size
+// (Table 1). This is the one sweep pipeline behind both Figure11 and the
+// catamountd /v1/subbatch endpoint.
+func (e *Engine) SubbatchSelect(d Domain, params float64, acc Accelerator,
+	policies []hw.SubbatchPolicy, tol float64) (*SubbatchSelection, error) {
+
+	if err := acc.Validate(); err != nil {
+		return nil, err
+	}
+	if params <= 0 {
+		spec, err := scaling.SpecFor(d)
+		if err != nil {
+			return nil, err
+		}
+		proj, err := scaling.Project(spec)
+		if err != nil {
+			return nil, err
+		}
+		params = proj.TargetParams
+	}
+	a, err := e.Analyzer(d)
 	if err != nil {
 		return nil, err
 	}
-	spec, err := scaling.SpecFor(WordLM)
-	if err != nil {
-		return nil, err
-	}
-	proj, err := scaling.Project(spec)
-	if err != nil {
-		return nil, err
-	}
-	size, err := a.SizeForParams(proj.TargetParams)
+	size, err := a.SizeForParams(params)
 	if err != nil {
 		return nil, err
 	}
@@ -208,31 +295,52 @@ func (e *Engine) Figure11(acc Accelerator) (*Figure11Data, error) {
 	if err != nil {
 		return nil, err
 	}
-	data := &Figure11Data{
-		Points:     pts,
+	sel := &SubbatchSelection{
+		Domain:     d,
+		Params:     params,
 		RidgePoint: acc.EffectiveRidgePoint(),
-		Chosen:     make(map[string]hw.SubbatchPoint, 3),
+		Points:     pts,
+		Chosen:     make(map[string]hw.SubbatchPoint, len(policies)),
 	}
-	for _, pol := range []hw.SubbatchPolicy{
-		hw.MinTimePerSample, hw.RidgePointMatch, hw.IntensitySaturation,
-	} {
-		pt, err := hw.ChooseSubbatch(pts, acc, pol, 0.05)
+	for _, pol := range policies {
+		pt, err := hw.ChooseSubbatch(pts, acc, pol, tol)
 		if err != nil {
 			return nil, err
 		}
-		data.Chosen[pol.String()] = pt
+		sel.Chosen[pol.String()] = pt
 	}
-	return data, nil
+	return sel, nil
 }
 
-// Figure12 sweeps data-parallel worker counts (1 → 16384) for the
-// cache-aware case-study step.
-func (e *Engine) Figure12() (*Figure12Data, error) {
-	cs, err := e.WordLMCaseStudy()
+// AllSubbatchPolicies lists the three §5.2.1 candidate policies.
+func AllSubbatchPolicies() []hw.SubbatchPolicy {
+	return []hw.SubbatchPolicy{hw.MinTimePerSample, hw.RidgePointMatch, hw.IntensitySaturation}
+}
+
+// Figure11 sweeps subbatch sizes for the frontier word LM on any validated
+// accelerator.
+func (e *Engine) Figure11(acc Accelerator) (*Figure11Data, error) {
+	sel, err := e.SubbatchSelect(WordLM, 0, acc, AllSubbatchPolicies(), 0.05)
 	if err != nil {
 		return nil, err
 	}
-	cfg := parallel.DefaultCaseStudyConfig()
+	return &Figure11Data{Points: sel.Points, RidgePoint: sel.RidgePoint, Chosen: sel.Chosen}, nil
+}
+
+// Figure12 sweeps data-parallel worker counts (1 → 16384) for the
+// cache-aware case-study step on the Table 4 target.
+func (e *Engine) Figure12() (*Figure12Data, error) {
+	return e.Figure12On(hw.TargetAccelerator())
+}
+
+// Figure12On is the data-parallel scaling sweep replayed on another
+// accelerator, reusing that device's memoized case study.
+func (e *Engine) Figure12On(acc Accelerator) (*Figure12Data, error) {
+	cs, err := e.WordLMCaseStudyOn(acc)
+	if err != nil {
+		return nil, err
+	}
+	cfg := parallel.CaseStudyConfigFor(acc)
 	dp := parallel.DataParallelConfig{
 		StepTime:          cfg.Acc.StepTime(cs.StepFLOPs, cs.CacheAwareBytes),
 		StepFLOPs:         cs.StepFLOPs,

@@ -59,6 +59,22 @@ func main() {
 	fmt.Println("\nConclusion check: bigger caches recover cache-hierarchy losses;")
 	fmt.Println("bigger memories remove the model-parallel requirement — exactly the")
 	fmt.Println("two directions §6.2.3 recommends against compute-centric designs.")
+
+	// Finally, replay the full plan across the named accelerator catalog:
+	// the same frontier model on every hardware generation the catalog
+	// models, using the Engine's per-device memoization.
+	fmt.Println("\n=== Catalog sweep: final-stage days/epoch per accelerator ===")
+	eng := cat.DefaultEngine()
+	for _, acc := range cat.Accelerators() {
+		cs, err := eng.WordLMCaseStudyOn(acc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		last := cs.Stages[len(cs.Stages)-1]
+		fmt.Printf("  %-18s %6.1f days/epoch  %5.1f%% util  mem/accel %.0f GB  fits=%v\n",
+			acc.Name, last.DaysPerEpoch, 100*last.Utilization,
+			maxOf(last.MemPerAccelGB), last.Fits)
+	}
 }
 
 func compare(a, b *cat.CaseStudy, row int) {

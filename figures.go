@@ -24,8 +24,8 @@ func Figure6(d Domain) ([]LearningCurvePoint, error) {
 // SweepSeries is one domain's model-size sweep, the substrate of
 // Figures 7–10.
 type SweepSeries struct {
-	Domain Domain
-	Points []Requirements
+	Domain Domain         `json:"domain"`
+	Points []Requirements `json:"points"`
 }
 
 // FigureSweeps characterizes every domain across its Figure 7–10 parameter
@@ -38,8 +38,8 @@ func FigureSweeps() ([]SweepSeries, error) {
 // FootprintSeries is one domain's Figure 10 sweep with the simulated
 // framework-allocator view (12 GB device, 80% usable).
 type FootprintSeries struct {
-	Domain Domain
-	Points []core.FootprintPoint
+	Domain Domain                `json:"domain"`
+	Points []core.FootprintPoint `json:"points"`
 }
 
 // Figure10 runs the footprint sweep with the allocator simulation, through
@@ -51,9 +51,9 @@ func Figure10() ([]FootprintSeries, error) {
 // Figure11Data is the word-LM subbatch sweep with the accelerator ridge
 // point and the three §5.2.1 policy choices marked.
 type Figure11Data struct {
-	Points     []hw.SubbatchPoint
-	RidgePoint float64
-	Chosen     map[string]hw.SubbatchPoint
+	Points     []hw.SubbatchPoint          `json:"points"`
+	RidgePoint float64                     `json:"ridge_point"`
+	Chosen     map[string]hw.SubbatchPoint `json:"chosen"`
 }
 
 // Figure11 sweeps subbatch sizes for the frontier word LM, through the
@@ -64,7 +64,7 @@ func Figure11(acc Accelerator) (*Figure11Data, error) {
 
 // Figure12Data is the data-parallel scaling sweep of the case-study word LM.
 type Figure12Data struct {
-	Points []parallel.DataParallelPoint
+	Points []parallel.DataParallelPoint `json:"points"`
 }
 
 // Figure12 sweeps data-parallel worker counts (1 → 16384) for the

@@ -23,27 +23,31 @@ import (
 // Requirements is a full characterization of one training step at a concrete
 // model size and subbatch size.
 type Requirements struct {
-	Domain models.Domain
-	Name   string
+	Domain models.Domain `json:"domain"`
+	Name   string        `json:"name"`
 	// Size is the bound value of the model's size hyperparameter, Batch the
 	// subbatch size.
-	Size, Batch float64
+	Size  float64 `json:"size"`
+	Batch float64 `json:"batch"`
 	// Params is the trainable parameter count.
-	Params float64
+	Params float64 `json:"params"`
 	// FLOPsPerStep / BytesPerStep are the paper's algorithmic totals.
-	FLOPsPerStep, BytesPerStep float64
+	FLOPsPerStep float64 `json:"flops_per_step"`
+	BytesPerStep float64 `json:"bytes_per_step"`
 	// FLOPsPerSample normalizes by the subbatch (Figure 7's y-axis).
-	FLOPsPerSample float64
+	FLOPsPerSample float64 `json:"flops_per_sample"`
 	// Intensity is graph-level operational intensity (Figure 9).
-	Intensity float64
+	Intensity float64 `json:"intensity"`
 	// FootprintBytes is the minimal memory footprint (Figure 10);
 	// PersistentBytes its weights+optimizer component.
-	FootprintBytes, PersistentBytes float64
+	FootprintBytes  float64 `json:"footprint_bytes"`
+	PersistentBytes float64 `json:"persistent_bytes"`
 	// IOBytes is the algorithmic IO per step (§2.1: training data staged in,
 	// proportional to batch size, fixed as models grow).
-	IOBytes float64
+	IOBytes float64 `json:"io_bytes"`
 	// FwdFLOPs / BwdFLOPs split the step (backprop ≈ 2x forward, §2.1).
-	FwdFLOPs, BwdFLOPs float64
+	FwdFLOPs float64 `json:"fwd_flops"`
+	BwdFLOPs float64 `json:"bwd_flops"`
 }
 
 // Characterize evaluates one (size, batch) point, including the footprint
@@ -122,18 +126,20 @@ func LogSpace(lo, hi float64, n int) []float64 {
 
 // Asymptotics holds the fitted Table 2 constants for one domain.
 type Asymptotics struct {
-	Domain models.Domain
+	Domain models.Domain `json:"domain"`
 	// Gamma: FLOPs per parameter per training sample (c_t ≈ γ·p).
-	Gamma float64
+	Gamma float64 `json:"gamma"`
 	// Lambda, Mu: a_t(p, b) ≈ λ·p + µ·b·√p.
-	Lambda, Mu float64
+	Lambda float64 `json:"lambda"`
+	Mu     float64 `json:"mu"`
 	// BytesR2 is the two-term fit quality.
-	BytesR2 float64
+	BytesR2 float64 `json:"bytes_r2"`
 	// Delta: f_t ≈ δ·p at the profiling subbatch.
-	Delta float64
+	Delta float64 `json:"delta"`
 	// IntensityX, IntensityY render operational intensity in the paper's
 	// form b·√p / (X·√p + Y·b): X = λ/γ, Y = µ/γ.
-	IntensityX, IntensityY float64
+	IntensityX float64 `json:"intensity_x"`
+	IntensityY float64 `json:"intensity_y"`
 }
 
 // IntensityAt evaluates the fitted operational-intensity form.
@@ -167,23 +173,27 @@ func FitAsymptotics(m *models.Model, paramTargets, batches []float64,
 // Frontier is one Table 3 row: the projected training requirements of a
 // domain at its target accuracy.
 type Frontier struct {
-	Spec scaling.DomainSpec
+	Spec scaling.DomainSpec `json:"spec"`
 	// TargetDataSamples / TargetParams come from the Table 1 projection.
-	TargetDataSamples, TargetParams float64
+	TargetDataSamples float64 `json:"target_data_samples"`
+	TargetParams      float64 `json:"target_params"`
 	// Size is the solved model hyperparameter.
-	Size float64
+	Size float64 `json:"size"`
 	// Subbatch is chosen by the §5.2.1 min-time-per-sample policy.
-	Subbatch float64
+	Subbatch float64 `json:"subbatch"`
 	// TFLOPsPerStep / TBPerStep / FootprintGB are the per-step requirements.
-	TFLOPsPerStep, TBPerStep, FootprintGB float64
+	TFLOPsPerStep float64 `json:"tflops_per_step"`
+	TBPerStep     float64 `json:"tb_per_step"`
+	FootprintGB   float64 `json:"footprint_gb"`
 	// StepSeconds and EpochDays are the Roofline estimates on the target
 	// accelerator (infinite-memory assumption, §5.2).
-	StepSeconds, EpochDays float64
+	StepSeconds float64 `json:"step_seconds"`
+	EpochDays   float64 `json:"epoch_days"`
 	// Utilization is the achieved algorithmic-FLOP utilization.
-	Utilization float64
+	Utilization float64 `json:"utilization"`
 	// MemoryMultiple is footprint / accelerator capacity (the paper's
 	// "8–100x beyond current accelerator memory" observation).
-	MemoryMultiple float64
+	MemoryMultiple float64 `json:"memory_multiple"`
 }
 
 // StepEvalAt builds an hw.StepEval closure for a model at a fixed size. The
@@ -234,9 +244,9 @@ func ProjectAllFrontiers(acc hw.Accelerator, policy graph.SchedulePolicy) ([]Fro
 // framework-allocator view with a device capacity cap (Figure 10's swap
 // plateau).
 type FootprintPoint struct {
-	Params          float64
-	FootprintBytes  float64
-	AllocatorReport graph.AllocatorReport
+	Params          float64               `json:"params"`
+	FootprintBytes  float64               `json:"footprint_bytes"`
+	AllocatorReport graph.AllocatorReport `json:"allocator_report"`
 }
 
 // FootprintSweep runs the Figure 10 sweep with a 12 GB / 80% allocator cap

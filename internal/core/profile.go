@@ -13,33 +13,34 @@ import (
 // OpKindProfile aggregates one op kind across the graph — the TFprof-style
 // per-op view the paper's methodology is built on (§4.1).
 type OpKindProfile struct {
-	Kind       string
-	Count      int
-	FLOPs      float64
-	Bytes      float64
-	FLOPsShare float64
-	BytesShare float64
+	Kind       string  `json:"kind"`
+	Count      int     `json:"count"`
+	FLOPs      float64 `json:"flops"`
+	Bytes      float64 `json:"bytes"`
+	FLOPsShare float64 `json:"flops_share"`
+	BytesShare float64 `json:"bytes_share"`
 }
 
 // GroupProfile aggregates one logical layer group.
 type GroupProfile struct {
-	Group      string
-	FLOPs      float64
-	Bytes      float64
-	ParamBytes float64
-	FLOPsShare float64
+	Group      string  `json:"group"`
+	FLOPs      float64 `json:"flops"`
+	Bytes      float64 `json:"bytes"`
+	ParamBytes float64 `json:"param_bytes"`
+	FLOPsShare float64 `json:"flops_share"`
 }
 
 // Profile is a full per-op-kind and per-group breakdown of a training step.
 type Profile struct {
 	// ByKind is sorted by descending FLOPs.
-	ByKind []OpKindProfile
+	ByKind []OpKindProfile `json:"by_kind"`
 	// ByGroup is sorted by group name.
-	ByGroup []GroupProfile
+	ByGroup []GroupProfile `json:"by_group"`
 	// TotalFLOPs / TotalBytes are the step totals.
-	TotalFLOPs, TotalBytes float64
+	TotalFLOPs float64 `json:"total_flops"`
+	TotalBytes float64 `json:"total_bytes"`
 	// IOBytes is the algorithmic IO staged into the step.
-	IOBytes float64
+	IOBytes float64 `json:"io_bytes"`
 }
 
 // ProfileGraph computes the breakdown under the given bindings. The graph is

@@ -312,11 +312,11 @@ type AllocatorSim struct {
 // AllocatorReport describes the simulated allocator outcome.
 type AllocatorReport struct {
 	// DeviceBytes is the footprint the allocator reports on-device.
-	DeviceBytes float64
+	DeviceBytes float64 `json:"device_bytes"`
 	// SwappedBytes spilled to host memory.
-	SwappedBytes float64
+	SwappedBytes float64 `json:"swapped_bytes"`
 	// Swapping reports whether any spill occurred.
-	Swapping bool
+	Swapping bool `json:"swapping"`
 }
 
 // Apply converts a true footprint into the allocator-visible view.

@@ -1,0 +1,146 @@
+package hw
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file holds the named accelerator catalog: Roofline presets spanning
+// several hardware generations, so frontier projections, subbatch sweeps,
+// and the case study can be replayed on more than the paper's single
+// V100-class Table 4 part. Entries are modeling presets, not vendor spec
+// sheets: 32-bit dense throughput, last-level on-chip cache, and the
+// paper's 80% / 70% achievable fractions unless a class is known to
+// behave differently.
+
+// Catalog returns every named preset, sorted by name, with the paper's
+// Table 4 target first. The slice is freshly allocated; callers may
+// mutate it.
+func Catalog() []Accelerator {
+	out := make([]Accelerator, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// Names lists the catalog entry names in Catalog order.
+func Names() []string {
+	out := make([]string, len(catalog))
+	for i, a := range catalog {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Lookup finds a catalog entry by name (case-insensitive). Common aliases
+// ("v100", "a100", ...) resolve to their "-class" entries.
+func Lookup(name string) (Accelerator, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if alias, ok := aliases[key]; ok {
+		key = alias
+	}
+	for _, a := range catalog {
+		if strings.ToLower(a.Name) == key {
+			return a, nil
+		}
+	}
+	return Accelerator{}, fmt.Errorf("hw: unknown accelerator %q (catalog: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// ReadAccelerator decodes and validates a user-supplied custom device from
+// its JSON form (the same schema Catalog entries serialize to).
+func ReadAccelerator(r io.Reader) (Accelerator, error) {
+	var a Accelerator
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&a); err != nil {
+		return Accelerator{}, fmt.Errorf("hw: decode accelerator: %w", err)
+	}
+	if a.Name == "" {
+		return Accelerator{}, fmt.Errorf("hw: accelerator JSON missing \"name\"")
+	}
+	if err := a.Validate(); err != nil {
+		return Accelerator{}, err
+	}
+	return a, nil
+}
+
+// catalog is the preset list. The Table 4 target leads; the rest are
+// sorted by name.
+var catalog = func() []Accelerator {
+	rest := []Accelerator{
+		{
+			// NVIDIA A100-80GB-class part: 19.5 TFLOP/s FP32 (non-tensor),
+			// 40 MB L2, ~2 TB/s HBM2e, NVLink3.
+			Name:              "a100-class",
+			PeakFLOPS:         19.5e12,
+			CacheBytes:        40e6,
+			MemBandwidth:      2039e9,
+			MemCapacity:       80e9,
+			InterconnectBW:    300e9,
+			AchievableCompute: 0.80,
+			AchievableMemBW:   0.70,
+		},
+		{
+			// NVIDIA H100-SXM-class part: 67 TFLOP/s FP32, 50 MB L2,
+			// 3.35 TB/s HBM3, NVLink4.
+			Name:              "h100-class",
+			PeakFLOPS:         67e12,
+			CacheBytes:        50e6,
+			MemBandwidth:      3352e9,
+			MemCapacity:       80e9,
+			InterconnectBW:    450e9,
+			AchievableCompute: 0.80,
+			AchievableMemBW:   0.70,
+		},
+		{
+			// TPUv3-class chip: 2 cores at ~61 TFLOP/s matrix throughput
+			// each, 32 MB on-chip (CMEM+vector), 0.9 TB/s HBM per chip,
+			// 32 GB HBM, ICI links. NOTE the precision basis: TPUs have no
+			// dense FP32 matmul path, so this entry records the bf16 MXU
+			// peak — the precision TPUs train at — while the GPU entries
+			// record non-tensor FP32 like the paper's Table 4. Epoch-day
+			// comparisons against GPU entries are therefore optimistic for
+			// this part by roughly the mixed-precision speedup.
+			Name:              "tpuv3-class",
+			PeakFLOPS:         123e12,
+			CacheBytes:        32e6,
+			MemBandwidth:      900e9,
+			MemCapacity:       32e9,
+			InterconnectBW:    70e9,
+			AchievableCompute: 0.80,
+			AchievableMemBW:   0.70,
+		},
+		{
+			// Server-CPU-class node: two sockets of a wide-vector part
+			// (~3 TFLOP/s FP32 aggregate), large LLC, 8-channel DDR, and
+			// plentiful but slow DRAM behind a 100 GbE fabric. CPUs hit a
+			// smaller fraction of peak on dense kernels but stream memory
+			// efficiently.
+			Name:              "cpu-class",
+			PeakFLOPS:         3e12,
+			CacheBytes:        77e6,
+			MemBandwidth:      280e9,
+			MemCapacity:       768e9,
+			InterconnectBW:    12.5e9,
+			AchievableCompute: 0.60,
+			AchievableMemBW:   0.80,
+		},
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].Name < rest[j].Name })
+	return append([]Accelerator{TargetAccelerator()}, rest...)
+}()
+
+// aliases maps short names to catalog entries.
+var aliases = map[string]string{
+	"v100":   "target-v100-class",
+	"target": "target-v100-class",
+	"a100":   "a100-class",
+	"h100":   "h100-class",
+	"tpuv3":  "tpuv3-class",
+	"tpu":    "tpuv3-class",
+	"cpu":    "cpu-class",
+}

@@ -1,0 +1,143 @@
+package hw
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCatalogEntriesValidate(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 5 {
+		t.Fatalf("catalog has %d entries, want >= 5", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, a := range cat {
+		if err := a.Validate(); err != nil {
+			t.Errorf("catalog entry %s invalid: %v", a.Name, err)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate catalog name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if cat[0].Name != "target-v100-class" {
+		t.Fatalf("catalog[0] = %s, want the paper's target first", cat[0].Name)
+	}
+}
+
+func TestCatalogTargetMatchesTable4(t *testing.T) {
+	// The catalog must preserve the paper's Table 4 part exactly, so every
+	// default-target analysis stays byte-identical.
+	got, err := Lookup("target-v100-class")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != TargetAccelerator() {
+		t.Fatalf("catalog target %+v != TargetAccelerator %+v", got, TargetAccelerator())
+	}
+}
+
+func TestLookupAliasesAndCase(t *testing.T) {
+	for alias, want := range map[string]string{
+		"v100": "target-v100-class", "A100": "a100-class", " h100 ": "h100-class",
+		"tpu": "tpuv3-class", "CPU": "cpu-class", "a100-class": "a100-class",
+	} {
+		a, err := Lookup(alias)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", alias, err)
+		}
+		if a.Name != want {
+			t.Fatalf("Lookup(%q) = %s, want %s", alias, a.Name, want)
+		}
+	}
+	if _, err := Lookup("k80"); err == nil || !strings.Contains(err.Error(), "catalog:") {
+		t.Fatalf("unknown lookup error should list the catalog, got %v", err)
+	}
+}
+
+func TestAcceleratorJSONRoundTrip(t *testing.T) {
+	for _, a := range Catalog() {
+		b, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAccelerator(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if got != a {
+			t.Fatalf("round trip changed %s: %+v -> %+v", a.Name, a, got)
+		}
+	}
+}
+
+func TestReadAcceleratorRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{`,
+		"unknown field":  `{"name":"x","peak_flops":1,"mem_bandwidth":1,"mem_capacity":1,"achievable_compute":0.8,"achievable_mem_bw":0.7,"bogus":1}`,
+		"missing name":   `{"peak_flops":1e12,"mem_bandwidth":1e11,"mem_capacity":1e9,"achievable_compute":0.8,"achievable_mem_bw":0.7}`,
+		"zero peak":      `{"name":"x","peak_flops":0,"mem_bandwidth":1e11,"mem_capacity":1e9,"achievable_compute":0.8,"achievable_mem_bw":0.7}`,
+		"fraction above": `{"name":"x","peak_flops":1e12,"mem_bandwidth":1e11,"mem_capacity":1e9,"achievable_compute":1.2,"achievable_mem_bw":0.7}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadAccelerator(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := TargetAccelerator()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(*Accelerator)) Accelerator {
+		a := TargetAccelerator()
+		f(&a)
+		return a
+	}
+	bad := []Accelerator{
+		mutate(func(a *Accelerator) { a.PeakFLOPS = 0 }),
+		mutate(func(a *Accelerator) { a.PeakFLOPS = -1 }),
+		mutate(func(a *Accelerator) { a.PeakFLOPS = math.Inf(1) }),
+		mutate(func(a *Accelerator) { a.MemBandwidth = 0 }),
+		mutate(func(a *Accelerator) { a.MemBandwidth = math.NaN() }),
+		mutate(func(a *Accelerator) { a.MemCapacity = 0 }),
+		mutate(func(a *Accelerator) { a.CacheBytes = -1 }),
+		// Zero cache or links would divide the tile-traffic and allreduce
+		// models to +Inf.
+		mutate(func(a *Accelerator) { a.CacheBytes = 0 }),
+		mutate(func(a *Accelerator) { a.InterconnectBW = -5 }),
+		mutate(func(a *Accelerator) { a.InterconnectBW = 0 }),
+		mutate(func(a *Accelerator) { a.AchievableCompute = 0 }),
+		mutate(func(a *Accelerator) { a.AchievableCompute = 1.01 }),
+		mutate(func(a *Accelerator) { a.AchievableMemBW = -0.1 }),
+		mutate(func(a *Accelerator) { a.AchievableMemBW = 2 }),
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, a)
+		}
+	}
+	// A valid accelerator must produce finite Roofline numbers.
+	if tm := good.StepTime(1e12, 1e9); math.IsNaN(tm) || math.IsInf(tm, 0) || tm <= 0 {
+		t.Fatalf("step time %v not finite-positive", tm)
+	}
+}
+
+func TestCatalogRidgePointsOrdered(t *testing.T) {
+	// Sanity: the HBM-era GPU parts keep ridge points in the tens of
+	// FLOP/B — the regime the paper's intensity analysis targets.
+	for _, name := range []string{"target-v100-class", "a100-class", "h100-class"} {
+		a, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := a.RidgePoint(); r < 5 || r > 50 {
+			t.Errorf("%s ridge point %.1f outside plausible GPU range", name, r)
+		}
+	}
+}

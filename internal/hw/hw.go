@@ -9,23 +9,63 @@ import (
 	"math"
 )
 
-// Accelerator describes one compute device (paper Table 4).
+// Accelerator describes one compute device (paper Table 4). The JSON form
+// is the catalog interchange format: catalog entries, user-supplied custom
+// devices, and server payloads all use these field names.
 type Accelerator struct {
 	// Name identifies the configuration.
-	Name string
-	// PeakFLOPS is 32-bit compute throughput in FLOP/s.
-	PeakFLOPS float64
+	Name string `json:"name"`
+	// PeakFLOPS is dense compute throughput in FLOP/s at the device's
+	// training precision — 32-bit for the paper's Table 4 target and the
+	// GPU catalog entries; bf16 for the TPU entry, which has no dense
+	// FP32 path.
+	PeakFLOPS float64 `json:"peak_flops"`
 	// CacheBytes is the on-chip (L2) cache capacity.
-	CacheBytes float64
+	CacheBytes float64 `json:"cache_bytes"`
 	// MemBandwidth is off-chip memory bandwidth in B/s.
-	MemBandwidth float64
+	MemBandwidth float64 `json:"mem_bandwidth"`
 	// MemCapacity is off-chip memory capacity in bytes.
-	MemCapacity float64
+	MemCapacity float64 `json:"mem_capacity"`
 	// InterconnectBW is the inter-device link bandwidth in B/s.
-	InterconnectBW float64
+	InterconnectBW float64 `json:"interconnect_bw"`
 	// AchievableCompute and AchievableMemBW are the attainable fractions of
 	// peak (paper: 80% and 70%, consistent with existing hardware).
-	AchievableCompute, AchievableMemBW float64
+	AchievableCompute float64 `json:"achievable_compute"`
+	AchievableMemBW   float64 `json:"achievable_mem_bw"`
+}
+
+// Validate rejects configurations that would poison the Roofline and
+// case-study math with NaN or Inf: non-positive peaks, bandwidths,
+// capacities, caches or links (cache_bytes and interconnect_bw are
+// divisors in the tile-traffic and allreduce models), and achievable
+// fractions outside (0, 1].
+func (a Accelerator) Validate() error {
+	for _, c := range []struct {
+		field string
+		v     float64
+	}{
+		{"peak_flops", a.PeakFLOPS},
+		{"mem_bandwidth", a.MemBandwidth},
+		{"mem_capacity", a.MemCapacity},
+		{"cache_bytes", a.CacheBytes},
+		{"interconnect_bw", a.InterconnectBW},
+		{"achievable_compute", a.AchievableCompute},
+		{"achievable_mem_bw", a.AchievableMemBW},
+	} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("hw: accelerator %q: %s must be finite, got %v", a.Name, c.field, c.v)
+		}
+		if c.v <= 0 {
+			return fmt.Errorf("hw: accelerator %q: %s must be positive, got %v", a.Name, c.field, c.v)
+		}
+	}
+	if a.AchievableCompute > 1 {
+		return fmt.Errorf("hw: accelerator %q: achievable_compute %v above 1", a.Name, a.AchievableCompute)
+	}
+	if a.AchievableMemBW > 1 {
+		return fmt.Errorf("hw: accelerator %q: achievable_mem_bw %v above 1", a.Name, a.AchievableMemBW)
+	}
+	return nil
 }
 
 // TargetAccelerator returns the paper's Table 4 configuration
@@ -93,14 +133,14 @@ type StepEval func(subbatch float64) (flops, bytes, footprint float64, err error
 
 // SubbatchPoint is one sample of the Figure 11 sweep.
 type SubbatchPoint struct {
-	Subbatch       float64
-	FLOPs          float64
-	Bytes          float64
-	Intensity      float64 // graph-level operational intensity
-	StepTime       float64
-	TimePerSample  float64
-	FootprintBytes float64
-	Utilization    float64
+	Subbatch       float64 `json:"subbatch"`
+	FLOPs          float64 `json:"flops"`
+	Bytes          float64 `json:"bytes"`
+	Intensity      float64 `json:"intensity"` // graph-level operational intensity
+	StepTime       float64 `json:"step_time"`
+	TimePerSample  float64 `json:"time_per_sample"`
+	FootprintBytes float64 `json:"footprint_bytes"`
+	Utilization    float64 `json:"utilization"`
 }
 
 // SubbatchSweep evaluates the step across subbatch sizes (Figure 11's x axis).
@@ -155,10 +195,15 @@ func (p SubbatchPolicy) String() string {
 }
 
 // ChooseSubbatch applies a policy to a sweep. tol is the relative tolerance
-// (e.g. 0.05) used by MinTimePerSample and IntensitySaturation.
+// (e.g. 0.05) used by MinTimePerSample and IntensitySaturation. Those two
+// policies fail with an explicit error when no sweep point lands within
+// tolerance of the optimum (possible only with degenerate sweeps — NaN
+// times or intensities, or a negative tolerance); RidgePointMatch falls
+// back to the largest subbatch when the sweep never reaches the ridge,
+// since that is the closest approach (the paper's CNNs behave this way).
 func ChooseSubbatch(points []SubbatchPoint, acc Accelerator, policy SubbatchPolicy, tol float64) (SubbatchPoint, error) {
 	if len(points) == 0 {
-		return SubbatchPoint{}, fmt.Errorf("hw: empty subbatch sweep")
+		return SubbatchPoint{}, fmt.Errorf("hw: %s: empty subbatch sweep", policy)
 	}
 	switch policy {
 	case MinTimePerSample:
@@ -173,6 +218,8 @@ func ChooseSubbatch(points []SubbatchPoint, acc Accelerator, policy SubbatchPoli
 				return p, nil
 			}
 		}
+		return SubbatchPoint{}, fmt.Errorf(
+			"hw: %s: no subbatch within tolerance %v of minimum time/sample %v", policy, tol, best)
 	case RidgePointMatch:
 		ridge := acc.EffectiveRidgePoint()
 		for _, p := range points {
@@ -193,8 +240,10 @@ func ChooseSubbatch(points []SubbatchPoint, acc Accelerator, policy SubbatchPoli
 				return p, nil
 			}
 		}
+		return SubbatchPoint{}, fmt.Errorf(
+			"hw: %s: no subbatch within tolerance %v of peak intensity %v", policy, tol, best)
 	}
-	return points[len(points)-1], nil
+	return SubbatchPoint{}, fmt.Errorf("hw: unknown subbatch policy %d", int(policy))
 }
 
 // PowersOfTwo returns {1, 2, 4, ..., 2^max} as float64s — the standard

@@ -130,8 +130,54 @@ func TestChooseSubbatchPolicies(t *testing.T) {
 }
 
 func TestChooseSubbatchEmpty(t *testing.T) {
-	if _, err := ChooseSubbatch(nil, TargetAccelerator(), MinTimePerSample, 0.05); err == nil {
-		t.Fatal("expected error for empty sweep")
+	for _, pol := range []SubbatchPolicy{MinTimePerSample, RidgePointMatch, IntensitySaturation} {
+		if _, err := ChooseSubbatch(nil, TargetAccelerator(), pol, 0.05); err == nil {
+			t.Fatalf("%s: expected error for empty sweep", pol)
+		}
+	}
+}
+
+func TestChooseSubbatchSinglePoint(t *testing.T) {
+	// A one-point sweep is its own optimum under every policy.
+	pt := SubbatchPoint{Subbatch: 32, Intensity: 100, TimePerSample: 1e-6}
+	for _, pol := range []SubbatchPolicy{MinTimePerSample, RidgePointMatch, IntensitySaturation} {
+		got, err := ChooseSubbatch([]SubbatchPoint{pt}, TargetAccelerator(), pol, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if got.Subbatch != 32 {
+			t.Fatalf("%s: chose %v, want the only point", pol, got.Subbatch)
+		}
+	}
+}
+
+func TestChooseSubbatchDegenerateSweepErrors(t *testing.T) {
+	// NaN costs used to fall through to "silently return the last point";
+	// they must now surface as explicit errors for the tolerance policies.
+	nanPts := []SubbatchPoint{
+		{Subbatch: 1, TimePerSample: math.NaN(), Intensity: math.NaN()},
+		{Subbatch: 2, TimePerSample: math.NaN(), Intensity: math.NaN()},
+	}
+	if _, err := ChooseSubbatch(nanPts, TargetAccelerator(), MinTimePerSample, 0.05); err == nil {
+		t.Fatal("min-time-per-sample: expected error for all-NaN sweep")
+	}
+	if _, err := ChooseSubbatch(nanPts, TargetAccelerator(), IntensitySaturation, 0.05); err == nil {
+		t.Fatal("intensity-saturation: expected error for all-NaN sweep")
+	}
+	// RidgePointMatch keeps its documented closest-approach fallback.
+	got, err := ChooseSubbatch(nanPts, TargetAccelerator(), RidgePointMatch, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Subbatch != 2 {
+		t.Fatalf("ridge-point-match fallback = %v, want last point", got.Subbatch)
+	}
+}
+
+func TestChooseSubbatchUnknownPolicy(t *testing.T) {
+	pts := []SubbatchPoint{{Subbatch: 1, TimePerSample: 1, Intensity: 1}}
+	if _, err := ChooseSubbatch(pts, TargetAccelerator(), SubbatchPolicy(99), 0.05); err == nil {
+		t.Fatal("expected error for unknown policy")
 	}
 }
 

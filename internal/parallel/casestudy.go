@@ -40,6 +40,17 @@ type CaseStudyConfig struct {
 
 // DefaultCaseStudyConfig reproduces the paper's Table 5 setup.
 func DefaultCaseStudyConfig() CaseStudyConfig {
+	return CaseStudyConfigFor(hw.TargetAccelerator())
+}
+
+// CaseStudyConfigFor is the Table 5 setup replayed on another accelerator:
+// same model sizing, subbatch, dataset and placement, with the Roofline
+// part, its cache, and its interconnect links swapped for the given
+// device. For the paper's Table 4 target it is identical to
+// DefaultCaseStudyConfig.
+func CaseStudyConfigFor(acc hw.Accelerator) CaseStudyConfig {
+	link := DefaultInterconnect()
+	link.BandwidthBytes = acc.InterconnectBW
 	return CaseStudyConfig{
 		TargetFootprintGB:   113.8,
 		Subbatch:            128,
@@ -47,8 +58,8 @@ func DefaultCaseStudyConfig() CaseStudyConfig {
 		DataParallelOptions: []int{1024, 512},
 		LayerStages:         [][]string{{"embed"}, {"lstm0"}, {"lstm1"}, {"output"}},
 		Microbatches:        8,
-		Acc:                 hw.TargetAccelerator(),
-		Link:                DefaultInterconnect(),
+		Acc:                 acc,
+		Link:                link,
 		Reduce:              RingAllReduceTime,
 		SchedulePolicy:      graph.PolicyMemGreedy,
 	}
@@ -57,21 +68,21 @@ func DefaultCaseStudyConfig() CaseStudyConfig {
 // CaseStudyStage is one Table 5 row.
 type CaseStudyStage struct {
 	// Name describes the optimization stage.
-	Name string
+	Name string `json:"name"`
 	// Accels is the total accelerator count.
-	Accels int
+	Accels int `json:"accels"`
 	// GlobalBatch is the aggregate batch size.
-	GlobalBatch float64
+	GlobalBatch float64 `json:"global_batch"`
 	// MemPerAccelGB is the per-accelerator memory requirement; one entry
 	// when uniform, one per pipeline stage after layer parallelism.
-	MemPerAccelGB []float64
+	MemPerAccelGB []float64 `json:"mem_per_accel_gb"`
 	// CacheMB is the modeled L2 capacity (0 = best-case, no cache model).
-	CacheMB float64
+	CacheMB float64 `json:"cache_mb"`
 	// DaysPerEpoch and Utilization are the Table 5 outcome columns.
-	DaysPerEpoch float64
-	Utilization  float64
+	DaysPerEpoch float64 `json:"days_per_epoch"`
+	Utilization  float64 `json:"utilization"`
 	// Fits reports whether every accelerator's share is within capacity.
-	Fits bool
+	Fits bool `json:"fits"`
 }
 
 // CaseStudyResult is the full Table 5 reproduction.
@@ -90,6 +101,9 @@ type CaseStudyResult struct {
 
 // RunWordLMCaseStudy executes the step-by-step parallelization plan.
 func RunWordLMCaseStudy(cfg CaseStudyConfig) (*CaseStudyResult, error) {
+	if err := cfg.Acc.Validate(); err != nil {
+		return nil, fmt.Errorf("parallel: case study: %w", err)
+	}
 	m := models.BuildWordLM(models.CaseStudyWordLMConfig())
 	res := &CaseStudyResult{Model: m}
 

@@ -73,13 +73,13 @@ type DataParallelConfig struct {
 
 // DataParallelPoint is one Figure 12 sample.
 type DataParallelPoint struct {
-	Workers     int
-	GlobalBatch float64
-	ComputeTime float64
-	CommTime    float64
-	StepTime    float64
-	EpochDays   float64
-	Utilization float64
+	Workers     int     `json:"workers"`
+	GlobalBatch float64 `json:"global_batch"`
+	ComputeTime float64 `json:"compute_time"`
+	CommTime    float64 `json:"comm_time"`
+	StepTime    float64 `json:"step_time"`
+	EpochDays   float64 `json:"epoch_days"`
+	Utilization float64 `json:"utilization"`
 }
 
 // Point evaluates synchronous-SGD data parallelism at a worker count.

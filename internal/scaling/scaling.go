@@ -14,8 +14,8 @@ import (
 // LearningCurve is the power-law region of a learning curve (paper Eq. 1):
 // generalization error ε(m) = Alpha · m^Beta with Beta in [-0.5, 0].
 type LearningCurve struct {
-	Alpha float64
-	Beta  float64
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
 }
 
 // Error returns ε(m) for a training set of m samples.
@@ -53,33 +53,39 @@ func NormalizedModelCurve(beta, mRef, pRef float64) ModelCurve {
 
 // DomainSpec is one Table 1 row plus the derived anchors used downstream.
 type DomainSpec struct {
-	Domain models.Domain
+	Domain models.Domain `json:"domain"`
 	// Display name and accuracy metric, e.g. "Word LMs (LSTM)" / "nats/word".
-	Name, Metric string
+	Name   string `json:"name"`
+	Metric string `json:"metric"`
 	// CurrentSOTA and DesiredSOTA are the accuracy values from Table 1
 	// (error-like: lower is better).
-	CurrentSOTA, DesiredSOTA float64
+	CurrentSOTA float64 `json:"current_sota"`
+	DesiredSOTA float64 `json:"desired_sota"`
 	// CurrentDataSamples / CurrentDataGB describe the current SOTA training
 	// set ("Current Data Size" columns).
-	CurrentDataSamples, CurrentDataGB float64
+	CurrentDataSamples float64 `json:"current_data_samples"`
+	CurrentDataGB      float64 `json:"current_data_gb"`
 	// SampleUnit names the dataset sample unit ("word", "char", "WP", "image").
-	SampleUnit string
+	SampleUnit string `json:"sample_unit"`
 	// Curve holds α and βg ("Learn Curve" columns).
-	Curve LearningCurve
+	Curve LearningCurve `json:"curve"`
 	// BetaP is βp ("Model Size" column); SigmaPaper is the published σ,
 	// retained for reference.
-	BetaP, SigmaPaper float64
+	BetaP      float64 `json:"beta_p"`
+	SigmaPaper float64 `json:"sigma_paper"`
 	// CurrentParams is the implied current-SOTA parameter count (Table 3
 	// target params divided by the published model scale).
-	CurrentParams float64
+	CurrentParams float64 `json:"current_params"`
 	// PaperDataScale / PaperModelScale are Table 1's "Projected Scale"
 	// columns as published.
-	PaperDataScale, PaperModelScale float64
+	PaperDataScale  float64 `json:"paper_data_scale"`
+	PaperModelScale float64 `json:"paper_model_scale"`
 	// TokensPerSample converts dataset samples (words/chars) into training
 	// samples (sequences) for epoch accounting; 1 for images.
-	TokensPerSample float64
+	TokensPerSample float64 `json:"tokens_per_sample"`
 	// IrreducibleError and BestGuessError bound the Figure 6 regions.
-	IrreducibleError, BestGuessError float64
+	IrreducibleError float64 `json:"irreducible_error"`
+	BestGuessError   float64 `json:"best_guess_error"`
 }
 
 // Specs returns the five Table 1 rows.
@@ -206,9 +212,9 @@ func ProjectAll() ([]Projection, error) {
 
 // CurvePoint is one (dataset size, error) sample of a learning curve.
 type CurvePoint struct {
-	DataSamples float64
-	Error       float64
-	Region      string // "small-data", "power-law", "irreducible"
+	DataSamples float64 `json:"data_samples"`
+	Error       float64 `json:"error"`
+	Region      string  `json:"region"` // "small-data", "power-law", "irreducible"
 }
 
 // LearningCurveSeries samples the three-region learning curve of Figure 6:

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded, thread-safe LRU response cache keyed on canonical
+// request strings. Values are fully marshaled JSON payloads, so a hit is a
+// map lookup plus a write — no recomputation, no re-encoding.
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached payload and refreshes its recency.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) a payload, evicting the least-recently-used
+// entry beyond capacity.
+func (c *lruCache) add(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the live entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,724 @@
+// Package server exposes a catamount.Engine as a concurrent HTTP/JSON
+// analysis service — the serving layer the paper's "what will training at
+// the accuracy frontier cost on hardware X?" question needs once queries
+// arrive as traffic instead of batch scripts.
+//
+// Request flow: every query is reduced to a canonical key; a bounded LRU
+// holds fully marshaled responses, and concurrent identical misses are
+// coalesced through a single-flight group so K simultaneous requests cost
+// one upstream computation. A semaphore bounds in-flight work, every
+// request carries a deadline, and /metrics exposes hit/miss/coalesce/
+// in-flight counters.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	cat "catamount"
+	"catamount/internal/graph"
+	"catamount/internal/graphio"
+	"catamount/internal/hw"
+	"catamount/internal/parallel"
+)
+
+// Config parameterizes a Server. The zero value gets sensible defaults.
+type Config struct {
+	// Engine is the shared analysis session; nil creates a fresh one.
+	Engine *cat.Engine
+	// CacheEntries bounds the LRU response cache (default 1024).
+	CacheEntries int
+	// MaxInFlight bounds concurrently admitted requests
+	// (default 4×GOMAXPROCS).
+	MaxInFlight int
+	// Timeout is the per-request deadline (default 30s).
+	Timeout time.Duration
+}
+
+// Metrics is a point-in-time snapshot of the serving counters.
+type Metrics struct {
+	Requests     int64 `json:"requests"`
+	InFlight     int64 `json:"in_flight"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"` // upstream computations started
+	Coalesced    int64 `json:"coalesced"`    // requests that joined an in-flight computation
+	Rejected     int64 `json:"rejected"`     // turned away by the concurrency limiter
+	Timeouts     int64 `json:"timeouts"`
+	CacheEntries int   `json:"cache_entries"`
+	CacheLimit   int   `json:"cache_limit"`
+	MaxInFlight  int   `json:"max_in_flight"`
+}
+
+// Server is the HTTP analysis service. Create with New; safe for
+// concurrent use.
+type Server struct {
+	eng     *cat.Engine
+	cache   *lruCache
+	flights *flightGroup
+	sem     chan struct{}
+	// computeSem bounds concurrently *running* upstream computations.
+	// The request limiter alone cannot: a timed-out request frees its
+	// slot while its detached single-flight computation keeps running,
+	// so under sustained distinct-key slow traffic running computations
+	// would otherwise grow without bound. Queued computations are cheap
+	// (a parked goroutine); running ones are the expensive resource.
+	computeSem chan struct{}
+	timeout    time.Duration
+	mux        *http.ServeMux
+
+	requests, inFlight, hits, misses atomic.Int64
+	coalesced, rejected, timeouts    atomic.Int64
+
+	// computeHook, when set, runs inside each upstream computation (after
+	// the miss is counted, before the Engine call). Test seam for
+	// verifying coalescing deterministically.
+	computeHook func(key string)
+}
+
+// New builds a Server over cfg.
+func New(cfg Config) *Server {
+	if cfg.Engine == nil {
+		cfg.Engine = cat.NewEngine()
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 1024
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	s := &Server{
+		eng:        cfg.Engine,
+		cache:      newLRU(cfg.CacheEntries),
+		flights:    newFlightGroup(),
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		computeSem: make(chan struct{}, cfg.MaxInFlight),
+		timeout:    cfg.Timeout,
+		mux:        http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/domains", s.handleDomains)
+	s.mux.HandleFunc("GET /v1/accelerators", s.handleAccelerators)
+	s.mux.HandleFunc("GET /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("GET /v1/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /v1/asymptotics", s.handleAsymptotics)
+	s.mux.HandleFunc("GET /v1/frontier", s.handleFrontier)
+	s.mux.HandleFunc("POST /v1/frontier", s.handleFrontier)
+	s.mux.HandleFunc("GET /v1/subbatch", s.handleSubbatch)
+	s.mux.HandleFunc("POST /v1/subbatch", s.handleSubbatch)
+	s.mux.HandleFunc("GET /v1/casestudy", s.handleCaseStudy)
+	s.mux.HandleFunc("POST /v1/casestudy", s.handleCaseStudy)
+	s.mux.HandleFunc("GET /v1/figures/{fig}", s.handleFigure)
+	s.mux.HandleFunc("POST /v1/figures/{fig}", s.handleFigure)
+	s.mux.HandleFunc("POST /v1/checkpoint/analyze", s.handleCheckpoint)
+	return s
+}
+
+// Metrics snapshots the serving counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		Requests:     s.requests.Load(),
+		InFlight:     s.inFlight.Load(),
+		CacheHits:    s.hits.Load(),
+		CacheMisses:  s.misses.Load(),
+		Coalesced:    s.coalesced.Load(),
+		Rejected:     s.rejected.Load(),
+		Timeouts:     s.timeouts.Load(),
+		CacheEntries: s.cache.len(),
+		CacheLimit:   s.cache.capacity,
+		MaxInFlight:  cap(s.sem),
+	}
+}
+
+// ServeHTTP applies the request deadline and concurrency limit, then
+// dispatches. Analysis endpoints (/v1/...) load-shed with 503 once
+// MaxInFlight requests are admitted; /healthz and /metrics always answer,
+// so probes keep working while the service is saturated.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	r = r.WithContext(ctx)
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.rejected.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "server at capacity")
+			return
+		}
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// ---------------------------------------------------------------------------
+// Cached single-flight dispatch
+
+// respondCached serves key from the LRU, coalescing concurrent misses into
+// one upstream computation whose marshaled response backfills the cache.
+func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, key string, compute func() (any, error)) {
+	if b, ok := s.cache.get(key); ok {
+		s.hits.Add(1)
+		writeJSONBytes(w, b)
+		return
+	}
+	call, leader := s.flights.do(key, func() ([]byte, error) {
+		s.computeSem <- struct{}{}
+		defer func() { <-s.computeSem }()
+		s.misses.Add(1)
+		if hook := s.computeHook; hook != nil {
+			hook(key)
+		}
+		v, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.add(key, b)
+		return b, nil
+	})
+	if !leader {
+		s.coalesced.Add(1)
+	}
+	select {
+	case <-call.done:
+		if call.err != nil {
+			// Engine computations are deterministic: after request
+			// validation, a compute error means this request cannot be
+			// served as specified (e.g. an unreachable parameter target),
+			// not that the server faulted — report it as the client's.
+			// A recovered panic is the exception: that is ours.
+			status := http.StatusUnprocessableEntity
+			if errors.Is(call.err, errComputePanic) {
+				status = http.StatusInternalServerError
+			}
+			writeError(w, status, call.err.Error())
+			return
+		}
+		writeJSONBytes(w, call.val)
+	case <-r.Context().Done():
+		s.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Metrics())
+}
+
+func (s *Server) handleDomains(w http.ResponseWriter, _ *http.Request) {
+	out := make([]string, 0, len(cat.Domains()))
+	for _, d := range cat.Domains() {
+		out = append(out, string(d))
+	}
+	writeJSON(w, map[string]any{"domains": out})
+}
+
+func (s *Server) handleAccelerators(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"accelerators": hw.Catalog()})
+}
+
+// analyzeResponse is one characterization plus its Roofline estimate.
+type analyzeResponse struct {
+	Requirements cat.Requirements `json:"requirements"`
+	Accelerator  string           `json:"accelerator"`
+	StepSeconds  float64          `json:"step_seconds"`
+	Utilization  float64          `json:"utilization"`
+	ComputeBound bool             `json:"compute_bound"`
+}
+
+// parseModelPoint reads the (domain, params, batch) triple shared by the
+// analyze and profile endpoints, resolving an omitted batch to the
+// domain's default. On failure it writes the error response and reports
+// ok=false.
+func (s *Server) parseModelPoint(w http.ResponseWriter, q url.Values) (d cat.Domain, params, batch float64, ok bool) {
+	d, err := parseDomain(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return d, 0, 0, false
+	}
+	params, err = parsePositiveFloat(q, "params", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return d, 0, 0, false
+	}
+	if params == 0 {
+		writeError(w, http.StatusBadRequest, "missing required parameter \"params\"")
+		return d, 0, 0, false
+	}
+	batch, err = parsePositiveFloat(q, "batch", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return d, 0, 0, false
+	}
+	if batch == 0 {
+		m, err := s.eng.Model(d)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return d, 0, 0, false
+		}
+		batch = m.DefaultBatch
+	}
+	return d, params, batch, true
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	d, params, batch, ok := s.parseModelPoint(w, r.URL.Query())
+	if !ok {
+		return
+	}
+	acc, err := s.resolveAccelerator(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := fmt.Sprintf("analyze|%s|%g|%g|%s", d, params, batch, accKey(acc))
+	s.respondCached(w, r, key, func() (any, error) {
+		req, err := s.eng.Analyze(d, params, batch)
+		if err != nil {
+			return nil, err
+		}
+		step := acc.StepTime(req.FLOPsPerStep, req.BytesPerStep)
+		return analyzeResponse{
+			Requirements: req,
+			Accelerator:  acc.Name,
+			StepSeconds:  step,
+			Utilization:  acc.Utilization(req.FLOPsPerStep, step),
+			ComputeBound: acc.ComputeBound(req.FLOPsPerStep, req.BytesPerStep),
+		}, nil
+	})
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	d, params, batch, ok := s.parseModelPoint(w, r.URL.Query())
+	if !ok {
+		return
+	}
+	key := fmt.Sprintf("profile|%s|%g|%g", d, params, batch)
+	s.respondCached(w, r, key, func() (any, error) {
+		return s.eng.Profile(d, params, batch)
+	})
+}
+
+func (s *Server) handleAsymptotics(w http.ResponseWriter, r *http.Request) {
+	s.respondCached(w, r, "asymptotics", func() (any, error) {
+		return s.eng.AsymptoticTable()
+	})
+}
+
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	acc, err := s.resolveAccelerator(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := "frontier|" + accKey(acc)
+	s.respondCached(w, r, key, func() (any, error) {
+		rows, err := s.eng.FrontierTable(acc)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"accelerator": acc.Name, "rows": rows}, nil
+	})
+}
+
+// subbatchResponse is the Figure 11-style sweep for one domain/device pair
+// with the §5.2.1 policy choices marked.
+type subbatchResponse struct {
+	cat.SubbatchSelection
+	Accelerator string `json:"accelerator"`
+}
+
+func (s *Server) handleSubbatch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	d, err := parseDomain(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	acc, err := s.resolveAccelerator(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	tol, err := parsePositiveFloat(q, "tol", 0.05)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	params, err := parsePositiveFloat(q, "params", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	policies, err := parsePolicies(q.Get("policy"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Key on the canonical parsed policies, so aliases ("min-time",
+	// "min-time-per-sample") and the "" / "all" pair share one entry.
+	// params == 0 resolves inside SubbatchSelect to the domain's
+	// accuracy-frontier model size (Table 1).
+	polNames := make([]string, len(policies))
+	for i, pol := range policies {
+		polNames[i] = pol.String()
+	}
+	key := fmt.Sprintf("subbatch|%s|%g|%g|%s|%s", d, params, tol,
+		strings.Join(polNames, "+"), accKey(acc))
+	s.respondCached(w, r, key, func() (any, error) {
+		sel, err := s.eng.SubbatchSelect(d, params, acc, policies, tol)
+		if err != nil {
+			return nil, err
+		}
+		return subbatchResponse{SubbatchSelection: *sel, Accelerator: acc.Name}, nil
+	})
+}
+
+// caseStudyResponse is the Table 5 plan without the (non-serializable)
+// model graph.
+type caseStudyResponse struct {
+	Accelerator     string                    `json:"accelerator"`
+	Model           string                    `json:"model"`
+	Size            float64                   `json:"size"`
+	Params          float64                   `json:"params"`
+	StepFLOPs       float64                   `json:"step_flops"`
+	AlgBytes        float64                   `json:"alg_bytes"`
+	CacheAwareBytes float64                   `json:"cache_aware_bytes"`
+	Stages          []parallel.CaseStudyStage `json:"stages"`
+}
+
+func (s *Server) handleCaseStudy(w http.ResponseWriter, r *http.Request) {
+	acc, err := s.resolveAccelerator(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := "casestudy|" + accKey(acc)
+	s.respondCached(w, r, key, func() (any, error) {
+		cs, err := s.eng.WordLMCaseStudyOn(acc)
+		if err != nil {
+			return nil, err
+		}
+		return caseStudyResponse{
+			Accelerator:     acc.Name,
+			Model:           cs.Model.Name,
+			Size:            cs.Size,
+			Params:          cs.Params,
+			StepFLOPs:       cs.StepFLOPs,
+			AlgBytes:        cs.AlgBytes,
+			CacheAwareBytes: cs.CacheAwareBytes,
+			Stages:          cs.Stages,
+		}, nil
+	})
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	fig := r.PathValue("fig")
+	q := r.URL.Query()
+	switch fig {
+	case "6", "curve":
+		d, err := parseDomain(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.respondCached(w, r, "figure6|"+string(d), func() (any, error) {
+			return cat.Figure6(d)
+		})
+	case "7", "8", "9", "sweeps":
+		s.respondCached(w, r, "figuresweeps", func() (any, error) {
+			return s.eng.FigureSweeps()
+		})
+	case "10", "footprint":
+		s.respondCached(w, r, "figure10", func() (any, error) {
+			return s.eng.Figure10()
+		})
+	case "11", "subbatch":
+		acc, err := s.resolveAccelerator(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.respondCached(w, r, "figure11|"+accKey(acc), func() (any, error) {
+			return s.eng.Figure11(acc)
+		})
+	case "12", "dataparallel":
+		acc, err := s.resolveAccelerator(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.respondCached(w, r, "figure12|"+accKey(acc), func() (any, error) {
+			return s.eng.Figure12On(acc)
+		})
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown figure %q (one of: 6..12, curve, sweeps, footprint, subbatch, dataparallel)", fig))
+	}
+}
+
+// checkpointResponse characterizes an uploaded compute-graph checkpoint.
+type checkpointResponse struct {
+	Name            string             `json:"name"`
+	Policy          string             `json:"policy"`
+	Bindings        map[string]float64 `json:"bindings"`
+	Params          float64            `json:"params"`
+	FLOPs           float64            `json:"flops"`
+	Bytes           float64            `json:"bytes"`
+	Intensity       float64            `json:"intensity"`
+	FootprintBytes  float64            `json:"footprint_bytes"`
+	PersistentBytes float64            `json:"persistent_bytes"`
+}
+
+// handleCheckpoint analyzes a POSTed graphio JSON checkpoint. Every free
+// symbolic dimension of the graph must be bound through a query parameter
+// of the same name (e.g. ?b=128&h=2048); "policy" selects the footprint
+// traversal (fifo | mem-greedy). A graph symbol that collides with a
+// reserved parameter name binds through the "bind." prefix instead
+// (?bind.policy=8). Uploads are not cached: the key space is the body
+// itself.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	policy, err := parseSchedulePolicy(q.Get("policy"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g, err := graphio.Load(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Everything past the body read (compiling an arbitrary uploaded
+	// graph, stats, footprint traversal) runs under the compute semaphore
+	// and the request deadline like every other endpoint. The token is
+	// acquired *before* the computation goroutine is spawned: a request
+	// whose deadline fires while still queued exits without leaving a
+	// parked goroutine (and its decoded graph) behind, so client-
+	// controlled slow uploads cannot accumulate unbounded pending work.
+	select {
+	case s.computeSem <- struct{}{}:
+	case <-r.Context().Done():
+		s.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		return
+	}
+	type outcome struct {
+		resp   checkpointResponse
+		status int
+		errMsg string
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		// Outside net/http's recover: compiling a hostile upload may panic
+		// (e.g. an op given the wrong arity passes graph validation but
+		// trips cost derivation). One bad checkpoint must not kill the
+		// process — surface it as a malformed-request error instead.
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{status: http.StatusBadRequest,
+					errMsg: fmt.Sprintf("invalid checkpoint graph: %v", r)}
+			}
+		}()
+		defer func() { <-s.computeSem }()
+		c := graph.Compile(g)
+		slots := c.NewSlots()
+		bindings := make(map[string]float64, len(c.Syms.Names()))
+		var missing []string
+		for _, name := range c.Syms.Names() {
+			param := name
+			if param == "policy" {
+				// The schedule-policy selector owns the bare name; a graph
+				// symbol called "policy" binds through the escape prefix.
+				param = "bind.policy"
+			}
+			raw := q.Get(param)
+			if raw == "" {
+				missing = append(missing, param)
+				continue
+			}
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+				done <- outcome{status: http.StatusBadRequest,
+					errMsg: fmt.Sprintf("binding %q: invalid value %q", name, raw)}
+				return
+			}
+			slot, _ := c.Syms.Slot(name)
+			slots[slot] = v
+			bindings[name] = v
+		}
+		if len(missing) > 0 {
+			done <- outcome{status: http.StatusBadRequest,
+				errMsg: fmt.Sprintf("graph symbols need bindings via query parameters: %s", strings.Join(missing, ", "))}
+			return
+		}
+		stats := c.EvalStats(slots)
+		fp, err := c.Footprint(slots, policy, nil)
+		if err != nil {
+			done <- outcome{status: http.StatusUnprocessableEntity, errMsg: err.Error()}
+			return
+		}
+		done <- outcome{resp: checkpointResponse{
+			Name:            g.Name,
+			Policy:          policy.String(),
+			Bindings:        bindings,
+			Params:          stats.Params,
+			FLOPs:           stats.FLOPs,
+			Bytes:           stats.Bytes,
+			Intensity:       stats.Intensity,
+			FootprintBytes:  fp.PeakBytes,
+			PersistentBytes: fp.PersistentBytes,
+		}}
+	}()
+	select {
+	case res := <-done:
+		if res.status != 0 {
+			writeError(w, res.status, res.errMsg)
+			return
+		}
+		writeJSON(w, res.resp)
+	case <-r.Context().Done():
+		s.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parsing and serialization helpers
+
+// resolveAccelerator picks the device for a request: a POSTed JSON body is
+// a user-supplied custom accelerator (catalog interchange schema), the
+// "accel" query parameter names a catalog entry, and absence means the
+// paper's Table 4 target. Every path returns a validated device.
+func (s *Server) resolveAccelerator(r *http.Request) (hw.Accelerator, error) {
+	if r.Method == http.MethodPost && r.Body != nil && r.ContentLength != 0 {
+		return hw.ReadAccelerator(http.MaxBytesReader(nil, r.Body, 1<<20))
+	}
+	name := r.URL.Query().Get("accel")
+	if name == "" {
+		return hw.TargetAccelerator(), nil
+	}
+	return hw.Lookup(name)
+}
+
+// accKey fingerprints a device for cache keys: the name alone is not
+// enough once custom uploads can shadow catalog names. The name is
+// user-controlled on uploads, so %q confines it to an escaped, quoted
+// segment — a crafted name cannot forge other key components and poison
+// the shared response cache.
+func accKey(a hw.Accelerator) string {
+	return fmt.Sprintf("%q/%g/%g/%g/%g/%g/%g/%g", a.Name, a.PeakFLOPS, a.CacheBytes,
+		a.MemBandwidth, a.MemCapacity, a.InterconnectBW, a.AchievableCompute, a.AchievableMemBW)
+}
+
+func parseDomain(q url.Values) (cat.Domain, error) {
+	name := q.Get("domain")
+	if name == "" {
+		return "", errors.New("missing required parameter \"domain\"")
+	}
+	for _, d := range cat.Domains() {
+		if string(d) == name {
+			return d, nil
+		}
+	}
+	known := make([]string, 0, len(cat.Domains()))
+	for _, d := range cat.Domains() {
+		known = append(known, string(d))
+	}
+	return "", fmt.Errorf("unknown domain %q (one of: %s)", name, strings.Join(known, ", "))
+}
+
+// parsePositiveFloat reads a strictly positive finite float parameter,
+// returning def when absent.
+func parsePositiveFloat(q url.Values, name string, def float64) (float64, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: invalid number %q", name, raw)
+	}
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("parameter %q: must be a positive finite number, got %q", name, raw)
+	}
+	return v, nil
+}
+
+// parsePolicies maps the "policy" parameter to subbatch policies; empty or
+// "all" selects all three §5.2.1 candidates.
+func parsePolicies(raw string) ([]hw.SubbatchPolicy, error) {
+	switch raw {
+	case "", "all":
+		return []hw.SubbatchPolicy{hw.MinTimePerSample, hw.RidgePointMatch, hw.IntensitySaturation}, nil
+	case "min-time-per-sample", "min-time":
+		return []hw.SubbatchPolicy{hw.MinTimePerSample}, nil
+	case "ridge-point-match", "ridge":
+		return []hw.SubbatchPolicy{hw.RidgePointMatch}, nil
+	case "intensity-saturation", "saturation":
+		return []hw.SubbatchPolicy{hw.IntensitySaturation}, nil
+	}
+	return nil, fmt.Errorf("unknown subbatch policy %q (min-time-per-sample, ridge-point-match, intensity-saturation, all)", raw)
+}
+
+func parseSchedulePolicy(raw string) (graph.SchedulePolicy, error) {
+	switch raw {
+	case "", "mem-greedy":
+		return graph.PolicyMemGreedy, nil
+	case "fifo":
+		return graph.PolicyFIFO, nil
+	}
+	return 0, fmt.Errorf("unknown schedule policy %q (fifo, mem-greedy)", raw)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSONBytes(w, b)
+}
+
+func writeJSONBytes(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+	if len(b) == 0 || b[len(b)-1] != '\n' {
+		w.Write([]byte("\n"))
+	}
+}
+
+// writeError emits the JSON error envelope every non-2xx response uses.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -2,6 +2,7 @@ package symbolic
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -165,6 +166,13 @@ func TestPropParseRoundTripWithFractionalPowers(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		e := Mul(Sqrt(randExpr(r, 3)), randExpr(r, 2))
+		// Sqrt of a generator-produced negative constant folds to a NaN
+		// literal, which is outside the serializable domain (model cost
+		// formulas are positive counts) and can never round-trip: NaN
+		// renders as a bare word, and NaN != NaN regardless.
+		if strings.Contains(e.String(), "NaN") {
+			return true
+		}
 		parsed, err := Parse(e.String())
 		if err != nil {
 			return false

@@ -3,6 +3,7 @@ package catamount
 import (
 	"fmt"
 	"io"
+	"sort"
 	"text/tabwriter"
 )
 
@@ -33,10 +34,18 @@ func PrintTable2(w io.Writer, asyms []Asymptotics) {
 	tw.Flush()
 }
 
-// PrintTable3 renders the frontier training requirements (paper Table 3).
+// PrintTable3 renders the frontier training requirements (paper Table 3)
+// against the paper's Table 4 target.
 func PrintTable3(w io.Writer, rows []Frontier) {
+	PrintTable3For(w, rows, TargetAccelerator())
+}
+
+// PrintTable3For renders Table 3 with the memory-multiple column labeled
+// for the accelerator the rows were projected on.
+func PrintTable3For(w io.Writer, rows []Frontier, acc Accelerator) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Domain\tData size\tParams\tSubbatch\tTFLOPs/step\tTB/step\tMin mem (GB)\tStep (s)\tEpoch (days)\tMem multiple of 32GB")
+	fmt.Fprintf(tw, "Domain\tData size\tParams\tSubbatch\tTFLOPs/step\tTB/step\tMin mem (GB)\tStep (s)\tEpoch (days)\tMem multiple of %.0fGB\n",
+		acc.MemCapacity/1e9)
 	for _, f := range rows {
 		fmt.Fprintf(tw, "%s\t%.3g %s\t%.3g\t%.0f\t%.0f\t%.1f\t%.0f\t%.1f\t%.3g\t%.1fx\n",
 			f.Spec.Name, f.TargetDataSamples, f.Spec.SampleUnit, f.TargetParams,
@@ -60,14 +69,22 @@ func PrintTable4(w io.Writer, acc Accelerator) {
 	tw.Flush()
 }
 
-// PrintTable5 renders the word-LM case study (paper Table 5).
+// PrintTable5 renders the word-LM case study (paper Table 5) against the
+// paper's Table 4 target.
 func PrintTable5(w io.Writer, cs *CaseStudy) {
+	PrintTable5For(w, cs, TargetAccelerator())
+}
+
+// PrintTable5For renders Table 5 with the capacity column labeled for the
+// accelerator the case study ran on.
+func PrintTable5For(w io.Writer, cs *CaseStudy, acc Accelerator) {
 	fmt.Fprintf(w, "Case-study word LM: %s\n", cs.Model.Name)
 	fmt.Fprintf(w, "  solved hidden width %.0f -> %.3g parameters\n", cs.Size, cs.Params)
 	fmt.Fprintf(w, "  per-step: %.1f TFLOPs, %.2f TB algorithmic, %.2f TB cache-aware\n\n",
 		cs.StepFLOPs/1e12, cs.AlgBytes/1e12, cs.CacheAwareBytes/1e12)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Optimization Stage\tAccels\tBatch\tMem/Accel (GB)\tDays/epoch\tAlg FLOP util\tFits 32GB")
+	fmt.Fprintf(tw, "Optimization Stage\tAccels\tBatch\tMem/Accel (GB)\tDays/epoch\tAlg FLOP util\tFits %.0fGB\n",
+		acc.MemCapacity/1e9)
 	for _, st := range cs.Stages {
 		mem := ""
 		for i, v := range st.MemPerAccelGB {
@@ -131,10 +148,18 @@ func WriteFootprintCSV(w io.Writer, series []FootprintSeries) {
 	}
 }
 
-// WriteFigure11CSV emits the subbatch sweep as CSV.
+// WriteFigure11CSV emits the subbatch sweep as CSV. The chosen-policy
+// comment lines are emitted in sorted order so the output is
+// deterministic (map iteration order is not).
 func WriteFigure11CSV(w io.Writer, data *Figure11Data) {
 	fmt.Fprintf(w, "# effective ridge point: %.2f FLOP/B\n", data.RidgePoint)
-	for name, pt := range data.Chosen {
+	names := make([]string, 0, len(data.Chosen))
+	for name := range data.Chosen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pt := data.Chosen[name]
 		fmt.Fprintf(w, "# chosen[%s]: subbatch=%.0f intensity=%.2f time_per_sample=%.4g\n",
 			name, pt.Subbatch, pt.Intensity, pt.TimePerSample)
 	}
