@@ -1,15 +1,16 @@
 // Command catamountd serves the catamount analysis engine over HTTP/JSON:
 // per-domain characterization, frontier projections, figure sweeps,
-// subbatch selection, the word-LM case study, the accelerator catalog, and
-// checkpoint upload-and-analyze — with single-flight request coalescing,
-// a bounded LRU response cache, a concurrency limiter, request deadlines,
-// and graceful shutdown.
+// subbatch selection, the word-LM case study, the accelerator catalog,
+// checkpoint upload-and-analyze, and streaming bulk grid sweeps — with
+// single-flight request coalescing, a bounded LRU response cache, a
+// concurrency limiter, request deadlines, and graceful shutdown.
 //
 // Usage:
 //
 //	catamountd -addr :8080
 //	curl 'localhost:8080/v1/analyze?domain=wordlm&params=1.03e9&batch=128'
 //	curl 'localhost:8080/v1/frontier?accel=a100'
+//	curl -d '{"params":[1e8,1e9],"accelerators":["v100","a100"]}' localhost:8080/v1/sweep
 //	curl 'localhost:8080/metrics'
 //
 // See the README's "Serving: catamountd" section for the full API.
@@ -37,6 +38,7 @@ func main() {
 	cacheEntries := flag.Int("cache", 1024, "LRU response cache entries")
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent request limit (0 = 4x GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	maxSweep := flag.Int("max-sweep-points", 0, "largest grid POST /v1/sweep may stream (0 = 100000)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown drain window")
 	warm := flag.Bool("warm", false, "build and compile every domain model before listening")
 	flag.Parse()
@@ -53,10 +55,11 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Engine:       eng,
-		CacheEntries: *cacheEntries,
-		MaxInFlight:  *maxInFlight,
-		Timeout:      *timeout,
+		Engine:         eng,
+		CacheEntries:   *cacheEntries,
+		MaxInFlight:    *maxInFlight,
+		Timeout:        *timeout,
+		MaxSweepPoints: *maxSweep,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

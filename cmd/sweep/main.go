@@ -1,0 +1,221 @@
+// Command sweep is the bulk grid evaluator CLI: one invocation regenerates
+// an entire domain × parameter count × subbatch × accelerator grid through
+// one compiled Engine session, streaming results as they complete.
+//
+//	sweep -params 1e8,1e9 -subbatch 32,128 -accel all          NDJSON grid to stdout
+//	sweep -param-min 1e7 -param-max 1e9 -param-steps 8 -format csv
+//	sweep -table3 -accel v100,a100,h100,tpuv3,cpu              Table 3 on each accelerator
+//	sweep -figure 11 -accel all                                Figure 11 CSV per accelerator
+//	sweep -figure 12 -accel all                                Figure 12 CSV per accelerator
+//	sweep -bench BENCH.json                                    run the reference bench harness
+//
+// The -accel list accepts catalog names and aliases, @file.json custom
+// devices, and "all" for the whole catalog. Grid rows stream in a
+// deterministic order (domain-major, then params, then subbatch, then
+// accelerator) regardless of evaluation parallelism.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"text/tabwriter"
+
+	cat "catamount"
+	"catamount/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	domains := flag.String("domains", "", "comma-separated domains (wordlm,charlm,nmt,speech,image); empty or \"all\" = all five")
+	params := flag.String("params", "", "comma-separated parameter-count targets, e.g. 1e8,1e9")
+	paramMin := flag.Float64("param-min", 0, "log-spaced range: smallest parameter target")
+	paramMax := flag.Float64("param-max", 0, "log-spaced range: largest parameter target")
+	paramSteps := flag.Int("param-steps", 0, "log-spaced range: number of targets")
+	subbatch := flag.String("subbatch", "", "comma-separated subbatch sizes; empty = each domain's profiling subbatch")
+	accel := flag.String("accel", "",
+		"comma-separated accelerators: catalog names/aliases, @file.json custom devices, \"all\" for the catalog; empty = the paper's target")
+	format := flag.String("format", "ndjson", "grid output: ndjson, csv or table")
+	workers := flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
+	table3 := flag.Bool("table3", false, "print Table 3 on each -accel instead of a grid sweep")
+	figure := flag.String("figure", "", "print figure \"11\" or \"12\" CSV on each -accel instead of a grid sweep")
+	bench := flag.String("bench", "", "run the reference bench harness and write its BENCH json to this path (\"-\" = stdout)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	eng := cat.DefaultEngine()
+
+	if *bench != "" {
+		runBench(ctx, *bench)
+		return
+	}
+
+	accs, err := resolveAccelerators(*accel)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case *table3:
+		if err := eng.WriteFrontierGrid(os.Stdout, accs); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case *figure == "11":
+		if err := eng.WriteFigure11Grid(os.Stdout, accs); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case *figure == "12":
+		if err := eng.WriteFigure12Grid(os.Stdout, accs); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case *figure != "":
+		log.Fatalf("unknown -figure %q (11 or 12)", *figure)
+	}
+
+	spec := cat.SweepSpec{
+		ParamMin:   *paramMin,
+		ParamMax:   *paramMax,
+		ParamSteps: *paramSteps,
+		Workers:    *workers,
+	}
+	if *domains != "" && *domains != "all" {
+		spec.Domains = splitList(*domains)
+	}
+	if spec.Params, err = parseFloats(*params); err != nil {
+		log.Fatalf("-params: %v", err)
+	}
+	if spec.Subbatches, err = parseFloats(*subbatch); err != nil {
+		log.Fatalf("-subbatch: %v", err)
+	}
+	// The CLI resolves accelerators itself (for @file.json support) and
+	// hands the spec resolved devices.
+	spec.Custom = accs
+
+	// Validate before the emitter writes anything: a bad spec must not
+	// leave a bare CSV header in piped output.
+	runner, err := sweep.New(eng, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emit, finish := emitter(*format)
+	if err := runner.Run(ctx, emit); err != nil {
+		log.Fatal(err)
+	}
+	finish()
+}
+
+// emitter returns the per-point writer for a grid output format plus a
+// final flush.
+func emitter(format string) (func(cat.SweepPoint) error, func()) {
+	switch format {
+	case "ndjson":
+		return func(p cat.SweepPoint) error {
+			return sweep.WriteNDJSON(os.Stdout, p)
+		}, func() {}
+	case "csv":
+		fmt.Print(sweep.CSVHeader())
+		return func(p cat.SweepPoint) error {
+			_, err := fmt.Print(sweep.CSVRecord(p))
+			return err
+		}, func() {}
+	case "table":
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "Domain\tAccelerator\tParams\tSubbatch\tTFLOPs/step\tTB/step\tIntensity\tFootprint GB\tStep (s)\tUtil\tFits")
+		return func(p cat.SweepPoint) error {
+				if p.Error != "" {
+					fmt.Fprintf(tw, "%s\t%s\t%.3g\t%.0f\terror: %s\n",
+						p.Domain, p.Accelerator, p.ParamTarget, p.Subbatch, p.Error)
+					return nil
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%.3g\t%.0f\t%.1f\t%.2f\t%.1f\t%.1f\t%.3g\t%.1f%%\t%v\n",
+					p.Domain, p.Accelerator, p.Params, p.Subbatch,
+					p.FLOPsPerStep/1e12, p.BytesPerStep/1e12, p.Intensity,
+					p.FootprintBytes/1e9, p.StepSeconds, 100*p.Utilization, p.FitsMemory)
+				return nil
+			}, func() {
+				tw.Flush()
+			}
+	default:
+		log.Fatalf("unknown -format %q (ndjson, csv, table)", format)
+		return nil, nil
+	}
+}
+
+// runBench runs the fixed reference grid through the bench harness and
+// writes the BENCH json snapshot the CI bench job publishes and gates on.
+func runBench(ctx context.Context, path string) {
+	rep, err := sweep.RunBench(ctx, sweep.ReferenceSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := sweep.WriteReport(out, rep); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d points: cold %.2fs (%.0f pts/s), warm %.3fs (%.0f pts/s, %.1fx), %.1f allocs/pt",
+		rep.GridPoints, rep.ColdSeconds, rep.ColdPointsPerSec,
+		rep.WarmSeconds, rep.WarmPointsPerSec, rep.ColdOverWarm, rep.AllocsPerPoint)
+}
+
+// resolveAccelerators parses the -accel list: names, aliases, @file.json,
+// "all" for the whole catalog, empty for the paper's target.
+func resolveAccelerators(list string) ([]cat.Accelerator, error) {
+	if list == "" {
+		return []cat.Accelerator{cat.TargetAccelerator()}, nil
+	}
+	if list == "all" {
+		return cat.Accelerators(), nil
+	}
+	var out []cat.Accelerator
+	for _, ref := range splitList(list) {
+		acc, err := cat.ResolveAccelerator(ref)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, acc)
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseFloats(list string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitList(list) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,8 +1,6 @@
 package catamount
 
 import (
-	"fmt"
-
 	"catamount/internal/core"
 	"catamount/internal/hw"
 	"catamount/internal/parallel"
@@ -74,4 +72,4 @@ func Figure12() (*Figure12Data, error) {
 }
 
 // fmtDomain renders the short domain tag used in CSV headers.
-func fmtDomain(d Domain) string { return fmt.Sprintf("%s", string(d)) }
+func fmtDomain(d Domain) string { return string(d) }

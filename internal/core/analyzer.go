@@ -126,6 +126,42 @@ func (a *Analyzer) characterize(slots, scratch []float64, size, batch float64,
 	return r, nil
 }
 
+// Session is a single-goroutine evaluation scratchpad over an Analyzer: one
+// slot buffer and one footprint scratch, reused across any number of points
+// so a tight evaluation loop (grid sweeps, serving workers) allocates
+// nothing per point. Not safe for concurrent use; each worker holds its own.
+type Session struct {
+	a       *Analyzer
+	slots   []float64
+	scratch []float64
+}
+
+// NewSession allocates an evaluation scratchpad for one goroutine.
+func (a *Analyzer) NewSession() *Session {
+	return &Session{
+		a:       a,
+		slots:   a.newSlots(),
+		scratch: make([]float64, len(a.Compiled.TensorBytes)),
+	}
+}
+
+// Analyzer returns the compiled session the scratchpad evaluates through.
+func (s *Session) Analyzer() *Analyzer { return s.a }
+
+// Characterize is Analyzer.Characterize over the session's reused buffers.
+func (s *Session) Characterize(size, batch float64, policy graph.SchedulePolicy) (Requirements, error) {
+	return s.a.characterize(s.slots, s.scratch, size, batch, policy)
+}
+
+// SizeForParams is Analyzer.SizeForParams over the session's reused buffers.
+func (s *Session) SizeForParams(target float64) (float64, error) {
+	size, err := s.a.sizeForParamsWith(s.slots, target)
+	if err != nil {
+		return 0, fmt.Errorf("core: %s: %w", s.a.Model.Name, err)
+	}
+	return size, nil
+}
+
 // SweepParams characterizes the model at a list of target parameter counts
 // with a fixed subbatch, fanning the points out across a bounded worker
 // pool.

@@ -43,6 +43,9 @@ type Config struct {
 	MaxInFlight int
 	// Timeout is the per-request deadline (default 30s).
 	Timeout time.Duration
+	// MaxSweepPoints bounds the grid size a single POST /v1/sweep may
+	// stream (default 100000); larger grids belong on cmd/sweep.
+	MaxSweepPoints int
 }
 
 // Metrics is a point-in-time snapshot of the serving counters.
@@ -54,6 +57,8 @@ type Metrics struct {
 	Coalesced    int64 `json:"coalesced"`    // requests that joined an in-flight computation
 	Rejected     int64 `json:"rejected"`     // turned away by the concurrency limiter
 	Timeouts     int64 `json:"timeouts"`
+	SweepStreams int64 `json:"sweep_streams"` // POST /v1/sweep runs admitted
+	SweepPoints  int64 `json:"sweep_points"`  // grid points streamed out
 	CacheEntries int   `json:"cache_entries"`
 	CacheLimit   int   `json:"cache_limit"`
 	MaxInFlight  int   `json:"max_in_flight"`
@@ -72,12 +77,14 @@ type Server struct {
 	// so under sustained distinct-key slow traffic running computations
 	// would otherwise grow without bound. Queued computations are cheap
 	// (a parked goroutine); running ones are the expensive resource.
-	computeSem chan struct{}
-	timeout    time.Duration
-	mux        *http.ServeMux
+	computeSem     chan struct{}
+	timeout        time.Duration
+	maxSweepPoints int
+	mux            *http.ServeMux
 
 	requests, inFlight, hits, misses atomic.Int64
 	coalesced, rejected, timeouts    atomic.Int64
+	sweepStreams, sweepPoints        atomic.Int64
 
 	// computeHook, when set, runs inside each upstream computation (after
 	// the miss is counted, before the Engine call). Test seam for
@@ -99,14 +106,18 @@ func New(cfg Config) *Server {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
+	if cfg.MaxSweepPoints <= 0 {
+		cfg.MaxSweepPoints = 100000
+	}
 	s := &Server{
-		eng:        cfg.Engine,
-		cache:      newLRU(cfg.CacheEntries),
-		flights:    newFlightGroup(),
-		sem:        make(chan struct{}, cfg.MaxInFlight),
-		computeSem: make(chan struct{}, cfg.MaxInFlight),
-		timeout:    cfg.Timeout,
-		mux:        http.NewServeMux(),
+		eng:            cfg.Engine,
+		cache:          newLRU(cfg.CacheEntries),
+		flights:        newFlightGroup(),
+		sem:            make(chan struct{}, cfg.MaxInFlight),
+		computeSem:     make(chan struct{}, cfg.MaxInFlight),
+		timeout:        cfg.Timeout,
+		maxSweepPoints: cfg.MaxSweepPoints,
+		mux:            http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -125,6 +136,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/figures/{fig}", s.handleFigure)
 	s.mux.HandleFunc("POST /v1/figures/{fig}", s.handleFigure)
 	s.mux.HandleFunc("POST /v1/checkpoint/analyze", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	return s
 }
 
@@ -138,6 +150,8 @@ func (s *Server) Metrics() Metrics {
 		Coalesced:    s.coalesced.Load(),
 		Rejected:     s.rejected.Load(),
 		Timeouts:     s.timeouts.Load(),
+		SweepStreams: s.sweepStreams.Load(),
+		SweepPoints:  s.sweepPoints.Load(),
 		CacheEntries: s.cache.len(),
 		CacheLimit:   s.cache.capacity,
 		MaxInFlight:  cap(s.sem),

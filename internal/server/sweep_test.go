@@ -1,0 +1,244 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postSweep(t *testing.T, s *Server, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+type sweepLine struct {
+	Seq          int     `json:"seq"`
+	Domain       string  `json:"domain"`
+	Accelerator  string  `json:"accelerator"`
+	ParamTarget  float64 `json:"param_target"`
+	Subbatch     float64 `json:"subbatch"`
+	Params       float64 `json:"params"`
+	FLOPsPerStep float64 `json:"flops_per_step"`
+	StepSeconds  float64 `json:"step_seconds"`
+	Error        string  `json:"error"`
+}
+
+func decodeNDJSON(t *testing.T, body *bytes.Buffer) []sweepLine {
+	t.Helper()
+	var out []sweepLine
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var l sweepLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("line %d is not JSON: %v: %s", len(out), err, sc.Text())
+		}
+		out = append(out, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSweepStreamNDJSON(t *testing.T) {
+	s := newTestServer(Config{})
+	rec := postSweep(t, s, `{
+		"domains": ["wordlm", "nmt"],
+		"params": [1e8, 2e8],
+		"subbatches": [64],
+		"accelerators": ["v100", "a100"]
+	}`, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sweep = %d %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	lines := decodeNDJSON(t, rec.Body)
+	if len(lines) != 2*2*1*2 {
+		t.Fatalf("streamed %d lines, want 8", len(lines))
+	}
+	for i, l := range lines {
+		if l.Seq != i {
+			t.Fatalf("line %d has seq %d: order not deterministic", i, l.Seq)
+		}
+		if l.Error != "" || l.FLOPsPerStep <= 0 || l.StepSeconds <= 0 {
+			t.Fatalf("line %d degenerate: %+v", i, l)
+		}
+	}
+	// Flush-per-chunk: the recorder saw at least one explicit flush.
+	if !rec.Flushed {
+		t.Fatal("stream was never flushed")
+	}
+	m := s.Metrics()
+	if m.SweepStreams != 1 || m.SweepPoints != 8 {
+		t.Fatalf("sweep counters: %+v", m)
+	}
+	// Streams bypass the response cache.
+	if m.CacheEntries != 0 || m.CacheMisses != 0 {
+		t.Fatalf("sweep touched the cache: %+v", m)
+	}
+}
+
+func TestSweepStreamCSV(t *testing.T) {
+	s := newTestServer(Config{})
+	rec := postSweep(t, s, `{"domains":["wordlm"],"params":[1e8]}`,
+		map[string]string{"Accept": "text/csv"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sweep = %d %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/csv" {
+		t.Fatalf("content type %q", ct)
+	}
+	records, err := csv.NewReader(rec.Body).ReadAll()
+	if err != nil {
+		t.Fatalf("body is not CSV: %v", err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("%d CSV records, want header + 1 row", len(records))
+	}
+	if records[0][0] != "seq" || records[1][1] != "wordlm" {
+		t.Fatalf("unexpected CSV: %v", records)
+	}
+}
+
+func TestSweepMalformedSpecs(t *testing.T) {
+	s := newTestServer(Config{MaxSweepPoints: 100})
+	cases := []struct {
+		name, body string
+		wantSub    string
+	}{
+		{"not json", `{nope`, "invalid sweep spec"},
+		{"unknown field", `{"parms": [1e8]}`, "unknown field"},
+		{"no params", `{"domains": ["wordlm"]}`, "needs params"},
+		{"unknown domain", `{"domains": ["tabular"], "params": [1e8]}`, "unknown domain"},
+		{"unknown accelerator", `{"params": [1e8], "accelerators": ["abacus"]}`, "unknown accelerator"},
+		{"negative params", `{"params": [-1]}`, "positive finite"},
+		{"grid too large", `{"params": [1e8,2e8,3e8,4e8,5e8], "subbatches":[1,2,4,8,16]}`, "server limit"},
+	}
+	for _, tc := range cases {
+		rec := postSweep(t, s, tc.body, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: code = %d, want 400 (%s)", tc.name, rec.Code, rec.Body)
+			continue
+		}
+		var env map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || !strings.Contains(env["error"], tc.wantSub) {
+			t.Errorf("%s: error envelope %q missing %q", tc.name, rec.Body, tc.wantSub)
+		}
+	}
+	// Nothing was admitted as a stream.
+	if m := s.Metrics(); m.SweepStreams != 0 || m.SweepPoints != 0 {
+		t.Fatalf("malformed specs started streams: %+v", m)
+	}
+	// Wrong method on the pattern.
+	req := httptest.NewRequest(http.MethodGet, "/v1/sweep", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/sweep = %d, want 405", rec.Code)
+	}
+}
+
+func TestSweepPerPointErrorsKeepStreaming(t *testing.T) {
+	// One unreachable parameter target must fail its own points and leave
+	// the rest of the stream intact — error-per-point, not fail-the-grid.
+	s := newTestServer(Config{})
+	rec := postSweep(t, s, `{
+		"domains": ["wordlm", "charlm"],
+		"params": [1e8, 1e300],
+		"accelerators": ["v100", "h100"]
+	}`, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sweep = %d %s", rec.Code, rec.Body)
+	}
+	lines := decodeNDJSON(t, rec.Body)
+	if len(lines) != 2*2*1*2 {
+		t.Fatalf("stream truncated: %d lines, want 8", len(lines))
+	}
+	var failed, healthy int
+	for _, l := range lines {
+		switch {
+		case l.ParamTarget == 1e300:
+			if l.Error == "" {
+				t.Fatalf("unreachable point %d has no error: %+v", l.Seq, l)
+			}
+			failed++
+		default:
+			if l.Error != "" {
+				t.Fatalf("healthy point %d failed: %s", l.Seq, l.Error)
+			}
+			healthy++
+		}
+	}
+	if failed != 4 || healthy != 4 {
+		t.Fatalf("failed=%d healthy=%d, want 4 and 4", failed, healthy)
+	}
+}
+
+// disconnectingWriter simulates a client that drops mid-stream: after
+// `after` successful writes it cancels the request context and fails every
+// subsequent write, as net/http does once the peer is gone.
+type disconnectingWriter struct {
+	h      http.Header
+	writes int
+	after  int
+	cancel context.CancelFunc
+	gone   bool
+}
+
+func (d *disconnectingWriter) Header() http.Header { return d.h }
+func (d *disconnectingWriter) WriteHeader(int)     {}
+func (d *disconnectingWriter) Flush()              {}
+func (d *disconnectingWriter) Write(b []byte) (int, error) {
+	if d.gone {
+		return 0, errors.New("write on closed connection")
+	}
+	d.writes++
+	if d.writes >= d.after {
+		d.gone = true
+		d.cancel()
+	}
+	return len(b), nil
+}
+
+func TestSweepClientDisconnectMidStream(t *testing.T) {
+	s := newTestServer(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &disconnectingWriter{h: make(http.Header), after: 3, cancel: cancel}
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(
+		`{"params": [5e7, 1e8, 2e8], "subbatches": [16, 32, 64, 128]}`)).WithContext(ctx)
+
+	// ServeHTTP must return instead of hanging once the client is gone.
+	s.ServeHTTP(w, req)
+
+	total := int64(5 * 3 * 4 * 1)
+	if pts := s.Metrics().SweepPoints; pts >= total {
+		t.Fatalf("streamed all %d points to a disconnected client", pts)
+	}
+	// The server survived and still serves.
+	if rec, _ := get(t, s, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz after disconnect = %d", rec.Code)
+	}
+	// The stream's compute-semaphore token was released: a follow-up sweep
+	// still streams to completion.
+	rec := postSweep(t, s, `{"domains":["wordlm"],"params":[1e8]}`, nil)
+	if rec.Code != http.StatusOK || len(decodeNDJSON(t, rec.Body)) != 1 {
+		t.Fatalf("sweep after disconnect = %d %s", rec.Code, rec.Body)
+	}
+}

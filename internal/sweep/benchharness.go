@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"catamount/internal/core"
+	"catamount/internal/models"
+)
+
+// This file is the benchmark harness behind the repo's BENCH_*.json
+// trajectory: it runs a fixed reference grid through the sweep runner and
+// reports throughput (points/sec, cold and warm) and per-point allocation
+// cost. The CI bench job publishes the report as an artifact and gates on
+// pinned floors (see TestSweepBenchFloors); cmd/sweep -bench writes it
+// locally.
+
+// BenchSchema versions the report format.
+const BenchSchema = "catamount-bench/v1"
+
+// ReferenceSpec is the fixed grid the bench trajectory tracks across PRs:
+// all five domains × three parameter targets × two subbatches × the full
+// five-entry accelerator catalog — 150 points, 30 characterizations,
+// 15 size solves. Changing it breaks snapshot comparability; add a new
+// named grid instead.
+func ReferenceSpec() Spec {
+	return Spec{
+		Params:     []float64{5e7, 2e8, 1e9},
+		Subbatches: []float64{32, 128},
+		Accelerators: []string{
+			"target-v100-class", "a100-class", "h100-class", "tpuv3-class", "cpu-class",
+		},
+	}
+}
+
+// BenchReport is one harness run. Cold timing includes building and
+// compiling every domain model (the first-request experience); warm timing
+// and the allocation counters measure the steady state the serving layer
+// lives in.
+type BenchReport struct {
+	Schema    string `json:"schema"`
+	Grid      string `json:"grid"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	GridPoints int `json:"grid_points"`
+
+	ColdSeconds      float64 `json:"cold_seconds"`
+	WarmSeconds      float64 `json:"warm_seconds"`
+	ColdPointsPerSec float64 `json:"cold_points_per_sec"`
+	WarmPointsPerSec float64 `json:"warm_points_per_sec"`
+	// ColdOverWarm is the compile-amortization ratio: how much of a cold
+	// run is one-time model build+compile rather than evaluation.
+	ColdOverWarm float64 `json:"cold_over_warm_x"`
+
+	// AllocsPerPoint / BytesPerPoint are per-point heap costs of the best
+	// warm run (mallocs and bytes deltas over the whole grid).
+	AllocsPerPoint float64 `json:"allocs_per_point"`
+	BytesPerPoint  float64 `json:"bytes_per_point"`
+}
+
+// buildSource is a minimal memoizing SessionSource for harness runs: a
+// fresh one reproduces the cold (build+compile per domain) experience
+// without dragging the full Engine in.
+type buildSource struct {
+	mu sync.Mutex
+	m  map[models.Domain]*buildEntry
+}
+
+type buildEntry struct {
+	once sync.Once
+	a    *core.Analyzer
+	err  error
+}
+
+func newBuildSource() *buildSource {
+	return &buildSource{m: make(map[models.Domain]*buildEntry)}
+}
+
+// Analyzer builds and compiles a domain's model at most once.
+func (s *buildSource) Analyzer(d models.Domain) (*core.Analyzer, error) {
+	s.mu.Lock()
+	ent, ok := s.m[d]
+	if !ok {
+		ent = &buildEntry{}
+		s.m[d] = ent
+	}
+	s.mu.Unlock()
+	ent.once.Do(func() {
+		m, err := models.Build(d)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		ent.a, ent.err = core.NewAnalyzer(m)
+	})
+	return ent.a, ent.err
+}
+
+// RunBench runs the grid cold (fresh source) once and warm (same source)
+// three times, keeping the best warm run. The context bounds the whole
+// harness.
+func RunBench(ctx context.Context, spec Spec) (*BenchReport, error) {
+	src := newBuildSource()
+	runner, err := New(src, spec)
+	if err != nil {
+		return nil, err
+	}
+	rep := &BenchReport{
+		Schema:     BenchSchema,
+		Grid:       "reference",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.GOMAXPROCS(0),
+		GridPoints: runner.Points(),
+	}
+
+	discard := func(p Point) error {
+		if p.Error != "" {
+			return fmt.Errorf("sweep: bench grid point %d failed: %s", p.Seq, p.Error)
+		}
+		return nil
+	}
+
+	start := time.Now()
+	if err := runner.Run(ctx, discard); err != nil {
+		return nil, err
+	}
+	rep.ColdSeconds = time.Since(start).Seconds()
+
+	var ms0, ms1 runtime.MemStats
+	best := -1.0
+	for rerun := 0; rerun < 3; rerun++ {
+		runtime.ReadMemStats(&ms0)
+		start = time.Now()
+		if err := runner.Run(ctx, discard); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
+		if best < 0 || elapsed < best {
+			best = elapsed
+			rep.AllocsPerPoint = float64(ms1.Mallocs-ms0.Mallocs) / float64(rep.GridPoints)
+			rep.BytesPerPoint = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(rep.GridPoints)
+		}
+	}
+	rep.WarmSeconds = best
+	rep.ColdPointsPerSec = float64(rep.GridPoints) / rep.ColdSeconds
+	rep.WarmPointsPerSec = float64(rep.GridPoints) / rep.WarmSeconds
+	rep.ColdOverWarm = rep.ColdSeconds / rep.WarmSeconds
+	return rep, nil
+}
+
+// WriteReport serializes a report as indented JSON (the BENCH_*.json file
+// format), newline-terminated.
+func WriteReport(w io.Writer, rep *BenchReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

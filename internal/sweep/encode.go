@@ -1,0 +1,51 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file holds the two streaming wire encodings of a sweep — NDJSON
+// (one JSON object per line, the /v1/sweep default) and CSV — shared by
+// the server endpoint and the cmd/sweep CLI so both emit byte-identical
+// rows for the same grid.
+
+// WriteNDJSON writes one point as a single JSON line.
+func WriteNDJSON(w io.Writer, p Point) error {
+	b, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// CSVHeader is the column row matching CSVRecord, newline-terminated.
+func CSVHeader() string {
+	return "seq,domain,accelerator,param_target,subbatch,params,flops_per_step,bytes_per_step,intensity,footprint_bytes,step_seconds,utilization,compute_bound,fits_memory,error\n"
+}
+
+// CSVRecord renders one point as a CSV row, newline-terminated. Failed
+// points leave the numeric columns empty and fill the error column.
+func CSVRecord(p Point) string {
+	prefix := fmt.Sprintf("%d,%s,%s,%.6g,%.6g", p.Seq, p.Domain, csvEscape(p.Accelerator),
+		p.ParamTarget, p.Subbatch)
+	if p.Requirements == nil {
+		return fmt.Sprintf("%s,,,,,,,,,,%s\n", prefix, csvEscape(p.Error))
+	}
+	return fmt.Sprintf("%s,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%v,%v,\n",
+		prefix, p.Params, p.FLOPsPerStep, p.BytesPerStep, p.Intensity,
+		p.FootprintBytes, p.StepSeconds, p.Utilization, p.ComputeBound, p.FitsMemory)
+}
+
+// csvEscape quotes a field when it contains CSV metacharacters — custom
+// accelerator names and error messages are the only free-form columns.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -1,0 +1,431 @@
+// Package sweep is the bulk grid evaluator: the paper's core artifacts
+// (Tables 2–5, Figures 11–12) are all grids — domain × parameter count ×
+// subbatch × accelerator — and this package turns "thousands of one-point
+// calls" into one streaming evaluation over a shared compiled session.
+//
+// A Spec describes the grid; a Runner validates it once and then streams
+// Points in a deterministic order (domain-major, then parameter target,
+// then subbatch, then accelerator) regardless of worker scheduling. Costs
+// are amortized across the whole grid: each domain's model is built and
+// compiled once by the backing session source, each unique (domain, params)
+// size solve runs once and is shared by every subbatch of the cell, each
+// (domain, params, subbatch) characterization — the expensive part, with
+// its footprint traversal — runs once and is shared by every accelerator,
+// and workers reuse per-goroutine evaluation buffers so steady-state points
+// allocate almost nothing.
+//
+// Failure policy is error-per-point, not fail-the-grid: an unreachable
+// parameter target yields Points with Error set for that cell while the
+// rest of the grid streams on. Cancelling the context stops the run.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+
+	"catamount/internal/core"
+	"catamount/internal/graph"
+	"catamount/internal/hw"
+	"catamount/internal/models"
+)
+
+// SessionSource resolves a domain's compiled analysis session, building it
+// on first use. catamount.Engine satisfies this.
+type SessionSource interface {
+	Analyzer(models.Domain) (*core.Analyzer, error)
+}
+
+// Spec describes a sweep grid. The zero value of each field means "the
+// paper's default": all five domains, each domain's profiling subbatch, the
+// Table 4 target accelerator. Parameter targets are the one mandatory axis,
+// either explicit (Params) or as a log-spaced range (ParamMin/ParamMax/
+// ParamSteps). This is the JSON schema of POST /v1/sweep and the flag
+// schema of cmd/sweep.
+type Spec struct {
+	// Domains lists domain names ("wordlm", "charlm", "nmt", "speech",
+	// "image"); empty means all five in Table 1 order.
+	Domains []string `json:"domains,omitempty"`
+	// Params are explicit parameter-count targets.
+	Params []float64 `json:"params,omitempty"`
+	// ParamMin/ParamMax/ParamSteps describe a log-spaced target range,
+	// mutually exclusive with Params.
+	ParamMin   float64 `json:"param_min,omitempty"`
+	ParamMax   float64 `json:"param_max,omitempty"`
+	ParamSteps int     `json:"param_steps,omitempty"`
+	// Subbatches lists subbatch sizes; empty means each domain's paper
+	// profiling subbatch (Model.DefaultBatch).
+	Subbatches []float64 `json:"subbatches,omitempty"`
+	// Accelerators names catalog entries or aliases; Custom adds inline
+	// devices in the catalog interchange schema. Both empty means the
+	// paper's Table 4 target.
+	Accelerators []string         `json:"accelerators,omitempty"`
+	Custom       []hw.Accelerator `json:"custom_accelerators,omitempty"`
+	// Workers bounds the evaluation pool (default GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+// Point is one grid evaluation result. Requirements is nil when the point
+// failed, with Error carrying the cause; the grid streams on either way.
+// Seq is the point's position in the deterministic output order.
+type Point struct {
+	Seq         int           `json:"seq"`
+	Domain      models.Domain `json:"domain"`
+	Accelerator string        `json:"accelerator"`
+	ParamTarget float64       `json:"param_target"`
+	Subbatch    float64       `json:"subbatch"`
+
+	*core.Requirements
+
+	// StepSeconds/Utilization/ComputeBound are the Roofline estimates on
+	// this point's accelerator; FitsMemory compares the footprint against
+	// its capacity. The booleans never use omitempty: their false values
+	// are the headline results (memory-bound, does not fit), and clients
+	// filter on them directly. They are meaningful only when Requirements
+	// is present.
+	StepSeconds  float64 `json:"step_seconds,omitempty"`
+	Utilization  float64 `json:"utilization,omitempty"`
+	ComputeBound bool    `json:"compute_bound"`
+	FitsMemory   bool    `json:"fits_memory"`
+
+	Error string `json:"error,omitempty"`
+}
+
+// Runner is a validated sweep grid bound to a session source. Create with
+// New; Run may be called any number of times.
+type Runner struct {
+	src        SessionSource
+	domains    []models.Domain
+	params     []float64
+	subbatches []float64 // empty: each domain's DefaultBatch
+	accs       []hw.Accelerator
+	workers    int
+}
+
+// New validates a spec against the domain registry and accelerator catalog
+// and resolves the grid. Every error out of New is a spec problem (the
+// server maps them to 400); errors out of Run are per-point or
+// cancellation.
+func New(src SessionSource, spec Spec) (*Runner, error) {
+	r := &Runner{src: src}
+
+	if len(spec.Domains) == 0 {
+		r.domains = append(r.domains, models.AllDomains...)
+	}
+	for _, name := range spec.Domains {
+		d, err := parseDomain(name)
+		if err != nil {
+			return nil, err
+		}
+		r.domains = append(r.domains, d)
+	}
+
+	switch {
+	case len(spec.Params) > 0:
+		if spec.ParamMin != 0 || spec.ParamMax != 0 || spec.ParamSteps != 0 {
+			return nil, fmt.Errorf("sweep: params and param_min/param_max/param_steps are mutually exclusive")
+		}
+		for _, p := range spec.Params {
+			if !positiveFinite(p) {
+				return nil, fmt.Errorf("sweep: params must be positive finite, got %v", p)
+			}
+		}
+		r.params = append(r.params, spec.Params...)
+	case spec.ParamMin > 0 || spec.ParamMax > 0 || spec.ParamSteps > 0:
+		if !positiveFinite(spec.ParamMin) || !positiveFinite(spec.ParamMax) || spec.ParamMax <= spec.ParamMin {
+			return nil, fmt.Errorf("sweep: param range needs 0 < param_min < param_max, got [%v, %v]",
+				spec.ParamMin, spec.ParamMax)
+		}
+		if spec.ParamSteps < 2 {
+			return nil, fmt.Errorf("sweep: param range needs param_steps >= 2, got %d", spec.ParamSteps)
+		}
+		r.params = core.LogSpace(spec.ParamMin, spec.ParamMax, spec.ParamSteps)
+	default:
+		return nil, fmt.Errorf("sweep: spec needs params or a param_min/param_max/param_steps range")
+	}
+
+	for _, b := range spec.Subbatches {
+		if !positiveFinite(b) {
+			return nil, fmt.Errorf("sweep: subbatches must be positive finite, got %v", b)
+		}
+		r.subbatches = append(r.subbatches, b)
+	}
+
+	for _, name := range spec.Accelerators {
+		acc, err := hw.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		r.accs = append(r.accs, acc)
+	}
+	for _, acc := range spec.Custom {
+		if acc.Name == "" {
+			return nil, fmt.Errorf("sweep: custom accelerator missing \"name\"")
+		}
+		if err := acc.Validate(); err != nil {
+			return nil, err
+		}
+		r.accs = append(r.accs, acc)
+	}
+	if len(r.accs) == 0 {
+		r.accs = []hw.Accelerator{hw.TargetAccelerator()}
+	}
+
+	r.workers = spec.Workers
+	if r.workers <= 0 {
+		r.workers = runtime.GOMAXPROCS(0)
+	}
+	if lim := 4 * runtime.GOMAXPROCS(0); r.workers > lim {
+		r.workers = lim
+	}
+	return r, nil
+}
+
+// Points returns the grid size: the exact number of Points a Run will
+// yield.
+func (r *Runner) Points() int {
+	return len(r.domains) * len(r.params) * r.cellsPerPair() * len(r.accs)
+}
+
+// cellsPerPair is the subbatch multiplicity of one (domain, params) pair.
+func (r *Runner) cellsPerPair() int {
+	if len(r.subbatches) == 0 {
+		return 1
+	}
+	return len(r.subbatches)
+}
+
+// cellResult is one (domain, params, subbatch) characterization, shared by
+// every accelerator of the cell.
+type cellResult struct {
+	subbatch float64 // resolved (domain default applied)
+	req      core.Requirements
+	err      error
+}
+
+// sessions lazily materializes one evaluation scratchpad per domain for a
+// single worker goroutine.
+type sessions struct {
+	src SessionSource
+	m   map[models.Domain]*core.Session
+}
+
+func (s *sessions) at(d models.Domain) (*core.Session, error) {
+	if ses, ok := s.m[d]; ok {
+		return ses, nil
+	}
+	a, err := s.src.Analyzer(d)
+	if err != nil {
+		return nil, err
+	}
+	ses := a.NewSession()
+	s.m[d] = ses
+	return ses, nil
+}
+
+// Run evaluates the grid, streaming every point through yield in
+// deterministic order (domain-major, then params, then subbatch, then
+// accelerator; Point.Seq numbers that order from 0). Workers evaluate
+// cells concurrently; a reorder buffer keeps emission in sequence. Run
+// returns the yield error if yield fails, ctx.Err() on cancellation, and
+// nil otherwise — per-point failures are carried in Point.Error, never
+// returned.
+func (r *Runner) Run(ctx context.Context, yield func(Point) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	np, nb := len(r.params), r.cellsPerPair()
+
+	// Phase 1: solve each unique (domain, params) size once, shared by
+	// every subbatch and accelerator of the pair.
+	type solved struct {
+		size float64
+		err  error
+	}
+	sizes := make([]solved, len(r.domains)*np)
+	r.forEach(ctx, len(sizes), func(i int, ses *sessions) {
+		s, err := ses.at(r.domains[i/np])
+		if err != nil {
+			sizes[i] = solved{err: err}
+			return
+		}
+		size, err := s.SizeForParams(r.params[i%np])
+		sizes[i] = solved{size: size, err: err}
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Phase 2: characterize cells across the pool, emitting in order.
+	numCells := len(r.domains) * np * nb
+	results := make([]cellResult, numCells)
+	evalCell := func(i int, ses *sessions) {
+		di, rem := i/(np*nb), i%(np*nb)
+		pi, bi := rem/nb, rem%nb
+		s, err := ses.at(r.domains[di])
+		if err != nil {
+			results[i] = cellResult{err: err}
+			return
+		}
+		b := s.Analyzer().Model.DefaultBatch
+		if len(r.subbatches) > 0 {
+			b = r.subbatches[bi]
+		}
+		sol := sizes[di*np+pi]
+		if sol.err != nil {
+			results[i] = cellResult{subbatch: b, err: sol.err}
+			return
+		}
+		req, err := s.Characterize(sol.size, b, graph.PolicyMemGreedy)
+		results[i] = cellResult{subbatch: b, req: req, err: err}
+	}
+
+	workers := r.workers
+	if workers > numCells {
+		workers = numCells
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	completed := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ses := &sessions{src: r.src, m: make(map[models.Domain]*core.Session)}
+			for i := range next {
+				evalCell(i, ses)
+				select {
+				case completed <- i:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(next)
+		for i := 0; i < numCells; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(completed)
+	}()
+
+	ready := make([]bool, numCells)
+	nextEmit := 0
+	for idx := range completed {
+		ready[idx] = true
+		for nextEmit < numCells && ready[nextEmit] {
+			if err := r.emitCell(nextEmit, &results[nextEmit], yield); err != nil {
+				cancel()
+				for range completed { // unblock workers until the pool drains
+				}
+				return err
+			}
+			nextEmit++
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// emitCell expands one characterized cell into its per-accelerator points.
+// The Requirements are accelerator-independent; only the Roofline numbers
+// differ per device.
+func (r *Runner) emitCell(idx int, res *cellResult, yield func(Point) error) error {
+	di, rem := idx/(len(r.params)*r.cellsPerPair()), idx%(len(r.params)*r.cellsPerPair())
+	pi := rem / r.cellsPerPair()
+	for ai, acc := range r.accs {
+		p := Point{
+			Seq:         idx*len(r.accs) + ai,
+			Domain:      r.domains[di],
+			Accelerator: acc.Name,
+			ParamTarget: r.params[pi],
+			Subbatch:    res.subbatch,
+		}
+		if res.err != nil {
+			p.Error = res.err.Error()
+		} else {
+			req := res.req
+			p.Requirements = &req
+			p.StepSeconds = acc.StepTime(req.FLOPsPerStep, req.BytesPerStep)
+			p.Utilization = acc.Utilization(req.FLOPsPerStep, p.StepSeconds)
+			p.ComputeBound = acc.ComputeBound(req.FLOPsPerStep, req.BytesPerStep)
+			p.FitsMemory = acc.Fits(req.FootprintBytes)
+		}
+		if err := yield(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forEach runs fn(i) for i in [0, n) across the runner's worker pool, each
+// worker holding its own session map. fn records its own results; the loop
+// stops dispatching when ctx is cancelled.
+func (r *Runner) forEach(ctx context.Context, n int, fn func(i int, ses *sessions)) {
+	workers := r.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		ses := &sessions{src: r.src, m: make(map[models.Domain]*core.Session)}
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i, ses)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ses := &sessions{src: r.src, m: make(map[models.Domain]*core.Session)}
+			for i := range next {
+				fn(i, ses)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			i = n
+		}
+	}
+	close(next)
+	wg.Wait()
+}
+
+func parseDomain(name string) (models.Domain, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	for _, d := range models.AllDomains {
+		if string(d) == key {
+			return d, nil
+		}
+	}
+	known := make([]string, 0, len(models.AllDomains))
+	for _, d := range models.AllDomains {
+		known = append(known, string(d))
+	}
+	return "", fmt.Errorf("sweep: unknown domain %q (one of: %s)", name, strings.Join(known, ", "))
+}
+
+func positiveFinite(v float64) bool {
+	return v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0)
+}

@@ -1,0 +1,361 @@
+package sweep
+
+import (
+	"context"
+	stdcsv "encoding/csv"
+	"errors"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"catamount/internal/hw"
+	"catamount/internal/models"
+)
+
+// sharedSource keeps model build+compile cost to once for the whole test
+// binary.
+var sharedSource = newBuildSource()
+
+func collect(t *testing.T, r *Runner) []Point {
+	t.Helper()
+	var out []Point
+	if err := r.Run(context.Background(), func(p Point) error {
+		out = append(out, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string // error substring
+	}{
+		{"no params", Spec{}, "needs params"},
+		{"unknown domain", Spec{Domains: []string{"tabular"}, Params: []float64{1e8}}, "unknown domain"},
+		{"negative param", Spec{Params: []float64{-1}}, "positive finite"},
+		{"both param forms", Spec{Params: []float64{1e8}, ParamMin: 1, ParamMax: 2, ParamSteps: 2}, "mutually exclusive"},
+		{"inverted range", Spec{ParamMin: 1e9, ParamMax: 1e8, ParamSteps: 4}, "param_min < param_max"},
+		{"one step", Spec{ParamMin: 1e8, ParamMax: 1e9, ParamSteps: 1}, "param_steps >= 2"},
+		{"bad subbatch", Spec{Params: []float64{1e8}, Subbatches: []float64{0}}, "subbatches must be positive"},
+		{"unknown accelerator", Spec{Params: []float64{1e8}, Accelerators: []string{"abacus"}}, "unknown accelerator"},
+		{"nameless custom", Spec{Params: []float64{1e8}, Custom: []hw.Accelerator{{PeakFLOPS: 1}}}, "missing \"name\""},
+		{"invalid custom", Spec{Params: []float64{1e8},
+			Custom: []hw.Accelerator{{Name: "broken", PeakFLOPS: -1}}}, "must be positive"},
+	}
+	for _, tc := range cases {
+		_, err := New(sharedSource, tc.spec)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDefaultsAndGridSize(t *testing.T) {
+	// Empty domains/accelerators default to all five and the Table 4 target;
+	// empty subbatches mean one cell per (domain, params) at the domain's
+	// profiling subbatch.
+	r, err := New(sharedSource, Spec{ParamMin: 1e8, ParamMax: 1e9, ParamSteps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Points(), 5*3*1*1; got != want {
+		t.Fatalf("Points() = %d, want %d", got, want)
+	}
+	pts := collect(t, r)
+	if len(pts) != r.Points() {
+		t.Fatalf("yielded %d points, want %d", len(pts), r.Points())
+	}
+	byDomain := map[models.Domain]float64{}
+	for _, p := range pts {
+		if p.Error != "" {
+			t.Fatalf("point %d failed: %s", p.Seq, p.Error)
+		}
+		if p.Accelerator != hw.TargetAccelerator().Name {
+			t.Fatalf("point %d accelerator = %q", p.Seq, p.Accelerator)
+		}
+		byDomain[p.Domain] = p.Subbatch
+	}
+	for _, d := range models.AllDomains {
+		m := models.MustBuild(d)
+		if byDomain[d] != m.DefaultBatch {
+			t.Errorf("%s default subbatch = %v, want profiling subbatch %v", d, byDomain[d], m.DefaultBatch)
+		}
+	}
+}
+
+func TestDeterministicOrderAcrossWorkerCounts(t *testing.T) {
+	spec := Spec{
+		Domains:      []string{"wordlm", "nmt"},
+		Params:       []float64{5e7, 2e8},
+		Subbatches:   []float64{32, 128},
+		Accelerators: []string{"v100", "a100"},
+	}
+	var runs [][]Point
+	for _, workers := range []int{1, 3, 8} {
+		spec.Workers = workers
+		r, err := New(sharedSource, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, collect(t, r))
+	}
+	for i, pts := range runs {
+		if len(pts) != len(runs[0]) {
+			t.Fatalf("run %d yielded %d points, run 0 yielded %d", i, len(pts), len(runs[0]))
+		}
+		for j := range pts {
+			if pts[j].Seq != j {
+				t.Fatalf("run %d point %d has seq %d", i, j, pts[j].Seq)
+			}
+			a, b := pts[j], runs[0][j]
+			if a.Domain != b.Domain || a.Accelerator != b.Accelerator ||
+				a.ParamTarget != b.ParamTarget || a.Subbatch != b.Subbatch ||
+				*a.Requirements != *b.Requirements || a.StepSeconds != b.StepSeconds {
+				t.Fatalf("run %d point %d diverges from run 0:\n%+v\nvs\n%+v", i, j, a, b)
+			}
+		}
+	}
+	// Spot-check the documented order: domain-major, then params, then
+	// subbatch, then accelerator.
+	pts := runs[0]
+	if pts[0].Domain != "wordlm" || pts[0].ParamTarget != 5e7 || pts[0].Subbatch != 32 ||
+		pts[0].Accelerator != "target-v100-class" {
+		t.Fatalf("point 0 = %+v", pts[0])
+	}
+	if pts[1].Accelerator != "a100-class" {
+		t.Fatalf("point 1 accelerator = %q, want a100-class", pts[1].Accelerator)
+	}
+	if pts[2].Subbatch != 128 {
+		t.Fatalf("point 2 subbatch = %v, want 128", pts[2].Subbatch)
+	}
+	if pts[8].Domain != "nmt" {
+		t.Fatalf("point 8 domain = %q, want nmt", pts[8].Domain)
+	}
+}
+
+func TestPerPointErrorsDoNotTruncateGrid(t *testing.T) {
+	// 1e300 parameters is unreachable for any domain: that cell must fail
+	// point by point while the 1e8 cells stream through untouched.
+	r, err := New(sharedSource, Spec{
+		Domains:      []string{"wordlm", "charlm"},
+		Params:       []float64{1e8, 1e300},
+		Accelerators: []string{"v100", "a100"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := collect(t, r)
+	if len(pts) != 2*2*1*2 {
+		t.Fatalf("yielded %d points, want 8", len(pts))
+	}
+	var failed, ok int
+	for _, p := range pts {
+		switch p.ParamTarget {
+		case 1e300:
+			if p.Error == "" || p.Requirements != nil {
+				t.Fatalf("unreachable point %d: error=%q req=%v", p.Seq, p.Error, p.Requirements)
+			}
+			if !strings.Contains(p.Error, "unreachable") {
+				t.Fatalf("point %d error = %q", p.Seq, p.Error)
+			}
+			failed++
+		default:
+			if p.Error != "" || p.Requirements == nil {
+				t.Fatalf("healthy point %d: error=%q", p.Seq, p.Error)
+			}
+			ok++
+		}
+	}
+	if failed != 4 || ok != 4 {
+		t.Fatalf("failed=%d ok=%d, want 4 and 4", failed, ok)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	r, err := New(sharedSource, Spec{
+		Params:     []float64{5e7, 1e8, 2e8, 4e8},
+		Subbatches: []float64{16, 32, 64, 128},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := 0
+	runErr := r.Run(ctx, func(Point) error {
+		seen++
+		if seen == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", runErr)
+	}
+	if seen >= r.Points() {
+		t.Fatalf("cancellation did not stop the stream (%d of %d points)", seen, r.Points())
+	}
+}
+
+func TestYieldErrorAborts(t *testing.T) {
+	r, err := New(sharedSource, Spec{Params: []float64{5e7, 1e8, 2e8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("client went away")
+	seen := 0
+	runErr := r.Run(context.Background(), func(Point) error {
+		seen++
+		if seen == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(runErr, boom) {
+		t.Fatalf("Run = %v, want the yield error", runErr)
+	}
+	if seen != 2 {
+		t.Fatalf("yield called %d times after abort, want 2", seen)
+	}
+}
+
+func TestRunIsRepeatable(t *testing.T) {
+	// The same Runner may stream its grid any number of times (the bench
+	// harness re-runs warm); results must match exactly.
+	r, err := New(sharedSource, Spec{Domains: []string{"nmt"}, Params: []float64{1e8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := collect(t, r), collect(t, r)
+	if len(a) != len(b) {
+		t.Fatalf("runs yielded %d and %d points", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i].Requirements != *b[i].Requirements {
+			t.Fatalf("point %d differs across runs", i)
+		}
+	}
+}
+
+func TestConcurrentAnalyzerBuildIsSafe(t *testing.T) {
+	// A fresh source with several workers forces concurrent first-touch
+	// model builds through the memoizing source.
+	r, err := New(newBuildSource(), Spec{
+		Domains: []string{"wordlm", "charlm", "nmt"},
+		Params:  []float64{5e7},
+		Workers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Run(context.Background(), func(Point) error { return nil })
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSweepBenchFloors is the CI regression gate on the BENCH_*.json
+// trajectory: the reference grid must stay above a pinned throughput floor
+// and below a pinned allocation ceiling. The floors are conservative —
+// roughly 10x under / 20x over a 1-core container's measured numbers
+// (960 points/s warm, 2.7 allocs/point) — so they catch structural
+// regressions (recompiling per point, losing cell amortization, per-point
+// allocation creep), not machine noise. Set SWEEP_BENCH_OUT to also write
+// the BENCH json snapshot the CI bench job uploads.
+func TestSweepBenchFloors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness runs the full reference grid")
+	}
+	rep, err := RunBench(context.Background(), ReferenceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cold %.2fs (%.0f pts/s), warm %.3fs (%.0f pts/s, %.1fx), %.1f allocs/pt, %.0f B/pt",
+		rep.ColdSeconds, rep.ColdPointsPerSec, rep.WarmSeconds, rep.WarmPointsPerSec,
+		rep.ColdOverWarm, rep.AllocsPerPoint, rep.BytesPerPoint)
+
+	const (
+		warmFloor    = 100.0 // points/sec
+		allocCeiling = 64.0  // allocs/point
+	)
+	if rep.WarmPointsPerSec < warmFloor {
+		t.Errorf("warm throughput %.1f points/s below pinned floor %.0f", rep.WarmPointsPerSec, warmFloor)
+	}
+	if rep.AllocsPerPoint > allocCeiling {
+		t.Errorf("allocations %.1f/point above pinned ceiling %.0f", rep.AllocsPerPoint, allocCeiling)
+	}
+	if rep.ColdOverWarm < 2 {
+		t.Errorf("cold/warm ratio %.1fx below 2x: grid no longer amortizes model build+compile", rep.ColdOverWarm)
+	}
+
+	if path := os.Getenv("SWEEP_BENCH_OUT"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := WriteReport(f, rep); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+	}
+}
+
+// TestEncodeFormats checks the two wire encodings stay parseable and
+// aligned: NDJSON one object per line, CSV header/row column counts equal,
+// error rows carrying the message.
+func TestEncodeFormats(t *testing.T) {
+	r, err := New(sharedSource, Spec{
+		Domains: []string{"wordlm"},
+		Params:  []float64{1e8, 1e300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nd, csv strings.Builder
+	csv.WriteString(CSVHeader())
+	err = r.Run(context.Background(), func(p Point) error {
+		if err := WriteNDJSON(&nd, p); err != nil {
+			return err
+		}
+		csv.WriteString(CSVRecord(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndLines := strings.Split(strings.TrimRight(nd.String(), "\n"), "\n")
+	if len(ndLines) != 2 {
+		t.Fatalf("ndjson has %d lines, want 2", len(ndLines))
+	}
+	records, err := stdcsv.NewReader(strings.NewReader(csv.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("csv stream does not parse: %v", err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("csv has %d records, want header + 2 rows", len(records))
+	}
+	for i, rec := range records[1:] {
+		if len(rec) != len(records[0]) {
+			t.Errorf("csv row %d has %d fields, header has %d", i, len(rec), len(records[0]))
+		}
+	}
+	if !strings.Contains(ndLines[0], `"flops_per_step"`) {
+		t.Errorf("healthy ndjson line missing requirements: %s", ndLines[0])
+	}
+	if !strings.Contains(ndLines[1], `"error"`) || strings.Contains(ndLines[1], `"flops_per_step"`) {
+		t.Errorf("failed ndjson line should carry error only: %s", ndLines[1])
+	}
+	if errCol := records[2][len(records[2])-1]; !strings.Contains(errCol, "unreachable") {
+		t.Errorf("failed csv row error column = %q", errCol)
+	}
+}
