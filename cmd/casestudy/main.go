@@ -18,7 +18,12 @@ func main() {
 	log.SetPrefix("casestudy: ")
 	accel := flag.String("accel", "",
 		"Roofline accelerator: catalog name (v100, a100, h100, tpuv3, cpu), @file.json, or empty for the paper's target")
+	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
 	flag.Parse()
+	if *listAccels {
+		cat.PrintAcceleratorCatalog(os.Stdout)
+		return
+	}
 
 	acc, err := cat.ResolveAccelerator(*accel)
 	if err != nil {

@@ -34,7 +34,12 @@ func main() {
 	save := flag.String("save", "", "write the compute graph checkpoint to this file")
 	accel := flag.String("accel", "",
 		"Roofline accelerator: catalog name (v100, a100, h100, tpuv3, cpu), @file.json, or empty for the paper's target")
+	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
 	flag.Parse()
+	if *listAccels {
+		cat.PrintAcceleratorCatalog(os.Stdout)
+		return
+	}
 
 	acc, err := cat.ResolveAccelerator(*accel)
 	if err != nil {

@@ -22,7 +22,12 @@ func main() {
 	table := flag.String("table", "all", "table to print: 1, 2, 3, 4 or all")
 	accel := flag.String("accel", "",
 		"Roofline accelerator for Tables 3 and 4: catalog name (v100, a100, h100, tpuv3, cpu), @file.json, or empty for the paper's target")
+	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
 	flag.Parse()
+	if *listAccels {
+		cat.PrintAcceleratorCatalog(os.Stdout)
+		return
+	}
 
 	acc, err := cat.ResolveAccelerator(*accel)
 	if err != nil {

@@ -1,0 +1,243 @@
+// Command plan is the inverse-query capacity planner CLI: name a desired
+// accuracy (or take the paper's Table 1 desired SOTA), optionally a time
+// or dollar budget, and get back the Pareto-optimal cluster plans —
+// accelerator, worker count, per-worker subbatch, and parallelism
+// strategy — that reach it, with infeasible configurations annotated
+// (OOM, below minimum subbatch, over budget) rather than dropped.
+//
+//	plan -domain wordlm                             Pareto frontier for desired SOTA
+//	plan -domain image -target-err 0.08             custom accuracy target
+//	plan -domain nmt -budget-hours 720 -accel a100,h100
+//	plan -domain wordlm -format ndjson -all         every candidate, one JSON per line
+//	plan -list-accels                               the accelerator catalog with aliases
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"text/tabwriter"
+
+	cat "catamount"
+	"catamount/internal/plan"
+	"catamount/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("plan: ")
+	domain := flag.String("domain", "wordlm", "domain: wordlm, charlm, nmt, speech, image")
+	targetErr := flag.Float64("target-err", 0,
+		"desired accuracy in the domain's error metric (0 = the paper's Table 1 desired SOTA)")
+	budgetHours := flag.Float64("budget-hours", 0, "time-to-train budget in hours (0 = unbounded)")
+	budgetUSD := flag.Float64("budget-usd", 0, "dollar budget (0 = unbounded)")
+	epochs := flag.Float64("epochs", 0, "passes over the target dataset (0 = 1)")
+	accel := flag.String("accel", "",
+		"comma-separated accelerators to search: catalog names/aliases, @file.json custom devices; empty = the whole catalog")
+	// Named -worker-counts, not -workers: on cmd/sweep -workers sizes the
+	// evaluation pool, while this flag is a search axis (cluster sizes).
+	workersList := flag.String("worker-counts", "",
+		"comma-separated data-parallel cluster sizes to search; empty = powers of two 1..16384")
+	pool := flag.Int("pool", 0, "candidate-evaluation workers (0 = GOMAXPROCS)")
+	subbatch := flag.String("subbatch", "", "comma-separated per-worker subbatch sizes; empty = powers of two 8..512")
+	strategies := flag.String("strategies", "", "comma-separated strategies (allreduce, overlap, sharded); empty = all")
+	format := flag.String("format", "table", "output: table or ndjson")
+	all := flag.Bool("all", false, "emit every candidate (annotated), not just the Pareto frontier")
+	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
+	bench := flag.String("bench", "", "run the reference bench harness and write its BENCH json to this path (\"-\" = stdout)")
+	flag.Parse()
+
+	if *listAccels {
+		cat.PrintAcceleratorCatalog(os.Stdout)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *bench != "" {
+		runBench(ctx, *bench)
+		return
+	}
+
+	spec := cat.PlanSpec{
+		Domain:      *domain,
+		TargetErr:   *targetErr,
+		Epochs:      *epochs,
+		BudgetHours: *budgetHours,
+		BudgetUSD:   *budgetUSD,
+		Strategies:  splitList(*strategies),
+		Workers:     *pool,
+	}
+	var err error
+	if spec.Subbatches, err = parseFloats(*subbatch); err != nil {
+		log.Fatalf("-subbatch: %v", err)
+	}
+	if spec.WorkerCounts, err = parseInts(*workersList); err != nil {
+		log.Fatalf("-worker-counts: %v", err)
+	}
+	// The CLI resolves accelerators itself (for @file.json support) and
+	// hands the spec resolved devices, like cmd/sweep.
+	if *accel != "" {
+		for _, ref := range splitList(*accel) {
+			acc, err := cat.ResolveAccelerator(ref)
+			if err != nil {
+				log.Fatal(err)
+			}
+			spec.Custom = append(spec.Custom, acc)
+		}
+	}
+
+	res, err := cat.DefaultEngine().PlanSearch(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *format {
+	case "ndjson":
+		plans := res.Frontier
+		if *all {
+			plans = res.Plans
+		}
+		for _, p := range plans {
+			if err := sweep.WriteJSONLine(os.Stdout, p); err != nil {
+				log.Fatal(err)
+			}
+		}
+	case "table":
+		printTable(res, *all)
+	default:
+		log.Fatalf("unknown -format %q (table, ndjson)", *format)
+	}
+}
+
+// runBench runs the fixed reference search through the bench harness and
+// writes the BENCH json snapshot the CI bench job publishes and gates on.
+func runBench(ctx context.Context, path string) {
+	rep, err := plan.RunBench(ctx, plan.ReferenceSearch())
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := plan.WriteReport(out, rep); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d candidates: cold %.2fs (%.0f plans/s), warm %.3fs (%.0f plans/s, %.1fx)",
+		rep.Candidates, rep.ColdSeconds, rep.ColdPlansPerSec,
+		rep.WarmSeconds, rep.WarmPlansPerSec, rep.ColdOverWarm)
+}
+
+func printTable(res *cat.PlanResult, all bool) {
+	t := res.Target
+	fmt.Printf("Target: %s at %.3g %s\n", t.Name, t.TargetErr, t.Metric)
+	fmt.Printf("  needs %.3g %ss (%.0fx current data) and %.3g parameters (%.1fx current model)\n",
+		t.DataSamples, t.SampleUnit, t.DataScale, t.Params, t.ModelScale)
+	fmt.Printf("  searched %d candidate plans; objectives: %s\n\n",
+		res.Candidates, strings.Join(res.Objectives, ", "))
+
+	if len(res.Frontier) == 0 {
+		fmt.Println("No feasible plan in the searched space.")
+	} else {
+		fmt.Println("Pareto-optimal plans (fastest first):")
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "Accelerator\tStrategy\tWorkers\tSubbatch\tStep (s)\tTrain\tCost\tEnergy\tUtil\tMem/dev")
+		for _, p := range res.Frontier {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.3g\t%s\t%s\t%.3g MWh\t%.1f%%\t%.0f GB\n",
+				p.Accelerator, p.Strategy, p.Workers, p.Subbatch, p.StepSeconds,
+				fmtHours(p.TrainHours), fmtCost(p.CostUSD), p.EnergyKWh/1000,
+				100*p.Utilization, p.MemPerDeviceGB)
+		}
+		tw.Flush()
+	}
+
+	if all {
+		fmt.Println("\nAll candidates:")
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "Accelerator\tStrategy\tWorkers\tSubbatch\tTrain\tCost\tStatus")
+		for _, p := range res.Plans {
+			status := "feasible"
+			switch {
+			case p.OnFrontier:
+				status = "pareto-optimal"
+			case !p.Feasible:
+				status = strings.Join(p.Infeasible, "; ")
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%s\t%s\t%s\n",
+				p.Accelerator, p.Strategy, p.Workers, p.Subbatch,
+				fmtHours(p.TrainHours), fmtCost(p.CostUSD), status)
+		}
+		tw.Flush()
+	}
+}
+
+func fmtHours(h float64) string {
+	if h == 0 {
+		return "-"
+	}
+	if h < 48 {
+		return fmt.Sprintf("%.1f h", h)
+	}
+	return fmt.Sprintf("%.1f d", h/24)
+}
+
+func fmtCost(usd float64) string {
+	if usd == 0 {
+		return "-"
+	}
+	if usd >= 1e6 {
+		return fmt.Sprintf("$%.2fM", usd/1e6)
+	}
+	return fmt.Sprintf("$%.0f", usd)
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func parseFloats(list string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitList(list) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(list string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(list) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("invalid integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -47,7 +47,12 @@ func main() {
 	table3 := flag.Bool("table3", false, "print Table 3 on each -accel instead of a grid sweep")
 	figure := flag.String("figure", "", "print figure \"11\" or \"12\" CSV on each -accel instead of a grid sweep")
 	bench := flag.String("bench", "", "run the reference bench harness and write its BENCH json to this path (\"-\" = stdout)")
+	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
 	flag.Parse()
+	if *listAccels {
+		cat.PrintAcceleratorCatalog(os.Stdout)
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -33,6 +33,21 @@ type Engine struct {
 	csMu        sync.Mutex
 	caseStudies map[Accelerator]*caseStudyEntry
 	csOrder     *list.List // of Accelerator
+
+	// plans memoizes capacity-planner searches by their canonical key
+	// (plan.Planner.Key): a search is deterministic, and the serving layer
+	// replays popular targets. Same LRU discipline as caseStudies.
+	planMu    sync.Mutex
+	plans     map[string]*planEntry
+	planOrder *list.List // of string (plan keys)
+}
+
+// planEntry runs one planner search at most once, outside the map lock.
+type planEntry struct {
+	once sync.Once
+	res  *PlanResult
+	err  error
+	elem *list.Element
 }
 
 // caseStudyEntry runs one accelerator's case study at most once, outside
@@ -60,6 +75,8 @@ func NewEngine() *Engine {
 		entries:     make(map[Domain]*engineEntry),
 		caseStudies: make(map[Accelerator]*caseStudyEntry),
 		csOrder:     list.New(),
+		plans:       make(map[string]*planEntry),
+		planOrder:   list.New(),
 	}
 }
 

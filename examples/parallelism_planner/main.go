@@ -1,95 +1,85 @@
-// Parallelism planner: run the paper's word-LM case study (Table 5), then
-// replay it on hypothetical accelerators with more memory and bigger caches —
-// the hardware directions the paper's conclusion argues for.
+// Parallelism planner: ask the capacity planner which cluster reaches the
+// frontier word LM on each catalog accelerator, then replay the search on
+// the hypothetical parts the paper's conclusion argues for (bigger
+// memories). The search logic lives in internal/plan; this example only
+// frames the what-ifs.
 package main
 
 import (
 	"fmt"
 	"log"
-	"os"
 
 	cat "catamount"
-	"catamount/internal/parallel"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	fmt.Println("=== Baseline: paper's Table 4 accelerator (32 GB HBM, 6 MB L2) ===")
-	base, err := cat.DefaultEngine().WordLMCaseStudy()
-	if err != nil {
-		log.Fatal(err)
-	}
-	cat.PrintTable5(os.Stdout, base)
-
-	// What-if 1: 4x the on-chip cache (paper: "build larger on-chip caches
-	// to avoid excessive memory data streaming for large matrix multiplies").
-	bigCache := parallel.DefaultCaseStudyConfig()
-	bigCache.Acc.CacheBytes *= 4
-	csCache, err := parallel.RunWordLMCaseStudy(bigCache)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// What-if 2: 4x the memory capacity (paper: "significantly increase
-	// accelerator memory capacity" to simplify large-scale RNN parallelism).
-	bigMem := parallel.DefaultCaseStudyConfig()
-	bigMem.Acc.MemCapacity *= 4
-	csMem, err := parallel.RunWordLMCaseStudy(bigMem)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Println("\n=== What-if: 24 MB on-chip cache ===")
-	compare(base, csCache, 1) // row 1 = cache-hierarchy-aware baseline
-	fmt.Println("\n=== What-if: 128 GB memory capacity ===")
-	fits := 0
-	for _, st := range csMem.Stages {
-		if st.Fits {
-			fits++
-		}
-	}
-	fmt.Printf("stages that now fit per-accelerator memory: %d of %d\n",
-		fits, len(csMem.Stages))
-	for _, st := range csMem.Stages {
-		fmt.Printf("  %-34s mem/accel %.0f GB  fits=%v\n",
-			st.Name, maxOf(st.MemPerAccelGB), st.Fits)
-	}
-
-	fmt.Println("\nConclusion check: bigger caches recover cache-hierarchy losses;")
-	fmt.Println("bigger memories remove the model-parallel requirement — exactly the")
-	fmt.Println("two directions §6.2.3 recommends against compute-centric designs.")
-
-	// Finally, replay the full plan across the named accelerator catalog:
-	// the same frontier model on every hardware generation the catalog
-	// models, using the Engine's per-device memoization.
-	fmt.Println("\n=== Catalog sweep: final-stage days/epoch per accelerator ===")
 	eng := cat.DefaultEngine()
+
+	// Baseline: the frontier word LM searched across the whole catalog.
+	res, err := eng.Plan(cat.PlanSpec{Domain: "wordlm"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := res.Target
+	fmt.Printf("Frontier word LM: %.3g params, %.3g %ss (%s %.3g)\n",
+		t.Params, t.DataSamples, t.SampleUnit, t.Metric, t.TargetErr)
+	fmt.Printf("Catalog search: %d candidates, %d Pareto-optimal, objectives %v\n\n",
+		res.Candidates, len(res.Frontier), res.Objectives)
+
+	// Per-accelerator verdict: the fastest feasible plan, or why none fits.
+	fmt.Println("=== Fastest feasible plan per catalog accelerator ===")
 	for _, acc := range cat.Accelerators() {
-		cs, err := eng.WordLMCaseStudyOn(acc)
+		per, err := eng.Plan(cat.PlanSpec{Domain: "wordlm", Accelerators: []string{acc.Name}})
 		if err != nil {
 			log.Fatal(err)
 		}
-		last := cs.Stages[len(cs.Stages)-1]
-		fmt.Printf("  %-18s %6.1f days/epoch  %5.1f%% util  mem/accel %.0f GB  fits=%v\n",
-			acc.Name, last.DaysPerEpoch, 100*last.Utilization,
-			maxOf(last.MemPerAccelGB), last.Fits)
+		if len(per.Frontier) == 0 {
+			// Every candidate is annotated; report the memory wall.
+			reason := "infeasible"
+			for _, p := range per.Plans {
+				if len(p.Infeasible) > 0 {
+					reason = p.Infeasible[len(p.Infeasible)-1]
+					break
+				}
+			}
+			fmt.Printf("  %-18s no feasible plan (%s)\n", acc.Name, reason)
+			continue
+		}
+		best := per.Frontier[0]
+		fmt.Printf("  %-18s %6d workers (%s, b=%.0f)  %8.1f days  $%.2fM  mem/dev %.0f GB\n",
+			acc.Name, best.Workers, best.Strategy, best.Subbatch,
+			best.TrainHours/24, best.CostUSD/1e6, best.MemPerDeviceGB)
 	}
-}
 
-func compare(a, b *cat.CaseStudy, row int) {
-	sa, sb := a.Stages[row], b.Stages[row]
-	fmt.Printf("%s:\n", sa.Name)
-	fmt.Printf("  utilization %.1f%% -> %.1f%%\n", 100*sa.Utilization, 100*sb.Utilization)
-	fmt.Printf("  days/epoch  %.0f -> %.0f\n", sa.DaysPerEpoch, sb.DaysPerEpoch)
-}
-
-func maxOf(v []float64) float64 {
-	var m float64
-	for _, x := range v {
-		if x > m {
-			m = x
+	// What-if: the paper's §6.2.3 hardware direction — significantly more
+	// accelerator memory. Same V100-class part with 8x the capacity
+	// (enough for the frontier model's sharded activations).
+	bigMem := cat.TargetAccelerator()
+	bigMem.Name = "v100-8x-memory"
+	bigMem.MemCapacity *= 8
+	whatIf, err := eng.Plan(cat.PlanSpec{Domain: "wordlm", Custom: []cat.Accelerator{bigMem}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== What-if: %s (%.0f GB) ===\n", bigMem.Name, bigMem.MemCapacity/1e9)
+	feasible := 0
+	for _, p := range whatIf.Plans {
+		if p.Feasible {
+			feasible++
 		}
 	}
-	return m
+	fmt.Printf("feasible plans: %d of %d (the 32 GB part had none)\n",
+		feasible, whatIf.Candidates)
+	if len(whatIf.Frontier) > 0 {
+		best := whatIf.Frontier[0]
+		fmt.Printf("fastest: %d workers (%s, b=%.0f) -> %.1f days at %.1f%% utilization\n",
+			best.Workers, best.Strategy, best.Subbatch, best.TrainHours/24, 100*best.Utilization)
+	}
+
+	fmt.Println("\nConclusion check: on today's 32-80 GB parts no data-parallel plan")
+	fmt.Println("fits the frontier word LM — only huge-memory CPU nodes carry it;")
+	fmt.Println("8x the device memory makes GPU plans feasible — exactly the")
+	fmt.Println("memory-capacity direction §6.2.3 recommends.")
 }

@@ -1,7 +1,8 @@
-// Scaling planner: given a domain's power-law learning curve, sweep desired
-// accuracy targets and report the data, model size, and single-accelerator
-// training time each target implies — the paper's §3+§5 pipeline as a
-// planning tool.
+// Scaling planner: walk a domain's accuracy curve toward desired SOTA and,
+// at each target, ask the capacity planner the inverse question — what
+// data, model size, and cluster does this accuracy cost? All planning
+// logic lives in internal/plan (Engine.Plan); this example only chooses
+// targets and formats the answers.
 package main
 
 import (
@@ -11,10 +12,6 @@ import (
 	"text/tabwriter"
 
 	cat "catamount"
-	"catamount/internal/graph"
-	"catamount/internal/hw"
-	"catamount/internal/models"
-	"catamount/internal/scaling"
 )
 
 func main() {
@@ -24,44 +21,35 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// One compiled Analyzer serves the whole accuracy sweep: the model is
-	// built and its cost expressions compiled exactly once.
-	a, err := cat.DefaultEngine().Analyzer(cat.WordLM)
-	if err != nil {
-		log.Fatal(err)
-	}
-	m := a.Model
-	acc := hw.TargetAccelerator()
-	curve := scaling.NormalizedModelCurve(spec.BetaP, spec.CurrentDataSamples, spec.CurrentParams)
-
 	fmt.Printf("Planning for %s (current SOTA %.3g %s at %.3g %ss)\n\n",
 		spec.Name, spec.CurrentSOTA, spec.Metric, spec.CurrentDataSamples, spec.SampleUnit)
 
+	// One Engine memoizes every search: each target's model characterization
+	// is computed once, and repeated runs are map lookups.
+	eng := cat.DefaultEngine()
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Target (nats/word)\tData needed\tData scale\tParams\tStep (s)\tEpoch (days)")
+	fmt.Fprintln(tw, "Target (nats/word)\tData needed\tData scale\tParams\tBest plan\tTrain (days)\tCost")
 	for _, target := range []float64{3.2, 3.0, 2.8, 2.6, 2.48} {
-		data, err := spec.Curve.DataForError(target)
+		res, err := eng.Plan(cat.PlanSpec{Domain: "wordlm", TargetErr: target})
 		if err != nil {
 			log.Fatal(err)
 		}
-		params := curve.Params(data)
-		size, err := a.SizeForParams(params)
-		if err != nil {
-			log.Fatal(err)
+		t := res.Target
+		if len(res.Frontier) == 0 {
+			fmt.Fprintf(tw, "%.3g\t%.3g %ss\t%.1fx\t%.3g\tno feasible plan\t\t\n",
+				t.TargetErr, t.DataSamples, t.SampleUnit, t.DataScale, t.Params)
+			continue
 		}
-		r, err := a.Characterize(size, m.DefaultBatch, graph.PolicyMemGreedy)
-		if err != nil {
-			log.Fatal(err)
-		}
-		step := acc.StepTime(r.FLOPsPerStep, r.BytesPerStep)
-		steps := data / (m.DefaultBatch * spec.TokensPerSample)
-		fmt.Fprintf(tw, "%.3g\t%.3g %ss\t%.1fx\t%.3g\t%.2f\t%.3g\n",
-			target, data, spec.SampleUnit, data/spec.CurrentDataSamples,
-			params, step, steps*step/86400)
+		best := res.Frontier[0] // fastest Pareto-optimal plan
+		fmt.Fprintf(tw, "%.3g\t%.3g %ss\t%.1fx\t%.3g\t%d x %s (%s, b=%.0f)\t%.3g\t$%.3gk\n",
+			t.TargetErr, t.DataSamples, t.SampleUnit, t.DataScale, t.Params,
+			best.Workers, best.Accelerator, best.Strategy, best.Subbatch,
+			best.TrainHours/24, best.CostUSD/1e3)
 	}
 	tw.Flush()
 
-	fmt.Println("\nReading: each step down the accuracy curve multiplies data and")
-	fmt.Println("compute; the final row is the paper's frontier target (Table 3).")
-	_ = models.AllDomains
+	fmt.Println("\nReading: each step down the accuracy curve multiplies data, model")
+	fmt.Println("size, and compute; the final row is the paper's frontier target, and")
+	fmt.Println("the \"best plan\" column is the fastest Pareto-optimal cluster for it.")
 }

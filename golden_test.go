@@ -1,0 +1,43 @@
+package catamount_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+
+	cat "catamount"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata golden files from current output")
+
+// TestWordLMCaseStudyGolden pins the WordLMCaseStudy → PrintTable5
+// pipeline byte-for-byte: the capacity planner leans on the same
+// internal/parallel plumbing (collectives, overlap, sharding), so this
+// golden file catches any silent drift in the Table 5 reproduction when
+// that plumbing is refactored. Regenerate deliberately with
+// go test -run TestWordLMCaseStudyGolden -update-golden .
+func TestWordLMCaseStudyGolden(t *testing.T) {
+	cs, err := cat.WordLMCaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cat.PrintTable5(&buf, cs)
+
+	const path = "testdata/table5.golden"
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Table 5 output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			path, buf.Bytes(), want)
+	}
+}

@@ -34,6 +34,28 @@ func Names() []string {
 	return out
 }
 
+// Aliases returns a copy of the short-name alias table (alias → catalog
+// entry name), so catalogs can be listed with their accepted spellings.
+func Aliases() map[string]string {
+	out := make(map[string]string, len(aliases))
+	for k, v := range aliases {
+		out[k] = v
+	}
+	return out
+}
+
+// AliasesFor lists the short names resolving to a catalog entry, sorted.
+func AliasesFor(name string) []string {
+	var out []string
+	for alias, target := range aliases {
+		if target == name {
+			out = append(out, alias)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Lookup finds a catalog entry by name (case-insensitive). Common aliases
 // ("v100", "a100", ...) resolve to their "-class" entries.
 func Lookup(name string) (Accelerator, error) {
@@ -83,6 +105,8 @@ var catalog = func() []Accelerator {
 			InterconnectBW:    300e9,
 			AchievableCompute: 0.80,
 			AchievableMemBW:   0.70,
+			CostPerHourUSD:    4.10,
+			TDPWatts:          400,
 		},
 		{
 			// NVIDIA H100-SXM-class part: 67 TFLOP/s FP32, 50 MB L2,
@@ -95,6 +119,8 @@ var catalog = func() []Accelerator {
 			InterconnectBW:    450e9,
 			AchievableCompute: 0.80,
 			AchievableMemBW:   0.70,
+			CostPerHourUSD:    6.98,
+			TDPWatts:          700,
 		},
 		{
 			// TPUv3-class chip: 2 cores at ~61 TFLOP/s matrix throughput
@@ -113,6 +139,8 @@ var catalog = func() []Accelerator {
 			InterconnectBW:    70e9,
 			AchievableCompute: 0.80,
 			AchievableMemBW:   0.70,
+			CostPerHourUSD:    2.00,
+			TDPWatts:          220,
 		},
 		{
 			// Server-CPU-class node: two sockets of a wide-vector part
@@ -128,6 +156,8 @@ var catalog = func() []Accelerator {
 			InterconnectBW:    12.5e9,
 			AchievableCompute: 0.60,
 			AchievableMemBW:   0.80,
+			CostPerHourUSD:    1.90,
+			TDPWatts:          770,
 		},
 	}
 	sort.Slice(rest, func(i, j int) bool { return rest[i].Name < rest[j].Name })

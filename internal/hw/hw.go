@@ -32,7 +32,18 @@ type Accelerator struct {
 	// peak (paper: 80% and 70%, consistent with existing hardware).
 	AchievableCompute float64 `json:"achievable_compute"`
 	AchievableMemBW   float64 `json:"achievable_mem_bw"`
+	// CostPerHourUSD is the per-device-hour rental price used to cost
+	// cluster plans. Zero means "unpriced": the capacity planner then
+	// omits the cost objective for searches touching this device.
+	CostPerHourUSD float64 `json:"cost_per_hour_usd,omitempty"`
+	// TDPWatts is the per-device board power used for energy estimates.
+	// Zero means unknown (plans report zero energy).
+	TDPWatts float64 `json:"tdp_watts,omitempty"`
 }
+
+// Priced reports whether the device carries a rental price, making it
+// eligible for cost-objective ranking in the capacity planner.
+func (a Accelerator) Priced() bool { return a.CostPerHourUSD > 0 }
 
 // Validate rejects configurations that would poison the Roofline and
 // case-study math with NaN or Inf: non-positive peaks, bandwidths,
@@ -65,6 +76,22 @@ func (a Accelerator) Validate() error {
 	if a.AchievableMemBW > 1 {
 		return fmt.Errorf("hw: accelerator %q: achievable_mem_bw %v above 1", a.Name, a.AchievableMemBW)
 	}
+	// Cost and power are optional (zero = unpriced / unknown) but must be
+	// finite and non-negative: a negative price would invert cost ranking.
+	for _, c := range []struct {
+		field string
+		v     float64
+	}{
+		{"cost_per_hour_usd", a.CostPerHourUSD},
+		{"tdp_watts", a.TDPWatts},
+	} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("hw: accelerator %q: %s must be finite, got %v", a.Name, c.field, c.v)
+		}
+		if c.v < 0 {
+			return fmt.Errorf("hw: accelerator %q: %s must be non-negative, got %v", a.Name, c.field, c.v)
+		}
+	}
 	return nil
 }
 
@@ -80,6 +107,8 @@ func TargetAccelerator() Accelerator {
 		InterconnectBW:    56e9,
 		AchievableCompute: 0.80,
 		AchievableMemBW:   0.70,
+		CostPerHourUSD:    3.06, // on-demand single-V100 cloud rate class
+		TDPWatts:          300,
 	}
 }
 

@@ -1,0 +1,104 @@
+package hw
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCatalogPresetsPriced pins the satellite contract: every catalog
+// entry carries a positive price and TDP so capacity plans can be costed.
+func TestCatalogPresetsPriced(t *testing.T) {
+	for _, a := range Catalog() {
+		if !a.Priced() {
+			t.Errorf("%s: CostPerHourUSD = %g, want > 0", a.Name, a.CostPerHourUSD)
+		}
+		if a.TDPWatts <= 0 {
+			t.Errorf("%s: TDPWatts = %g, want > 0", a.Name, a.TDPWatts)
+		}
+	}
+}
+
+func TestCostFieldsJSONRoundTrip(t *testing.T) {
+	a := TargetAccelerator()
+	a.CostPerHourUSD = 1.23
+	a.TDPWatts = 456
+	b, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"cost_per_hour_usd":1.23`, `"tdp_watts":456`} {
+		if !strings.Contains(string(b), field) {
+			t.Errorf("serialized form missing %s: %s", field, b)
+		}
+	}
+	got, err := ReadAccelerator(strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("roundtrip: got %+v want %+v", got, a)
+	}
+
+	// Zero cost ("unpriced") roundtrips too, and omits the keys entirely.
+	a.CostPerHourUSD, a.TDPWatts = 0, 0
+	b, err = json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "cost_per_hour_usd") || strings.Contains(string(b), "tdp_watts") {
+		t.Errorf("zero cost fields serialized: %s", b)
+	}
+	got, err = ReadAccelerator(strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Priced() {
+		t.Fatalf("zero-cost device decoded as priced: %+v", got)
+	}
+}
+
+func TestValidateRejectsNegativeCostAndPower(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Accelerator)
+	}{
+		{"negative cost", func(a *Accelerator) { a.CostPerHourUSD = -1 }},
+		{"NaN cost", func(a *Accelerator) { a.CostPerHourUSD = math.NaN() }},
+		{"Inf cost", func(a *Accelerator) { a.CostPerHourUSD = math.Inf(1) }},
+		{"negative TDP", func(a *Accelerator) { a.TDPWatts = -300 }},
+		{"NaN TDP", func(a *Accelerator) { a.TDPWatts = math.NaN() }},
+	} {
+		a := TargetAccelerator()
+		tc.mutate(&a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, a)
+		}
+	}
+	// Zero stays valid: it means unpriced / unknown, not broken.
+	a := TargetAccelerator()
+	a.CostPerHourUSD, a.TDPWatts = 0, 0
+	if err := a.Validate(); err != nil {
+		t.Errorf("zero cost/TDP rejected: %v", err)
+	}
+}
+
+func TestAliasAccessors(t *testing.T) {
+	aliases := Aliases()
+	if aliases["v100"] != "target-v100-class" {
+		t.Fatalf("Aliases() missing v100: %v", aliases)
+	}
+	// The copy must be detached from the internal table.
+	aliases["v100"] = "clobbered"
+	if Aliases()["v100"] != "target-v100-class" {
+		t.Fatal("Aliases() returned the internal map")
+	}
+	got := AliasesFor("target-v100-class")
+	if len(got) != 2 || got[0] != "target" || got[1] != "v100" {
+		t.Fatalf("AliasesFor(target-v100-class) = %v, want [target v100]", got)
+	}
+	if got := AliasesFor("no-such-entry"); len(got) != 0 {
+		t.Fatalf("AliasesFor(no-such-entry) = %v", got)
+	}
+}

@@ -1,0 +1,158 @@
+package plan
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"catamount/internal/core"
+	"catamount/internal/models"
+)
+
+// This file is the planner benchmark harness behind BENCH_pr4.json: it
+// runs a fixed reference search and reports plans/sec, cold (building and
+// compiling the domain model — the first-request experience) and warm (the
+// steady state Engine.Plan's memo and the serving layer live in). The CI
+// bench job publishes the report and gates on a pinned floor
+// (TestPlanBenchFloors); cmd/plan -bench writes it locally.
+
+// BenchSchema versions the report format.
+const BenchSchema = "catamount-plan-bench/v1"
+
+// ReferenceSearch is the fixed search the bench trajectory tracks across
+// PRs: the frontier word LM over the full five-entry catalog, two
+// subbatches, eleven worker counts, and all three strategies — 330
+// candidate plans composed from two characterizations and one size solve.
+// Changing it breaks snapshot comparability; add a new named search
+// instead.
+func ReferenceSearch() Spec {
+	var workers []int
+	for w := 1; w <= 1024; w *= 2 {
+		workers = append(workers, w)
+	}
+	return Spec{
+		Domain: "wordlm",
+		Accelerators: []string{
+			"target-v100-class", "a100-class", "h100-class", "tpuv3-class", "cpu-class",
+		},
+		Subbatches:   []float64{32, 128},
+		WorkerCounts: workers,
+	}
+}
+
+// BenchReport is one harness run.
+type BenchReport struct {
+	Schema    string `json:"schema"`
+	Search    string `json:"search"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	Candidates   int `json:"candidates"`
+	FrontierSize int `json:"frontier_size"`
+
+	ColdSeconds     float64 `json:"cold_seconds"`
+	WarmSeconds     float64 `json:"warm_seconds"`
+	ColdPlansPerSec float64 `json:"cold_plans_per_sec"`
+	WarmPlansPerSec float64 `json:"warm_plans_per_sec"`
+	// ColdOverWarm is the compile-amortization ratio: how much of a cold
+	// search is one-time model build+compile rather than evaluation.
+	ColdOverWarm float64 `json:"cold_over_warm_x"`
+}
+
+// buildSource is a minimal memoizing SessionSource for harness and test
+// runs: a fresh one reproduces the cold (build+compile) experience without
+// dragging the full Engine in.
+type buildSource struct {
+	mu sync.Mutex
+	m  map[models.Domain]*buildEntry
+}
+
+type buildEntry struct {
+	once sync.Once
+	a    *core.Analyzer
+	err  error
+}
+
+func newBuildSource() *buildSource {
+	return &buildSource{m: make(map[models.Domain]*buildEntry)}
+}
+
+// Analyzer builds and compiles a domain's model at most once.
+func (s *buildSource) Analyzer(d models.Domain) (*core.Analyzer, error) {
+	s.mu.Lock()
+	ent, ok := s.m[d]
+	if !ok {
+		ent = &buildEntry{}
+		s.m[d] = ent
+	}
+	s.mu.Unlock()
+	ent.once.Do(func() {
+		m, err := models.Build(d)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		ent.a, ent.err = core.NewAnalyzer(m)
+	})
+	return ent.a, ent.err
+}
+
+// RunBench runs the reference search cold (fresh source) once and warm
+// (same source) three times, keeping the best warm run.
+func RunBench(ctx context.Context, spec Spec) (*BenchReport, error) {
+	src := newBuildSource()
+	p, err := New(src, spec)
+	if err != nil {
+		return nil, err
+	}
+	rep := &BenchReport{
+		Schema:     BenchSchema,
+		Search:     "reference",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.GOMAXPROCS(0),
+		Candidates: p.Candidates(),
+	}
+
+	start := time.Now()
+	res, err := p.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rep.ColdSeconds = time.Since(start).Seconds()
+	rep.FrontierSize = len(res.Frontier)
+
+	best := -1.0
+	for rerun := 0; rerun < 3; rerun++ {
+		start = time.Now()
+		if _, err := p.Run(ctx); err != nil {
+			return nil, err
+		}
+		if elapsed := time.Since(start).Seconds(); best < 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	rep.WarmSeconds = best
+	rep.ColdPlansPerSec = float64(rep.Candidates) / rep.ColdSeconds
+	rep.WarmPlansPerSec = float64(rep.Candidates) / rep.WarmSeconds
+	rep.ColdOverWarm = rep.ColdSeconds / rep.WarmSeconds
+	return rep, nil
+}
+
+// WriteReport serializes a report as indented JSON (the BENCH_*.json file
+// format), newline-terminated.
+func WriteReport(w io.Writer, rep *BenchReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,672 @@
+// Package plan is the inverse-query capacity planner: where every other
+// layer answers "what does this configuration require?", plan answers the
+// paper's headline question — *what hardware do I need to reach desired
+// SOTA?* A Spec names an accuracy target (§3 learning curves invert it
+// into data and model size), optional time and dollar budgets, and a
+// search space of (accelerator × worker count × per-worker subbatch ×
+// parallelism strategy). The planner composes learning curve → data/model
+// size → per-step compute (§4–§5 characterization) → allreduce or
+// overlap-scheduled step time (§6) into end-to-end time-to-train, memory
+// feasibility, dollar cost, and energy per candidate, then returns the
+// deterministic Pareto frontier over {time, devices, cost}.
+//
+// Infeasible candidates (OOM, below minimum subbatch, over budget) are
+// annotated, never dropped: the "why not" of a plan is part of the answer.
+// Candidate characterization reuses the internal/sweep worker pool and its
+// compiled core.Sessions, so a thousand-config search costs a handful of
+// characterizations plus cheap per-candidate arithmetic; a brute-force
+// reference implementation is kept in tests for equivalence.
+package plan
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"catamount/internal/core"
+	"catamount/internal/hw"
+	"catamount/internal/models"
+	"catamount/internal/parallel"
+	"catamount/internal/scaling"
+	"catamount/internal/sweep"
+)
+
+// Strategy names one §6 parallelization scheme the planner searches over.
+type Strategy string
+
+// The searched strategies. All are synchronous-SGD data parallelism; they
+// differ in how gradient communication is scheduled and where optimizer
+// state lives.
+const (
+	// StrategyAllReduce is plain sync SGD: compute, then one monolithic
+	// ring allreduce of the gradients (§6.2.1). Every worker holds the
+	// full model state.
+	StrategyAllReduce Strategy = "allreduce"
+	// StrategyOverlap buckets the gradients and starts each bucket's ring
+	// allreduce as backprop produces it, hiding communication behind the
+	// remaining backward compute (§6.2.3). Full state per worker.
+	StrategyOverlap Strategy = "overlap"
+	// StrategySharded shards the persistent state (weights + optimizer)
+	// across workers in the spirit of the paper's embedding sharding
+	// (§6.2.2): per-worker memory drops to activations + state/workers,
+	// at the same ring-collective volume (reduce-scatter + allgather),
+	// serially scheduled.
+	StrategySharded Strategy = "sharded"
+)
+
+// AllStrategies lists every searched strategy in canonical order.
+func AllStrategies() []Strategy {
+	return []Strategy{StrategyAllReduce, StrategyOverlap, StrategySharded}
+}
+
+// ParseStrategy resolves a strategy name.
+func ParseStrategy(name string) (Strategy, error) {
+	switch Strategy(strings.ToLower(strings.TrimSpace(name))) {
+	case StrategyAllReduce:
+		return StrategyAllReduce, nil
+	case StrategyOverlap:
+		return StrategyOverlap, nil
+	case StrategySharded:
+		return StrategySharded, nil
+	}
+	return "", fmt.Errorf("plan: unknown strategy %q (allreduce, overlap, sharded)", name)
+}
+
+// Spec describes one inverse query: the target and the search space. The
+// zero value of each search-space field means "the default grid". This is
+// the JSON schema of POST /v1/plan and the flag schema of cmd/plan.
+type Spec struct {
+	// Domain names the Table 1 domain ("wordlm", "charlm", "nmt",
+	// "speech", "image"). Required.
+	Domain string `json:"domain"`
+	// TargetErr is the desired accuracy in the domain's error-like metric
+	// (lower is better). Zero means the domain's Table 1 desired SOTA.
+	// Values below the domain's irreducible error are rejected.
+	TargetErr float64 `json:"target_err,omitempty"`
+	// Epochs is the number of passes over the target dataset (default 1,
+	// matching the paper's epoch accounting).
+	Epochs float64 `json:"epochs,omitempty"`
+	// BudgetHours / BudgetUSD bound time-to-train and total cost; zero
+	// means unbounded. Plans over budget are annotated infeasible.
+	BudgetHours float64 `json:"budget_hours,omitempty"`
+	BudgetUSD   float64 `json:"budget_usd,omitempty"`
+
+	// Accelerators names catalog entries or aliases to search; Custom adds
+	// inline devices in the catalog interchange schema. Both empty means
+	// the whole catalog.
+	Accelerators []string         `json:"accelerators,omitempty"`
+	Custom       []hw.Accelerator `json:"custom_accelerators,omitempty"`
+	// WorkerCounts lists data-parallel worker counts; empty means powers
+	// of two from 1 to 16384 (the Figure 12 sweep domain).
+	WorkerCounts []int `json:"worker_counts,omitempty"`
+	// Subbatches lists per-worker subbatch sizes; empty means powers of
+	// two from 8 to 512 (bracketing every domain's §5.2.1 choice).
+	Subbatches []float64 `json:"subbatches,omitempty"`
+	// Strategies lists parallelism strategies; empty means all.
+	Strategies []string `json:"strategies,omitempty"`
+
+	// MinSubbatch is the smallest admissible per-worker subbatch (default
+	// 1); candidates below it are annotated infeasible, reflecting
+	// kernel-occupancy limits the Roofline cannot see.
+	MinSubbatch float64 `json:"min_subbatch,omitempty"`
+	// OverlapBuckets is the gradient bucket count of StrategyOverlap
+	// (default 16).
+	OverlapBuckets int `json:"overlap_buckets,omitempty"`
+	// Workers bounds the candidate-evaluation pool (default GOMAXPROCS),
+	// forwarded to the internal/sweep runner.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Target is the resolved inverse query: the §3 learning-curve inversion of
+// the requested accuracy into data and model size.
+type Target struct {
+	Domain     models.Domain `json:"domain"`
+	Name       string        `json:"name"`
+	Metric     string        `json:"metric"`
+	TargetErr  float64       `json:"target_err"`
+	SampleUnit string        `json:"sample_unit"`
+	// DataSamples is the training-set size (in SampleUnit units) the
+	// learning curve demands; TrainSamples converts it to training
+	// sequences for step accounting.
+	DataSamples  float64 `json:"data_samples"`
+	TrainSamples float64 `json:"train_samples"`
+	// Params is the model size the growth law demands.
+	Params float64 `json:"params"`
+	// DataScale / ModelScale are the growth multiples over current SOTA.
+	DataScale  float64 `json:"data_scale"`
+	ModelScale float64 `json:"model_scale"`
+}
+
+// ResolveTarget inverts a domain's learning curve at the requested error
+// (0 = the Table 1 desired SOTA) into the data and model sizes the §3
+// scaling laws demand.
+func ResolveTarget(d models.Domain, targetErr float64) (Target, error) {
+	spec, err := scaling.SpecFor(d)
+	if err != nil {
+		return Target{}, err
+	}
+	if targetErr == 0 {
+		targetErr = spec.DesiredSOTA
+	}
+	if math.IsNaN(targetErr) || math.IsInf(targetErr, 0) || targetErr <= 0 {
+		return Target{}, fmt.Errorf("plan: target error must be positive and finite, got %v", targetErr)
+	}
+	if targetErr < spec.IrreducibleError {
+		return Target{}, fmt.Errorf("plan: target error %g %s below the irreducible error %g for %s",
+			targetErr, spec.Metric, spec.IrreducibleError, spec.Name)
+	}
+	data, err := spec.Curve.DataForError(targetErr)
+	if err != nil {
+		return Target{}, err
+	}
+	curve := scaling.NormalizedModelCurve(spec.BetaP, spec.CurrentDataSamples, spec.CurrentParams)
+	params := curve.Params(data)
+	return Target{
+		Domain:       d,
+		Name:         spec.Name,
+		Metric:       spec.Metric,
+		TargetErr:    targetErr,
+		SampleUnit:   spec.SampleUnit,
+		DataSamples:  data,
+		TrainSamples: data / spec.TokensPerSample,
+		Params:       params,
+		DataScale:    data / spec.CurrentDataSamples,
+		ModelScale:   params / spec.CurrentParams,
+	}, nil
+}
+
+// Plan is one evaluated candidate: a concrete cluster configuration with
+// its end-to-end outcome. Infeasible plans carry their reasons and stay in
+// the result.
+type Plan struct {
+	Accelerator string   `json:"accelerator"`
+	Strategy    Strategy `json:"strategy"`
+	Workers     int      `json:"workers"`
+	Subbatch    float64  `json:"subbatch"`
+	GlobalBatch float64  `json:"global_batch"`
+
+	// ComputeSeconds is the per-worker Roofline step time; CommSeconds the
+	// exposed (un-hidden) communication per step; StepSeconds their
+	// schedule-dependent sum.
+	ComputeSeconds float64 `json:"compute_seconds"`
+	CommSeconds    float64 `json:"comm_seconds"`
+	StepSeconds    float64 `json:"step_seconds"`
+	// Steps and TrainHours are the end-to-end totals for the target
+	// dataset; Devices the cluster size.
+	Steps      float64 `json:"steps"`
+	TrainHours float64 `json:"train_hours"`
+	Devices    int     `json:"devices"`
+	// CostUSD is Devices × TrainHours × the device's hourly price (0 when
+	// the device is unpriced); EnergyKWh the TDP-based energy estimate.
+	CostUSD   float64 `json:"cost_usd,omitempty"`
+	EnergyKWh float64 `json:"energy_kwh,omitempty"`
+	// Utilization is achieved algorithmic-FLOP utilization including
+	// communication stalls; MemPerDeviceGB the per-device residency under
+	// the plan's strategy.
+	Utilization    float64 `json:"utilization"`
+	MemPerDeviceGB float64 `json:"mem_per_device_gb"`
+
+	// Feasible is true when Infeasible is empty; Infeasible lists every
+	// violated constraint (OOM, below min subbatch, over budget, or a
+	// characterization error).
+	Feasible   bool     `json:"feasible"`
+	Infeasible []string `json:"infeasible,omitempty"`
+	// OnFrontier marks membership in the Pareto frontier.
+	OnFrontier bool `json:"on_frontier"`
+}
+
+// Result is one full search: the resolved target, every candidate in
+// deterministic order, and the Pareto frontier.
+type Result struct {
+	Target Target `json:"target"`
+	// Objectives names the Pareto dimensions: always train_hours and
+	// devices, plus cost_usd when every searched device is priced.
+	Objectives []string `json:"objectives"`
+	Candidates int      `json:"candidates"`
+	// Frontier is the Pareto set, sorted by train hours, then devices,
+	// then cost (then identity fields for full determinism).
+	Frontier []Plan `json:"frontier"`
+	// Plans is every candidate in search order (accelerator-major, then
+	// subbatch, then workers, then strategy), infeasible ones annotated.
+	Plans []Plan `json:"plans"`
+}
+
+// Planner is a validated search bound to a session source. Create with
+// New; Run may be called any number of times.
+type Planner struct {
+	src        sweep.SessionSource
+	target     Target
+	accs       []hw.Accelerator
+	workers    []int
+	subbatches []float64
+	strategies []Strategy
+
+	epochs      float64
+	budgetHours float64
+	budgetUSD   float64
+	minSubbatch float64
+	buckets     int
+	pool        int
+	priced      bool
+}
+
+// New validates a spec against the domain registry and accelerator catalog
+// and resolves the target and search grid. Every error out of New is a
+// spec problem (the server maps them to 400).
+func New(src sweep.SessionSource, spec Spec) (*Planner, error) {
+	d, err := parseDomain(spec.Domain)
+	if err != nil {
+		return nil, err
+	}
+	target, err := ResolveTarget(d, spec.TargetErr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Planner{src: src, target: target}
+
+	for _, name := range spec.Accelerators {
+		acc, err := hw.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		p.accs = append(p.accs, acc)
+	}
+	for _, acc := range spec.Custom {
+		if acc.Name == "" {
+			return nil, fmt.Errorf("plan: custom accelerator missing \"name\"")
+		}
+		if err := acc.Validate(); err != nil {
+			return nil, err
+		}
+		p.accs = append(p.accs, acc)
+	}
+	if len(p.accs) == 0 {
+		p.accs = hw.Catalog()
+	}
+	p.priced = true
+	for _, acc := range p.accs {
+		if !acc.Priced() {
+			p.priced = false
+		}
+	}
+
+	if len(spec.WorkerCounts) == 0 {
+		for w := 1; w <= 16384; w *= 2 {
+			p.workers = append(p.workers, w)
+		}
+	}
+	for _, w := range spec.WorkerCounts {
+		if w < 1 {
+			return nil, fmt.Errorf("plan: worker counts must be >= 1, got %d", w)
+		}
+		p.workers = append(p.workers, w)
+	}
+
+	if len(spec.Subbatches) == 0 {
+		for b := 8.0; b <= 512; b *= 2 {
+			p.subbatches = append(p.subbatches, b)
+		}
+	}
+	for _, b := range spec.Subbatches {
+		if !(b > 0) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("plan: subbatches must be positive finite, got %v", b)
+		}
+		p.subbatches = append(p.subbatches, b)
+	}
+
+	if len(spec.Strategies) == 0 {
+		p.strategies = AllStrategies()
+	}
+	for _, name := range spec.Strategies {
+		st, err := ParseStrategy(name)
+		if err != nil {
+			return nil, err
+		}
+		p.strategies = append(p.strategies, st)
+	}
+
+	p.epochs = spec.Epochs
+	if p.epochs == 0 {
+		p.epochs = 1
+	}
+	if !(p.epochs > 0) || math.IsInf(p.epochs, 0) {
+		return nil, fmt.Errorf("plan: epochs must be positive finite, got %v", spec.Epochs)
+	}
+	for _, c := range []struct {
+		field string
+		v     float64
+	}{{"budget_hours", spec.BudgetHours}, {"budget_usd", spec.BudgetUSD}, {"min_subbatch", spec.MinSubbatch}} {
+		if c.v < 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return nil, fmt.Errorf("plan: %s must be non-negative finite, got %v", c.field, c.v)
+		}
+	}
+	p.budgetHours = spec.BudgetHours
+	p.budgetUSD = spec.BudgetUSD
+	p.minSubbatch = spec.MinSubbatch
+	if p.minSubbatch == 0 {
+		p.minSubbatch = 1
+	}
+	p.buckets = spec.OverlapBuckets
+	if p.buckets == 0 {
+		p.buckets = 16
+	}
+	if p.buckets < 1 {
+		return nil, fmt.Errorf("plan: overlap_buckets must be >= 1, got %d", spec.OverlapBuckets)
+	}
+	p.pool = spec.Workers
+	return p, nil
+}
+
+// Target returns the resolved inverse query.
+func (p *Planner) Target() Target { return p.target }
+
+// Candidates returns the search-space size: the number of Plans a Run
+// yields.
+func (p *Planner) Candidates() int {
+	return len(p.accs) * len(p.subbatches) * len(p.workers) * len(p.strategies)
+}
+
+// Objectives names the active Pareto dimensions.
+func (p *Planner) Objectives() []string {
+	if p.priced {
+		return []string{"train_hours", "devices", "cost_usd"}
+	}
+	return []string{"train_hours", "devices"}
+}
+
+// Key is a canonical fingerprint of the search: equal keys mean equal
+// results, so memo layers (Engine.Plan, the server cache) can share
+// entries across spellings. The evaluation pool size is deliberately
+// excluded — it affects wall-clock, never the result.
+func (p *Planner) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|%g|%g|%g|%g|%g|%d", p.target.Domain, p.target.TargetErr,
+		p.epochs, p.budgetHours, p.budgetUSD, p.minSubbatch, p.buckets)
+	sb.WriteString("|accs:")
+	for _, acc := range p.accs {
+		fmt.Fprintf(&sb, "%q/%g/%g/%g/%g/%g/%g/%g/%g/%g;", acc.Name, acc.PeakFLOPS,
+			acc.CacheBytes, acc.MemBandwidth, acc.MemCapacity, acc.InterconnectBW,
+			acc.AchievableCompute, acc.AchievableMemBW, acc.CostPerHourUSD, acc.TDPWatts)
+	}
+	fmt.Fprintf(&sb, "|w:%v|b:%v|s:%v", p.workers, p.subbatches, p.strategies)
+	return sb.String()
+}
+
+// evalConfig bundles the per-search constants Evaluate composes each
+// candidate against.
+type evalConfig struct {
+	target      Target
+	epochs      float64
+	minSubbatch float64
+	buckets     int
+	budgetHours float64
+	budgetUSD   float64
+}
+
+func (p *Planner) config() evalConfig {
+	return evalConfig{
+		target:      p.target,
+		epochs:      p.epochs,
+		minSubbatch: p.minSubbatch,
+		buckets:     p.buckets,
+		budgetHours: p.budgetHours,
+		budgetUSD:   p.budgetUSD,
+	}
+}
+
+// Run evaluates the search. Characterizations fan out through the
+// internal/sweep worker pool (one per unique subbatch, shared across
+// every accelerator); the remaining per-candidate composition is cheap
+// arithmetic. The context cancels the underlying sweep.
+func (p *Planner) Run(ctx context.Context) (*Result, error) {
+	na, nb := len(p.accs), len(p.subbatches)
+
+	// One sweep grid characterizes every (subbatch, accelerator) cell of
+	// the search at the target model size: the size solve runs once, each
+	// subbatch characterizes once, and sweep workers parallelize it all.
+	grid := make([]sweep.Point, nb*na)
+	runner, err := sweep.New(p.src, sweep.Spec{
+		Domains:    []string{string(p.target.Domain)},
+		Params:     []float64{p.target.Params},
+		Subbatches: p.subbatches,
+		Custom:     p.accs,
+		Workers:    p.pool,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := runner.Run(ctx, func(pt sweep.Point) error {
+		grid[pt.Seq] = pt
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	cfg := p.config()
+	plans := make([]Plan, 0, p.Candidates())
+	for ai, acc := range p.accs {
+		for bi, b := range p.subbatches {
+			pt := grid[bi*na+ai]
+			for _, w := range p.workers {
+				for _, st := range p.strategies {
+					plans = append(plans, evaluate(cfg, acc, w, b, st, pt.Requirements, pt.Error))
+				}
+			}
+		}
+	}
+	markFrontier(plans, p.priced)
+	return &Result{
+		Target:     p.target,
+		Objectives: p.Objectives(),
+		Candidates: len(plans),
+		Frontier:   sortedFrontier(plans),
+		Plans:      plans,
+	}, nil
+}
+
+// evaluate composes one candidate from its characterization: Roofline
+// compute time, strategy-scheduled communication, end-to-end totals, and
+// feasibility annotations. It is shared (via the exported Evaluate) with
+// the brute-force reference so equivalence is exact, not approximate.
+func evaluate(cfg evalConfig, acc hw.Accelerator, workers int, subbatch float64,
+	strategy Strategy, req *core.Requirements, reqErr string) Plan {
+
+	pl := Plan{
+		Accelerator: acc.Name,
+		Strategy:    strategy,
+		Workers:     workers,
+		Subbatch:    subbatch,
+		GlobalBatch: subbatch * float64(workers),
+		Devices:     workers,
+	}
+	if reqErr != "" || req == nil {
+		if reqErr == "" {
+			reqErr = "characterization missing"
+		}
+		pl.Infeasible = append(pl.Infeasible, "characterize: "+reqErr)
+		return pl
+	}
+
+	compute := acc.StepTime(req.FLOPsPerStep, req.BytesPerStep)
+	link := parallel.Interconnect{
+		BandwidthBytes: acc.InterconnectBW,
+		LatencySec:     parallel.DefaultInterconnect().LatencySec,
+	}
+	gradBytes := 4 * req.Params
+	step := compute
+	switch strategy {
+	case StrategyOverlap:
+		total := req.FwdFLOPs + req.BwdFLOPs
+		fwdFrac := 1.0 / 3
+		if total > 0 {
+			fwdFrac = req.FwdFLOPs / total
+		}
+		ov, err := parallel.SimulateOverlap(parallel.OverlapConfig{
+			ForwardTime:  compute * fwdFrac,
+			BackwardTime: compute * (1 - fwdFrac),
+			GradBytes:    gradBytes,
+			Buckets:      cfg.buckets,
+			Workers:      workers,
+			Link:         link,
+			Reduce:       parallel.RingAllReduceTime,
+		})
+		if err != nil {
+			pl.Infeasible = append(pl.Infeasible, "overlap: "+err.Error())
+			return pl
+		}
+		step = ov.StepTime
+	default: // allreduce, sharded: serial ring collective after backprop
+		step = compute + parallel.RingAllReduceTime(gradBytes, workers, link)
+	}
+	pl.ComputeSeconds = compute
+	pl.StepSeconds = step
+	pl.CommSeconds = step - compute
+	pl.Utilization = acc.Utilization(req.FLOPsPerStep, step)
+
+	mem := req.FootprintBytes
+	if strategy == StrategySharded {
+		mem = (req.FootprintBytes - req.PersistentBytes) + req.PersistentBytes/float64(workers)
+	}
+	pl.MemPerDeviceGB = mem / 1e9
+
+	pl.Steps = cfg.target.TrainSamples * cfg.epochs / pl.GlobalBatch
+	pl.TrainHours = pl.Steps * step / 3600
+	if acc.Priced() {
+		pl.CostUSD = pl.TrainHours * float64(workers) * acc.CostPerHourUSD
+	}
+	pl.EnergyKWh = pl.TrainHours * float64(workers) * acc.TDPWatts / 1000
+
+	if subbatch < cfg.minSubbatch {
+		pl.Infeasible = append(pl.Infeasible,
+			fmt.Sprintf("subbatch %g below minimum %g", subbatch, cfg.minSubbatch))
+	}
+	if mem > acc.MemCapacity {
+		pl.Infeasible = append(pl.Infeasible,
+			fmt.Sprintf("needs %.1f GB per device, %s has %.1f GB", mem/1e9, acc.Name, acc.MemCapacity/1e9))
+	}
+	if cfg.budgetHours > 0 && pl.TrainHours > cfg.budgetHours {
+		pl.Infeasible = append(pl.Infeasible,
+			fmt.Sprintf("%.1f train hours over the %.1f hour budget", pl.TrainHours, cfg.budgetHours))
+	}
+	if cfg.budgetUSD > 0 && acc.Priced() && pl.CostUSD > cfg.budgetUSD {
+		pl.Infeasible = append(pl.Infeasible,
+			fmt.Sprintf("$%.0f over the $%.0f budget", pl.CostUSD, cfg.budgetUSD))
+	}
+	pl.Feasible = len(pl.Infeasible) == 0
+	return pl
+}
+
+// Evaluate composes one candidate exactly as Run does — exported so the
+// brute-force reference (tests) and what-if callers share the arithmetic.
+// req is the candidate subbatch's characterization (nil, with reqErr set,
+// for failed cells). The cfg knobs mirror Spec's defaults when zero.
+func Evaluate(target Target, acc hw.Accelerator, workers int, subbatch float64,
+	strategy Strategy, req *core.Requirements, reqErr string,
+	spec Spec) Plan {
+
+	cfg := evalConfig{
+		target:      target,
+		epochs:      spec.Epochs,
+		minSubbatch: spec.MinSubbatch,
+		buckets:     spec.OverlapBuckets,
+		budgetHours: spec.BudgetHours,
+		budgetUSD:   spec.BudgetUSD,
+	}
+	if cfg.epochs == 0 {
+		cfg.epochs = 1
+	}
+	if cfg.minSubbatch == 0 {
+		cfg.minSubbatch = 1
+	}
+	if cfg.buckets == 0 {
+		cfg.buckets = 16
+	}
+	return evaluate(cfg, acc, workers, subbatch, strategy, req, reqErr)
+}
+
+// ---------------------------------------------------------------------------
+// Pareto frontier
+
+// dominates reports strict Pareto dominance of a over b on {train hours,
+// devices[, cost]}: no worse everywhere, better somewhere.
+func dominates(a, b Plan, priced bool) bool {
+	if a.TrainHours > b.TrainHours || a.Devices > b.Devices {
+		return false
+	}
+	if priced && a.CostUSD > b.CostUSD {
+		return false
+	}
+	return a.TrainHours < b.TrainHours || a.Devices < b.Devices ||
+		(priced && a.CostUSD < b.CostUSD)
+}
+
+// markFrontier sets OnFrontier on every feasible, non-dominated plan.
+func markFrontier(plans []Plan, priced bool) {
+	for i := range plans {
+		if !plans[i].Feasible {
+			continue
+		}
+		dominated := false
+		for j := range plans {
+			if i != j && plans[j].Feasible && dominates(plans[j], plans[i], priced) {
+				dominated = true
+				break
+			}
+		}
+		plans[i].OnFrontier = !dominated
+	}
+}
+
+// sortedFrontier copies the frontier members in outcome order: fastest
+// first, ties broken by devices, cost, then identity fields so the order
+// is fully deterministic.
+func sortedFrontier(plans []Plan) []Plan {
+	var out []Plan
+	for _, p := range plans {
+		if p.OnFrontier {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.TrainHours != b.TrainHours {
+			return a.TrainHours < b.TrainHours
+		}
+		if a.Devices != b.Devices {
+			return a.Devices < b.Devices
+		}
+		if a.CostUSD != b.CostUSD {
+			return a.CostUSD < b.CostUSD
+		}
+		if a.Accelerator != b.Accelerator {
+			return a.Accelerator < b.Accelerator
+		}
+		if a.Strategy != b.Strategy {
+			return a.Strategy < b.Strategy
+		}
+		if a.Subbatch != b.Subbatch {
+			return a.Subbatch < b.Subbatch
+		}
+		return a.Workers < b.Workers
+	})
+	return out
+}
+
+func parseDomain(name string) (models.Domain, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "" {
+		return "", fmt.Errorf("plan: spec needs a domain")
+	}
+	for _, d := range models.AllDomains {
+		if string(d) == key {
+			return d, nil
+		}
+	}
+	known := make([]string, 0, len(models.AllDomains))
+	for _, d := range models.AllDomains {
+		known = append(known, string(d))
+	}
+	return "", fmt.Errorf("plan: unknown domain %q (one of: %s)", name, strings.Join(known, ", "))
+}

@@ -1,0 +1,470 @@
+package plan
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"catamount/internal/core"
+	"catamount/internal/graph"
+	"catamount/internal/hw"
+	"catamount/internal/models"
+)
+
+// smallSpec is a ≤200-candidate search used by the equivalence tests:
+// 2 accelerators × 2 subbatches × 4 worker counts × 3 strategies = 48.
+func smallSpec() Spec {
+	return Spec{
+		Domain:       "wordlm",
+		Accelerators: []string{"v100", "cpu"},
+		Subbatches:   []float64{32, 128},
+		WorkerCounts: []int{1, 4, 16, 64},
+	}
+}
+
+// bruteForce is the reference implementation: no sweep pool, no shared
+// sessions — one fresh Analyzer, nested loops in search order, and an
+// independently-written O(n²) Pareto pass. Equivalence with Planner.Run
+// is exact because both sides share Evaluate and the same bisection.
+func bruteForce(t *testing.T, spec Spec) *Result {
+	t.Helper()
+	d := models.Domain(spec.Domain)
+	target, err := ResolveTarget(d, spec.TargetErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := models.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAnalyzer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, err := a.SizeForParams(target.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var accs []hw.Accelerator
+	for _, name := range spec.Accelerators {
+		acc, err := hw.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs = append(accs, acc)
+	}
+	accs = append(accs, spec.Custom...)
+
+	strategies := AllStrategies()
+	if len(spec.Strategies) > 0 {
+		strategies = nil
+		for _, name := range spec.Strategies {
+			st, err := ParseStrategy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			strategies = append(strategies, st)
+		}
+	}
+
+	priced := true
+	for _, acc := range accs {
+		if !acc.Priced() {
+			priced = false
+		}
+	}
+
+	var plans []Plan
+	for _, acc := range accs {
+		for _, b := range spec.Subbatches {
+			req, cerr := a.Characterize(size, b, graph.PolicyMemGreedy)
+			for _, w := range spec.WorkerCounts {
+				for _, st := range strategies {
+					if cerr != nil {
+						plans = append(plans, Evaluate(target, acc, w, b, st, nil, cerr.Error(), spec))
+					} else {
+						r := req
+						plans = append(plans, Evaluate(target, acc, w, b, st, &r, "", spec))
+					}
+				}
+			}
+		}
+	}
+
+	// Independent Pareto pass: collect feasible indices, test each pair.
+	better := func(x, y Plan) bool { // x strictly dominates y
+		le := x.TrainHours <= y.TrainHours && x.Devices <= y.Devices
+		lt := x.TrainHours < y.TrainHours || x.Devices < y.Devices
+		if priced {
+			le = le && x.CostUSD <= y.CostUSD
+			lt = lt || x.CostUSD < y.CostUSD
+		}
+		return le && lt
+	}
+	for i := range plans {
+		if !plans[i].Feasible {
+			continue
+		}
+		plans[i].OnFrontier = true
+		for j := range plans {
+			if j != i && plans[j].Feasible && better(plans[j], plans[i]) {
+				plans[i].OnFrontier = false
+				break
+			}
+		}
+	}
+	var frontier []Plan
+	for _, p := range plans {
+		if p.OnFrontier {
+			frontier = append(frontier, p)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool {
+		a, b := frontier[i], frontier[j]
+		if a.TrainHours != b.TrainHours {
+			return a.TrainHours < b.TrainHours
+		}
+		if a.Devices != b.Devices {
+			return a.Devices < b.Devices
+		}
+		if a.CostUSD != b.CostUSD {
+			return a.CostUSD < b.CostUSD
+		}
+		if a.Accelerator != b.Accelerator {
+			return a.Accelerator < b.Accelerator
+		}
+		if a.Strategy != b.Strategy {
+			return a.Strategy < b.Strategy
+		}
+		if a.Subbatch != b.Subbatch {
+			return a.Subbatch < b.Subbatch
+		}
+		return a.Workers < b.Workers
+	})
+	objectives := []string{"train_hours", "devices"}
+	if priced {
+		objectives = append(objectives, "cost_usd")
+	}
+	return &Result{
+		Target:     target,
+		Objectives: objectives,
+		Candidates: len(plans),
+		Frontier:   frontier,
+		Plans:      plans,
+	}
+}
+
+func runPlanner(t *testing.T, spec Spec) *Result {
+	t.Helper()
+	p, err := New(newBuildSource(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPlannerMatchesBruteForce(t *testing.T) {
+	spec := smallSpec()
+	got := runPlanner(t, spec)
+	want := bruteForce(t, spec)
+
+	if got.Candidates != want.Candidates || got.Candidates != 48 {
+		t.Fatalf("candidates = %d, want %d", got.Candidates, want.Candidates)
+	}
+	if !reflect.DeepEqual(got.Plans, want.Plans) {
+		for i := range got.Plans {
+			if !reflect.DeepEqual(got.Plans[i], want.Plans[i]) {
+				t.Fatalf("plan %d differs:\n got  %+v\n want %+v", i, got.Plans[i], want.Plans[i])
+			}
+		}
+		t.Fatal("plans differ")
+	}
+	if !reflect.DeepEqual(got.Frontier, want.Frontier) {
+		t.Fatalf("frontier differs:\n got  %+v\n want %+v", got.Frontier, want.Frontier)
+	}
+	if len(got.Frontier) == 0 {
+		t.Fatal("empty frontier on the small grid")
+	}
+	if !reflect.DeepEqual(got.Frontier[0], want.Frontier[0]) {
+		t.Fatalf("best plan differs: got %+v want %+v", got.Frontier[0], want.Frontier[0])
+	}
+}
+
+func TestParetoInvariants(t *testing.T) {
+	spec := smallSpec()
+	res := runPlanner(t, spec)
+
+	priced := len(res.Objectives) == 3
+	// 1. No frontier member is dominated by any feasible plan.
+	for _, f := range res.Frontier {
+		for _, p := range res.Plans {
+			if p.Feasible && dominates(p, f, priced) {
+				t.Errorf("frontier plan %+v dominated by %+v", f, p)
+			}
+		}
+	}
+	// 2. Every feasible non-frontier plan is dominated by someone.
+	for _, p := range res.Plans {
+		if !p.Feasible || p.OnFrontier {
+			continue
+		}
+		dominated := false
+		for _, q := range res.Plans {
+			if q.Feasible && dominates(q, p, priced) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Errorf("non-frontier feasible plan %+v dominated by nobody", p)
+		}
+	}
+	// 3. The frontier is sorted by the documented outcome order.
+	for i := 1; i < len(res.Frontier); i++ {
+		a, b := res.Frontier[i-1], res.Frontier[i]
+		if a.TrainHours > b.TrainHours {
+			t.Errorf("frontier not sorted: %g hours before %g", a.TrainHours, b.TrainHours)
+		}
+	}
+	// 4. Two runs are byte-identical (deterministic regardless of worker
+	// scheduling inside the sweep pool).
+	again := runPlanner(t, spec)
+	if !reflect.DeepEqual(res, again) {
+		t.Error("two identical searches returned different results")
+	}
+}
+
+// TestMoreWorkersNeverIncreaseComputeTime is the monotonicity property:
+// with a fixed per-worker subbatch, adding workers never increases the
+// compute-only step time, and strictly decreases the compute-only
+// end-to-end time.
+func TestMoreWorkersNeverIncreaseComputeTime(t *testing.T) {
+	res := runPlanner(t, smallSpec())
+
+	type key struct {
+		acc string
+		b   float64
+		st  Strategy
+	}
+	groups := make(map[key][]Plan)
+	for _, p := range res.Plans {
+		k := key{p.Accelerator, p.Subbatch, p.Strategy}
+		groups[k] = append(groups[k], p)
+	}
+	for k, plans := range groups {
+		sort.Slice(plans, func(i, j int) bool { return plans[i].Workers < plans[j].Workers })
+		for i := 1; i < len(plans); i++ {
+			prev, cur := plans[i-1], plans[i]
+			if cur.ComputeSeconds > prev.ComputeSeconds {
+				t.Errorf("%v: compute step time rose from %g (w=%d) to %g (w=%d)",
+					k, prev.ComputeSeconds, prev.Workers, cur.ComputeSeconds, cur.Workers)
+			}
+			prevTotal := prev.Steps * prev.ComputeSeconds
+			curTotal := cur.Steps * cur.ComputeSeconds
+			if curTotal >= prevTotal {
+				t.Errorf("%v: compute-only train time did not shrink: %g (w=%d) -> %g (w=%d)",
+					k, prevTotal, prev.Workers, curTotal, cur.Workers)
+			}
+		}
+	}
+}
+
+func TestInfeasiblePlansAnnotatedNotDropped(t *testing.T) {
+	tiny := hw.TargetAccelerator()
+	tiny.Name = "tiny-mem"
+	tiny.MemCapacity = 1e9 // 1 GB: everything OOMs
+	spec := Spec{
+		Domain:       "wordlm",
+		Custom:       []hw.Accelerator{tiny},
+		Subbatches:   []float64{0.5, 32},
+		WorkerCounts: []int{1, 8},
+	}
+	res := runPlanner(t, spec)
+	if res.Candidates != 2*2*3 || len(res.Plans) != res.Candidates {
+		t.Fatalf("plans dropped: %d of %d", len(res.Plans), res.Candidates)
+	}
+	if len(res.Frontier) != 0 {
+		t.Fatalf("expected empty frontier, got %d", len(res.Frontier))
+	}
+	for _, p := range res.Plans {
+		if p.Feasible || len(p.Infeasible) == 0 {
+			t.Fatalf("plan %+v should be annotated infeasible", p)
+		}
+		wantOOM := false
+		for _, r := range p.Infeasible {
+			if strings.Contains(r, "GB per device") {
+				wantOOM = true
+			}
+		}
+		if !wantOOM {
+			t.Errorf("plan %+v missing OOM annotation: %v", p, p.Infeasible)
+		}
+		if p.Subbatch == 0.5 {
+			found := false
+			for _, r := range p.Infeasible {
+				if strings.Contains(r, "below minimum") {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("subbatch 0.5 plan missing below-minimum annotation: %v", p.Infeasible)
+			}
+		}
+	}
+}
+
+func TestBudgetsAnnotate(t *testing.T) {
+	spec := smallSpec()
+	spec.BudgetHours = 1e-6 // everything is over budget
+	res := runPlanner(t, spec)
+	if len(res.Frontier) != 0 {
+		t.Fatalf("expected empty frontier under impossible budget, got %d", len(res.Frontier))
+	}
+	over := 0
+	for _, p := range res.Plans {
+		for _, r := range p.Infeasible {
+			if strings.Contains(r, "hour budget") {
+				over++
+			}
+		}
+	}
+	if over == 0 {
+		t.Fatal("no plan annotated over time budget")
+	}
+}
+
+func TestUnpricedDeviceOmitsCostObjective(t *testing.T) {
+	free := hw.TargetAccelerator()
+	free.Name = "donated-cluster"
+	free.CostPerHourUSD = 0
+	spec := Spec{
+		Domain:       "image", // small models: plans actually fit
+		Custom:       []hw.Accelerator{free},
+		Subbatches:   []float64{32},
+		WorkerCounts: []int{1, 2},
+	}
+	res := runPlanner(t, spec)
+	for _, obj := range res.Objectives {
+		if obj == "cost_usd" {
+			t.Fatalf("cost objective active with an unpriced device: %v", res.Objectives)
+		}
+	}
+	for _, p := range res.Plans {
+		if p.CostUSD != 0 {
+			t.Errorf("unpriced device produced cost %g", p.CostUSD)
+		}
+	}
+}
+
+func TestResolveTarget(t *testing.T) {
+	// Zero target resolves to the Table 1 desired SOTA.
+	target, err := ResolveTarget(models.WordLM, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target.TargetErr != 2.48 {
+		t.Fatalf("default target err = %g, want 2.48", target.TargetErr)
+	}
+	// The computed growth should land near Table 1's published 100x data /
+	// 23x model scale (the paper rounds its constants).
+	if target.DataScale < 50 || target.DataScale > 200 {
+		t.Errorf("data scale %.1fx implausibly far from Table 1's 100x", target.DataScale)
+	}
+	if target.ModelScale < 15 || target.ModelScale > 35 {
+		t.Errorf("model scale %.1fx implausibly far from Table 1's 23x", target.ModelScale)
+	}
+
+	if _, err := ResolveTarget(models.WordLM, 1.0); err == nil {
+		t.Error("target below irreducible error not rejected")
+	}
+	if _, err := ResolveTarget(models.WordLM, -1); err == nil {
+		t.Error("negative target not rejected")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{},                                 // missing domain
+		{Domain: "tabular"},                // unknown domain
+		{Domain: "wordlm", TargetErr: 0.1}, // below irreducible
+		{Domain: "wordlm", WorkerCounts: []int{0}},
+		{Domain: "wordlm", Subbatches: []float64{-4}},
+		{Domain: "wordlm", Strategies: []string{"fsdp9000"}},
+		{Domain: "wordlm", Accelerators: []string{"abacus"}},
+		{Domain: "wordlm", BudgetHours: -1},
+		{Domain: "wordlm", Epochs: -2},
+		{Domain: "wordlm", OverlapBuckets: -1},
+	}
+	for i, spec := range bad {
+		if _, err := New(newBuildSource(), spec); err == nil {
+			t.Errorf("spec %d (%+v) not rejected", i, spec)
+		}
+	}
+}
+
+func TestKeyCanonicalAcrossAliases(t *testing.T) {
+	a, err := New(newBuildSource(), Spec{Domain: "wordlm", Accelerators: []string{"v100"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(newBuildSource(), Spec{Domain: "wordlm", Accelerators: []string{"target-v100-class"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Errorf("alias spelling changed the key:\n %s\n %s", a.Key(), b.Key())
+	}
+	// The evaluation pool size must not affect the key.
+	c, err := New(newBuildSource(), Spec{Domain: "wordlm", Accelerators: []string{"v100"}, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != c.Key() {
+		t.Error("worker-pool size leaked into the key")
+	}
+}
+
+func TestShardedReducesPerDeviceMemory(t *testing.T) {
+	res := runPlanner(t, smallSpec())
+	type key struct {
+		acc string
+		b   float64
+		w   int
+	}
+	mem := make(map[key]map[Strategy]float64)
+	for _, p := range res.Plans {
+		k := key{p.Accelerator, p.Subbatch, p.Workers}
+		if mem[k] == nil {
+			mem[k] = make(map[Strategy]float64)
+		}
+		mem[k][p.Strategy] = p.MemPerDeviceGB
+	}
+	for k, byStrat := range mem {
+		if k.w <= 1 {
+			continue
+		}
+		if byStrat[StrategySharded] >= byStrat[StrategyAllReduce] {
+			t.Errorf("%v: sharded mem %g GB not below allreduce %g GB",
+				k, byStrat[StrategySharded], byStrat[StrategyAllReduce])
+		}
+	}
+}
+
+func TestCancelledContextStopsSearch(t *testing.T) {
+	p, err := New(newBuildSource(), smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Run(ctx); err == nil {
+		t.Fatal("cancelled search returned no error")
+	}
+}

@@ -59,6 +59,8 @@ type Metrics struct {
 	Timeouts     int64 `json:"timeouts"`
 	SweepStreams int64 `json:"sweep_streams"` // POST /v1/sweep runs admitted
 	SweepPoints  int64 `json:"sweep_points"`  // grid points streamed out
+	PlanRuns     int64 `json:"plan_runs"`     // POST /v1/plan searches computed (cache misses)
+	PlanPlans    int64 `json:"plan_plans"`    // candidate plans evaluated by those searches
 	CacheEntries int   `json:"cache_entries"`
 	CacheLimit   int   `json:"cache_limit"`
 	MaxInFlight  int   `json:"max_in_flight"`
@@ -85,6 +87,7 @@ type Server struct {
 	requests, inFlight, hits, misses atomic.Int64
 	coalesced, rejected, timeouts    atomic.Int64
 	sweepStreams, sweepPoints        atomic.Int64
+	planRuns, planPlans              atomic.Int64
 
 	// computeHook, when set, runs inside each upstream computation (after
 	// the miss is counted, before the Engine call). Test seam for
@@ -137,6 +140,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/figures/{fig}", s.handleFigure)
 	s.mux.HandleFunc("POST /v1/checkpoint/analyze", s.handleCheckpoint)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	return s
 }
 
@@ -152,6 +156,8 @@ func (s *Server) Metrics() Metrics {
 		Timeouts:     s.timeouts.Load(),
 		SweepStreams: s.sweepStreams.Load(),
 		SweepPoints:  s.sweepPoints.Load(),
+		PlanRuns:     s.planRuns.Load(),
+		PlanPlans:    s.planPlans.Load(),
 		CacheEntries: s.cache.len(),
 		CacheLimit:   s.cache.capacity,
 		MaxInFlight:  cap(s.sem),
@@ -256,7 +262,7 @@ func (s *Server) handleDomains(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleAccelerators(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]any{"accelerators": hw.Catalog()})
+	writeJSON(w, map[string]any{"accelerators": hw.Catalog(), "aliases": hw.Aliases()})
 }
 
 // analyzeResponse is one characterization plus its Roofline estimate.
@@ -649,8 +655,9 @@ func (s *Server) resolveAccelerator(r *http.Request) (hw.Accelerator, error) {
 // segment — a crafted name cannot forge other key components and poison
 // the shared response cache.
 func accKey(a hw.Accelerator) string {
-	return fmt.Sprintf("%q/%g/%g/%g/%g/%g/%g/%g", a.Name, a.PeakFLOPS, a.CacheBytes,
-		a.MemBandwidth, a.MemCapacity, a.InterconnectBW, a.AchievableCompute, a.AchievableMemBW)
+	return fmt.Sprintf("%q/%g/%g/%g/%g/%g/%g/%g/%g/%g", a.Name, a.PeakFLOPS, a.CacheBytes,
+		a.MemBandwidth, a.MemCapacity, a.InterconnectBW, a.AchievableCompute, a.AchievableMemBW,
+		a.CostPerHourUSD, a.TDPWatts)
 }
 
 func parseDomain(q url.Values) (cat.Domain, error) {

@@ -14,7 +14,13 @@ import (
 
 // WriteNDJSON writes one point as a single JSON line.
 func WriteNDJSON(w io.Writer, p Point) error {
-	b, err := json.Marshal(p)
+	return WriteJSONLine(w, p)
+}
+
+// WriteJSONLine writes any value as a single NDJSON line — shared with
+// cmd/plan, which streams plan records the same way sweeps stream points.
+func WriteJSONLine(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}

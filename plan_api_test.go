@@ -1,0 +1,94 @@
+package catamount
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// smallPlanSpec keeps Engine.Plan tests fast: one domain, two devices,
+// a handful of worker counts.
+func smallPlanSpec() PlanSpec {
+	return PlanSpec{
+		Domain:       "wordlm",
+		Accelerators: []string{"v100", "cpu"},
+		Subbatches:   []float64{32},
+		WorkerCounts: []int{1, 16, 256},
+	}
+}
+
+// TestEnginePlanMemoized checks that repeated and concurrent searches for
+// one key share a single computation (pointer identity), that alias
+// spellings share the memo entry, and that distinct targets memoize
+// separately.
+func TestEnginePlanMemoized(t *testing.T) {
+	eng := NewEngine()
+	const goroutines = 8
+	results := make([]*PlanResult, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := eng.Plan(smallPlanSpec())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = res
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d got a different result pointer: memo did not coalesce", g)
+		}
+	}
+
+	// Alias spelling resolves to the same canonical key, so it shares the
+	// memo entry rather than recomputing.
+	spec := smallPlanSpec()
+	spec.Accelerators = []string{"target-v100-class", "cpu-class"}
+	aliased, err := eng.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aliased != results[0] {
+		t.Fatal("alias spelling missed the memo")
+	}
+
+	// A different target is a different entry.
+	other := smallPlanSpec()
+	other.TargetErr = 3.0
+	res, err := eng.Plan(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == results[0] {
+		t.Fatal("distinct targets shared one memo entry")
+	}
+	if res.Target.TargetErr != 3.0 {
+		t.Fatalf("resolved target err = %g, want 3.0", res.Target.TargetErr)
+	}
+}
+
+func TestEnginePlanSearchUnmemoized(t *testing.T) {
+	eng := NewEngine()
+	a, err := eng.PlanSearch(context.Background(), smallPlanSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.PlanSearch(context.Background(), smallPlanSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("PlanSearch returned a shared pointer: should be unmemoized")
+	}
+	if len(a.Frontier) == 0 || len(a.Frontier) != len(b.Frontier) {
+		t.Fatalf("frontiers differ: %d vs %d", len(a.Frontier), len(b.Frontier))
+	}
+	if _, err := eng.PlanSearch(context.Background(), PlanSpec{Domain: "nope"}); err == nil {
+		t.Fatal("invalid spec not rejected")
+	}
+}

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"text/tabwriter"
+
+	"catamount/internal/hw"
 )
 
 // PrintTable1 renders the accuracy-scaling projections (paper Table 1).
@@ -99,6 +102,26 @@ func PrintTable5For(w io.Writer, cs *CaseStudy, acc Accelerator) {
 		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%s\t%.1f\t%.1f%%\t%v\n",
 			st.Name, st.Accels, st.GlobalBatch, mem, st.DaysPerEpoch,
 			100*st.Utilization, st.Fits)
+	}
+	tw.Flush()
+}
+
+// PrintAcceleratorCatalog lists every catalog preset with its Roofline
+// numbers, pricing, and accepted aliases — the -list-accels output shared
+// by every accelerator-taking CLI, so users can discover valid names
+// instead of guessing.
+func PrintAcceleratorCatalog(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Name\tPeak TFLOP/s\tMem GB\tBW GB/s\tLink GB/s\t$/hr\tTDP W\tAliases")
+	for _, a := range hw.Catalog() {
+		cost := "unpriced"
+		if a.Priced() {
+			cost = fmt.Sprintf("%.2f", a.CostPerHourUSD)
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.0f\t%.0f\t%.0f\t%s\t%.0f\t%s\n",
+			a.Name, a.PeakFLOPS/1e12, a.MemCapacity/1e9, a.MemBandwidth/1e9,
+			a.InterconnectBW/1e9, cost, a.TDPWatts,
+			strings.Join(hw.AliasesFor(a.Name), ", "))
 	}
 	tw.Flush()
 }
