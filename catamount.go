@@ -31,6 +31,7 @@ import (
 	"os"
 
 	"catamount/internal/core"
+	"catamount/internal/costmodel"
 	"catamount/internal/graph"
 	"catamount/internal/graphio"
 	"catamount/internal/hw"
@@ -74,6 +75,27 @@ type DomainSpec = scaling.DomainSpec
 
 // Accelerator is a Roofline hardware model (Table 4).
 type Accelerator = hw.Accelerator
+
+// CostModel is a pluggable step-time estimation backend. Two deterministic
+// backends exist: "graph" (the paper's §5.2.2 graph-level Roofline, the
+// default) and "perop" (the §4.1/§5.1 per-operation Roofline, which sums
+// per-op max(compute, bandwidth) times over the compiled graph's node
+// costs and never reports a faster step than "graph").
+type CostModel = costmodel.Model
+
+// CostModelInfo describes one backend for listings.
+type CostModelInfo = costmodel.Info
+
+// DefaultCostModel returns the default backend (the graph-level Roofline).
+func DefaultCostModel() CostModel { return costmodel.Default() }
+
+// ParseCostModel resolves a backend name or alias ("", "graph",
+// "graph-roofline", "roofline", "perop", "per-op", "perop-roofline", ...)
+// case-insensitively; "" means the default.
+func ParseCostModel(name string) (CostModel, error) { return costmodel.Parse(name) }
+
+// CostModels lists every step-time backend with its accepted aliases.
+func CostModels() []CostModelInfo { return costmodel.Infos() }
 
 // CaseStudy is the Table 5 word-LM parallelization result.
 type CaseStudy = parallel.CaseStudyResult

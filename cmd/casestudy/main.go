@@ -18,6 +18,8 @@ func main() {
 	log.SetPrefix("casestudy: ")
 	accel := flag.String("accel", "",
 		"Roofline accelerator: catalog name (v100, a100, h100, tpuv3, cpu), @file.json, or empty for the paper's target")
+	costmodel := flag.String("costmodel", "",
+		"step-time cost model: graph (default, §5.2 graph-level roofline) or perop (per-op roofline, §4.1/§5.1)")
 	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
 	flag.Parse()
 	if *listAccels {
@@ -29,13 +31,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cs, err := cat.DefaultEngine().WordLMCaseStudyOn(acc)
+	cm, err := cat.ParseCostModel(*costmodel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs, err := cat.DefaultEngine().WordLMCaseStudyOnWith(acc, cm)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *accel != "" {
 		fmt.Printf("Replayed on %s (%.1f TFLOP/s, %.0f GB/s, %.0f GB)\n\n",
 			acc.Name, acc.PeakFLOPS/1e12, acc.MemBandwidth/1e9, acc.MemCapacity/1e9)
+	}
+	if *costmodel != "" {
+		fmt.Printf("Step times under the %s cost model\n\n", cs.CostModel)
 	}
 	fmt.Println("Table 5: step-by-step process of training the word LM to target accuracy")
 	cat.PrintTable5For(os.Stdout, cs, acc)

@@ -1,7 +1,8 @@
 // Command catamount characterizes one of the paper's five deep learning
 // training workloads at a chosen model size and subbatch: algorithmic FLOPs,
 // bytes accessed, operational intensity, and minimal memory footprint, plus
-// the Roofline step time on the target accelerator.
+// the Roofline step time on the target accelerator under a selectable
+// cost-model backend.
 //
 // Usage:
 //
@@ -9,6 +10,8 @@
 //	catamount -domain image -params 61e6 -batch 32 -formulas
 //	catamount -domain nmt -params 2e8 -accel a100
 //	catamount -domain nmt -params 2e8 -accel @my-device.json
+//	catamount -domain wordlm -params 1e9 -costmodel perop
+//	catamount -domain wordlm -params 1e9 -profile -format csv
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"os"
 
 	cat "catamount"
+	"catamount/internal/sweep"
 )
 
 func main() {
@@ -31,9 +35,13 @@ func main() {
 		"also print the symbolic parameter and FLOP formulas")
 	profile := flag.Bool("profile", false,
 		"print the per-op-kind and per-group cost breakdown")
+	format := flag.String("format", "table",
+		"-profile output: table (full breakdown), json (one JSON line per op kind), csv (per-op-kind rows)")
 	save := flag.String("save", "", "write the compute graph checkpoint to this file")
 	accel := flag.String("accel", "",
 		"Roofline accelerator: catalog name (v100, a100, h100, tpuv3, cpu), @file.json, or empty for the paper's target")
+	costmodel := flag.String("costmodel", "",
+		"step-time cost model: graph (default, §5.2 graph-level roofline) or perop (per-op roofline, §4.1/§5.1)")
 	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
 	flag.Parse()
 	if *listAccels {
@@ -44,6 +52,16 @@ func main() {
 	acc, err := cat.ResolveAccelerator(*accel)
 	if err != nil {
 		log.Fatal(err)
+	}
+	cm, err := cat.ParseCostModel(*costmodel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *format != "table" && *format != "json" && *format != "csv" {
+		log.Fatalf("unknown -format %q (table, json, csv)", *format)
+	}
+	if *format != "table" && !*profile {
+		log.Fatalf("-format %s applies to the -profile breakdown; add -profile", *format)
 	}
 
 	// One Engine session serves every query below; the model is built and
@@ -69,15 +87,46 @@ func main() {
 	if *batch == 0 {
 		*batch = m.DefaultBatch
 	}
-	r, err := eng.Analyze(cat.Domain(*domain), *params, *batch)
+
+	// Machine-readable profile formats own stdout entirely (piped output
+	// stays parseable) and depend on no accelerator or step-time backend,
+	// so they skip the Roofline estimate altogether.
+	if *profile && *format != "table" {
+		p, err := eng.Profile(cat.Domain(*domain), *params, *batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch *format {
+		case "json":
+			for _, kp := range p.ByKind {
+				if err := sweep.WriteJSONLine(os.Stdout, kp); err != nil {
+					log.Fatal(err)
+				}
+			}
+		case "csv":
+			if err := p.WriteKindCSV(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
+	r, est, err := eng.AnalyzeOn(cat.Domain(*domain), *params, *batch, acc, cm)
 	if err != nil {
 		log.Fatal(err)
 	}
 	cat.PrintRequirements(os.Stdout, r)
 
-	step := acc.StepTime(r.FLOPsPerStep, r.BytesPerStep)
-	fmt.Printf("Roofline step time on %s\t%.4g s (%.1f%% utilization, %s-bound)\n",
-		acc.Name, step, 100*acc.Utilization(r.FLOPsPerStep, step), bound(acc, r))
+	bound := "bandwidth"
+	if est.ComputeBound {
+		bound = "compute"
+	}
+	label := ""
+	if *costmodel != "" {
+		label = fmt.Sprintf(" [%s]", est.CostModel)
+	}
+	fmt.Printf("Roofline step time on %s%s\t%.4g s (%.1f%% utilization, %s-bound)\n",
+		acc.Name, label, est.StepSeconds, 100*est.Utilization, bound)
 
 	if *formulas {
 		fmt.Println("\nSymbolic parameter count:")
@@ -93,11 +142,4 @@ func main() {
 		fmt.Println("\nPer-op profile (top 12 kinds by FLOPs):")
 		p.Print(os.Stdout, 12)
 	}
-}
-
-func bound(acc cat.Accelerator, r cat.Requirements) string {
-	if acc.ComputeBound(r.FLOPsPerStep, r.BytesPerStep) {
-		return "compute"
-	}
-	return "bandwidth"
 }

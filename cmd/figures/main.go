@@ -23,6 +23,8 @@ func main() {
 	out := flag.String("out", "", "output directory (default stdout)")
 	accel := flag.String("accel", "",
 		"Roofline accelerator for Figures 11 and 12: catalog name (v100, a100, h100, tpuv3, cpu), @file.json, or empty for the paper's target")
+	costmodel := flag.String("costmodel", "",
+		"step-time cost model for Figures 11 and 12: graph (default, §5.2 graph-level roofline) or perop (per-op roofline, §4.1/§5.1)")
 	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
 	flag.Parse()
 	if *listAccels {
@@ -31,6 +33,10 @@ func main() {
 	}
 
 	acc, err := cat.ResolveAccelerator(*accel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm, err := cat.ParseCostModel(*costmodel)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,7 +115,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		data, err := eng.Figure11(acc)
+		data, err := eng.Figure11With(acc, cm)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -121,7 +127,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		data, err := eng.Figure12On(acc)
+		data, err := eng.Figure12OnWith(acc, cm)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -22,6 +22,8 @@ func main() {
 	table := flag.String("table", "all", "table to print: 1, 2, 3, 4 or all")
 	accel := flag.String("accel", "",
 		"Roofline accelerator for Tables 3 and 4: catalog name (v100, a100, h100, tpuv3, cpu), @file.json, or empty for the paper's target")
+	costmodel := flag.String("costmodel", "",
+		"step-time cost model for Table 3: graph (default, §5.2 graph-level roofline) or perop (per-op roofline, §4.1/§5.1)")
 	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
 	flag.Parse()
 	if *listAccels {
@@ -30,6 +32,10 @@ func main() {
 	}
 
 	acc, err := cat.ResolveAccelerator(*accel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm, err := cat.ParseCostModel(*costmodel)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,11 +64,15 @@ func main() {
 		fmt.Println()
 	}
 	if want("3") {
-		rows, err := eng.FrontierTable(acc)
+		rows, err := eng.FrontierTableWith(acc, cm)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("Table 3: training requirements projected to target accuracy")
+		header := "Table 3: training requirements projected to target accuracy"
+		if *costmodel != "" {
+			header += fmt.Sprintf(" (costmodel %s)", cm.Name())
+		}
+		fmt.Println(header)
 		cat.PrintTable3For(os.Stdout, rows, acc)
 		fmt.Println()
 	}

@@ -47,6 +47,8 @@ func main() {
 	pool := flag.Int("pool", 0, "candidate-evaluation workers (0 = GOMAXPROCS)")
 	subbatch := flag.String("subbatch", "", "comma-separated per-worker subbatch sizes; empty = powers of two 8..512")
 	strategies := flag.String("strategies", "", "comma-separated strategies (allreduce, overlap, sharded); empty = all")
+	costmodel := flag.String("costmodel", "",
+		"step-time cost model: graph (default, §5.2 graph-level roofline) or perop (per-op roofline, §4.1/§5.1)")
 	format := flag.String("format", "table", "output: table or ndjson")
 	all := flag.Bool("all", false, "emit every candidate (annotated), not just the Pareto frontier")
 	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
@@ -73,6 +75,7 @@ func main() {
 		BudgetHours: *budgetHours,
 		BudgetUSD:   *budgetUSD,
 		Strategies:  splitList(*strategies),
+		CostModel:   *costmodel,
 		Workers:     *pool,
 	}
 	var err error
@@ -146,8 +149,8 @@ func printTable(res *cat.PlanResult, all bool) {
 	fmt.Printf("Target: %s at %.3g %s\n", t.Name, t.TargetErr, t.Metric)
 	fmt.Printf("  needs %.3g %ss (%.0fx current data) and %.3g parameters (%.1fx current model)\n",
 		t.DataSamples, t.SampleUnit, t.DataScale, t.Params, t.ModelScale)
-	fmt.Printf("  searched %d candidate plans; objectives: %s\n\n",
-		res.Candidates, strings.Join(res.Objectives, ", "))
+	fmt.Printf("  searched %d candidate plans; objectives: %s; costmodel: %s\n\n",
+		res.Candidates, strings.Join(res.Objectives, ", "), res.CostModel)
 
 	if len(res.Frontier) == 0 {
 		fmt.Println("No feasible plan in the searched space.")

@@ -42,11 +42,15 @@ func main() {
 	subbatch := flag.String("subbatch", "", "comma-separated subbatch sizes; empty = each domain's profiling subbatch")
 	accel := flag.String("accel", "",
 		"comma-separated accelerators: catalog names/aliases, @file.json custom devices, \"all\" for the catalog; empty = the paper's target")
+	costmodel := flag.String("costmodel", "",
+		"step-time cost model: graph (default, §5.2 graph-level roofline) or perop (per-op roofline, §4.1/§5.1)")
 	format := flag.String("format", "ndjson", "grid output: ndjson, csv or table")
 	workers := flag.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
 	table3 := flag.Bool("table3", false, "print Table 3 on each -accel instead of a grid sweep")
 	figure := flag.String("figure", "", "print figure \"11\" or \"12\" CSV on each -accel instead of a grid sweep")
 	bench := flag.String("bench", "", "run the reference bench harness and write its BENCH json to this path (\"-\" = stdout)")
+	benchCostModel := flag.String("bench-costmodel", "",
+		"run the graph-vs-perop cost-model bench harness and write its BENCH json to this path (\"-\" = stdout)")
 	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
 	flag.Parse()
 	if *listAccels {
@@ -63,25 +67,33 @@ func main() {
 		runBench(ctx, *bench)
 		return
 	}
+	if *benchCostModel != "" {
+		runCostModelBench(ctx, *benchCostModel)
+		return
+	}
 
 	accs, err := resolveAccelerators(*accel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm, err := cat.ParseCostModel(*costmodel)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	switch {
 	case *table3:
-		if err := eng.WriteFrontierGrid(os.Stdout, accs); err != nil {
+		if err := eng.WriteFrontierGridWith(os.Stdout, accs, cm); err != nil {
 			log.Fatal(err)
 		}
 		return
 	case *figure == "11":
-		if err := eng.WriteFigure11Grid(os.Stdout, accs); err != nil {
+		if err := eng.WriteFigure11GridWith(os.Stdout, accs, cm); err != nil {
 			log.Fatal(err)
 		}
 		return
 	case *figure == "12":
-		if err := eng.WriteFigure12Grid(os.Stdout, accs); err != nil {
+		if err := eng.WriteFigure12GridWith(os.Stdout, accs, cm); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -93,6 +105,7 @@ func main() {
 		ParamMin:   *paramMin,
 		ParamMax:   *paramMax,
 		ParamSteps: *paramSteps,
+		CostModel:  *costmodel,
 		Workers:    *workers,
 	}
 	if *domains != "" && *domains != "all" {
@@ -180,6 +193,31 @@ func runBench(ctx context.Context, path string) {
 	log.Printf("%d points: cold %.2fs (%.0f pts/s), warm %.3fs (%.0f pts/s, %.1fx), %.1f allocs/pt",
 		rep.GridPoints, rep.ColdSeconds, rep.ColdPointsPerSec,
 		rep.WarmSeconds, rep.WarmPointsPerSec, rep.ColdOverWarm, rep.AllocsPerPoint)
+}
+
+// runCostModelBench runs the reference grid under both step-time backends
+// and writes the BENCH json snapshot the CI bench job publishes and gates
+// on.
+func runCostModelBench(ctx context.Context, path string) {
+	rep, err := sweep.RunCostModelBench(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := sweep.WriteCostModelReport(out, rep); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d points: graph %.0f proj/s (%.1f allocs), perop %.0f proj/s (%.1f allocs), %.2fx overhead",
+		rep.GridPoints, rep.GraphProjectionsPerSec, rep.GraphAllocsPerProjection,
+		rep.PerOpProjectionsPerSec, rep.PerOpAllocsPerProjection, rep.PerOpOverGraph)
 }
 
 // resolveAccelerators parses the -accel list: names, aliases, @file.json,

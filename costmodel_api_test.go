@@ -1,0 +1,170 @@
+package catamount_test
+
+import (
+	"testing"
+
+	cat "catamount"
+)
+
+// sharedCMEngine amortizes model build+compile across this file's tests.
+var sharedCMEngine = cat.NewEngine()
+
+func mustParseCM(t *testing.T, name string) cat.CostModel {
+	t.Helper()
+	cm, err := cat.ParseCostModel(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+// TestEngineCaseStudyMemoCanonicalAcrossAliases: the (device, backend)
+// case-study memo keys on the canonical backend name, so every alias
+// spelling — and the nil default — lands on the same entry.
+func TestEngineCaseStudyMemoCanonicalAcrossAliases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study sizes the projected LSTM")
+	}
+	eng := sharedCMEngine
+	acc := cat.TargetAccelerator()
+
+	base, err := eng.WordLMCaseStudyOnWith(acc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alias := range []string{"graph", "graph-roofline", "roofline"} {
+		cs, err := eng.WordLMCaseStudyOnWith(acc, mustParseCM(t, alias))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs != base {
+			t.Fatalf("alias %q missed the default-backend memo entry", alias)
+		}
+	}
+
+	perop, err := eng.WordLMCaseStudyOnWith(acc, mustParseCM(t, "perop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perop == base {
+		t.Fatal("perop case study shares the graph backend's memo entry")
+	}
+	for _, alias := range []string{"per-op", "perop-roofline", "per-op-roofline"} {
+		cs, err := eng.WordLMCaseStudyOnWith(acc, mustParseCM(t, alias))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs != perop {
+			t.Fatalf("alias %q missed the perop memo entry", alias)
+		}
+	}
+	// The per-op case study is honest about its backend and never faster.
+	if perop.CostModel != "perop" || base.CostModel != "graph" {
+		t.Fatalf("backend labels: %q / %q", perop.CostModel, base.CostModel)
+	}
+	if perop.StepSeconds < base.StepSeconds {
+		t.Fatalf("per-op cache-aware step %.6g faster than graph %.6g",
+			perop.StepSeconds, base.StepSeconds)
+	}
+}
+
+// TestEnginePlanMemoCanonicalAcrossAliases: Engine.Plan memoizes by the
+// canonical search key, so backend alias spellings return the identical
+// memoized *PlanResult.
+func TestEnginePlanMemoCanonicalAcrossAliases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plan search characterizes the frontier model")
+	}
+	eng := sharedCMEngine
+	spec := cat.PlanSpec{
+		Domain:       "image",
+		Accelerators: []string{"v100"},
+		Subbatches:   []float64{32},
+		WorkerCounts: []int{1, 4},
+		CostModel:    "perop",
+	}
+	first, err := eng.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alias := range []string{"per-op", "perop-roofline", "per-op-roofline"} {
+		spec.CostModel = alias
+		res, err := eng.Plan(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != first {
+			t.Fatalf("alias %q recomputed the memoized plan search", alias)
+		}
+	}
+	spec.CostModel = "graph"
+	graphRes, err := eng.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphRes == first {
+		t.Fatal("graph and perop searches share a memo entry")
+	}
+}
+
+// TestFrontierTablePerOpDominates: the end-to-end acceptance property at
+// the Engine API — per-op Table 3 rows are never faster than graph rows on
+// any catalog accelerator.
+func TestFrontierTablePerOpDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("frontier projection on the full catalog")
+	}
+	eng := sharedCMEngine
+	perop := mustParseCM(t, "perop")
+	for _, acc := range cat.Accelerators() {
+		graphRows, err := eng.FrontierTableWith(acc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peropRows, err := eng.FrontierTableWith(acc, perop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(graphRows) != len(peropRows) {
+			t.Fatalf("%s: row counts differ", acc.Name)
+		}
+		for i := range graphRows {
+			g, p := graphRows[i], peropRows[i]
+			if p.StepSeconds < g.StepSeconds {
+				t.Errorf("%s row %d (%s): per-op step %.6g faster than graph %.6g",
+					acc.Name, i, g.Spec.Domain, p.StepSeconds, g.StepSeconds)
+			}
+			if p.EpochDays < g.EpochDays && p.Subbatch == g.Subbatch {
+				t.Errorf("%s row %d (%s): per-op epoch days %.6g below graph %.6g at equal subbatch",
+					acc.Name, i, g.Spec.Domain, p.EpochDays, g.EpochDays)
+			}
+		}
+	}
+}
+
+// TestAnalyzeOnBackends: the Engine estimate API labels its backend and
+// preserves dominance at a characterization point.
+func TestAnalyzeOnBackends(t *testing.T) {
+	eng := sharedCMEngine
+	acc := cat.TargetAccelerator()
+	req, g, err := eng.AnalyzeOn(cat.ImageCl, 5e7, 32, acc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p, err := eng.AnalyzeOn(cat.ImageCl, 5e7, 32, acc, mustParseCM(t, "perop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CostModel != "graph" || p.CostModel != "perop" {
+		t.Fatalf("backend labels: %q / %q", g.CostModel, p.CostModel)
+	}
+	if g.StepSeconds != acc.StepTime(req.FLOPsPerStep, req.BytesPerStep) {
+		t.Fatalf("graph estimate %.6g diverged from the legacy formula", g.StepSeconds)
+	}
+	if p.StepSeconds < g.StepSeconds {
+		t.Fatalf("per-op estimate %.6g faster than graph %.6g", p.StepSeconds, g.StepSeconds)
+	}
+	if p.Utilization > g.Utilization {
+		t.Fatalf("per-op utilization %.4g above graph %.4g", p.Utilization, g.Utilization)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"catamount/internal/core"
+	"catamount/internal/costmodel"
 	"catamount/internal/graph"
 	"catamount/internal/hw"
 	"catamount/internal/models"
@@ -23,16 +24,17 @@ type Engine struct {
 	mu      sync.Mutex
 	entries map[Domain]*engineEntry
 
-	// caseStudies memoizes the §6 parallelization plan per accelerator:
-	// the case study is deterministic for a given device, and several
-	// figures and endpoints reuse it. Accelerator is a comparable value
-	// type, so the device itself is the key — two configs differing in
-	// any field memoize separately. csOrder tracks recency (front = most
-	// recent) so long-tail custom devices evict instead of pinning the
-	// memo or disabling it for later devices.
+	// caseStudies memoizes the §6 parallelization plan per (accelerator,
+	// cost-model backend): the case study is deterministic for a given
+	// device and backend, and several figures and endpoints reuse it.
+	// Accelerator is a comparable value type and the backend is keyed by
+	// its canonical name, so alias spellings share one entry while two
+	// configs differing in any device field memoize separately. csOrder
+	// tracks recency (front = most recent) so long-tail custom devices
+	// evict instead of pinning the memo or disabling it for later devices.
 	csMu        sync.Mutex
-	caseStudies map[Accelerator]*caseStudyEntry
-	csOrder     *list.List // of Accelerator
+	caseStudies map[caseStudyKey]*caseStudyEntry
+	csOrder     *list.List // of caseStudyKey
 
 	// plans memoizes capacity-planner searches by their canonical key
 	// (plan.Planner.Key): a search is deterministic, and the serving layer
@@ -48,6 +50,13 @@ type planEntry struct {
 	res  *PlanResult
 	err  error
 	elem *list.Element
+}
+
+// caseStudyKey identifies one memoized case study: the device plus the
+// canonical step-time backend name.
+type caseStudyKey struct {
+	acc   Accelerator
+	model string
 }
 
 // caseStudyEntry runs one accelerator's case study at most once, outside
@@ -73,7 +82,7 @@ type engineEntry struct {
 func NewEngine() *Engine {
 	return &Engine{
 		entries:     make(map[Domain]*engineEntry),
-		caseStudies: make(map[Accelerator]*caseStudyEntry),
+		caseStudies: make(map[caseStudyKey]*caseStudyEntry),
 		csOrder:     list.New(),
 		plans:       make(map[string]*planEntry),
 		planOrder:   list.New(),
@@ -135,6 +144,48 @@ func (e *Engine) Analyze(d Domain, paramCount, subbatch float64) (Requirements, 
 	return a.Characterize(size, subbatch, graph.PolicyMemGreedy)
 }
 
+// RooflineEstimate is one step-time backend's view of a characterization:
+// the projected step seconds on a device, the achieved utilization, and
+// which resource binds — labeled with the backend that produced it.
+type RooflineEstimate struct {
+	CostModel    string  `json:"costmodel"`
+	StepSeconds  float64 `json:"step_seconds"`
+	Utilization  float64 `json:"utilization"`
+	ComputeBound bool    `json:"compute_bound"`
+}
+
+// AnalyzeOn characterizes a domain at a target parameter count and
+// subbatch, and projects the step time on a validated accelerator under
+// the given cost-model backend (nil means the default graph-level
+// Roofline). This is the shared path behind cmd/catamount and the
+// catamountd /v1/analyze endpoint.
+func (e *Engine) AnalyzeOn(d Domain, paramCount, subbatch float64, acc Accelerator,
+	cm costmodel.Model) (Requirements, RooflineEstimate, error) {
+
+	if cm == nil {
+		cm = costmodel.Default()
+	}
+	if err := acc.Validate(); err != nil {
+		return Requirements{}, RooflineEstimate{}, err
+	}
+	a, size, err := e.sessionAt(d, paramCount)
+	if err != nil {
+		return Requirements{}, RooflineEstimate{}, err
+	}
+	req, err := a.Characterize(size, subbatch, graph.PolicyMemGreedy)
+	if err != nil {
+		return req, RooflineEstimate{}, err
+	}
+	costs := a.StepCosts(size, subbatch, costmodel.NeedsOpCosts(cm))
+	step := cm.StepTime(acc, costs)
+	return req, RooflineEstimate{
+		CostModel:    cm.Name(),
+		StepSeconds:  step,
+		Utilization:  acc.Utilization(req.FLOPsPerStep, step),
+		ComputeBound: cm.Bound(acc, costs) == costmodel.BoundCompute,
+	}, nil
+}
+
 // Profile computes the per-op-kind and per-group cost breakdown of a
 // domain's training step.
 func (e *Engine) Profile(d Domain, paramCount, subbatch float64) (*Profile, error) {
@@ -166,8 +217,18 @@ func (e *Engine) AsymptoticTable() ([]Asymptotics, error) {
 
 // FrontierTable computes Table 3 through the session's compiled models, on
 // any validated accelerator — the Table 4 target, a catalog entry, or a
-// custom device.
+// custom device — with the default step-time backend.
 func (e *Engine) FrontierTable(acc Accelerator) ([]Frontier, error) {
+	return e.FrontierTableWith(acc, nil)
+}
+
+// FrontierTableWith is FrontierTable under a pluggable step-time backend
+// (nil means the default graph-level Roofline): subbatch choice, step
+// seconds, utilization and epoch days all route through the backend.
+func (e *Engine) FrontierTableWith(acc Accelerator, cm costmodel.Model) ([]Frontier, error) {
+	if cm == nil {
+		cm = costmodel.Default()
+	}
 	if err := acc.Validate(); err != nil {
 		return nil, err
 	}
@@ -181,7 +242,7 @@ func (e *Engine) FrontierTable(acc Accelerator) ([]Frontier, error) {
 		if err != nil {
 			return nil, err
 		}
-		f, err := a.ProjectFrontier(proj, acc, graph.PolicyMemGreedy)
+		f, err := a.ProjectFrontierWith(proj, acc, cm, graph.PolicyMemGreedy)
 		if err != nil {
 			return nil, err
 		}
@@ -203,29 +264,43 @@ func (e *Engine) WordLMCaseStudy() (*CaseStudy, error) {
 const maxCaseStudyEntries = 64
 
 // WordLMCaseStudyOn replays the §6 parallelization plan on another
-// accelerator, memoizing per device (LRU-bounded): the case study is
-// deterministic and several figures and server endpoints reuse it.
+// accelerator with the default step-time backend, memoizing per device
+// (LRU-bounded): the case study is deterministic and several figures and
+// server endpoints reuse it.
 func (e *Engine) WordLMCaseStudyOn(acc Accelerator) (*CaseStudy, error) {
+	return e.WordLMCaseStudyOnWith(acc, nil)
+}
+
+// WordLMCaseStudyOnWith is WordLMCaseStudyOn under a pluggable step-time
+// backend (nil means the default). Results memoize per (device, canonical
+// backend name), so alias spellings of one backend share an entry.
+func (e *Engine) WordLMCaseStudyOnWith(acc Accelerator, cm costmodel.Model) (*CaseStudy, error) {
+	if cm == nil {
+		cm = costmodel.Default()
+	}
 	if err := acc.Validate(); err != nil {
 		return nil, err
 	}
+	key := caseStudyKey{acc: acc, model: cm.Name()}
 	e.csMu.Lock()
-	ent, ok := e.caseStudies[acc]
+	ent, ok := e.caseStudies[key]
 	if ok {
 		e.csOrder.MoveToFront(ent.elem)
 	} else {
 		for len(e.caseStudies) >= maxCaseStudyEntries {
 			oldest := e.csOrder.Back()
 			e.csOrder.Remove(oldest)
-			delete(e.caseStudies, oldest.Value.(Accelerator))
+			delete(e.caseStudies, oldest.Value.(caseStudyKey))
 		}
 		ent = &caseStudyEntry{}
-		ent.elem = e.csOrder.PushFront(acc)
-		e.caseStudies[acc] = ent
+		ent.elem = e.csOrder.PushFront(key)
+		e.caseStudies[key] = ent
 	}
 	e.csMu.Unlock()
 	ent.once.Do(func() {
-		ent.cs, ent.err = parallel.RunWordLMCaseStudy(parallel.CaseStudyConfigFor(acc))
+		cfg := parallel.CaseStudyConfigFor(acc)
+		cfg.Cost = cm
+		ent.cs, ent.err = parallel.RunWordLMCaseStudy(cfg)
 	})
 	return ent.cs, ent.err
 }
@@ -273,6 +348,7 @@ func (e *Engine) Figure10() ([]FootprintSeries, error) {
 type SubbatchSelection struct {
 	Domain     Domain                      `json:"domain"`
 	Params     float64                     `json:"params"`
+	CostModel  string                      `json:"costmodel"`
 	RidgePoint float64                     `json:"effective_ridge_point"`
 	Points     []hw.SubbatchPoint          `json:"points"`
 	Chosen     map[string]hw.SubbatchPoint `json:"chosen"`
@@ -280,12 +356,23 @@ type SubbatchSelection struct {
 
 // SubbatchSelect sweeps subbatch sizes (1 … 2^18) for a domain at a target
 // parameter count on any validated accelerator and applies the given
-// policies. params <= 0 selects the domain's accuracy-frontier model size
-// (Table 1). This is the one sweep pipeline behind both Figure11 and the
-// catamountd /v1/subbatch endpoint.
+// policies, with the default step-time backend. params <= 0 selects the
+// domain's accuracy-frontier model size (Table 1). This is the one sweep
+// pipeline behind both Figure11 and the catamountd /v1/subbatch endpoint.
 func (e *Engine) SubbatchSelect(d Domain, params float64, acc Accelerator,
 	policies []hw.SubbatchPolicy, tol float64) (*SubbatchSelection, error) {
+	return e.SubbatchSelectWith(d, params, acc, nil, policies, tol)
+}
 
+// SubbatchSelectWith is SubbatchSelect under a pluggable step-time backend
+// (nil means the default): every sweep point's step time — and therefore
+// the min-time-per-sample policy choice — routes through the backend.
+func (e *Engine) SubbatchSelectWith(d Domain, params float64, acc Accelerator,
+	cm costmodel.Model, policies []hw.SubbatchPolicy, tol float64) (*SubbatchSelection, error) {
+
+	if cm == nil {
+		cm = costmodel.Default()
+	}
 	if err := acc.Validate(); err != nil {
 		return nil, err
 	}
@@ -308,13 +395,15 @@ func (e *Engine) SubbatchSelect(d Domain, params float64, acc Accelerator,
 	if err != nil {
 		return nil, err
 	}
-	pts, err := hw.SubbatchSweep(a.StepEval(size), acc, hw.PowersOfTwo(18))
+	eval := a.StepCostEval(size, costmodel.NeedsOpCosts(cm))
+	pts, err := costmodel.SubbatchSweep(eval, acc, cm, hw.PowersOfTwo(18))
 	if err != nil {
 		return nil, err
 	}
 	sel := &SubbatchSelection{
 		Domain:     d,
 		Params:     params,
+		CostModel:  cm.Name(),
 		RidgePoint: acc.EffectiveRidgePoint(),
 		Points:     pts,
 		Chosen:     make(map[string]hw.SubbatchPoint, len(policies)),
@@ -335,9 +424,15 @@ func AllSubbatchPolicies() []hw.SubbatchPolicy {
 }
 
 // Figure11 sweeps subbatch sizes for the frontier word LM on any validated
-// accelerator.
+// accelerator with the default step-time backend.
 func (e *Engine) Figure11(acc Accelerator) (*Figure11Data, error) {
-	sel, err := e.SubbatchSelect(WordLM, 0, acc, AllSubbatchPolicies(), 0.05)
+	return e.Figure11With(acc, nil)
+}
+
+// Figure11With is Figure11 under a pluggable step-time backend (nil means
+// the default).
+func (e *Engine) Figure11With(acc Accelerator, cm costmodel.Model) (*Figure11Data, error) {
+	sel, err := e.SubbatchSelectWith(WordLM, 0, acc, cm, AllSubbatchPolicies(), 0.05)
 	if err != nil {
 		return nil, err
 	}
@@ -353,13 +448,21 @@ func (e *Engine) Figure12() (*Figure12Data, error) {
 // Figure12On is the data-parallel scaling sweep replayed on another
 // accelerator, reusing that device's memoized case study.
 func (e *Engine) Figure12On(acc Accelerator) (*Figure12Data, error) {
-	cs, err := e.WordLMCaseStudyOn(acc)
+	return e.Figure12OnWith(acc, nil)
+}
+
+// Figure12OnWith is Figure12On under a pluggable step-time backend (nil
+// means the default), reusing the (device, backend) memoized case study:
+// the per-worker step the sweep scales from is the case study's
+// cache-aware step time under that backend.
+func (e *Engine) Figure12OnWith(acc Accelerator, cm costmodel.Model) (*Figure12Data, error) {
+	cs, err := e.WordLMCaseStudyOnWith(acc, cm)
 	if err != nil {
 		return nil, err
 	}
 	cfg := parallel.CaseStudyConfigFor(acc)
 	dp := parallel.DataParallelConfig{
-		StepTime:          cfg.Acc.StepTime(cs.StepFLOPs, cs.CacheAwareBytes),
+		StepTime:          cs.StepSeconds,
 		StepFLOPs:         cs.StepFLOPs,
 		GradientBytes:     4 * cs.Params,
 		SubbatchPerWorker: cfg.Subbatch,

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"catamount/internal/costmodel"
 	"catamount/internal/fit"
 	"catamount/internal/graph"
 	"catamount/internal/hw"
@@ -32,6 +33,10 @@ type Analyzer struct {
 	// fwdFLOPs / bwdFLOPs split the step; the graph-level totals (params,
 	// FLOPs, bytes, IO) come straight from Compiled.
 	fwdFLOPs, bwdFLOPs *symbolic.Program
+
+	// opKinds caches each node's op kind in Nodes() order, so building a
+	// per-op cost vector never re-walks the graph.
+	opKinds []string
 }
 
 // NewAnalyzer compiles a model into an analysis session. It fails if the
@@ -60,6 +65,10 @@ func NewAnalyzer(m *models.Model) (*Analyzer, error) {
 	fwd, bwd := ops.ForwardBackwardFLOPs(m.Graph)
 	a.fwdFLOPs = symbolic.Compile(fwd, c.Syms)
 	a.bwdFLOPs = symbolic.Compile(bwd, c.Syms)
+	a.opKinds = make([]string, 0, len(m.Graph.Nodes()))
+	for _, n := range m.Graph.Nodes() {
+		a.opKinds = append(a.opKinds, n.Op.Kind())
+	}
 	return a, nil
 }
 
@@ -346,9 +355,84 @@ func (a *Analyzer) StepEval(size float64) hw.StepEval {
 	}
 }
 
-// ProjectFrontier computes one Table 3 row through the compiled session.
+// costsAt evaluates the step's cost vector under the current slot binding.
+// When full is true the per-node cost programs are evaluated into ops
+// (grown as needed, returned for reuse); otherwise only the graph totals
+// are filled and ops passes through untouched.
+func (a *Analyzer) costsAt(slots []float64, ops []costmodel.OpCost, full bool) (costmodel.Costs, []costmodel.OpCost) {
+	c := costmodel.Costs{
+		FLOPs: a.Compiled.TotalFLOPs.Eval(slots),
+		Bytes: a.Compiled.TotalBytes.Eval(slots),
+	}
+	if !full {
+		return c, ops
+	}
+	n := len(a.Compiled.NodeFLOPs)
+	if cap(ops) < n {
+		ops = make([]costmodel.OpCost, n)
+	}
+	ops = ops[:n]
+	for i := range ops {
+		ops[i] = costmodel.OpCost{
+			Kind:  a.opKinds[i],
+			FLOPs: a.Compiled.NodeFLOPs[i].Eval(slots),
+			Bytes: a.Compiled.NodeBytes[i].Eval(slots),
+		}
+	}
+	c.Ops = ops
+	return c, ops
+}
+
+// StepCosts evaluates the cost vector at one (size, batch) point. The
+// per-node breakdown is evaluated only when full is true — graph-level
+// backends never pay for it. The returned Costs owns its Ops slice and may
+// be retained.
+func (a *Analyzer) StepCosts(size, batch float64, full bool) costmodel.Costs {
+	slots := a.newSlots()
+	a.bind(slots, size, batch)
+	c, _ := a.costsAt(slots, nil, full)
+	return c
+}
+
+// StepCosts is Analyzer.StepCosts over the session's reused slot buffer.
+// The returned Costs owns its Ops slice (freshly allocated per call when
+// full), so callers may retain it across points.
+func (s *Session) StepCosts(size, batch float64, full bool) costmodel.Costs {
+	s.a.bind(s.slots, size, batch)
+	c, _ := s.a.costsAt(s.slots, nil, full)
+	return c
+}
+
+// StepCostEval builds a costmodel.StepEval closure at a fixed size: the
+// cost-vector generalization of StepEval for pluggable step-time backends.
+// The closure reuses one slot buffer and one Ops buffer, so each returned
+// Costs is valid only until the next call; it is not safe for concurrent
+// use.
+func (a *Analyzer) StepCostEval(size float64, full bool) costmodel.StepEval {
+	slots := a.newSlots()
+	var ops []costmodel.OpCost
+	return func(b float64) (costmodel.Costs, float64, error) {
+		a.bind(slots, size, b)
+		var c costmodel.Costs
+		c, ops = a.costsAt(slots, ops, full)
+		return c, 0, nil
+	}
+}
+
+// ProjectFrontier computes one Table 3 row through the compiled session
+// with the default (graph-level Roofline) step-time backend.
 func (a *Analyzer) ProjectFrontier(proj scaling.Projection, acc hw.Accelerator,
 	policy graph.SchedulePolicy) (Frontier, error) {
+	return a.ProjectFrontierWith(proj, acc, costmodel.Default(), policy)
+}
+
+// ProjectFrontierWith is ProjectFrontier under a pluggable step-time
+// backend: the §5.2.1 subbatch choice and the projected step time both
+// route through the backend, so a per-op model shifts the whole row, not
+// just the final column. The default backend reproduces the legacy output
+// byte-for-byte.
+func (a *Analyzer) ProjectFrontierWith(proj scaling.Projection, acc hw.Accelerator,
+	cm costmodel.Model, policy graph.SchedulePolicy) (Frontier, error) {
 
 	f := Frontier{
 		Spec:              proj.Spec,
@@ -361,7 +445,8 @@ func (a *Analyzer) ProjectFrontier(proj scaling.Projection, acc hw.Accelerator,
 	}
 	f.Size = size
 
-	sweep, err := hw.SubbatchSweep(a.StepEval(size), acc, hw.PowersOfTwo(10))
+	full := costmodel.NeedsOpCosts(cm)
+	sweep, err := costmodel.SubbatchSweep(a.StepCostEval(size, full), acc, cm, hw.PowersOfTwo(10))
 	if err != nil {
 		return f, err
 	}
@@ -381,7 +466,7 @@ func (a *Analyzer) ProjectFrontier(proj scaling.Projection, acc hw.Accelerator,
 	f.TFLOPsPerStep = r.FLOPsPerStep / 1e12
 	f.TBPerStep = r.BytesPerStep / 1e12
 	f.FootprintGB = r.FootprintBytes / 1e9
-	f.StepSeconds = acc.StepTime(r.FLOPsPerStep, r.BytesPerStep)
+	f.StepSeconds = cm.StepTime(acc, a.StepCosts(size, f.Subbatch, full))
 	f.Utilization = acc.Utilization(r.FLOPsPerStep, f.StepSeconds)
 	f.MemoryMultiple = r.FootprintBytes / acc.MemCapacity
 

@@ -124,6 +124,35 @@ func profileCompiled(c *graph.Compiled, slots []float64) (*Profile, error) {
 	return p, nil
 }
 
+// KindCSVHeader is the column row matching KindCSVRecord,
+// newline-terminated — the machine-readable form of the per-op-kind
+// breakdown (cmd/catamount -profile -format csv), styled after the sweep
+// encoders.
+func KindCSVHeader() string {
+	return "kind,count,flops,flops_share,bytes,bytes_share\n"
+}
+
+// KindCSVRecord renders one op-kind row as CSV, newline-terminated. Op
+// kinds are identifier-like, so no field needs escaping.
+func KindCSVRecord(kp OpKindProfile) string {
+	return fmt.Sprintf("%s,%d,%.6g,%.6g,%.6g,%.6g\n",
+		kp.Kind, kp.Count, kp.FLOPs, kp.FLOPsShare, kp.Bytes, kp.BytesShare)
+}
+
+// WriteKindCSV writes the per-op-kind breakdown as CSV rows in ByKind
+// (descending-FLOPs) order.
+func (p *Profile) WriteKindCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, KindCSVHeader()); err != nil {
+		return err
+	}
+	for _, kp := range p.ByKind {
+		if _, err := io.WriteString(w, KindCSVRecord(kp)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Print renders the profile as aligned text tables.
 func (p *Profile) Print(w io.Writer, topK int) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)

@@ -1,0 +1,44 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"catamount/internal/hw"
+)
+
+// StepEval evaluates a training step at a subbatch size, returning the
+// step's cost vector and memory footprint. It is the cost-vector
+// generalization of hw.StepEval: the per-op backend needs node costs, not
+// just the (flops, bytes) scalars. A returned Costs is only read before
+// the next call, so evaluators may reuse their Ops buffer across calls.
+type StepEval func(subbatch float64) (Costs, float64, error)
+
+// SubbatchSweep evaluates the step across subbatch sizes (Figure 11's x
+// axis) with a pluggable step-time backend. With the GraphRoofline backend
+// it reproduces hw.SubbatchSweep exactly; hw.ChooseSubbatch applies the
+// §5.2.1 policies to the result either way.
+func SubbatchSweep(eval StepEval, acc hw.Accelerator, m Model, subbatches []float64) ([]hw.SubbatchPoint, error) {
+	out := make([]hw.SubbatchPoint, 0, len(subbatches))
+	for _, b := range subbatches {
+		c, fp, err := eval(b)
+		if err != nil {
+			return nil, fmt.Errorf("costmodel: subbatch %v: %w", b, err)
+		}
+		t := m.StepTime(acc, c)
+		intensity := 0.0
+		if c.Bytes > 0 {
+			intensity = c.FLOPs / c.Bytes
+		}
+		out = append(out, hw.SubbatchPoint{
+			Subbatch:       b,
+			FLOPs:          c.FLOPs,
+			Bytes:          c.Bytes,
+			Intensity:      intensity,
+			StepTime:       t,
+			TimePerSample:  t / b,
+			FootprintBytes: fp,
+			Utilization:    acc.Utilization(c.FLOPs, t),
+		})
+	}
+	return out, nil
+}

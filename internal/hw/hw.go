@@ -127,7 +127,15 @@ func (a Accelerator) EffectiveRidgePoint() float64 {
 // FLOPs and bytes (paper §5.2.2):
 //
 //	rt = max(ct / (80%·xc), at / (70%·xa))
+//
+// Zero (or negative, clamped) FLOPs and bytes are well-defined: a step
+// that computes and moves nothing takes zero seconds. Callers feeding
+// degenerate evaluations (a data-movement-only subgraph, an empty
+// checkpoint) therefore never see NaN out of the Roofline.
 func (a Accelerator) StepTime(flops, bytes float64) float64 {
+	if !(flops > 0) && !(bytes > 0) {
+		return 0
+	}
 	ct := flops / (a.AchievableCompute * a.PeakFLOPS)
 	at := bytes / (a.AchievableMemBW * a.MemBandwidth)
 	return math.Max(ct, at)
@@ -173,6 +181,10 @@ type SubbatchPoint struct {
 }
 
 // SubbatchSweep evaluates the step across subbatch sizes (Figure 11's x axis).
+// A zero-byte step reports zero intensity rather than dividing by zero:
+// ±Inf/NaN intensities would poison ChooseSubbatch's policy scans and are
+// not JSON-serializable, and "no traffic" has no meaningful operational
+// intensity to rank on.
 func SubbatchSweep(eval StepEval, acc Accelerator, subbatches []float64) ([]SubbatchPoint, error) {
 	out := make([]SubbatchPoint, 0, len(subbatches))
 	for _, b := range subbatches {
@@ -181,11 +193,15 @@ func SubbatchSweep(eval StepEval, acc Accelerator, subbatches []float64) ([]Subb
 			return nil, fmt.Errorf("hw: subbatch %v: %w", b, err)
 		}
 		t := acc.StepTime(f, by)
+		intensity := 0.0
+		if by > 0 {
+			intensity = f / by
+		}
 		out = append(out, SubbatchPoint{
 			Subbatch:       b,
 			FLOPs:          f,
 			Bytes:          by,
-			Intensity:      f / by,
+			Intensity:      intensity,
 			StepTime:       t,
 			TimePerSample:  t / b,
 			FootprintBytes: fp,

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"catamount/internal/cache"
+	"catamount/internal/costmodel"
 	"catamount/internal/fit"
 	"catamount/internal/graph"
 	"catamount/internal/hw"
@@ -36,6 +37,9 @@ type CaseStudyConfig struct {
 	Reduce AllReduce
 	// SchedulePolicy selects the footprint traversal heuristic.
 	SchedulePolicy graph.SchedulePolicy
+	// Cost is the step-time backend for the Roofline stages (nil means the
+	// default graph-level backend, reproducing Table 5 byte-for-byte).
+	Cost costmodel.Model
 }
 
 // DefaultCaseStudyConfig reproduces the paper's Table 5 setup.
@@ -95,6 +99,11 @@ type CaseStudyResult struct {
 	StepFLOPs, AlgBytes float64
 	// CacheAwareBytes includes GEMM re-streaming.
 	CacheAwareBytes float64
+	// CostModel names the step-time backend the stages were timed with;
+	// StepSeconds is the cache-hierarchy-aware per-worker step time under
+	// it (the base the data-parallel stages and Figure 12 scale from).
+	CostModel   string
+	StepSeconds float64
 	// Stages are the Table 5 rows in order.
 	Stages []CaseStudyStage
 }
@@ -129,6 +138,48 @@ func RunWordLMCaseStudy(cfg CaseStudyConfig) (*CaseStudyResult, error) {
 	res.AlgBytes = symbolic.MustEval(m.BytesExpr(), env)
 	footprint := footAt(size)
 
+	// Resolve the step-time backend. Per-op backends need the graph's node
+	// costs, evaluated once through the compiled bundle; the cache-aware
+	// stage scales every op's traffic by the same re-streaming factor the
+	// graph-level total carries, which preserves the per-op ≥ graph-level
+	// dominance for any uniform scale.
+	cm := cfg.Cost
+	if cm == nil {
+		cm = costmodel.Default()
+	}
+	res.CostModel = cm.Name()
+	var ops []costmodel.OpCost
+	if costmodel.NeedsOpCosts(cm) {
+		c := m.Graph.Compile()
+		slots := c.NewSlots()
+		if err := c.Bind(slots, env); err != nil {
+			return nil, fmt.Errorf("parallel: case study: %w", err)
+		}
+		nf, nb := c.NodeCosts(slots, nil, nil)
+		nodes := m.Graph.Nodes()
+		ops = make([]costmodel.OpCost, len(nodes))
+		for i, n := range nodes {
+			ops[i] = costmodel.OpCost{Kind: n.Op.Kind(), FLOPs: nf[i], Bytes: nb[i]}
+		}
+	}
+	costsWithBytes := func(bytes float64) costmodel.Costs {
+		c := costmodel.Costs{FLOPs: res.StepFLOPs, Bytes: bytes}
+		if ops == nil {
+			return c
+		}
+		scale := 1.0
+		if res.AlgBytes > 0 {
+			scale = bytes / res.AlgBytes
+		}
+		scaled := make([]costmodel.OpCost, len(ops))
+		for i, op := range ops {
+			op.Bytes *= scale
+			scaled[i] = op
+		}
+		c.Ops = scaled
+		return c
+	}
+
 	tokensPerSample := float64(m.SeqLen)
 	epochSamples := cfg.EpochTokens / tokensPerSample
 	epochDays := func(stepTime, workers float64) float64 {
@@ -138,7 +189,7 @@ func RunWordLMCaseStudy(cfg CaseStudyConfig) (*CaseStudyResult, error) {
 	uniformFits := func(gb float64) bool { return gb*1e9 <= cfg.Acc.MemCapacity }
 
 	// Stage 1: best-case Roofline.
-	tBest := cfg.Acc.StepTime(res.StepFLOPs, res.AlgBytes)
+	tBest := cm.StepTime(cfg.Acc, costsWithBytes(res.AlgBytes))
 	res.Stages = append(res.Stages, CaseStudyStage{
 		Name:          "Best-case (Roofline) Baseline",
 		Accels:        1,
@@ -155,7 +206,8 @@ func RunWordLMCaseStudy(cfg CaseStudyConfig) (*CaseStudyResult, error) {
 		return nil, err
 	}
 	res.CacheAwareBytes = rep.CacheAwareBytes
-	tAware := cfg.Acc.StepTime(res.StepFLOPs, rep.CacheAwareBytes)
+	tAware := cm.StepTime(cfg.Acc, costsWithBytes(rep.CacheAwareBytes))
+	res.StepSeconds = tAware
 	res.Stages = append(res.Stages, CaseStudyStage{
 		Name:          "Cache-hierarchy-aware Baseline",
 		Accels:        1,

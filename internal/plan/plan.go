@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"catamount/internal/core"
+	"catamount/internal/costmodel"
 	"catamount/internal/hw"
 	"catamount/internal/models"
 	"catamount/internal/parallel"
@@ -106,6 +107,12 @@ type Spec struct {
 	Subbatches []float64 `json:"subbatches,omitempty"`
 	// Strategies lists parallelism strategies; empty means all.
 	Strategies []string `json:"strategies,omitempty"`
+
+	// CostModel selects the step-time backend ("graph", "perop", or an
+	// alias; empty means the default graph-level Roofline). Every
+	// candidate's compute time — and therefore train hours, cost, and the
+	// Pareto frontier — routes through it.
+	CostModel string `json:"costmodel,omitempty"`
 
 	// MinSubbatch is the smallest admissible per-worker subbatch (default
 	// 1); candidates below it are annotated infeasible, reflecting
@@ -221,6 +228,9 @@ type Plan struct {
 // deterministic order, and the Pareto frontier.
 type Result struct {
 	Target Target `json:"target"`
+	// CostModel is the canonical name of the step-time backend every
+	// candidate was priced with.
+	CostModel string `json:"costmodel"`
 	// Objectives names the Pareto dimensions: always train_hours and
 	// devices, plus cost_usd when every searched device is priced.
 	Objectives []string `json:"objectives"`
@@ -243,6 +253,7 @@ type Planner struct {
 	subbatches []float64
 	strategies []Strategy
 
+	model       costmodel.Model
 	epochs      float64
 	budgetHours float64
 	budgetUSD   float64
@@ -327,6 +338,12 @@ func New(src sweep.SessionSource, spec Spec) (*Planner, error) {
 		p.strategies = append(p.strategies, st)
 	}
 
+	cm, err := costmodel.Parse(spec.CostModel)
+	if err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	p.model = cm
+
 	p.epochs = spec.Epochs
 	if p.epochs == 0 {
 		p.epochs = 1
@@ -362,6 +379,9 @@ func New(src sweep.SessionSource, spec Spec) (*Planner, error) {
 // Target returns the resolved inverse query.
 func (p *Planner) Target() Target { return p.target }
 
+// CostModel returns the search's resolved step-time backend.
+func (p *Planner) CostModel() costmodel.Model { return p.model }
+
 // Candidates returns the search-space size: the number of Plans a Run
 // yields.
 func (p *Planner) Candidates() int {
@@ -378,12 +398,14 @@ func (p *Planner) Objectives() []string {
 
 // Key is a canonical fingerprint of the search: equal keys mean equal
 // results, so memo layers (Engine.Plan, the server cache) can share
-// entries across spellings. The evaluation pool size is deliberately
-// excluded — it affects wall-clock, never the result.
+// entries across spellings. The cost-model backend enters by canonical
+// name, so alias spellings ("perop", "per-op-roofline") share an entry.
+// The evaluation pool size is deliberately excluded — it affects
+// wall-clock, never the result.
 func (p *Planner) Key() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s|%g|%g|%g|%g|%g|%d", p.target.Domain, p.target.TargetErr,
-		p.epochs, p.budgetHours, p.budgetUSD, p.minSubbatch, p.buckets)
+	fmt.Fprintf(&sb, "%s|%g|%g|%g|%g|%g|%d|cm:%s", p.target.Domain, p.target.TargetErr,
+		p.epochs, p.budgetHours, p.budgetUSD, p.minSubbatch, p.buckets, p.model.Name())
 	sb.WriteString("|accs:")
 	for _, acc := range p.accs {
 		fmt.Fprintf(&sb, "%q/%g/%g/%g/%g/%g/%g/%g/%g/%g;", acc.Name, acc.PeakFLOPS,
@@ -432,6 +454,7 @@ func (p *Planner) Run(ctx context.Context) (*Result, error) {
 		Params:     []float64{p.target.Params},
 		Subbatches: p.subbatches,
 		Custom:     p.accs,
+		CostModel:  p.model.Name(),
 		Workers:    p.pool,
 	})
 	if err != nil {
@@ -451,7 +474,8 @@ func (p *Planner) Run(ctx context.Context) (*Result, error) {
 			pt := grid[bi*na+ai]
 			for _, w := range p.workers {
 				for _, st := range p.strategies {
-					plans = append(plans, evaluate(cfg, acc, w, b, st, pt.Requirements, pt.Error))
+					plans = append(plans, evaluate(cfg, acc, w, b, st,
+						pt.Requirements, pt.StepSeconds, pt.Error))
 				}
 			}
 		}
@@ -459,6 +483,7 @@ func (p *Planner) Run(ctx context.Context) (*Result, error) {
 	markFrontier(plans, p.priced)
 	return &Result{
 		Target:     p.target,
+		CostModel:  p.model.Name(),
 		Objectives: p.Objectives(),
 		Candidates: len(plans),
 		Frontier:   sortedFrontier(plans),
@@ -466,12 +491,13 @@ func (p *Planner) Run(ctx context.Context) (*Result, error) {
 	}, nil
 }
 
-// evaluate composes one candidate from its characterization: Roofline
-// compute time, strategy-scheduled communication, end-to-end totals, and
-// feasibility annotations. It is shared (via the exported Evaluate) with
-// the brute-force reference so equivalence is exact, not approximate.
+// evaluate composes one candidate from its characterization: the cost-
+// model backend's compute time (priced on the candidate's accelerator by
+// the sweep grid), strategy-scheduled communication, end-to-end totals,
+// and feasibility annotations. It is shared (via the exported Evaluate)
+// with the brute-force reference so equivalence is exact, not approximate.
 func evaluate(cfg evalConfig, acc hw.Accelerator, workers int, subbatch float64,
-	strategy Strategy, req *core.Requirements, reqErr string) Plan {
+	strategy Strategy, req *core.Requirements, computeSeconds float64, reqErr string) Plan {
 
 	pl := Plan{
 		Accelerator: acc.Name,
@@ -489,7 +515,7 @@ func evaluate(cfg evalConfig, acc hw.Accelerator, workers int, subbatch float64,
 		return pl
 	}
 
-	compute := acc.StepTime(req.FLOPsPerStep, req.BytesPerStep)
+	compute := computeSeconds
 	link := parallel.Interconnect{
 		BandwidthBytes: acc.InterconnectBW,
 		LatencySec:     parallel.DefaultInterconnect().LatencySec,
@@ -561,9 +587,11 @@ func evaluate(cfg evalConfig, acc hw.Accelerator, workers int, subbatch float64,
 // Evaluate composes one candidate exactly as Run does — exported so the
 // brute-force reference (tests) and what-if callers share the arithmetic.
 // req is the candidate subbatch's characterization (nil, with reqErr set,
-// for failed cells). The cfg knobs mirror Spec's defaults when zero.
+// for failed cells) and computeSeconds its step time under the spec's
+// cost-model backend on acc. The cfg knobs mirror Spec's defaults when
+// zero.
 func Evaluate(target Target, acc hw.Accelerator, workers int, subbatch float64,
-	strategy Strategy, req *core.Requirements, reqErr string,
+	strategy Strategy, req *core.Requirements, computeSeconds float64, reqErr string,
 	spec Spec) Plan {
 
 	cfg := evalConfig{
@@ -583,7 +611,7 @@ func Evaluate(target Target, acc hw.Accelerator, workers int, subbatch float64,
 	if cfg.buckets == 0 {
 		cfg.buckets = 16
 	}
-	return evaluate(cfg, acc, workers, subbatch, strategy, req, reqErr)
+	return evaluate(cfg, acc, workers, subbatch, strategy, req, computeSeconds, reqErr)
 }
 
 // ---------------------------------------------------------------------------

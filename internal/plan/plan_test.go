@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"catamount/internal/core"
+	"catamount/internal/costmodel"
 	"catamount/internal/graph"
 	"catamount/internal/hw"
 	"catamount/internal/models"
@@ -77,6 +78,11 @@ func bruteForce(t *testing.T, spec Spec) *Result {
 		}
 	}
 
+	cm, err := costmodel.Parse(spec.CostModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	var plans []Plan
 	for _, acc := range accs {
 		for _, b := range spec.Subbatches {
@@ -84,10 +90,11 @@ func bruteForce(t *testing.T, spec Spec) *Result {
 			for _, w := range spec.WorkerCounts {
 				for _, st := range strategies {
 					if cerr != nil {
-						plans = append(plans, Evaluate(target, acc, w, b, st, nil, cerr.Error(), spec))
+						plans = append(plans, Evaluate(target, acc, w, b, st, nil, 0, cerr.Error(), spec))
 					} else {
 						r := req
-						plans = append(plans, Evaluate(target, acc, w, b, st, &r, "", spec))
+						compute := cm.StepTime(acc, a.StepCosts(size, b, costmodel.NeedsOpCosts(cm)))
+						plans = append(plans, Evaluate(target, acc, w, b, st, &r, compute, "", spec))
 					}
 				}
 			}
@@ -150,6 +157,7 @@ func bruteForce(t *testing.T, spec Spec) *Result {
 	}
 	return &Result{
 		Target:     target,
+		CostModel:  cm.Name(),
 		Objectives: objectives,
 		Candidates: len(plans),
 		Frontier:   frontier,
@@ -194,6 +202,45 @@ func TestPlannerMatchesBruteForce(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got.Frontier[0], want.Frontier[0]) {
 		t.Fatalf("best plan differs: got %+v want %+v", got.Frontier[0], want.Frontier[0])
+	}
+}
+
+// TestPlannerMatchesBruteForcePerOp replays the equivalence check under
+// the per-op backend, and pins the macro consequence the paper warns
+// about: per-op plans never train faster than graph-roofline plans for the
+// same configuration.
+func TestPlannerMatchesBruteForcePerOp(t *testing.T) {
+	spec := smallSpec()
+	spec.CostModel = "perop"
+	got := runPlanner(t, spec)
+	want := bruteForce(t, spec)
+	if !reflect.DeepEqual(got.Plans, want.Plans) {
+		for i := range got.Plans {
+			if !reflect.DeepEqual(got.Plans[i], want.Plans[i]) {
+				t.Fatalf("plan %d differs:\n got  %+v\n want %+v", i, got.Plans[i], want.Plans[i])
+			}
+		}
+		t.Fatal("plans differ")
+	}
+	if got.CostModel != "perop" {
+		t.Fatalf("result costmodel = %q, want perop", got.CostModel)
+	}
+
+	base := runPlanner(t, smallSpec())
+	if len(base.Plans) != len(got.Plans) {
+		t.Fatalf("grid sizes differ: %d vs %d", len(base.Plans), len(got.Plans))
+	}
+	for i := range got.Plans {
+		g, p := base.Plans[i], got.Plans[i]
+		if g.Accelerator != p.Accelerator || g.Workers != p.Workers || g.Subbatch != p.Subbatch || g.Strategy != p.Strategy {
+			t.Fatalf("plan %d identity mismatch", i)
+		}
+		if p.ComputeSeconds < g.ComputeSeconds {
+			t.Errorf("plan %d: per-op compute %.6g faster than graph %.6g", i, p.ComputeSeconds, g.ComputeSeconds)
+		}
+		if g.Feasible && p.Feasible && p.TrainHours < g.TrainHours {
+			t.Errorf("plan %d: per-op train hours %.6g below graph %.6g", i, p.TrainHours, g.TrainHours)
+		}
 	}
 }
 
@@ -401,6 +448,7 @@ func TestSpecValidation(t *testing.T) {
 		{Domain: "wordlm", BudgetHours: -1},
 		{Domain: "wordlm", Epochs: -2},
 		{Domain: "wordlm", OverlapBuckets: -1},
+		{Domain: "wordlm", CostModel: "quantum"},
 	}
 	for i, spec := range bad {
 		if _, err := New(newBuildSource(), spec); err == nil {
@@ -428,6 +476,31 @@ func TestKeyCanonicalAcrossAliases(t *testing.T) {
 	}
 	if a.Key() != c.Key() {
 		t.Error("worker-pool size leaked into the key")
+	}
+	// Cost-model aliases canonicalize into one key; distinct backends do
+	// not share one.
+	var keys []string
+	for _, name := range []string{"perop", "per-op", "Perop-Roofline", "per-op-roofline"} {
+		p, err := New(newBuildSource(), Spec{Domain: "wordlm", Accelerators: []string{"v100"}, CostModel: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, p.Key())
+	}
+	for _, k := range keys[1:] {
+		if k != keys[0] {
+			t.Errorf("cost-model alias changed the key:\n %s\n %s", keys[0], k)
+		}
+	}
+	if keys[0] == a.Key() {
+		t.Error("perop and graph searches share a key")
+	}
+	g, err := New(newBuildSource(), Spec{Domain: "wordlm", Accelerators: []string{"v100"}, CostModel: "graph-roofline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Key() != a.Key() {
+		t.Error("explicit graph alias diverged from the default key")
 	}
 }
 

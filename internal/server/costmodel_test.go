@@ -1,0 +1,169 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestCostModelsEndpoint: GET /v1/costmodels lists both backends with the
+// default flagged.
+func TestCostModelsEndpoint(t *testing.T) {
+	s := newTestServer(Config{})
+	rec, body := get(t, s, "/v1/costmodels")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("costmodels = %d %s", rec.Code, rec.Body)
+	}
+	models := body["costmodels"].([]any)
+	if len(models) != 2 {
+		t.Fatalf("costmodels = %d entries, want 2", len(models))
+	}
+	names := map[string]bool{}
+	defaults := 0
+	for _, m := range models {
+		entry := m.(map[string]any)
+		names[entry["name"].(string)] = true
+		if d, _ := entry["default"].(bool); d {
+			defaults++
+		}
+	}
+	if !names["graph"] || !names["perop"] || defaults != 1 {
+		t.Fatalf("costmodels listing wrong: %v (defaults=%d)", names, defaults)
+	}
+}
+
+// TestAnalyzeCostModelSelectable: the costmodel field selects the backend
+// end-to-end, the per-op estimate is never faster than graph, and unknown
+// backends are a 400.
+func TestAnalyzeCostModelSelectable(t *testing.T) {
+	s := newTestServer(Config{})
+	const q = "/v1/analyze?domain=wordlm&params=1e8&batch=128"
+
+	rec, body := get(t, s, q)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("default analyze = %d %s", rec.Code, rec.Body)
+	}
+	if body["costmodel"] != "graph" {
+		t.Fatalf("default costmodel = %v, want graph", body["costmodel"])
+	}
+	graphStep := body["step_seconds"].(float64)
+
+	rec, body = get(t, s, q+"&costmodel=perop")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("perop analyze = %d %s", rec.Code, rec.Body)
+	}
+	if body["costmodel"] != "perop" {
+		t.Fatalf("perop costmodel = %v", body["costmodel"])
+	}
+	peropStep := body["step_seconds"].(float64)
+	if peropStep < graphStep {
+		t.Fatalf("per-op step %g faster than graph %g", peropStep, graphStep)
+	}
+
+	rec, _ = get(t, s, q+"&costmodel=quantum")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown costmodel = %d, want 400", rec.Code)
+	}
+}
+
+// TestCostModelAliasesShareCache: alias spellings canonicalize into one
+// cache key, so the second spelling is a pure cache hit.
+func TestCostModelAliasesShareCache(t *testing.T) {
+	s := newTestServer(Config{})
+	const q = "/v1/analyze?domain=image&params=5e7&batch=32&costmodel="
+
+	rec, _ := get(t, s, q+"perop")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first = %d %s", rec.Code, rec.Body)
+	}
+	misses := s.Metrics().CacheMisses
+	for _, alias := range []string{"per-op", "perop-roofline", "per-op-roofline"} {
+		rec, _ := get(t, s, q+alias)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s = %d %s", alias, rec.Code, rec.Body)
+		}
+	}
+	if got := s.Metrics().CacheMisses; got != misses {
+		t.Fatalf("alias spellings recomputed: misses %d -> %d", misses, got)
+	}
+	if hits := s.Metrics().CacheHits; hits < 3 {
+		t.Fatalf("alias spellings hit the cache %d times, want >= 3", hits)
+	}
+}
+
+// TestCostModelMetrics: per-backend counters meter every backend-routed
+// endpoint, including the sweep and plan spec fields.
+func TestCostModelMetrics(t *testing.T) {
+	s := newTestServer(Config{})
+	g0 := s.Metrics().CostModelRequests["graph"]
+	p0 := s.Metrics().CostModelRequests["perop"]
+
+	get(t, s, "/v1/analyze?domain=image&params=5e7")
+	get(t, s, "/v1/frontier?costmodel=perop")
+	request(t, s, http.MethodPost, "/v1/sweep",
+		[]byte(`{"params":[5e7],"domains":["image"],"costmodel":"per-op"}`))
+	request(t, s, http.MethodPost, "/v1/plan",
+		[]byte(`{"domain":"image","worker_counts":[1],"subbatches":[32],"costmodel":"graph-roofline"}`))
+
+	m := s.Metrics().CostModelRequests
+	if got := m["graph"] - g0; got != 2 {
+		t.Fatalf("graph requests = %d, want 2", got)
+	}
+	if got := m["perop"] - p0; got != 2 {
+		t.Fatalf("perop requests = %d, want 2", got)
+	}
+}
+
+// TestFrontierPerOpDominates: /v1/frontier rows under perop are never
+// faster than the default rows, domain by domain.
+func TestFrontierPerOpDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("frontier projection sweep in -short mode")
+	}
+	s := newTestServer(Config{})
+	rec, body := get(t, s, "/v1/frontier")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("frontier = %d %s", rec.Code, rec.Body)
+	}
+	graphRows := body["rows"].([]any)
+
+	rec, body = get(t, s, "/v1/frontier?costmodel=perop")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("perop frontier = %d %s", rec.Code, rec.Body)
+	}
+	if body["costmodel"] != "perop" {
+		t.Fatalf("frontier costmodel = %v", body["costmodel"])
+	}
+	peropRows := body["rows"].([]any)
+	if len(peropRows) != len(graphRows) {
+		t.Fatalf("row counts differ: %d vs %d", len(peropRows), len(graphRows))
+	}
+	for i := range graphRows {
+		g := graphRows[i].(map[string]any)["step_seconds"].(float64)
+		p := peropRows[i].(map[string]any)["step_seconds"].(float64)
+		if p < g {
+			t.Errorf("row %d: per-op step %g faster than graph %g", i, p, g)
+		}
+	}
+}
+
+// TestSweepCostModelField: the spec field labels streamed points and
+// rejects unknown backends before the stream starts.
+func TestSweepCostModelField(t *testing.T) {
+	s := newTestServer(Config{})
+	rec, _ := request(t, s, http.MethodPost, "/v1/sweep",
+		[]byte(`{"params":[5e7],"domains":["image"],"costmodel":"warp-drive"}`))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown sweep costmodel = %d, want 400", rec.Code)
+	}
+
+	rec, _ = request(t, s, http.MethodPost, "/v1/sweep",
+		[]byte(`{"params":[5e7],"domains":["image"],"costmodel":"perop"}`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("perop sweep = %d %s", rec.Code, rec.Body)
+	}
+	line := rec.Body.String()
+	if !strings.Contains(line, `"costmodel":"perop"`) {
+		t.Fatalf("streamed point missing costmodel label: %s", line)
+	}
+}

@@ -44,6 +44,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			n, s.maxSweepPoints))
 		return
 	}
+	// Metered only once the search is admitted, mirroring handleSweep.
+	s.countCostModel(p.CostModel())
 	key := "plan|" + p.Key()
 	s.respondCached(w, r, key, func() (any, error) {
 		res, err := s.eng.Plan(spec)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	cat "catamount"
+	"catamount/internal/costmodel"
 	"catamount/internal/graph"
 	"catamount/internal/graphio"
 	"catamount/internal/hw"
@@ -61,9 +62,12 @@ type Metrics struct {
 	SweepPoints  int64 `json:"sweep_points"`  // grid points streamed out
 	PlanRuns     int64 `json:"plan_runs"`     // POST /v1/plan searches computed (cache misses)
 	PlanPlans    int64 `json:"plan_plans"`    // candidate plans evaluated by those searches
-	CacheEntries int   `json:"cache_entries"`
-	CacheLimit   int   `json:"cache_limit"`
-	MaxInFlight  int   `json:"max_in_flight"`
+	// CostModelRequests counts requests served per step-time backend
+	// (canonical name), across every backend-routed endpoint.
+	CostModelRequests map[string]int64 `json:"costmodel_requests"`
+	CacheEntries      int              `json:"cache_entries"`
+	CacheLimit        int              `json:"cache_limit"`
+	MaxInFlight       int              `json:"max_in_flight"`
 }
 
 // Server is the HTTP analysis service. Create with New; safe for
@@ -88,6 +92,7 @@ type Server struct {
 	coalesced, rejected, timeouts    atomic.Int64
 	sweepStreams, sweepPoints        atomic.Int64
 	planRuns, planPlans              atomic.Int64
+	cmGraph, cmPerop                 atomic.Int64
 
 	// computeHook, when set, runs inside each upstream computation (after
 	// the miss is counted, before the Engine call). Test seam for
@@ -126,6 +131,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/domains", s.handleDomains)
 	s.mux.HandleFunc("GET /v1/accelerators", s.handleAccelerators)
+	s.mux.HandleFunc("GET /v1/costmodels", s.handleCostModels)
 	s.mux.HandleFunc("GET /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("GET /v1/profile", s.handleProfile)
@@ -158,10 +164,35 @@ func (s *Server) Metrics() Metrics {
 		SweepPoints:  s.sweepPoints.Load(),
 		PlanRuns:     s.planRuns.Load(),
 		PlanPlans:    s.planPlans.Load(),
+		CostModelRequests: map[string]int64{
+			costmodel.GraphName: s.cmGraph.Load(),
+			costmodel.PerOpName: s.cmPerop.Load(),
+		},
 		CacheEntries: s.cache.len(),
 		CacheLimit:   s.cache.capacity,
 		MaxInFlight:  cap(s.sem),
 	}
+}
+
+// countCostModel meters a backend-routed request for /metrics.
+func (s *Server) countCostModel(cm costmodel.Model) {
+	if cm.Name() == costmodel.PerOpName {
+		s.cmPerop.Add(1)
+		return
+	}
+	s.cmGraph.Add(1)
+}
+
+// resolveCostModel reads the "costmodel" query parameter shared by the
+// backend-routed endpoints ("" means the default graph-level Roofline) and
+// meters the choice.
+func (s *Server) resolveCostModel(r *http.Request) (costmodel.Model, error) {
+	cm, err := costmodel.Parse(r.URL.Query().Get("costmodel"))
+	if err != nil {
+		return nil, err
+	}
+	s.countCostModel(cm)
+	return cm, nil
 }
 
 // ServeHTTP applies the request deadline and concurrency limit, then
@@ -265,10 +296,18 @@ func (s *Server) handleAccelerators(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{"accelerators": hw.Catalog(), "aliases": hw.Aliases()})
 }
 
-// analyzeResponse is one characterization plus its Roofline estimate.
+// handleCostModels lists the step-time backends with their aliases, so
+// clients can discover what the "costmodel" request field accepts.
+func (s *Server) handleCostModels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"costmodels": costmodel.Infos()})
+}
+
+// analyzeResponse is one characterization plus its Roofline estimate under
+// the request's cost-model backend.
 type analyzeResponse struct {
 	Requirements cat.Requirements `json:"requirements"`
 	Accelerator  string           `json:"accelerator"`
+	CostModel    string           `json:"costmodel"`
 	StepSeconds  float64          `json:"step_seconds"`
 	Utilization  float64          `json:"utilization"`
 	ComputeBound bool             `json:"compute_bound"`
@@ -319,19 +358,26 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	key := fmt.Sprintf("analyze|%s|%g|%g|%s", d, params, batch, accKey(acc))
+	cm, err := s.resolveCostModel(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The backend enters the key by canonical name, so alias spellings
+	// ("perop", "per-op-roofline") share one cache entry.
+	key := fmt.Sprintf("analyze|%s|%g|%g|%s|%s", d, params, batch, cm.Name(), accKey(acc))
 	s.respondCached(w, r, key, func() (any, error) {
-		req, err := s.eng.Analyze(d, params, batch)
+		req, est, err := s.eng.AnalyzeOn(d, params, batch, acc, cm)
 		if err != nil {
 			return nil, err
 		}
-		step := acc.StepTime(req.FLOPsPerStep, req.BytesPerStep)
 		return analyzeResponse{
 			Requirements: req,
 			Accelerator:  acc.Name,
-			StepSeconds:  step,
-			Utilization:  acc.Utilization(req.FLOPsPerStep, step),
-			ComputeBound: acc.ComputeBound(req.FLOPsPerStep, req.BytesPerStep),
+			CostModel:    est.CostModel,
+			StepSeconds:  est.StepSeconds,
+			Utilization:  est.Utilization,
+			ComputeBound: est.ComputeBound,
 		}, nil
 	})
 }
@@ -359,13 +405,18 @@ func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	key := "frontier|" + accKey(acc)
+	cm, err := s.resolveCostModel(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := "frontier|" + cm.Name() + "|" + accKey(acc)
 	s.respondCached(w, r, key, func() (any, error) {
-		rows, err := s.eng.FrontierTable(acc)
+		rows, err := s.eng.FrontierTableWith(acc, cm)
 		if err != nil {
 			return nil, err
 		}
-		return map[string]any{"accelerator": acc.Name, "rows": rows}, nil
+		return map[string]any{"accelerator": acc.Name, "costmodel": cm.Name(), "rows": rows}, nil
 	})
 }
 
@@ -403,18 +454,23 @@ func (s *Server) handleSubbatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	// Key on the canonical parsed policies, so aliases ("min-time",
-	// "min-time-per-sample") and the "" / "all" pair share one entry.
-	// params == 0 resolves inside SubbatchSelect to the domain's
-	// accuracy-frontier model size (Table 1).
+	cm, err := s.resolveCostModel(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Key on the canonical parsed policies and backend name, so aliases
+	// ("min-time", "min-time-per-sample"; "perop", "per-op-roofline") and
+	// the "" / "all" pair share one entry. params == 0 resolves inside
+	// SubbatchSelect to the domain's accuracy-frontier model size (Table 1).
 	polNames := make([]string, len(policies))
 	for i, pol := range policies {
 		polNames[i] = pol.String()
 	}
-	key := fmt.Sprintf("subbatch|%s|%g|%g|%s|%s", d, params, tol,
-		strings.Join(polNames, "+"), accKey(acc))
+	key := fmt.Sprintf("subbatch|%s|%g|%g|%s|%s|%s", d, params, tol,
+		strings.Join(polNames, "+"), cm.Name(), accKey(acc))
 	s.respondCached(w, r, key, func() (any, error) {
-		sel, err := s.eng.SubbatchSelect(d, params, acc, policies, tol)
+		sel, err := s.eng.SubbatchSelectWith(d, params, acc, cm, policies, tol)
 		if err != nil {
 			return nil, err
 		}
@@ -426,12 +482,14 @@ func (s *Server) handleSubbatch(w http.ResponseWriter, r *http.Request) {
 // model graph.
 type caseStudyResponse struct {
 	Accelerator     string                    `json:"accelerator"`
+	CostModel       string                    `json:"costmodel"`
 	Model           string                    `json:"model"`
 	Size            float64                   `json:"size"`
 	Params          float64                   `json:"params"`
 	StepFLOPs       float64                   `json:"step_flops"`
 	AlgBytes        float64                   `json:"alg_bytes"`
 	CacheAwareBytes float64                   `json:"cache_aware_bytes"`
+	StepSeconds     float64                   `json:"step_seconds"`
 	Stages          []parallel.CaseStudyStage `json:"stages"`
 }
 
@@ -441,20 +499,27 @@ func (s *Server) handleCaseStudy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	key := "casestudy|" + accKey(acc)
+	cm, err := s.resolveCostModel(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := "casestudy|" + cm.Name() + "|" + accKey(acc)
 	s.respondCached(w, r, key, func() (any, error) {
-		cs, err := s.eng.WordLMCaseStudyOn(acc)
+		cs, err := s.eng.WordLMCaseStudyOnWith(acc, cm)
 		if err != nil {
 			return nil, err
 		}
 		return caseStudyResponse{
 			Accelerator:     acc.Name,
+			CostModel:       cs.CostModel,
 			Model:           cs.Model.Name,
 			Size:            cs.Size,
 			Params:          cs.Params,
 			StepFLOPs:       cs.StepFLOPs,
 			AlgBytes:        cs.AlgBytes,
 			CacheAwareBytes: cs.CacheAwareBytes,
+			StepSeconds:     cs.StepSeconds,
 			Stages:          cs.Stages,
 		}, nil
 	})
@@ -487,8 +552,13 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		s.respondCached(w, r, "figure11|"+accKey(acc), func() (any, error) {
-			return s.eng.Figure11(acc)
+		cm, err := s.resolveCostModel(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.respondCached(w, r, "figure11|"+cm.Name()+"|"+accKey(acc), func() (any, error) {
+			return s.eng.Figure11With(acc, cm)
 		})
 	case "12", "dataparallel":
 		acc, err := s.resolveAccelerator(r)
@@ -496,8 +566,13 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		s.respondCached(w, r, "figure12|"+accKey(acc), func() (any, error) {
-			return s.eng.Figure12On(acc)
+		cm, err := s.resolveCostModel(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.respondCached(w, r, "figure12|"+cm.Name()+"|"+accKey(acc), func() (any, error) {
+			return s.eng.Figure12OnWith(acc, cm)
 		})
 	default:
 		writeError(w, http.StatusBadRequest,

@@ -62,6 +62,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			n, s.maxSweepPoints))
 		return
 	}
+	// Metered only once the grid is admitted: rejected requests must not
+	// inflate the per-backend served counters.
+	s.countCostModel(runner.CostModel())
 
 	select {
 	case s.computeSem <- struct{}{}:

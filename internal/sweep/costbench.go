@@ -1,0 +1,127 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// This file is the cost-model benchmark harness behind BENCH_pr5.json: it
+// runs the fixed reference grid under both step-time backends — the legacy
+// graph-level Roofline and the per-op Roofline, whose cells additionally
+// evaluate every node's cost programs — and reports warm projections/sec
+// and allocs/projection for each, plus the per-op overhead factor. The CI
+// bench job publishes the report and gates on pinned floors
+// (TestCostModelBenchFloors); cmd/sweep -bench-costmodel writes it
+// locally.
+
+// CostModelBenchSchema versions the report format.
+const CostModelBenchSchema = "catamount-costmodel-bench/v1"
+
+// CostModelBenchReport is one harness run. Both backends are timed warm
+// (models built and compiled before the timed region) so the delta is the
+// backends' evaluation cost, not compile amortization.
+type CostModelBenchReport struct {
+	Schema    string `json:"schema"`
+	Grid      string `json:"grid"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	GridPoints int `json:"grid_points"`
+
+	GraphWarmSeconds         float64 `json:"graph_warm_seconds"`
+	PerOpWarmSeconds         float64 `json:"perop_warm_seconds"`
+	GraphProjectionsPerSec   float64 `json:"graph_projections_per_sec"`
+	PerOpProjectionsPerSec   float64 `json:"perop_projections_per_sec"`
+	GraphAllocsPerProjection float64 `json:"graph_allocs_per_projection"`
+	PerOpAllocsPerProjection float64 `json:"perop_allocs_per_projection"`
+	// PerOpOverGraph is the per-op backend's warm-time overhead factor:
+	// perop_warm_seconds / graph_warm_seconds. It tracks how much the
+	// per-node cost evaluation adds on top of the shared characterization.
+	PerOpOverGraph float64 `json:"perop_over_graph_x"`
+}
+
+// timedGrid runs a runner warm three times, returning the best wall time
+// and its allocs/point.
+func timedGrid(ctx context.Context, r *Runner) (best float64, allocsPerPoint float64, err error) {
+	discard := func(Point) error { return nil }
+	var ms0, ms1 runtime.MemStats
+	best = -1
+	for rerun := 0; rerun < 3; rerun++ {
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		if err := r.Run(ctx, discard); err != nil {
+			return 0, 0, err
+		}
+		elapsed := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
+		if best < 0 || elapsed < best {
+			best = elapsed
+			allocsPerPoint = float64(ms1.Mallocs-ms0.Mallocs) / float64(r.Points())
+		}
+	}
+	return best, allocsPerPoint, nil
+}
+
+// RunCostModelBench runs the reference grid under both backends over one
+// shared compiled source (one warm-up pass per backend precedes timing).
+func RunCostModelBench(ctx context.Context) (*CostModelBenchReport, error) {
+	src := newBuildSource()
+
+	graphSpec := ReferenceSpec()
+	peropSpec := ReferenceSpec()
+	peropSpec.CostModel = "perop"
+
+	graphRunner, err := New(src, graphSpec)
+	if err != nil {
+		return nil, err
+	}
+	peropRunner, err := New(src, peropSpec)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &CostModelBenchReport{
+		Schema:     CostModelBenchSchema,
+		Grid:       "reference",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.GOMAXPROCS(0),
+		GridPoints: graphRunner.Points(),
+	}
+
+	// Warm-up: build + compile every domain once, outside any timed region.
+	if err := graphRunner.Run(ctx, func(Point) error { return nil }); err != nil {
+		return nil, err
+	}
+
+	rep.GraphWarmSeconds, rep.GraphAllocsPerProjection, err = timedGrid(ctx, graphRunner)
+	if err != nil {
+		return nil, err
+	}
+	rep.PerOpWarmSeconds, rep.PerOpAllocsPerProjection, err = timedGrid(ctx, peropRunner)
+	if err != nil {
+		return nil, err
+	}
+	rep.GraphProjectionsPerSec = float64(rep.GridPoints) / rep.GraphWarmSeconds
+	rep.PerOpProjectionsPerSec = float64(rep.GridPoints) / rep.PerOpWarmSeconds
+	rep.PerOpOverGraph = rep.PerOpWarmSeconds / rep.GraphWarmSeconds
+	return rep, nil
+}
+
+// WriteCostModelReport serializes a report as indented JSON (the
+// BENCH_*.json file format), newline-terminated.
+func WriteCostModelReport(w io.Writer, rep *CostModelBenchReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

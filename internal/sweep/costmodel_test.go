@@ -1,0 +1,152 @@
+package sweep
+
+import (
+	"context"
+	"math"
+	"os"
+	"testing"
+)
+
+// collectGrid runs a spec through the shared source and returns points in
+// Seq order.
+func collectGrid(t *testing.T, spec Spec) []Point {
+	t.Helper()
+	r, err := New(sharedSource, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Point, r.Points())
+	if err := r.Run(context.Background(), func(p Point) error {
+		out[p.Seq] = p
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestPerOpDominatesGraphOnReferenceGrid is the dominance property across
+// the paper-scale grid: every catalog accelerator × all five domains ×
+// two subbatches × three parameter targets. The per-op backend must never
+// report a faster step than the graph-level backend on any point, and its
+// points must stay finite and labeled.
+func TestPerOpDominatesGraphOnReferenceGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reference grid under two backends")
+	}
+	graphSpec := ReferenceSpec()
+	peropSpec := ReferenceSpec()
+	peropSpec.CostModel = "perop"
+
+	graph := collectGrid(t, graphSpec)
+	perop := collectGrid(t, peropSpec)
+	if len(graph) != len(perop) || len(graph) == 0 {
+		t.Fatalf("grid sizes differ: %d vs %d", len(graph), len(perop))
+	}
+
+	dominated := 0
+	for i := range graph {
+		g, p := graph[i], perop[i]
+		if g.Error != "" || p.Error != "" {
+			t.Fatalf("point %d errored: %q / %q", i, g.Error, p.Error)
+		}
+		if g.Domain != p.Domain || g.Accelerator != p.Accelerator ||
+			g.ParamTarget != p.ParamTarget || g.Subbatch != p.Subbatch {
+			t.Fatalf("point %d identity mismatch: %+v vs %+v", i, g, p)
+		}
+		if math.IsNaN(p.StepSeconds) || math.IsInf(p.StepSeconds, 0) || p.StepSeconds <= 0 {
+			t.Fatalf("point %d: per-op step %v not positive finite", i, p.StepSeconds)
+		}
+		if p.StepSeconds < g.StepSeconds {
+			t.Errorf("%s/%s params=%g b=%g: per-op %.6g faster than graph %.6g",
+				p.Domain, p.Accelerator, p.ParamTarget, p.Subbatch, p.StepSeconds, g.StepSeconds)
+		}
+		if p.StepSeconds > g.StepSeconds {
+			dominated++
+		}
+		if p.Utilization > g.Utilization {
+			t.Errorf("%s/%s: per-op utilization %.4g above graph %.4g",
+				p.Domain, p.Accelerator, p.Utilization, g.Utilization)
+		}
+		if g.CostModel != "" {
+			t.Errorf("default grid point labeled %q, want unlabeled", g.CostModel)
+		}
+		if p.CostModel != "perop" {
+			t.Errorf("per-op grid point labeled %q, want perop", p.CostModel)
+		}
+	}
+	// The per-op view must actually bite somewhere — if every point ties,
+	// the efficiency table is dead weight.
+	if dominated == 0 {
+		t.Error("per-op backend never strictly exceeded the graph-level estimate")
+	}
+}
+
+// TestSweepSpecCostModelValidation: unknown backends are a spec error out
+// of New (a 400 at the server), and aliases resolve.
+func TestSweepSpecCostModelValidation(t *testing.T) {
+	base := Spec{Domains: []string{"image"}, Params: []float64{5e7}}
+
+	bad := base
+	bad.CostModel = "abacus"
+	if _, err := New(sharedSource, bad); err == nil {
+		t.Fatal("unknown costmodel accepted")
+	}
+	for _, name := range []string{"", "graph", "roofline", "perop", "per-op-roofline"} {
+		ok := base
+		ok.CostModel = name
+		if _, err := New(sharedSource, ok); err != nil {
+			t.Fatalf("costmodel %q rejected: %v", name, err)
+		}
+	}
+}
+
+// TestCostModelBenchFloors is the CI regression gate on the BENCH_pr5.json
+// trajectory: both backends must stay above a pinned warm projections/sec
+// floor, and the per-op overhead must stay bounded. Floors are
+// conservative (roughly 10x under a 1-core container's measured numbers)
+// so they catch structural regressions — recompiling per point, per-op
+// evaluation leaking into graph-backend cells — not machine noise. Set
+// COSTMODEL_BENCH_OUT to also write the snapshot the CI bench job uploads.
+func TestCostModelBenchFloors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness runs the full reference grid twice")
+	}
+	rep, err := RunCostModelBench(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("graph %.3fs (%.0f proj/s, %.1f allocs), perop %.3fs (%.0f proj/s, %.1f allocs), %.2fx overhead",
+		rep.GraphWarmSeconds, rep.GraphProjectionsPerSec, rep.GraphAllocsPerProjection,
+		rep.PerOpWarmSeconds, rep.PerOpProjectionsPerSec, rep.PerOpAllocsPerProjection,
+		rep.PerOpOverGraph)
+
+	const (
+		graphFloor  = 100.0 // projections/sec; mirrors TestSweepBenchFloors
+		peropFloor  = 40.0  // projections/sec; node-cost evaluation costs more
+		maxOverhead = 30.0  // perop may not be more than 30x slower than graph
+	)
+	if rep.GraphProjectionsPerSec < graphFloor {
+		t.Errorf("graph backend %.1f projections/s below pinned floor %.0f",
+			rep.GraphProjectionsPerSec, graphFloor)
+	}
+	if rep.PerOpProjectionsPerSec < peropFloor {
+		t.Errorf("per-op backend %.1f projections/s below pinned floor %.0f",
+			rep.PerOpProjectionsPerSec, peropFloor)
+	}
+	if rep.PerOpOverGraph > maxOverhead {
+		t.Errorf("per-op overhead %.1fx above pinned ceiling %.0fx", rep.PerOpOverGraph, maxOverhead)
+	}
+
+	if path := os.Getenv("COSTMODEL_BENCH_OUT"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := WriteCostModelReport(f, rep); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+	}
+}

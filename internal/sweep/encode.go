@@ -31,14 +31,17 @@ func WriteJSONLine(w io.Writer, v any) error {
 
 // CSVHeader is the column row matching CSVRecord, newline-terminated.
 func CSVHeader() string {
-	return "seq,domain,accelerator,param_target,subbatch,params,flops_per_step,bytes_per_step,intensity,footprint_bytes,step_seconds,utilization,compute_bound,fits_memory,error\n"
+	return "seq,domain,accelerator,param_target,subbatch,costmodel,params,flops_per_step,bytes_per_step,intensity,footprint_bytes,step_seconds,utilization,compute_bound,fits_memory,error\n"
 }
 
-// CSVRecord renders one point as a CSV row, newline-terminated. Failed
+// CSVRecord renders one point as a CSV row, newline-terminated. The
+// costmodel column mirrors the NDJSON label: filled when the spec named a
+// backend explicitly, empty for default-backend grids, so a saved perop
+// grid stays distinguishable from a graph one in either format. Failed
 // points leave the numeric columns empty and fill the error column.
 func CSVRecord(p Point) string {
-	prefix := fmt.Sprintf("%d,%s,%s,%.6g,%.6g", p.Seq, p.Domain, csvEscape(p.Accelerator),
-		p.ParamTarget, p.Subbatch)
+	prefix := fmt.Sprintf("%d,%s,%s,%.6g,%.6g,%s", p.Seq, p.Domain, csvEscape(p.Accelerator),
+		p.ParamTarget, p.Subbatch, p.CostModel)
 	if p.Requirements == nil {
 		return fmt.Sprintf("%s,,,,,,,,,,%s\n", prefix, csvEscape(p.Error))
 	}

@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"catamount/internal/core"
+	"catamount/internal/costmodel"
 	"catamount/internal/graph"
 	"catamount/internal/hw"
 	"catamount/internal/models"
@@ -64,6 +65,10 @@ type Spec struct {
 	// paper's Table 4 target.
 	Accelerators []string         `json:"accelerators,omitempty"`
 	Custom       []hw.Accelerator `json:"custom_accelerators,omitempty"`
+	// CostModel selects the step-time backend ("graph", "perop", or an
+	// alias; empty means the default graph-level Roofline). Every point's
+	// StepSeconds/Utilization/ComputeBound route through it.
+	CostModel string `json:"costmodel,omitempty"`
 	// Workers bounds the evaluation pool (default GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
 }
@@ -77,6 +82,10 @@ type Point struct {
 	Accelerator string        `json:"accelerator"`
 	ParamTarget float64       `json:"param_target"`
 	Subbatch    float64       `json:"subbatch"`
+	// CostModel labels the step-time backend when the spec named one
+	// explicitly; it is omitted for default-backend grids so existing
+	// consumers (and pinned outputs) see unchanged rows.
+	CostModel string `json:"costmodel,omitempty"`
 
 	*core.Requirements
 
@@ -103,7 +112,17 @@ type Runner struct {
 	subbatches []float64 // empty: each domain's DefaultBatch
 	accs       []hw.Accelerator
 	workers    int
+
+	// model is the resolved step-time backend; label is its canonical name
+	// when the spec selected one explicitly (it tags emitted points), and
+	// needsOps records whether cells must evaluate per-node costs.
+	model    costmodel.Model
+	label    string
+	needsOps bool
 }
+
+// CostModel returns the runner's resolved step-time backend.
+func (r *Runner) CostModel() costmodel.Model { return r.model }
 
 // New validates a spec against the domain registry and accelerator catalog
 // and resolves the grid. Every error out of New is a spec problem (the
@@ -174,6 +193,16 @@ func New(src SessionSource, spec Spec) (*Runner, error) {
 		r.accs = []hw.Accelerator{hw.TargetAccelerator()}
 	}
 
+	cm, err := costmodel.Parse(spec.CostModel)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	r.model = cm
+	r.needsOps = costmodel.NeedsOpCosts(cm)
+	if spec.CostModel != "" {
+		r.label = cm.Name()
+	}
+
 	r.workers = spec.Workers
 	if r.workers <= 0 {
 		r.workers = runtime.GOMAXPROCS(0)
@@ -199,10 +228,13 @@ func (r *Runner) cellsPerPair() int {
 }
 
 // cellResult is one (domain, params, subbatch) characterization, shared by
-// every accelerator of the cell.
+// every accelerator of the cell. costs is the step's cost vector — per-op
+// detail included only when the backend needs it — evaluated once and
+// priced on every accelerator.
 type cellResult struct {
 	subbatch float64 // resolved (domain default applied)
 	req      core.Requirements
+	costs    costmodel.Costs
 	err      error
 }
 
@@ -280,7 +312,15 @@ func (r *Runner) Run(ctx context.Context, yield func(Point) error) error {
 			return
 		}
 		req, err := s.Characterize(sol.size, b, graph.PolicyMemGreedy)
-		results[i] = cellResult{subbatch: b, req: req, err: err}
+		res := cellResult{subbatch: b, req: req, err: err}
+		if err == nil {
+			if r.needsOps {
+				res.costs = s.StepCosts(sol.size, b, true)
+			} else {
+				res.costs = costmodel.GraphCosts(req.FLOPsPerStep, req.BytesPerStep)
+			}
+		}
+		results[i] = res
 	}
 
 	workers := r.workers
@@ -353,15 +393,16 @@ func (r *Runner) emitCell(idx int, res *cellResult, yield func(Point) error) err
 			Accelerator: acc.Name,
 			ParamTarget: r.params[pi],
 			Subbatch:    res.subbatch,
+			CostModel:   r.label,
 		}
 		if res.err != nil {
 			p.Error = res.err.Error()
 		} else {
 			req := res.req
 			p.Requirements = &req
-			p.StepSeconds = acc.StepTime(req.FLOPsPerStep, req.BytesPerStep)
+			p.StepSeconds = r.model.StepTime(acc, res.costs)
 			p.Utilization = acc.Utilization(req.FLOPsPerStep, p.StepSeconds)
-			p.ComputeBound = acc.ComputeBound(req.FLOPsPerStep, req.BytesPerStep)
+			p.ComputeBound = r.model.Bound(acc, res.costs) == costmodel.BoundCompute
 			p.FitsMemory = acc.Fits(req.FootprintBytes)
 		}
 		if err := yield(p); err != nil {

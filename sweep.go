@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"catamount/internal/costmodel"
 	"catamount/internal/sweep"
 )
 
@@ -59,15 +60,23 @@ func (e *Engine) SweepAll(ctx context.Context, spec SweepSpec) ([]SweepPoint, er
 // byte-identical to calling FrontierTable and PrintTable3For yourself with
 // the same header line.
 func (e *Engine) WriteFrontierGrid(w io.Writer, accs []Accelerator) error {
+	return e.WriteFrontierGridWith(w, accs, nil)
+}
+
+// WriteFrontierGridWith is WriteFrontierGrid under a pluggable step-time
+// backend (nil means the default): non-default backends are named in each
+// table's header line so grid outputs stay self-describing.
+func (e *Engine) WriteFrontierGridWith(w io.Writer, accs []Accelerator, cm costmodel.Model) error {
 	for i, acc := range accs {
 		if i > 0 {
 			fmt.Fprintln(w)
 		}
-		rows, err := e.FrontierTable(acc)
+		rows, err := e.FrontierTableWith(acc, cm)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "Table 3: training requirements projected to target accuracy on %s\n", acc.Name)
+		fmt.Fprintf(w, "Table 3: training requirements projected to target accuracy on %s%s\n",
+			acc.Name, costModelSuffix(cm))
 		PrintTable3For(w, rows, acc)
 	}
 	return nil
@@ -76,15 +85,21 @@ func (e *Engine) WriteFrontierGrid(w io.Writer, accs []Accelerator) error {
 // WriteFigure11Grid emits the Figure 11 subbatch sweep as CSV for each
 // accelerator in order, separated by an accelerator comment line.
 func (e *Engine) WriteFigure11Grid(w io.Writer, accs []Accelerator) error {
+	return e.WriteFigure11GridWith(w, accs, nil)
+}
+
+// WriteFigure11GridWith is WriteFigure11Grid under a pluggable step-time
+// backend (nil means the default).
+func (e *Engine) WriteFigure11GridWith(w io.Writer, accs []Accelerator, cm costmodel.Model) error {
 	for i, acc := range accs {
 		if i > 0 {
 			fmt.Fprintln(w)
 		}
-		data, err := e.Figure11(acc)
+		data, err := e.Figure11With(acc, cm)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "# figure 11 on %s\n", acc.Name)
+		fmt.Fprintf(w, "# figure 11 on %s%s\n", acc.Name, costModelSuffix(cm))
 		WriteFigure11CSV(w, data)
 	}
 	return nil
@@ -93,16 +108,31 @@ func (e *Engine) WriteFigure11Grid(w io.Writer, accs []Accelerator) error {
 // WriteFigure12Grid emits the Figure 12 data-parallel scaling sweep as CSV
 // for each accelerator in order, separated by an accelerator comment line.
 func (e *Engine) WriteFigure12Grid(w io.Writer, accs []Accelerator) error {
+	return e.WriteFigure12GridWith(w, accs, nil)
+}
+
+// WriteFigure12GridWith is WriteFigure12Grid under a pluggable step-time
+// backend (nil means the default).
+func (e *Engine) WriteFigure12GridWith(w io.Writer, accs []Accelerator, cm costmodel.Model) error {
 	for i, acc := range accs {
 		if i > 0 {
 			fmt.Fprintln(w)
 		}
-		data, err := e.Figure12On(acc)
+		data, err := e.Figure12OnWith(acc, cm)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "# figure 12 on %s\n", acc.Name)
+		fmt.Fprintf(w, "# figure 12 on %s%s\n", acc.Name, costModelSuffix(cm))
 		WriteFigure12CSV(w, data)
 	}
 	return nil
+}
+
+// costModelSuffix labels grid headers with a non-default backend; the
+// default stays unlabeled so pinned outputs are unchanged.
+func costModelSuffix(cm costmodel.Model) string {
+	if cm == nil || cm.Name() == costmodel.Default().Name() {
+		return ""
+	}
+	return fmt.Sprintf(" (costmodel %s)", cm.Name())
 }
