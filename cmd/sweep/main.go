@@ -8,11 +8,18 @@
 //	sweep -figure 11 -accel all                                Figure 11 CSV per accelerator
 //	sweep -figure 12 -accel all                                Figure 12 CSV per accelerator
 //	sweep -bench BENCH.json                                    run the reference bench harness
+//	sweep -bench-batch BENCH.json                              batched-vs-scalar bench harness
 //
 // The -accel list accepts catalog names and aliases, @file.json custom
 // devices, and "all" for the whole catalog. Grid rows stream in a
 // deterministic order (domain-major, then params, then subbatch, then
 // accelerator) regardless of evaluation parallelism.
+//
+// -cpuprofile and -memprofile write pprof profiles of any mode (grid,
+// tables, figures, bench harnesses) for chasing hot-loop regressions:
+//
+//	sweep -bench - -cpuprofile cpu.pprof -memprofile mem.pprof >/dev/null
+//	go tool pprof -top cpu.pprof
 package main
 
 import (
@@ -22,6 +29,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -51,11 +60,44 @@ func main() {
 	bench := flag.String("bench", "", "run the reference bench harness and write its BENCH json to this path (\"-\" = stdout)")
 	benchCostModel := flag.String("bench-costmodel", "",
 		"run the graph-vs-perop cost-model bench harness and write its BENCH json to this path (\"-\" = stdout)")
+	benchBatch := flag.String("bench-batch", "",
+		"run the batched-vs-scalar bench harness and write its BENCH json to this path (\"-\" = stdout)")
 	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 	if *listAccels {
 		cat.PrintAcceleratorCatalog(os.Stdout)
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatalf("-cpuprofile: %v", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -69,6 +111,10 @@ func main() {
 	}
 	if *benchCostModel != "" {
 		runCostModelBench(ctx, *benchCostModel)
+		return
+	}
+	if *benchBatch != "" {
+		runBatchBench(ctx, *benchBatch)
 		return
 	}
 
@@ -139,14 +185,17 @@ func main() {
 func emitter(format string) (func(cat.SweepPoint) error, func()) {
 	switch format {
 	case "ndjson":
+		enc := sweep.NewLineEncoder(os.Stdout)
 		return func(p cat.SweepPoint) error {
-			return sweep.WriteNDJSON(os.Stdout, p)
+			return enc.NDJSON(p)
 		}, func() {}
 	case "csv":
-		fmt.Print(sweep.CSVHeader())
+		enc := sweep.NewLineEncoder(os.Stdout)
+		if err := enc.CSVHeader(); err != nil {
+			log.Fatal(err)
+		}
 		return func(p cat.SweepPoint) error {
-			_, err := fmt.Print(sweep.CSVRecord(p))
-			return err
+			return enc.CSVRecord(p)
 		}, func() {}
 	case "table":
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -218,6 +267,31 @@ func runCostModelBench(ctx context.Context, path string) {
 	log.Printf("%d points: graph %.0f proj/s (%.1f allocs), perop %.0f proj/s (%.1f allocs), %.2fx overhead",
 		rep.GridPoints, rep.GraphProjectionsPerSec, rep.GraphAllocsPerProjection,
 		rep.PerOpProjectionsPerSec, rep.PerOpAllocsPerProjection, rep.PerOpOverGraph)
+}
+
+// runBatchBench runs the reference grid batched and as a scalar per-point
+// replay and writes the BENCH json snapshot the CI bench job publishes and
+// gates on.
+func runBatchBench(ctx context.Context, path string) {
+	rep, err := sweep.RunBatchBench(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := sweep.WriteBatchBenchReport(out, rep); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d points: batched %.0f pts/s (%.0f B/pt), scalar %.0f pts/s, %.2fx speedup, perop/graph %.2fx, %.1fx bytes reduction vs pr3",
+		rep.GridPoints, rep.BatchedPointsPerSec, rep.BatchedBytesPerPoint,
+		rep.ScalarPointsPerSec, rep.BatchedOverScalar, rep.PerOpOverGraph, rep.BytesReduction)
 }
 
 // resolveAccelerators parses the -accel list: names, aliases, @file.json,

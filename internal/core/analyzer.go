@@ -35,8 +35,11 @@ type Analyzer struct {
 	fwdFLOPs, bwdFLOPs *symbolic.Program
 
 	// opKinds caches each node's op kind in Nodes() order, so building a
-	// per-op cost vector never re-walks the graph.
-	opKinds []string
+	// per-op cost vector never re-walks the graph; opClasses caches each
+	// kind's resolved efficiency class so batched per-op pricing skips the
+	// per-node lookup.
+	opKinds   []string
+	opClasses []costmodel.Class
 }
 
 // NewAnalyzer compiles a model into an analysis session. It fails if the
@@ -69,6 +72,10 @@ func NewAnalyzer(m *models.Model) (*Analyzer, error) {
 	for _, n := range m.Graph.Nodes() {
 		a.opKinds = append(a.opKinds, n.Op.Kind())
 	}
+	a.opClasses = make([]costmodel.Class, len(a.opKinds))
+	for i, k := range a.opKinds {
+		a.opClasses[i] = costmodel.ClassFor(k)
+	}
 	return a, nil
 }
 
@@ -100,12 +107,12 @@ func (a *Analyzer) SizeForParams(target float64) (float64, error) {
 // Characterize evaluates one (size, batch) point, including the footprint
 // traversal, entirely through compiled programs.
 func (a *Analyzer) Characterize(size, batch float64, policy graph.SchedulePolicy) (Requirements, error) {
-	return a.characterize(a.newSlots(), nil, size, batch, policy)
+	return a.characterize(a.newSlots(), &graph.FootprintScratch{}, size, batch, policy)
 }
 
 // characterize is Characterize with caller-owned scratch, so sweep workers
 // reuse their buffers across points.
-func (a *Analyzer) characterize(slots, scratch []float64, size, batch float64,
+func (a *Analyzer) characterize(slots []float64, fp *graph.FootprintScratch, size, batch float64,
 	policy graph.SchedulePolicy) (Requirements, error) {
 
 	a.bind(slots, size, batch)
@@ -126,7 +133,7 @@ func (a *Analyzer) characterize(slots, scratch []float64, size, batch float64,
 	if r.BytesPerStep > 0 {
 		r.Intensity = r.FLOPsPerStep / r.BytesPerStep
 	}
-	res, err := a.Compiled.Footprint(slots, policy, scratch)
+	res, err := a.Compiled.FootprintInto(slots, policy, fp)
 	if err != nil {
 		return r, err
 	}
@@ -136,22 +143,29 @@ func (a *Analyzer) characterize(slots, scratch []float64, size, batch float64,
 }
 
 // Session is a single-goroutine evaluation scratchpad over an Analyzer: one
-// slot buffer and one footprint scratch, reused across any number of points
-// so a tight evaluation loop (grid sweeps, serving workers) allocates
-// nothing per point. Not safe for concurrent use; each worker holds its own.
+// slot buffer, footprint scratch, and the batched-evaluation buffers,
+// reused across any number of points so a tight evaluation loop (grid
+// sweeps, serving workers) allocates nothing per point. Not safe for
+// concurrent use; each worker holds its own.
 type Session struct {
-	a       *Analyzer
-	slots   []float64
-	scratch []float64
+	a     *Analyzer
+	slots []float64
+	fp    graph.FootprintScratch
+
+	// Batched-path state, allocated lazily on first CharacterizeBatch.
+	batch *symbolic.Batch
+	eval  symbolic.BatchScratch
+	vals  struct {
+		params, flops, bytes, io, fwd, bwd []float64
+		tensUniq, nodeUniq                 []float64
+	}
+	costs costmodel.CostsBatch
+	ops   costmodel.OpsBatch
 }
 
 // NewSession allocates an evaluation scratchpad for one goroutine.
 func (a *Analyzer) NewSession() *Session {
-	return &Session{
-		a:       a,
-		slots:   a.newSlots(),
-		scratch: make([]float64, len(a.Compiled.TensorBytes)),
-	}
+	return &Session{a: a, slots: a.newSlots()}
 }
 
 // Analyzer returns the compiled session the scratchpad evaluates through.
@@ -159,7 +173,90 @@ func (s *Session) Analyzer() *Analyzer { return s.a }
 
 // Characterize is Analyzer.Characterize over the session's reused buffers.
 func (s *Session) Characterize(size, batch float64, policy graph.SchedulePolicy) (Requirements, error) {
-	return s.a.characterize(s.slots, s.scratch, size, batch, policy)
+	return s.a.characterize(s.slots, &s.fp, size, batch, policy)
+}
+
+// CharacterizeBatch evaluates a whole batch of (size, batch) points in one
+// structure-of-arrays pass: every compiled total runs once over all rows,
+// the unique tensor-byte programs feed per-row footprint simulations, and —
+// when withOps is set — the unique node-cost programs fill a shared per-op
+// matrix for batched step-time backends. Row i of the returned slice is
+// bit-for-bit identical to Characterize(sizes[i], batches[i], policy).
+//
+// reqs is grown as needed and returned. The returned CostsBatch aliases
+// session buffers and is valid until the next call on this session.
+func (s *Session) CharacterizeBatch(sizes, batches []float64, policy graph.SchedulePolicy,
+	withOps bool, reqs []Requirements) ([]Requirements, *costmodel.CostsBatch, error) {
+
+	if len(sizes) != len(batches) {
+		return nil, nil, fmt.Errorf("core: %d sizes but %d batches", len(sizes), len(batches))
+	}
+	a := s.a
+	rows := len(sizes)
+	if cap(reqs) < rows {
+		reqs = make([]Requirements, rows)
+	}
+	reqs = reqs[:rows]
+
+	if s.batch == nil {
+		s.batch = a.Compiled.NewBatch(rows)
+	} else {
+		s.batch.Resize(rows)
+	}
+	copy(s.batch.Col(a.sizeSlot), sizes)
+	copy(s.batch.Col(a.batchSlot), batches)
+
+	v := &s.vals
+	v.params = a.Compiled.ParamCount.EvalBatchInto(s.batch, v.params, &s.eval)
+	v.flops = a.Compiled.TotalFLOPs.EvalBatchInto(s.batch, v.flops, &s.eval)
+	v.bytes = a.Compiled.TotalBytes.EvalBatchInto(s.batch, v.bytes, &s.eval)
+	v.io = a.Compiled.IO.EvalBatchInto(s.batch, v.io, &s.eval)
+	v.fwd = a.fwdFLOPs.EvalBatchInto(s.batch, v.fwd, &s.eval)
+	v.bwd = a.bwdFLOPs.EvalBatchInto(s.batch, v.bwd, &s.eval)
+	v.tensUniq = a.Compiled.TensorBytesBatch(s.batch, v.tensUniq, &s.eval)
+
+	for r := 0; r < rows; r++ {
+		req := Requirements{
+			Domain: a.Model.Domain,
+			Name:   a.Model.Name,
+			Size:   sizes[r],
+			Batch:  batches[r],
+
+			Params:       v.params[r],
+			FLOPsPerStep: v.flops[r],
+			BytesPerStep: v.bytes[r],
+			IOBytes:      v.io[r],
+			FwdFLOPs:     v.fwd[r],
+			BwdFLOPs:     v.bwd[r],
+		}
+		req.FLOPsPerSample = req.FLOPsPerStep / batches[r]
+		if req.BytesPerStep > 0 {
+			req.Intensity = req.FLOPsPerStep / req.BytesPerStep
+		}
+		res, err := a.Compiled.FootprintFromBatch(v.tensUniq, rows, r, policy, &s.fp)
+		if err != nil {
+			return reqs, nil, err
+		}
+		req.FootprintBytes = res.PeakBytes
+		req.PersistentBytes = res.PersistentBytes
+		reqs[r] = req
+	}
+
+	s.costs = costmodel.CostsBatch{Rows: rows, FLOPs: v.flops, Bytes: v.bytes}
+	if withOps {
+		v.nodeUniq = a.Compiled.NodeCostsBatch(s.batch, v.nodeUniq, &s.eval)
+		flopIx, byteIx := a.Compiled.CostIndexes()
+		s.ops = costmodel.OpsBatch{
+			Rows:    rows,
+			Kinds:   a.opKinds,
+			Classes: a.opClasses,
+			FLOPIx:  flopIx,
+			ByteIx:  byteIx,
+			Uniq:    v.nodeUniq,
+		}
+		s.costs.Ops = &s.ops
+	}
+	return reqs, &s.costs, nil
 }
 
 // SizeForParams is Analyzer.SizeForParams over the session's reused buffers.
@@ -172,19 +269,29 @@ func (s *Session) SizeForParams(target float64) (float64, error) {
 }
 
 // SweepParams characterizes the model at a list of target parameter counts
-// with a fixed subbatch, fanning the points out across a bounded worker
-// pool.
+// with a fixed subbatch, fanning contiguous chunks of points out across a
+// bounded worker pool; each chunk is one batched characterize pass.
 func (a *Analyzer) SweepParams(paramTargets []float64, batch float64,
 	policy graph.SchedulePolicy) ([]Requirements, error) {
 
 	out := make([]Requirements, len(paramTargets))
-	err := a.parallelPoints(len(paramTargets), func(i int, slots, scratch []float64) error {
-		size, err := a.sizeForParamsWith(slots, paramTargets[i])
-		if err != nil {
-			return fmt.Errorf("core: %s at %g params: %w", a.Model.Domain, paramTargets[i], err)
+	err := a.parallelChunks(len(paramTargets), func(lo, hi int, s *Session) error {
+		sizes := make([]float64, hi-lo)
+		batches := make([]float64, hi-lo)
+		for i := lo; i < hi; i++ {
+			size, err := a.sizeForParamsWith(s.slots, paramTargets[i])
+			if err != nil {
+				return fmt.Errorf("core: %s at %g params: %w", a.Model.Domain, paramTargets[i], err)
+			}
+			sizes[i-lo] = size
+			batches[i-lo] = batch
 		}
-		out[i], err = a.characterize(slots, scratch, size, batch, policy)
-		return err
+		reqs, _, err := s.CharacterizeBatch(sizes, batches, policy, false, out[lo:hi:hi])
+		if err != nil {
+			return err
+		}
+		copy(out[lo:hi], reqs)
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -210,17 +317,54 @@ func (a *Analyzer) sizeForParamsWith(slots []float64, target float64) (float64, 
 }
 
 // parallelPoints runs fn for each index across min(GOMAXPROCS, n) workers,
-// each with its own slot buffer and footprint scratch. The first error wins.
-func (a *Analyzer) parallelPoints(n int, fn func(i int, slots, scratch []float64) error) error {
+// each with its own evaluation session. The first error wins.
+func (a *Analyzer) parallelPoints(n int, fn func(i int, s *Session) error) error {
+	return a.parallelRange(n, 1, func(lo, hi int, s *Session) error {
+		for i := lo; i < hi; i++ {
+			if err := fn(i, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// parallelChunks partitions n indices into contiguous chunks and runs fn
+// once per chunk with a worker-owned session, so each chunk can be one
+// batched evaluation.
+func (a *Analyzer) parallelChunks(n int, fn func(lo, hi int, s *Session) error) error {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	chunk := 1
+	if workers > 0 {
+		chunk = (n + workers - 1) / workers
+	}
+	// Cap chunk length so a handful of points still spreads across workers
+	// and batched buffers stay cache-sized.
+	if chunk > 16 {
+		chunk = 16
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	return a.parallelRange(n, chunk, fn)
+}
+
+// parallelRange dispatches [lo, hi) index ranges of the given chunk length
+// to a bounded worker pool. The first error wins.
+func (a *Analyzer) parallelRange(n, chunk int, fn func(lo, hi int, s *Session) error) error {
+	tasks := (n + chunk - 1) / chunk
+	workers := runtime.GOMAXPROCS(0)
+	if workers > tasks {
+		workers = tasks
 	}
 	if workers <= 1 {
-		slots := a.newSlots()
-		scratch := make([]float64, len(a.Compiled.TensorBytes))
-		for i := 0; i < n; i++ {
-			if err := fn(i, slots, scratch); err != nil {
+		s := a.NewSession()
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if err := fn(lo, hi, s); err != nil {
 				return err
 			}
 		}
@@ -237,10 +381,13 @@ func (a *Analyzer) parallelPoints(n int, fn func(i int, slots, scratch []float64
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			slots := a.newSlots()
-			scratch := make([]float64, len(a.Compiled.TensorBytes))
-			for i := range next {
-				if err := fn(i, slots, scratch); err != nil {
+			s := a.NewSession()
+			for lo := range next {
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if err := fn(lo, hi, s); err != nil {
 					errOnce.Do(func() {
 						firstErr = err
 						close(done)
@@ -249,12 +396,12 @@ func (a *Analyzer) parallelPoints(n int, fn func(i int, slots, scratch []float64
 			}
 		}()
 	}
-	// Stop dispatching once any worker fails; points already in flight
+	// Stop dispatching once any worker fails; chunks already in flight
 	// finish, the rest are never evaluated.
 dispatch:
-	for i := 0; i < n; i++ {
+	for lo := 0; lo < n; lo += chunk {
 		select {
-		case next <- i:
+		case next <- lo:
 		case <-done:
 			break dispatch
 		}
@@ -278,9 +425,9 @@ func (a *Analyzer) FitAsymptotics(paramTargets, batches []float64,
 	// Solve every target size once, in parallel (each is a bisection over
 	// the compiled parameter program).
 	sizes := make([]float64, len(paramTargets))
-	err := a.parallelPoints(len(paramTargets), func(i int, slots, _ []float64) error {
-		s, err := a.sizeForParamsWith(slots, paramTargets[i])
-		sizes[i] = s
+	err := a.parallelPoints(len(paramTargets), func(i int, s *Session) error {
+		size, err := a.sizeForParamsWith(s.slots, paramTargets[i])
+		sizes[i] = size
 		return err
 	})
 	if err != nil {
@@ -356,18 +503,23 @@ func (a *Analyzer) StepEval(size float64) hw.StepEval {
 }
 
 // costsAt evaluates the step's cost vector under the current slot binding.
-// When full is true the per-node cost programs are evaluated into ops
-// (grown as needed, returned for reuse); otherwise only the graph totals
-// are filled and ops passes through untouched.
-func (a *Analyzer) costsAt(slots []float64, ops []costmodel.OpCost, full bool) (costmodel.Costs, []costmodel.OpCost) {
+// When full is true the per-node costs are filled into ops (grown as
+// needed, returned for reuse) by evaluating the unique node-cost programs
+// once into uniq and gathering by index; otherwise only the graph totals
+// are filled and the buffers pass through untouched.
+func (a *Analyzer) costsAt(slots []float64, ops []costmodel.OpCost, uniq []float64,
+	full bool) (costmodel.Costs, []costmodel.OpCost, []float64) {
+
 	c := costmodel.Costs{
 		FLOPs: a.Compiled.TotalFLOPs.Eval(slots),
 		Bytes: a.Compiled.TotalBytes.Eval(slots),
 	}
 	if !full {
-		return c, ops
+		return c, ops, uniq
 	}
-	n := len(a.Compiled.NodeFLOPs)
+	uniq = a.Compiled.CostValues(slots, uniq)
+	flopIx, byteIx := a.Compiled.CostIndexes()
+	n := len(flopIx)
 	if cap(ops) < n {
 		ops = make([]costmodel.OpCost, n)
 	}
@@ -375,12 +527,12 @@ func (a *Analyzer) costsAt(slots []float64, ops []costmodel.OpCost, full bool) (
 	for i := range ops {
 		ops[i] = costmodel.OpCost{
 			Kind:  a.opKinds[i],
-			FLOPs: a.Compiled.NodeFLOPs[i].Eval(slots),
-			Bytes: a.Compiled.NodeBytes[i].Eval(slots),
+			FLOPs: uniq[flopIx[i]],
+			Bytes: uniq[byteIx[i]],
 		}
 	}
 	c.Ops = ops
-	return c, ops
+	return c, ops, uniq
 }
 
 // StepCosts evaluates the cost vector at one (size, batch) point. The
@@ -390,7 +542,7 @@ func (a *Analyzer) costsAt(slots []float64, ops []costmodel.OpCost, full bool) (
 func (a *Analyzer) StepCosts(size, batch float64, full bool) costmodel.Costs {
 	slots := a.newSlots()
 	a.bind(slots, size, batch)
-	c, _ := a.costsAt(slots, nil, full)
+	c, _, _ := a.costsAt(slots, nil, nil, full)
 	return c
 }
 
@@ -399,7 +551,7 @@ func (a *Analyzer) StepCosts(size, batch float64, full bool) costmodel.Costs {
 // full), so callers may retain it across points.
 func (s *Session) StepCosts(size, batch float64, full bool) costmodel.Costs {
 	s.a.bind(s.slots, size, batch)
-	c, _ := s.a.costsAt(s.slots, nil, full)
+	c, _, _ := s.a.costsAt(s.slots, nil, nil, full)
 	return c
 }
 
@@ -411,10 +563,11 @@ func (s *Session) StepCosts(size, batch float64, full bool) costmodel.Costs {
 func (a *Analyzer) StepCostEval(size float64, full bool) costmodel.StepEval {
 	slots := a.newSlots()
 	var ops []costmodel.OpCost
+	var uniq []float64
 	return func(b float64) (costmodel.Costs, float64, error) {
 		a.bind(slots, size, b)
 		var c costmodel.Costs
-		c, ops = a.costsAt(slots, ops, full)
+		c, ops, uniq = a.costsAt(slots, ops, uniq, full)
 		return c, 0, nil
 	}
 }
@@ -483,18 +636,18 @@ func (a *Analyzer) FootprintSweep(paramTargets []float64, batch float64,
 
 	sim := graph.AllocatorSim{CapacityBytes: 12e9, UsableFraction: 0.8}
 	out := make([]FootprintPoint, len(paramTargets))
-	err := a.parallelPoints(len(paramTargets), func(i int, slots, scratch []float64) error {
-		size, err := a.sizeForParamsWith(slots, paramTargets[i])
+	err := a.parallelPoints(len(paramTargets), func(i int, s *Session) error {
+		size, err := a.sizeForParamsWith(s.slots, paramTargets[i])
 		if err != nil {
 			return err
 		}
-		a.bind(slots, size, batch)
-		res, err := a.Compiled.Footprint(slots, policy, scratch)
+		a.bind(s.slots, size, batch)
+		res, err := a.Compiled.FootprintInto(s.slots, policy, &s.fp)
 		if err != nil {
 			return err
 		}
 		out[i] = FootprintPoint{
-			Params:          a.Compiled.ParamCount.Eval(slots),
+			Params:          a.Compiled.ParamCount.Eval(s.slots),
 			FootprintBytes:  res.PeakBytes,
 			AllocatorReport: sim.Apply(res.PeakBytes),
 		}

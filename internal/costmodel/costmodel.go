@@ -252,17 +252,23 @@ func (PerOpRoofline) Bound(acc hw.Accelerator, c Costs) Bound {
 // table math, so StepTime (max per op) and Bound (sum per side) can never
 // disagree about an op's rates.
 func opSides(op OpCost, xc, xa, ridge float64) (ct, at float64) {
-	cl := ClassFor(op.Kind)
-	if op.FLOPs > 0 {
+	return opSidesClass(ClassFor(op.Kind), op.FLOPs, op.Bytes, xc, xa, ridge)
+}
+
+// opSidesClass is opSides with the class and values already in hand. The
+// scalar and batched paths both go through it, so per-op arithmetic is
+// identical instruction-for-instruction between them.
+func opSidesClass(cl Class, flops, bytes, xc, xa, ridge float64) (ct, at float64) {
+	if flops > 0 {
 		ceff := cl.ComputeEff
-		if cl.IntensityDerate && op.Bytes > 0 {
-			i := op.FLOPs / op.Bytes
+		if cl.IntensityDerate && bytes > 0 {
+			i := flops / bytes
 			ceff *= i / (i + ridge)
 		}
-		ct = op.FLOPs / (ceff * xc)
+		ct = flops / (ceff * xc)
 	}
-	if op.Bytes > 0 {
-		at = op.Bytes / (cl.MemEff * xa)
+	if bytes > 0 {
+		at = bytes / (cl.MemEff * xa)
 	}
 	return ct, at
 }

@@ -31,6 +31,20 @@ type Compiled struct {
 	TotalFLOPs *symbolic.Program
 	TotalBytes *symbolic.Program
 	IO         *symbolic.Program
+
+	// Deduplicated program tables. Training graphs repeat a handful of cost
+	// expressions across thousands of structurally identical layers (a
+	// 47k-node speech graph compiles to under a hundred unique node-cost
+	// programs), so evaluation runs the unique programs and gathers per-node
+	// values by index. NodeFLOPs[i] aliases costProgs[nodeFLOPIx[i]], and
+	// likewise for NodeBytes and TensorBytes, so per-node iteration keeps
+	// working unchanged.
+	costProgs  []*symbolic.Program
+	nodeFLOPIx []int32
+	nodeByteIx []int32
+
+	tensorProgs []*symbolic.Program
+	tensorIx    []int32
 }
 
 // Compile derives and caches every node's cost expressions, then lowers all
@@ -57,12 +71,40 @@ func Compile(g *Graph) *Compiled {
 		NodeBytes:   make([]*symbolic.Program, len(g.nodes)),
 		TensorBytes: make([]*symbolic.Program, len(g.tensors)),
 	}
-	for i, n := range g.nodes {
-		c.NodeFLOPs[i] = symbolic.Compile(n.FLOPs(), syms)
-		c.NodeBytes[i] = symbolic.Compile(n.Bytes(), syms)
+	// Compile each distinct expression once, keyed by its canonical string
+	// form (canonical constructors make equal strings mean equal trees), and
+	// point every repeat at the shared program.
+	costIndex := make(map[string]int32)
+	internCost := func(e symbolic.Expr) int32 {
+		key := e.String()
+		if ix, ok := costIndex[key]; ok {
+			return ix
+		}
+		ix := int32(len(c.costProgs))
+		costIndex[key] = ix
+		c.costProgs = append(c.costProgs, symbolic.Compile(e, syms))
+		return ix
 	}
+	c.nodeFLOPIx = make([]int32, len(g.nodes))
+	c.nodeByteIx = make([]int32, len(g.nodes))
+	for i, n := range g.nodes {
+		c.nodeFLOPIx[i] = internCost(n.FLOPs())
+		c.nodeByteIx[i] = internCost(n.Bytes())
+		c.NodeFLOPs[i] = c.costProgs[c.nodeFLOPIx[i]]
+		c.NodeBytes[i] = c.costProgs[c.nodeByteIx[i]]
+	}
+	tensorIndex := make(map[string]int32)
+	c.tensorIx = make([]int32, len(g.tensors))
 	for i, t := range g.tensors {
-		c.TensorBytes[i] = symbolic.Compile(t.Bytes(), syms)
+		key := t.Bytes().String()
+		ix, ok := tensorIndex[key]
+		if !ok {
+			ix = int32(len(c.tensorProgs))
+			tensorIndex[key] = ix
+			c.tensorProgs = append(c.tensorProgs, symbolic.Compile(t.Bytes(), syms))
+		}
+		c.tensorIx[i] = ix
+		c.TensorBytes[i] = c.tensorProgs[ix]
 	}
 	c.ParamCount = symbolic.Compile(g.ParamCount(), syms)
 	c.TotalFLOPs = symbolic.Compile(g.TotalFLOPs(), syms)
@@ -84,12 +126,29 @@ func (c *Compiled) Bind(slots []float64, env symbolic.Env) error {
 	return c.Syms.Bind(slots, env)
 }
 
+// evalCostUniq evaluates the unique node-cost programs into dst (grown as
+// needed). Per-node values are gathers from this table.
+func (c *Compiled) evalCostUniq(slots []float64, dst []float64) []float64 {
+	if cap(dst) < len(c.costProgs) {
+		dst = make([]float64, len(c.costProgs))
+	}
+	dst = dst[:len(c.costProgs)]
+	for i, p := range c.costProgs {
+		dst[i] = p.Eval(slots)
+	}
+	return dst
+}
+
 // EvalStats computes the headline numeric quantities for one slot binding.
+// Per-node FLOPs and bytes are accumulated in Nodes() order (the unique
+// programs are evaluated once and gathered by index, which leaves every
+// summand and the summation order unchanged).
 func (c *Compiled) EvalStats(slots []float64) Stats {
+	uniq := c.evalCostUniq(slots, nil)
 	s := Stats{Params: c.ParamCount.Eval(slots)}
-	for i := range c.NodeFLOPs {
-		s.FLOPs += c.NodeFLOPs[i].Eval(slots)
-		s.Bytes += c.NodeBytes[i].Eval(slots)
+	for i := range c.nodeFLOPIx {
+		s.FLOPs += uniq[c.nodeFLOPIx[i]]
+		s.Bytes += uniq[c.nodeByteIx[i]]
 	}
 	if s.Bytes > 0 {
 		s.Intensity = s.FLOPs / s.Bytes
@@ -100,22 +159,37 @@ func (c *Compiled) EvalStats(slots []float64) Stats {
 // Footprint runs the schedule simulation for one slot binding, evaluating
 // tensor sizes through the compiled programs. scratch, when non-nil, is
 // reused for the per-tensor byte sizes (it is grown as needed); pass nil to
-// allocate internally.
+// allocate internally. Loops calling this per point should prefer
+// FootprintInto, which also reuses the simulation state.
 func (c *Compiled) Footprint(slots []float64, policy SchedulePolicy, scratch []float64) (ScheduleResult, error) {
-	bytes := scratch
+	bytes := c.tensorBytesGather(slots, scratch, nil)
+	return c.Graph.simulateFootprint(bytes, policy)
+}
+
+// tensorBytesGather fills per-tensor byte sizes (in Tensors() order) by
+// evaluating the unique tensor programs once and scattering by index.
+func (c *Compiled) tensorBytesGather(slots, bytes, uniq []float64) []float64 {
+	if cap(uniq) < len(c.tensorProgs) {
+		uniq = make([]float64, len(c.tensorProgs))
+	}
+	uniq = uniq[:len(c.tensorProgs)]
+	for i, p := range c.tensorProgs {
+		uniq[i] = p.Eval(slots)
+	}
 	if cap(bytes) < len(c.TensorBytes) {
 		bytes = make([]float64, len(c.TensorBytes))
 	}
 	bytes = bytes[:len(c.TensorBytes)]
-	for i, p := range c.TensorBytes {
-		bytes[i] = p.Eval(slots)
+	for i, ix := range c.tensorIx {
+		bytes[i] = uniq[ix]
 	}
-	return c.Graph.simulateFootprint(bytes, policy)
+	return bytes
 }
 
 // NodeCosts evaluates every node's FLOPs and bytes into the provided slices
 // (grown as needed) and returns them, in Nodes() order.
 func (c *Compiled) NodeCosts(slots []float64, flops, bytes []float64) (f, b []float64) {
+	uniq := c.evalCostUniq(slots, nil)
 	n := len(c.NodeFLOPs)
 	if cap(flops) < n {
 		flops = make([]float64, n)
@@ -124,9 +198,9 @@ func (c *Compiled) NodeCosts(slots []float64, flops, bytes []float64) (f, b []fl
 		bytes = make([]float64, n)
 	}
 	flops, bytes = flops[:n], bytes[:n]
-	for i := range c.NodeFLOPs {
-		flops[i] = c.NodeFLOPs[i].Eval(slots)
-		bytes[i] = c.NodeBytes[i].Eval(slots)
+	for i := range c.nodeFLOPIx {
+		flops[i] = uniq[c.nodeFLOPIx[i]]
+		bytes[i] = uniq[c.nodeByteIx[i]]
 	}
 	return flops, bytes
 }

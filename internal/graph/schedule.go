@@ -64,9 +64,51 @@ func (g *Graph) Footprint(env map[string]float64, policy SchedulePolicy) (Schedu
 	return g.simulateFootprint(bytes, policy)
 }
 
+// footprintSim holds every buffer one traversal simulation needs. Reusing
+// one across calls removes the multi-megabyte per-call allocations that
+// dominated sweep memory traffic on large graphs (a 47k-node speech graph
+// needs ~2.3 MB of counters, flags, heap state, and order storage per
+// simulation).
+type footprintSim struct {
+	remaining []int
+	live      []bool
+	indeg     []int
+	order     []*Node
+	heap      nodeHeap
+}
+
+// reset grows the buffers for a graph with nt tensors and nn nodes and
+// clears the state the simulation reads before writing.
+func (fs *footprintSim) reset(nt, nn int) {
+	if cap(fs.remaining) < nt {
+		fs.remaining = make([]int, nt)
+		fs.live = make([]bool, nt)
+	}
+	fs.remaining = fs.remaining[:nt]
+	fs.live = fs.live[:nt]
+	clear(fs.live)
+	if cap(fs.indeg) < nn {
+		fs.indeg = make([]int, nn)
+	}
+	fs.indeg = fs.indeg[:nn]
+	clear(fs.indeg)
+	if cap(fs.order) < nn {
+		fs.order = make([]*Node, 0, nn)
+	}
+	fs.order = fs.order[:0]
+	fs.heap.reset(nn)
+}
+
 // simulateFootprint runs the traversal simulation over pre-evaluated
-// per-tensor byte sizes (indexed by tensor id). It is the shared core of
-// Graph.Footprint and Compiled.Footprint.
+// per-tensor byte sizes (indexed by tensor id), allocating fresh state.
+// Hot paths reuse state via simulateFootprintInto.
+func (g *Graph) simulateFootprint(bytes []float64, policy SchedulePolicy) (ScheduleResult, error) {
+	return g.simulateFootprintInto(bytes, policy, &footprintSim{})
+}
+
+// simulateFootprintInto is the shared core of Graph.Footprint,
+// Compiled.Footprint, and the batched footprint paths. The returned Order
+// aliases fs.order and is valid until fs is reused.
 //
 // The ready set is an indexed min-heap keyed by the policy's priority
 // (net live-set delta for mem-greedy, insertion order for FIFO), with
@@ -75,7 +117,9 @@ func (g *Graph) Footprint(env map[string]float64, policy SchedulePolicy) (Schedu
 // single remaining consumer — its own inputs cannot be freed and its
 // outputs cannot become live while it waits — so adjusting exactly that
 // consumer keeps every key equal to a fresh recomputation.
-func (g *Graph) simulateFootprint(bytes []float64, policy SchedulePolicy) (ScheduleResult, error) {
+func (g *Graph) simulateFootprintInto(bytes []float64, policy SchedulePolicy, fs *footprintSim) (ScheduleResult, error) {
+	fs.reset(len(g.tensors), len(g.nodes))
+
 	var persistent float64
 	for _, t := range g.tensors {
 		if t.Persistent() {
@@ -84,13 +128,13 @@ func (g *Graph) simulateFootprint(bytes []float64, policy SchedulePolicy) (Sched
 	}
 
 	// Remaining consumer counts for freeable tensors.
-	remaining := make([]int, len(g.tensors))
+	remaining := fs.remaining
 	for _, t := range g.tensors {
 		remaining[t.id] = len(t.Consumers)
 	}
 
 	// Transient live set: graph inputs are staged in before the step starts.
-	live := make([]bool, len(g.tensors))
+	live := fs.live
 	var cur float64
 	for _, t := range g.tensors {
 		if t.Kind == Input {
@@ -100,7 +144,7 @@ func (g *Graph) simulateFootprint(bytes []float64, policy SchedulePolicy) (Sched
 	}
 	peakTransient := cur
 
-	indeg := make([]int, len(g.nodes))
+	indeg := fs.indeg
 	for _, n := range g.nodes {
 		for _, t := range n.Inputs {
 			if t.Producer != nil {
@@ -135,14 +179,14 @@ func (g *Graph) simulateFootprint(bytes []float64, policy SchedulePolicy) (Sched
 		return float64(n.id) // FIFO: earliest inserted node.
 	}
 
-	ready := newNodeHeap(len(g.nodes))
+	ready := &fs.heap
 	for _, n := range g.nodes {
 		if indeg[n.id] == 0 {
 			ready.push(n.id, keyFor(n))
 		}
 	}
 
-	order := make([]*Node, 0, len(g.nodes))
+	order := fs.order
 	for ready.len() > 0 {
 		n := g.nodes[ready.pop()]
 		order = append(order, n)
@@ -193,6 +237,7 @@ func (g *Graph) simulateFootprint(bytes []float64, policy SchedulePolicy) (Sched
 			}
 		}
 	}
+	fs.order = order
 	if len(order) != len(g.nodes) {
 		return ScheduleResult{}, fmt.Errorf("graph: cycle detected during scheduling")
 	}
@@ -212,16 +257,21 @@ type nodeHeap struct {
 	arr  []int32   // heap order
 }
 
-func newNodeHeap(n int) *nodeHeap {
-	h := &nodeHeap{
-		keys: make([]float64, n),
-		pos:  make([]int32, n),
-		arr:  make([]int32, 0, n),
+// reset prepares the heap for a graph of n nodes, reusing prior storage.
+func (h *nodeHeap) reset(n int) {
+	if cap(h.keys) < n {
+		h.keys = make([]float64, n)
+		h.pos = make([]int32, n)
 	}
+	if cap(h.arr) < n {
+		h.arr = make([]int32, 0, n)
+	}
+	h.keys = h.keys[:n]
+	h.pos = h.pos[:n]
+	h.arr = h.arr[:0]
 	for i := range h.pos {
 		h.pos[i] = -1
 	}
-	return h
 }
 
 func (h *nodeHeap) len() int             { return len(h.arr) }

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"runtime"
 	"strings"
@@ -94,10 +93,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		_ = rc.SetWriteDeadline(time.Now().Add(sweepWriteTimeout))
 	}
 	defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
+	enc := sweep.NewLineEncoder(w)
 	streaming := false
 	if asCSV {
 		armWriteDeadline()
-		if _, err := io.WriteString(w, sweep.CSVHeader()); err != nil {
+		if err := enc.CSVHeader(); err != nil {
 			return
 		}
 		streaming = true
@@ -110,9 +110,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		armWriteDeadline()
 		var werr error
 		if asCSV {
-			_, werr = io.WriteString(w, sweep.CSVRecord(p))
+			werr = enc.CSVRecord(p)
 		} else {
-			werr = sweep.WriteNDJSON(w, p)
+			werr = enc.NDJSON(p)
 		}
 		if werr != nil {
 			return werr
@@ -139,9 +139,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// disconnected client never sees it; a deadline-hit one does.
 	armWriteDeadline()
 	if asCSV {
-		io.WriteString(w, sweep.CSVRecord(sweep.Point{Seq: -1, Error: runErr.Error()}))
+		enc.CSVRecord(sweep.Point{Seq: -1, Error: runErr.Error()})
 	} else {
-		sweep.WriteNDJSON(w, sweep.Point{Seq: -1, Error: runErr.Error()})
+		enc.NDJSON(sweep.Point{Seq: -1, Error: runErr.Error()})
 	}
 }
 

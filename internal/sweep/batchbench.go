@@ -1,0 +1,265 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"catamount/internal/costmodel"
+	"catamount/internal/graph"
+)
+
+// This file is the batched-evaluation benchmark harness behind
+// BENCH_pr6.json: it runs the fixed reference grid through the row-batched
+// SoA pipeline (the production Runner path) and through a per-point scalar
+// replay of the pre-batching pipeline, under both step-time backends, and
+// reports the batched-vs-scalar speedup, the per-op-vs-graph warm ratio,
+// and the heap bytes per point against the PR3 scalar-pipeline baseline.
+// The CI bench job publishes the report and gates on pinned floors
+// (TestBatchBenchFloors); cmd/sweep -bench-batch writes it locally.
+
+// BatchBenchSchema versions the report format.
+const BatchBenchSchema = "catamount-batchbench/v1"
+
+// pr3BytesPerPoint is the committed BENCH_pr3.json bytes_per_point of the
+// scalar pipeline on this same reference grid — the baseline the batched
+// path's heap traffic is measured against.
+const pr3BytesPerPoint = 174483.84
+
+// BatchBenchReport is one harness run. Everything is timed warm (models
+// built and compiled before any timed region); the scalar baseline replays
+// the per-point evaluation shape the runner had before row batching, on
+// the same worker pool, so the delta is the batching itself.
+type BatchBenchReport struct {
+	Schema    string `json:"schema"`
+	Grid      string `json:"grid"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	GridPoints int `json:"grid_points"`
+
+	// Batched pipeline, default graph backend.
+	BatchedWarmSeconds    float64 `json:"batched_warm_seconds"`
+	BatchedPointsPerSec   float64 `json:"batched_points_per_sec"`
+	BatchedAllocsPerPoint float64 `json:"batched_allocs_per_point"`
+	BatchedBytesPerPoint  float64 `json:"batched_bytes_per_point"`
+
+	// Scalar per-point replay of the same grid, graph backend.
+	ScalarWarmSeconds   float64 `json:"scalar_warm_seconds"`
+	ScalarPointsPerSec  float64 `json:"scalar_points_per_sec"`
+	ScalarBytesPerPoint float64 `json:"scalar_bytes_per_point"`
+	// BatchedOverScalar is the headline speedup: scalar warm time over
+	// batched warm time on identical grids.
+	BatchedOverScalar float64 `json:"batched_over_scalar_x"`
+
+	// Batched pipeline, per-op roofline backend.
+	PerOpWarmSeconds  float64 `json:"perop_warm_seconds"`
+	PerOpPointsPerSec float64 `json:"perop_points_per_sec"`
+	// PerOpOverGraph is the per-op backend's warm-time ratio against the
+	// graph backend, both through the batched pipeline. Batching collapses
+	// the per-node program evaluations into per-unique-program row sweeps,
+	// which is what pulls this toward 1.
+	PerOpOverGraph float64 `json:"perop_over_graph_x"`
+
+	// Heap-traffic trajectory: warm bytes/point against the PR3 scalar
+	// pipeline's committed 174483.84 on this grid.
+	PR3BytesPerPoint float64 `json:"pr3_bytes_per_point"`
+	BytesReduction   float64 `json:"bytes_reduction_x"`
+}
+
+// runScalarBaseline replays the grid with the per-point evaluation shape
+// the runner had before row batching: one scalar characterization and one
+// scalar cost vector per (domain, params, subbatch) cell, priced per
+// accelerator with scalar StepTime and expanded into discarded Points.
+// Same worker pool, same session reuse — only the batching is missing.
+func (r *Runner) runScalarBaseline(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	np, nb := len(r.params), r.cellsPerPair()
+
+	sizes := make([]solvedSize, len(r.domains)*np)
+	r.forEach(ctx, len(sizes), func(i int, ses *sessions) {
+		s, err := ses.at(r.domains[i/np])
+		if err != nil {
+			sizes[i] = solvedSize{err: err}
+			return
+		}
+		size, err := s.SizeForParams(r.params[i%np])
+		sizes[i] = solvedSize{size: size, err: err}
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	r.forEach(ctx, len(r.domains)*np*nb, func(i int, ses *sessions) {
+		di, pi, bi := i/(np*nb), (i/nb)%np, i%nb
+		sol := sizes[di*np+pi]
+		if sol.err != nil {
+			return
+		}
+		s, err := ses.at(r.domains[di])
+		if err != nil {
+			return
+		}
+		batch := s.Analyzer().Model.DefaultBatch
+		if len(r.subbatches) > 0 {
+			batch = r.subbatches[bi]
+		}
+		req, err := s.Characterize(sol.size, batch, graph.PolicyMemGreedy)
+		if err != nil {
+			return
+		}
+		costs := s.StepCosts(sol.size, batch, r.needsOps)
+		for ai, acc := range r.accs {
+			reqCopy := req
+			p := Point{
+				Seq:          ((di*np+pi)*nb+bi)*len(r.accs) + ai,
+				Domain:       r.domains[di],
+				Accelerator:  acc.Name,
+				ParamTarget:  r.params[pi],
+				Subbatch:     batch,
+				CostModel:    r.label,
+				Requirements: &reqCopy,
+			}
+			p.StepSeconds = r.model.StepTime(acc, costs)
+			p.Utilization = acc.Utilization(req.FLOPsPerStep, p.StepSeconds)
+			p.ComputeBound = r.model.Bound(acc, costs) == costmodel.BoundCompute
+			p.FitsMemory = acc.Fits(req.FootprintBytes)
+			sinkPoint(p)
+		}
+	})
+	return ctx.Err()
+}
+
+// sinkPoint consumes a replayed Point. noinline keeps the compiler from
+// eliding the per-point assembly the real pipeline pays for.
+//
+//go:noinline
+func sinkPoint(Point) {}
+
+// timedScalarGrid is timedGridStats for the scalar baseline replay.
+func timedScalarGrid(ctx context.Context, r *Runner) (best, bytesPerPoint float64, err error) {
+	var ms0, ms1 runtime.MemStats
+	best = -1
+	for rerun := 0; rerun < 5; rerun++ {
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		if err := r.runScalarBaseline(ctx); err != nil {
+			return 0, 0, err
+		}
+		elapsed := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
+		if best < 0 || elapsed < best {
+			best = elapsed
+			bytesPerPoint = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(r.Points())
+		}
+	}
+	return best, bytesPerPoint, nil
+}
+
+// timedGridStats runs a runner warm reps times, returning the best wall
+// time with its allocs/point and bytes/point. Best-of damps scheduler and
+// GC noise; the batch harness uses more reps than the older harnesses
+// because its headline is a ratio of two measured times.
+func timedGridStats(ctx context.Context, r *Runner, reps int) (best, allocsPerPoint, bytesPerPoint float64, err error) {
+	discard := func(Point) error { return nil }
+	var ms0, ms1 runtime.MemStats
+	best = -1
+	for rerun := 0; rerun < reps; rerun++ {
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		if err := r.Run(ctx, discard); err != nil {
+			return 0, 0, 0, err
+		}
+		elapsed := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
+		if best < 0 || elapsed < best {
+			best = elapsed
+			allocsPerPoint = float64(ms1.Mallocs-ms0.Mallocs) / float64(r.Points())
+			bytesPerPoint = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(r.Points())
+		}
+	}
+	return best, allocsPerPoint, bytesPerPoint, nil
+}
+
+// RunBatchBench runs the reference grid batched (graph and per-op
+// backends) and as a scalar per-point replay, over one shared compiled
+// source.
+func RunBatchBench(ctx context.Context) (*BatchBenchReport, error) {
+	src := newBuildSource()
+
+	graphSpec := ReferenceSpec()
+	peropSpec := ReferenceSpec()
+	peropSpec.CostModel = "perop"
+
+	graphRunner, err := New(src, graphSpec)
+	if err != nil {
+		return nil, err
+	}
+	peropRunner, err := New(src, peropSpec)
+	if err != nil {
+		return nil, err
+	}
+	// A separate runner keeps the scalar replay's session pool distinct
+	// from the batched graph runner's, so buffer reuse cannot blur the
+	// comparison.
+	scalarRunner, err := New(src, graphSpec)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &BatchBenchReport{
+		Schema:           BatchBenchSchema,
+		Grid:             "reference",
+		GoVersion:        runtime.Version(),
+		GOOS:             runtime.GOOS,
+		GOARCH:           runtime.GOARCH,
+		CPUs:             runtime.GOMAXPROCS(0),
+		GridPoints:       graphRunner.Points(),
+		PR3BytesPerPoint: pr3BytesPerPoint,
+	}
+
+	// Warm-up: build + compile every domain once, outside any timed region.
+	if err := graphRunner.Run(ctx, func(Point) error { return nil }); err != nil {
+		return nil, err
+	}
+
+	rep.BatchedWarmSeconds, rep.BatchedAllocsPerPoint, rep.BatchedBytesPerPoint, err =
+		timedGridStats(ctx, graphRunner, 5)
+	if err != nil {
+		return nil, err
+	}
+	rep.PerOpWarmSeconds, _, _, err = timedGridStats(ctx, peropRunner, 5)
+	if err != nil {
+		return nil, err
+	}
+	rep.ScalarWarmSeconds, rep.ScalarBytesPerPoint, err = timedScalarGrid(ctx, scalarRunner)
+	if err != nil {
+		return nil, err
+	}
+
+	pts := float64(rep.GridPoints)
+	rep.BatchedPointsPerSec = pts / rep.BatchedWarmSeconds
+	rep.PerOpPointsPerSec = pts / rep.PerOpWarmSeconds
+	rep.ScalarPointsPerSec = pts / rep.ScalarWarmSeconds
+	rep.BatchedOverScalar = rep.ScalarWarmSeconds / rep.BatchedWarmSeconds
+	rep.PerOpOverGraph = rep.PerOpWarmSeconds / rep.BatchedWarmSeconds
+	rep.BytesReduction = pr3BytesPerPoint / rep.BatchedBytesPerPoint
+	return rep, nil
+}
+
+// WriteBatchBenchReport serializes a report as indented JSON (the
+// BENCH_*.json file format), newline-terminated.
+func WriteBatchBenchReport(w io.Writer, rep *BatchBenchReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

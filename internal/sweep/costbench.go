@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"io"
 	"runtime"
-	"time"
 )
 
 // This file is the cost-model benchmark harness behind BENCH_pr5.json: it
@@ -48,23 +47,8 @@ type CostModelBenchReport struct {
 // timedGrid runs a runner warm three times, returning the best wall time
 // and its allocs/point.
 func timedGrid(ctx context.Context, r *Runner) (best float64, allocsPerPoint float64, err error) {
-	discard := func(Point) error { return nil }
-	var ms0, ms1 runtime.MemStats
-	best = -1
-	for rerun := 0; rerun < 3; rerun++ {
-		runtime.ReadMemStats(&ms0)
-		start := time.Now()
-		if err := r.Run(ctx, discard); err != nil {
-			return 0, 0, err
-		}
-		elapsed := time.Since(start).Seconds()
-		runtime.ReadMemStats(&ms1)
-		if best < 0 || elapsed < best {
-			best = elapsed
-			allocsPerPoint = float64(ms1.Mallocs-ms0.Mallocs) / float64(r.Points())
-		}
-	}
-	return best, allocsPerPoint, nil
+	best, allocsPerPoint, _, err = timedGridStats(ctx, r, 3)
+	return best, allocsPerPoint, err
 }
 
 // RunCostModelBench runs the reference grid under both backends over one

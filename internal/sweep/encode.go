@@ -2,8 +2,8 @@ package sweep
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -11,6 +11,53 @@ import (
 // (one JSON object per line, the /v1/sweep default) and CSV — shared by
 // the server endpoint and the cmd/sweep CLI so both emit byte-identical
 // rows for the same grid.
+//
+// Streaming callers should hold a LineEncoder for the whole grid: it
+// reuses one line buffer across points, so encoding adds no per-point
+// garbage on top of the batched evaluation path. The package-level
+// WriteNDJSON / CSVRecord helpers remain for one-shot callers and render
+// the exact same bytes.
+
+// LineEncoder streams points to one writer, recycling its line buffer
+// between calls. Not safe for concurrent use; sweep emit callbacks are
+// already serialized by the Runner.
+type LineEncoder struct {
+	w    io.Writer
+	json *json.Encoder // lazily created: CSV-only streams never need it
+	buf  []byte
+}
+
+// NewLineEncoder returns an encoder bound to w.
+func NewLineEncoder(w io.Writer) *LineEncoder {
+	return &LineEncoder{w: w}
+}
+
+// NDJSON writes one point as a single JSON line.
+func (e *LineEncoder) NDJSON(p Point) error {
+	return e.JSONLine(p)
+}
+
+// JSONLine writes any value as a single NDJSON line. The underlying
+// json.Encoder recycles its encode buffer, unlike a Marshal per line.
+func (e *LineEncoder) JSONLine(v any) error {
+	if e.json == nil {
+		e.json = json.NewEncoder(e.w)
+	}
+	return e.json.Encode(v)
+}
+
+// CSVHeader writes the column row matching CSVRecord.
+func (e *LineEncoder) CSVHeader() error {
+	_, err := io.WriteString(e.w, CSVHeader())
+	return err
+}
+
+// CSVRecord writes one point as a CSV row into the recycled buffer.
+func (e *LineEncoder) CSVRecord(p Point) error {
+	e.buf = appendCSVRecord(e.buf[:0], p)
+	_, err := e.w.Write(e.buf)
+	return err
+}
 
 // WriteNDJSON writes one point as a single JSON line.
 func WriteNDJSON(w io.Writer, p Point) error {
@@ -40,21 +87,57 @@ func CSVHeader() string {
 // grid stays distinguishable from a graph one in either format. Failed
 // points leave the numeric columns empty and fill the error column.
 func CSVRecord(p Point) string {
-	prefix := fmt.Sprintf("%d,%s,%s,%.6g,%.6g,%s", p.Seq, p.Domain, csvEscape(p.Accelerator),
-		p.ParamTarget, p.Subbatch, p.CostModel)
-	if p.Requirements == nil {
-		return fmt.Sprintf("%s,,,,,,,,,,%s\n", prefix, csvEscape(p.Error))
-	}
-	return fmt.Sprintf("%s,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%v,%v,\n",
-		prefix, p.Params, p.FLOPsPerStep, p.BytesPerStep, p.Intensity,
-		p.FootprintBytes, p.StepSeconds, p.Utilization, p.ComputeBound, p.FitsMemory)
+	return string(appendCSVRecord(nil, p))
 }
 
-// csvEscape quotes a field when it contains CSV metacharacters — custom
-// accelerator names and error messages are the only free-form columns.
-func csvEscape(s string) string {
-	if !strings.ContainsAny(s, ",\"\n") {
-		return s
+// appendCSVRecord is the single CSV renderer behind both CSVRecord and
+// LineEncoder.CSVRecord. Floats use 'g'/6, matching the %.6g the format
+// was pinned with.
+func appendCSVRecord(b []byte, p Point) []byte {
+	b = strconv.AppendInt(b, int64(p.Seq), 10)
+	b = append(b, ',')
+	b = append(b, p.Domain...)
+	b = append(b, ',')
+	b = appendCSVEscaped(b, p.Accelerator)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, p.ParamTarget, 'g', 6, 64)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, p.Subbatch, 'g', 6, 64)
+	b = append(b, ',')
+	b = append(b, p.CostModel...)
+	if p.Requirements == nil {
+		b = append(b, ",,,,,,,,,,"...)
+		b = appendCSVEscaped(b, p.Error)
+		return append(b, '\n')
 	}
-	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	for _, f := range [...]float64{
+		p.Params, p.FLOPsPerStep, p.BytesPerStep, p.Intensity,
+		p.FootprintBytes, p.StepSeconds, p.Utilization,
+	} {
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, f, 'g', 6, 64)
+	}
+	b = append(b, ',')
+	b = strconv.AppendBool(b, p.ComputeBound)
+	b = append(b, ',')
+	b = strconv.AppendBool(b, p.FitsMemory)
+	return append(b, ",\n"...)
+}
+
+// appendCSVEscaped appends s, quoted when it contains CSV
+// metacharacters — custom accelerator names and error messages are the
+// only free-form columns.
+func appendCSVEscaped(b []byte, s string) []byte {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return append(b, s...)
+	}
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			b = append(b, '"', '"')
+		} else {
+			b = append(b, s[i])
+		}
+	}
+	return append(b, '"')
 }

@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"catamount/internal/core"
+)
+
+func encodeTestPoints() []Point {
+	ok := Point{
+		Seq: 7, Domain: "charlm", Accelerator: "tpu-v3", ParamTarget: 2e8,
+		Subbatch: 32, CostModel: "perop",
+		Requirements: &core.Requirements{
+			Domain: "charlm", Name: "charlm", Size: 1234.5, Batch: 32,
+			Params: 1.999e8, FLOPsPerStep: 3.25e12, BytesPerStep: 8.5e9,
+			Intensity: 382.35, FootprintBytes: 1.75e10,
+		},
+		StepSeconds: 0.0125, Utilization: 0.6125, ComputeBound: true, FitsMemory: true,
+	}
+	return []Point{
+		ok,
+		{Seq: 0, Domain: "speech", Accelerator: `odd,"name`, ParamTarget: 5e7,
+			Subbatch: 128, Error: "solve failed: no bracket, try again"},
+		{Seq: -1, Error: "context deadline exceeded"},
+		{Seq: 3, Domain: "lm", Accelerator: "gpu", ParamTarget: math.Inf(1),
+			Subbatch: 1, Requirements: &core.Requirements{Params: math.NaN()},
+			StepSeconds: -0.0},
+	}
+}
+
+// TestLineEncoderMatchesOneShotHelpers pins that the buffered streaming
+// encoder emits byte-identical lines to the package-level helpers, for
+// both wire formats, including quoting and special float values.
+func TestLineEncoderMatchesOneShotHelpers(t *testing.T) {
+	pts := encodeTestPoints()
+
+	var got, want bytes.Buffer
+	enc := NewLineEncoder(&got)
+	if err := enc.CSVHeader(); err != nil {
+		t.Fatal(err)
+	}
+	want.WriteString(CSVHeader())
+	for _, p := range pts {
+		if err := enc.CSVRecord(p); err != nil {
+			t.Fatal(err)
+		}
+		want.WriteString(CSVRecord(p))
+	}
+	if got.String() != want.String() {
+		t.Fatalf("CSV mismatch:\nenc:  %q\nhelp: %q", got.String(), want.String())
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(got.String(), "\n"), "\n") {
+		if n := strings.Count(csvStripQuoted(line), ","); n != 15 {
+			t.Fatalf("row has %d unquoted commas, want 15: %q", n, line)
+		}
+	}
+
+	got.Reset()
+	want.Reset()
+	enc = NewLineEncoder(&got)
+	for _, p := range pts {
+		if p.Requirements != nil && math.IsNaN(p.Requirements.Params) {
+			continue // JSON cannot encode NaN; CSV-only fixture
+		}
+		if err := enc.NDJSON(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteNDJSON(&want, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got.String() != want.String() {
+		t.Fatalf("NDJSON mismatch:\nenc:  %q\nhelp: %q", got.String(), want.String())
+	}
+}
+
+// csvStripQuoted blanks out quoted fields so comma counting sees only
+// structural separators.
+func csvStripQuoted(line string) string {
+	var b strings.Builder
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch {
+		case line[i] == '"':
+			inQuote = !inQuote
+		case !inQuote:
+			b.WriteByte(line[i])
+		}
+	}
+	return b.String()
+}
+
+// TestEncodeAllocsPerPoint pins the point of LineEncoder: steady-state
+// CSV encoding is allocation-free, and NDJSON reuses the json.Encoder's
+// pooled buffer instead of a fresh Marshal slice per line.
+func TestEncodeAllocsPerPoint(t *testing.T) {
+	p := encodeTestPoints()[0]
+	enc := NewLineEncoder(io.Discard)
+
+	if err := enc.CSVRecord(p); err != nil { // warm the line buffer
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := enc.CSVRecord(p); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Fatalf("warm CSVRecord allocates %v times per point", allocs)
+	}
+
+	if err := enc.NDJSON(p); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := enc.NDJSON(p); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 4 {
+		t.Fatalf("warm NDJSON allocates %v times per point", allocs)
+	}
+}

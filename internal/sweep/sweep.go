@@ -113,12 +113,18 @@ type Runner struct {
 	accs       []hw.Accelerator
 	workers    int
 
-	// model is the resolved step-time backend; label is its canonical name
-	// when the spec selected one explicitly (it tags emitted points), and
-	// needsOps records whether cells must evaluate per-node costs.
-	model    costmodel.Model
-	label    string
-	needsOps bool
+	// model is the resolved step-time backend; batchModel is its batched
+	// evaluator; label is its canonical name when the spec selected one
+	// explicitly (it tags emitted points), and needsOps records whether
+	// cells must evaluate per-node costs.
+	model      costmodel.Model
+	batchModel costmodel.BatchModel
+	label      string
+	needsOps   bool
+
+	// pool recycles per-worker session maps across Run calls, so repeated
+	// runs (the server, the bench harness) keep their evaluation buffers.
+	pool sync.Pool
 }
 
 // CostModel returns the runner's resolved step-time backend.
@@ -198,6 +204,7 @@ func New(src SessionSource, spec Spec) (*Runner, error) {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
 	r.model = cm
+	r.batchModel = costmodel.AsBatch(cm)
 	r.needsOps = costmodel.NeedsOpCosts(cm)
 	if spec.CostModel != "" {
 		r.label = cm.Name()
@@ -227,15 +234,31 @@ func (r *Runner) cellsPerPair() int {
 	return len(r.subbatches)
 }
 
-// cellResult is one (domain, params, subbatch) characterization, shared by
-// every accelerator of the cell. costs is the step's cost vector — per-op
-// detail included only when the backend needs it — evaluated once and
-// priced on every accelerator.
-type cellResult struct {
-	subbatch float64 // resolved (domain default applied)
-	req      core.Requirements
-	costs    costmodel.Costs
-	err      error
+// maxRowsPerTask bounds one task's batch width: all subbatches of a chunk
+// of parameter targets for one domain. Wide enough to amortize program
+// dispatch across rows, small enough to keep several tasks in flight.
+const maxRowsPerTask = 32
+
+// solvedSize is one (domain, params) size solve, shared by every subbatch
+// and accelerator of the pair.
+type solvedSize struct {
+	size float64
+	err  error
+}
+
+// taskResult is one evaluated (domain, param-chunk) row batch: every
+// subbatch of every chunk parameter, characterized in one batched pass and
+// priced on every accelerator with one batched step-time call each.
+// Per-row entries are indexed row-major ((param, subbatch) order); steps
+// and bounds hold valid rows only, accelerator-major, via validIdx.
+type taskResult struct {
+	subbatch []float64 // resolved per row (domain default applied)
+	errs     []error   // per row; nil for characterized rows
+	validIdx []int     // row -> index into reqs/steps/bounds columns, -1 if errored
+	nValid   int
+	reqs     []core.Requirements
+	steps    []float64         // steps[ai*nValid + vi]
+	bounds   []costmodel.Bound // same layout
 }
 
 // sessions lazily materializes one evaluation scratchpad per domain for a
@@ -258,6 +281,17 @@ func (s *sessions) at(d models.Domain) (*core.Session, error) {
 	return ses, nil
 }
 
+// getSessions hands a worker a session map, recycled across Run calls so
+// warm runs keep their compiled-evaluation buffers.
+func (r *Runner) getSessions() *sessions {
+	if v := r.pool.Get(); v != nil {
+		return v.(*sessions)
+	}
+	return &sessions{src: r.src, m: make(map[models.Domain]*core.Session)}
+}
+
+func (r *Runner) putSessions(s *sessions) { r.pool.Put(s) }
+
 // Run evaluates the grid, streaming every point through yield in
 // deterministic order (domain-major, then params, then subbatch, then
 // accelerator; Point.Seq numbers that order from 0). Workers evaluate
@@ -273,59 +307,41 @@ func (r *Runner) Run(ctx context.Context, yield func(Point) error) error {
 
 	// Phase 1: solve each unique (domain, params) size once, shared by
 	// every subbatch and accelerator of the pair.
-	type solved struct {
-		size float64
-		err  error
-	}
-	sizes := make([]solved, len(r.domains)*np)
+	sizes := make([]solvedSize, len(r.domains)*np)
 	r.forEach(ctx, len(sizes), func(i int, ses *sessions) {
 		s, err := ses.at(r.domains[i/np])
 		if err != nil {
-			sizes[i] = solved{err: err}
+			sizes[i] = solvedSize{err: err}
 			return
 		}
 		size, err := s.SizeForParams(r.params[i%np])
-		sizes[i] = solved{size: size, err: err}
+		sizes[i] = solvedSize{size: size, err: err}
 	})
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 
-	// Phase 2: characterize cells across the pool, emitting in order.
-	numCells := len(r.domains) * np * nb
-	results := make([]cellResult, numCells)
-	evalCell := func(i int, ses *sessions) {
-		di, rem := i/(np*nb), i%(np*nb)
-		pi, bi := rem/nb, rem%nb
-		s, err := ses.at(r.domains[di])
-		if err != nil {
-			results[i] = cellResult{err: err}
-			return
-		}
-		b := s.Analyzer().Model.DefaultBatch
-		if len(r.subbatches) > 0 {
-			b = r.subbatches[bi]
-		}
-		sol := sizes[di*np+pi]
-		if sol.err != nil {
-			results[i] = cellResult{subbatch: b, err: sol.err}
-			return
-		}
-		req, err := s.Characterize(sol.size, b, graph.PolicyMemGreedy)
-		res := cellResult{subbatch: b, req: req, err: err}
-		if err == nil {
-			if r.needsOps {
-				res.costs = s.StepCosts(sol.size, b, true)
-			} else {
-				res.costs = costmodel.GraphCosts(req.FLOPsPerStep, req.BytesPerStep)
-			}
-		}
-		results[i] = res
+	// Phase 2: evaluate row-batched tasks across the pool, emitting in
+	// order. One task is every subbatch of a chunk of parameter targets for
+	// one domain — a whole grid row fed through a single batched
+	// characterization and one batched step-time call per accelerator.
+	chunkLen := maxRowsPerTask / nb
+	if chunkLen < 1 {
+		chunkLen = 1
+	}
+	if chunkLen > np {
+		chunkLen = np
+	}
+	tasksPerDomain := (np + chunkLen - 1) / chunkLen
+	numTasks := len(r.domains) * tasksPerDomain
+	results := make([]taskResult, numTasks)
+	evalTask := func(t int, ses *sessions) {
+		results[t] = r.evalTask(t, np, nb, chunkLen, tasksPerDomain, sizes, ses)
 	}
 
 	workers := r.workers
-	if workers > numCells {
-		workers = numCells
+	if workers > numTasks {
+		workers = numTasks
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -334,9 +350,10 @@ func (r *Runner) Run(ctx context.Context, yield func(Point) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ses := &sessions{src: r.src, m: make(map[models.Domain]*core.Session)}
+			ses := r.getSessions()
+			defer r.putSessions(ses)
 			for i := range next {
-				evalCell(i, ses)
+				evalTask(i, ses)
 				select {
 				case completed <- i:
 				case <-ctx.Done():
@@ -347,7 +364,7 @@ func (r *Runner) Run(ctx context.Context, yield func(Point) error) error {
 	}
 	go func() {
 		defer close(next)
-		for i := 0; i < numCells; i++ {
+		for i := 0; i < numTasks; i++ {
 			select {
 			case next <- i:
 			case <-ctx.Done():
@@ -360,17 +377,19 @@ func (r *Runner) Run(ctx context.Context, yield func(Point) error) error {
 		close(completed)
 	}()
 
-	ready := make([]bool, numCells)
+	ready := make([]bool, numTasks)
 	nextEmit := 0
 	for idx := range completed {
 		ready[idx] = true
-		for nextEmit < numCells && ready[nextEmit] {
-			if err := r.emitCell(nextEmit, &results[nextEmit], yield); err != nil {
+		for nextEmit < numTasks && ready[nextEmit] {
+			if err := r.emitTask(nextEmit, np, nb, chunkLen, tasksPerDomain, &results[nextEmit], yield); err != nil {
 				cancel()
 				for range completed { // unblock workers until the pool drains
 				}
 				return err
 			}
+			ready[nextEmit] = false
+			results[nextEmit] = taskResult{} // release row storage early
 			nextEmit++
 		}
 	}
@@ -380,33 +399,123 @@ func (r *Runner) Run(ctx context.Context, yield func(Point) error) error {
 	return nil
 }
 
-// emitCell expands one characterized cell into its per-accelerator points.
-// The Requirements are accelerator-independent; only the Roofline numbers
-// differ per device.
-func (r *Runner) emitCell(idx int, res *cellResult, yield func(Point) error) error {
-	di, rem := idx/(len(r.params)*r.cellsPerPair()), idx%(len(r.params)*r.cellsPerPair())
-	pi := rem / r.cellsPerPair()
+// evalTask characterizes one (domain, param-chunk) row batch. Rows whose
+// size solve failed carry their error; the rest run through one
+// CharacterizeBatch and one StepTimesBatch per accelerator.
+func (r *Runner) evalTask(t, np, nb, chunkLen, tasksPerDomain int,
+	sizes []solvedSize, ses *sessions) taskResult {
+
+	di := t / tasksPerDomain
+	lo := (t % tasksPerDomain) * chunkLen
+	hi := lo + chunkLen
+	if hi > np {
+		hi = np
+	}
+	rows := (hi - lo) * nb
+	tr := taskResult{
+		subbatch: make([]float64, rows),
+		errs:     make([]error, rows),
+		validIdx: make([]int, rows),
+	}
+
+	s, err := ses.at(r.domains[di])
+	if err != nil {
+		for row := range tr.errs {
+			tr.errs[row] = err
+			tr.validIdx[row] = -1
+		}
+		return tr
+	}
+
+	sizeCol := make([]float64, 0, rows)
+	batchCol := make([]float64, 0, rows)
+	for pi := lo; pi < hi; pi++ {
+		sol := sizes[di*np+pi]
+		for bi := 0; bi < nb; bi++ {
+			row := (pi-lo)*nb + bi
+			b := s.Analyzer().Model.DefaultBatch
+			if len(r.subbatches) > 0 {
+				b = r.subbatches[bi]
+			}
+			tr.subbatch[row] = b
+			if sol.err != nil {
+				tr.errs[row] = sol.err
+				tr.validIdx[row] = -1
+				continue
+			}
+			tr.validIdx[row] = len(sizeCol)
+			sizeCol = append(sizeCol, sol.size)
+			batchCol = append(batchCol, b)
+		}
+	}
+	tr.nValid = len(sizeCol)
+	if tr.nValid == 0 {
+		return tr
+	}
+
+	reqs, costs, err := s.CharacterizeBatch(sizeCol, batchCol, graph.PolicyMemGreedy, r.needsOps, nil)
+	if err != nil {
+		for row := range tr.errs {
+			if tr.validIdx[row] >= 0 {
+				tr.errs[row] = err
+				tr.validIdx[row] = -1
+			}
+		}
+		tr.nValid = 0
+		return tr
+	}
+	tr.reqs = reqs
+	// Price every accelerator off the shared cost batch; the step times and
+	// bounds are copied out here because the batch aliases session buffers.
+	tr.steps = make([]float64, len(r.accs)*tr.nValid)
+	tr.bounds = make([]costmodel.Bound, len(r.accs)*tr.nValid)
 	for ai, acc := range r.accs {
-		p := Point{
-			Seq:         idx*len(r.accs) + ai,
-			Domain:      r.domains[di],
-			Accelerator: acc.Name,
-			ParamTarget: r.params[pi],
-			Subbatch:    res.subbatch,
-			CostModel:   r.label,
-		}
-		if res.err != nil {
-			p.Error = res.err.Error()
-		} else {
-			req := res.req
-			p.Requirements = &req
-			p.StepSeconds = r.model.StepTime(acc, res.costs)
-			p.Utilization = acc.Utilization(req.FLOPsPerStep, p.StepSeconds)
-			p.ComputeBound = r.model.Bound(acc, res.costs) == costmodel.BoundCompute
-			p.FitsMemory = acc.Fits(req.FootprintBytes)
-		}
-		if err := yield(p); err != nil {
-			return err
+		seg := tr.steps[ai*tr.nValid : (ai+1)*tr.nValid]
+		r.batchModel.StepTimesBatch(acc, costs, seg, tr.bounds[ai*tr.nValid:(ai+1)*tr.nValid])
+	}
+	return tr
+}
+
+// emitTask expands one evaluated row batch into its per-point stream, in
+// (param, subbatch, accelerator) order. The Requirements are
+// accelerator-independent; only the Roofline numbers differ per device.
+func (r *Runner) emitTask(t, np, nb, chunkLen, tasksPerDomain int,
+	tr *taskResult, yield func(Point) error) error {
+
+	di := t / tasksPerDomain
+	lo := (t % tasksPerDomain) * chunkLen
+	hi := lo + chunkLen
+	if hi > np {
+		hi = np
+	}
+	for pi := lo; pi < hi; pi++ {
+		for bi := 0; bi < nb; bi++ {
+			row := (pi-lo)*nb + bi
+			cell := (di*np+pi)*nb + bi
+			for ai, acc := range r.accs {
+				p := Point{
+					Seq:         cell*len(r.accs) + ai,
+					Domain:      r.domains[di],
+					Accelerator: acc.Name,
+					ParamTarget: r.params[pi],
+					Subbatch:    tr.subbatch[row],
+					CostModel:   r.label,
+				}
+				if tr.errs[row] != nil {
+					p.Error = tr.errs[row].Error()
+				} else {
+					vi := tr.validIdx[row]
+					req := tr.reqs[vi]
+					p.Requirements = &req
+					p.StepSeconds = tr.steps[ai*tr.nValid+vi]
+					p.Utilization = acc.Utilization(req.FLOPsPerStep, p.StepSeconds)
+					p.ComputeBound = tr.bounds[ai*tr.nValid+vi] == costmodel.BoundCompute
+					p.FitsMemory = acc.Fits(req.FootprintBytes)
+				}
+				if err := yield(p); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil
@@ -421,7 +530,8 @@ func (r *Runner) forEach(ctx context.Context, n int, fn func(i int, ses *session
 		workers = n
 	}
 	if workers <= 1 {
-		ses := &sessions{src: r.src, m: make(map[models.Domain]*core.Session)}
+		ses := r.getSessions()
+		defer r.putSessions(ses)
 		for i := 0; i < n; i++ {
 			if ctx.Err() != nil {
 				return
@@ -436,7 +546,8 @@ func (r *Runner) forEach(ctx context.Context, n int, fn func(i int, ses *session
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ses := &sessions{src: r.src, m: make(map[models.Domain]*core.Session)}
+			ses := r.getSessions()
+			defer r.putSessions(ses)
 			for i := range next {
 				fn(i, ses)
 			}

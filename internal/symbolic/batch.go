@@ -1,0 +1,255 @@
+package symbolic
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file adds batched structure-of-arrays evaluation: one compiled
+// Program run over a vector of slot environments in a single pass. The
+// instruction loop executes once per instruction for all rows, so the
+// per-instruction decode/dispatch cost is amortized across the batch and
+// the inner loops are tight float64 slices the compiler can keep in
+// registers.
+//
+// Bit-for-bit contract: for every row i, EvalBatch produces exactly the
+// float64 that Eval produces for the same slot binding. Each row runs the
+// identical instruction sequence with identical scalar arithmetic (the
+// opPowC fast paths — reciprocal, square root, squaring, cubing — are
+// replicated per element), only interleaved across rows, so no
+// re-association or fusing ever changes a result. The equivalence is
+// enforced across every compiled domain program by the property tests in
+// batch_domains_test.go and FuzzEvalBatch.
+
+// Batch is a structure-of-arrays matrix of slot bindings: rows hold
+// evaluation points, columns hold symbols, stored column-major so an
+// opLoad touches one contiguous run. Build one with SymTab.NewBatch, fill
+// columns via Col/Set/Fill, then evaluate any number of programs compiled
+// against the same table.
+//
+// A Batch is a plain scratch buffer: not safe for concurrent mutation, but
+// safe to read from concurrent EvalBatch calls once filled.
+type Batch struct {
+	rows  int
+	slots int
+	data  []float64 // column-major: data[slot*rows + row]
+}
+
+// NewBatch allocates a zeroed batch with one column per interned symbol.
+// The batch is sized for the table's current symbol count; intern every
+// symbol (compile every program) before sizing batches.
+func (t *SymTab) NewBatch(rows int) *Batch {
+	b := &Batch{slots: len(t.names)}
+	b.Resize(rows)
+	return b
+}
+
+// Rows returns the number of evaluation points in the batch.
+func (b *Batch) Rows() int { return b.rows }
+
+// Slots returns the number of symbol columns.
+func (b *Batch) Slots() int { return b.slots }
+
+// Resize sets the row count, reusing the backing array when it is large
+// enough. Existing values are not preserved.
+func (b *Batch) Resize(rows int) {
+	if rows < 0 {
+		panic("symbolic: negative batch size")
+	}
+	b.rows = rows
+	need := b.slots * rows
+	if cap(b.data) < need {
+		b.data = make([]float64, need)
+	}
+	b.data = b.data[:need]
+}
+
+// Col returns the writable column for one slot index: element i is row i's
+// value for that symbol.
+func (b *Batch) Col(slot int) []float64 {
+	return b.data[slot*b.rows : (slot+1)*b.rows]
+}
+
+// Set writes one (row, slot) value.
+func (b *Batch) Set(row, slot int, v float64) {
+	b.data[slot*b.rows+row] = v
+}
+
+// Fill broadcasts one value down a slot's column — the common case of a
+// symbol held constant across the batch.
+func (b *Batch) Fill(slot int, v float64) {
+	col := b.Col(slot)
+	for i := range col {
+		col[i] = v
+	}
+}
+
+// BindRow writes env values into one row, like SymTab.Bind for a single
+// slot buffer. Every interned symbol must be bound.
+func (t *SymTab) BindRow(b *Batch, row int, env Env) error {
+	if b.slots < len(t.names) {
+		return fmt.Errorf("symbolic: batch has %d columns, table needs %d", b.slots, len(t.names))
+	}
+	for i, name := range t.names {
+		v, ok := env[name]
+		if !ok {
+			return fmt.Errorf("symbolic: unbound symbol %q", name)
+		}
+		b.Set(row, i, v)
+	}
+	return nil
+}
+
+// BatchScratch is the reusable operand stack for batched evaluation: one
+// per evaluating goroutine, grown as needed and reused across any number
+// of programs and batch shapes, so steady-state batched evaluation
+// allocates nothing.
+type BatchScratch struct {
+	stack []float64
+}
+
+// grow returns a stack slab of at least n elements, reusing the previous
+// allocation when possible.
+func (s *BatchScratch) grow(n int) []float64 {
+	if cap(s.stack) < n {
+		s.stack = make([]float64, n)
+	}
+	s.stack = s.stack[:n]
+	return s.stack
+}
+
+// EvalBatch runs the program once per batch row in one structure-of-arrays
+// pass, writing row i's result to dst[i]. dst is grown as needed and
+// returned. Results are bit-for-bit identical to calling Eval per row.
+// For tight loops, use EvalBatchInto with a reused BatchScratch.
+func (p *Program) EvalBatch(b *Batch, dst []float64) []float64 {
+	var s BatchScratch
+	return p.EvalBatchInto(b, dst, &s)
+}
+
+// EvalBatchInto is EvalBatch with a caller-owned operand-stack scratch, so
+// sweeps evaluating many programs reuse one slab.
+func (p *Program) EvalBatchInto(b *Batch, dst []float64, s *BatchScratch) []float64 {
+	rows := b.rows
+	if cap(dst) < rows {
+		dst = make([]float64, rows)
+	}
+	dst = dst[:rows]
+	if rows == 0 {
+		return dst
+	}
+	stack := s.grow(p.depth * rows)
+	sp := 0
+	for _, in := range p.code {
+		switch in.op {
+		case opConst:
+			top := stack[sp*rows : (sp+1)*rows]
+			v := in.val
+			for i := range top {
+				top[i] = v
+			}
+			sp++
+		case opLoad:
+			lo := int(in.arg) * rows
+			copy(stack[sp*rows:(sp+1)*rows], b.data[lo:lo+rows])
+			sp++
+		case opAdd:
+			sp--
+			a, c := stack[(sp-1)*rows:sp*rows], stack[sp*rows:(sp+1)*rows]
+			for i := range a {
+				a[i] += c[i]
+			}
+		case opMul:
+			sp--
+			a, c := stack[(sp-1)*rows:sp*rows], stack[sp*rows:(sp+1)*rows]
+			for i := range a {
+				a[i] *= c[i]
+			}
+		case opPow:
+			sp--
+			a, c := stack[(sp-1)*rows:sp*rows], stack[sp*rows:(sp+1)*rows]
+			for i := range a {
+				a[i] = math.Pow(a[i], c[i])
+			}
+		case opPowC:
+			top := stack[(sp-1)*rows : sp*rows]
+			// The constant-exponent fast paths mirror the scalar run loop
+			// exactly so batched results stay bit-identical.
+			switch in.val {
+			case -1:
+				for i := range top {
+					top[i] = 1 / top[i]
+				}
+			case 0.5:
+				for i := range top {
+					top[i] = math.Sqrt(top[i])
+				}
+			case 2:
+				for i := range top {
+					v := top[i]
+					top[i] = v * v
+				}
+			case 3:
+				for i := range top {
+					v := top[i]
+					top[i] = v * v * v
+				}
+			default:
+				e := in.val
+				for i := range top {
+					top[i] = math.Pow(top[i], e)
+				}
+			}
+		case opMax:
+			sp--
+			a, c := stack[(sp-1)*rows:sp*rows], stack[sp*rows:(sp+1)*rows]
+			for i := range a {
+				if c[i] > a[i] {
+					a[i] = c[i]
+				}
+			}
+		case opMin:
+			sp--
+			a, c := stack[(sp-1)*rows:sp*rows], stack[sp*rows:(sp+1)*rows]
+			for i := range a {
+				if c[i] < a[i] {
+					a[i] = c[i]
+				}
+			}
+		case opCeil:
+			top := stack[(sp-1)*rows : sp*rows]
+			for i := range top {
+				top[i] = math.Ceil(top[i])
+			}
+		case opFloor:
+			top := stack[(sp-1)*rows : sp*rows]
+			for i := range top {
+				top[i] = math.Floor(top[i])
+			}
+		case opLog2:
+			top := stack[(sp-1)*rows : sp*rows]
+			for i := range top {
+				top[i] = math.Log2(top[i])
+			}
+		}
+	}
+	copy(dst, stack[:rows])
+	return dst
+}
+
+// EvalAllBatch is CompileAll's evaluation companion: it runs every program
+// over one batch, writing program i's row vector into
+// dst[i*rows : (i+1)*rows] (program-major). dst is grown as needed and
+// returned; scratch holds the shared operand stack.
+func EvalAllBatch(progs []*Program, b *Batch, dst []float64, s *BatchScratch) []float64 {
+	rows := b.rows
+	need := len(progs) * rows
+	if cap(dst) < need {
+		dst = make([]float64, need)
+	}
+	dst = dst[:need]
+	for i, p := range progs {
+		p.EvalBatchInto(b, dst[i*rows:(i+1)*rows], s)
+	}
+	return dst
+}

@@ -1,0 +1,84 @@
+// Batched-evaluation equivalence over the real workload: every node cost,
+// tensor byte, and graph total expression of all five domain training
+// graphs, evaluated at randomized and representative slot rows, must match
+// the scalar path bit for bit — same summation order, same powc fast
+// paths. External test package so it can import the model builders.
+package symbolic_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"catamount/internal/models"
+	"catamount/internal/symbolic"
+)
+
+// TestEvalBatchMatchesEvalAllDomains is the batched counterpart of
+// TestCompiledEvalMatchesTreeEvalAllDomains: for each domain it compiles
+// every expression of the graph and asserts EvalBatch row results are
+// bit-identical to per-row Eval over a mix of sweep points and randomized
+// (size, batch) rows.
+func TestEvalBatchMatchesEvalAllDomains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds all five domain graphs")
+	}
+	rng := rand.New(rand.NewSource(19))
+	for _, d := range models.AllDomains {
+		d := d
+		t.Run(string(d), func(t *testing.T) {
+			m := models.MustBuild(d)
+			var exprs []symbolic.Expr
+			var names []string
+			for _, n := range m.Graph.Nodes() {
+				exprs = append(exprs, n.FLOPs(), n.Bytes())
+				names = append(names, n.Name+"/flops", n.Name+"/bytes")
+			}
+			for _, tn := range m.Graph.Tensors() {
+				exprs = append(exprs, tn.Bytes())
+				names = append(names, tn.Name+"/tensor-bytes")
+			}
+			exprs = append(exprs, m.ParamExpr(), m.FLOPsExpr(), m.BytesExpr())
+			names = append(names, "params", "total-flops", "total-bytes")
+
+			st := symbolic.NewSymTab()
+			progs := symbolic.CompileAll(exprs, st)
+
+			envs := domainEnvs(m)
+			for i := 0; i < 8; i++ {
+				size := math.Exp(rng.Float64()*8 + 2) // ~7 .. 160k
+				batch := math.Ceil(rng.Float64()*512) + 1
+				envs = append(envs, m.Env(size, batch))
+			}
+
+			rows := len(envs)
+			batch := st.NewBatch(rows)
+			for r, env := range envs {
+				if err := st.BindRow(batch, r, env); err != nil {
+					t.Fatalf("bind row %d: %v", r, err)
+				}
+			}
+
+			slots := st.NewSlots()
+			var scratch symbolic.BatchScratch
+			var got []float64
+			mismatches := 0
+			for i, p := range progs {
+				got = p.EvalBatchInto(batch, got, &scratch)
+				for r, env := range envs {
+					if err := st.Bind(slots, env); err != nil {
+						t.Fatal(err)
+					}
+					want := p.Eval(slots)
+					if math.Float64bits(got[r]) != math.Float64bits(want) {
+						t.Errorf("%s at %v: batch %v (%#x) != scalar %v (%#x)",
+							names[i], env, got[r], math.Float64bits(got[r]), want, math.Float64bits(want))
+						if mismatches++; mismatches > 5 {
+							t.Fatal("too many mismatches")
+						}
+					}
+				}
+			}
+		})
+	}
+}

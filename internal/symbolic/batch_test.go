@@ -1,0 +1,231 @@
+package symbolic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBatchLayout(t *testing.T) {
+	st := NewSymTab("x", "y")
+	b := st.NewBatch(3)
+	if b.Rows() != 3 || b.Slots() != 2 {
+		t.Fatalf("rows=%d slots=%d", b.Rows(), b.Slots())
+	}
+	b.Fill(0, 7)
+	b.Set(1, 1, 42)
+	if got := b.Col(0); got[0] != 7 || got[1] != 7 || got[2] != 7 {
+		t.Fatalf("Fill column = %v", got)
+	}
+	if got := b.Col(1); got[1] != 42 {
+		t.Fatalf("Set column = %v", got)
+	}
+	if err := st.BindRow(b, 2, Env{"x": 1, "y": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Col(0)[2] != 1 || b.Col(1)[2] != 2 {
+		t.Fatal("BindRow wrote wrong cells")
+	}
+	if err := st.BindRow(b, 0, Env{"x": 1}); err == nil {
+		t.Fatal("BindRow accepted an env missing a symbol")
+	}
+
+	// Resize reuses storage and keeps column addressing consistent.
+	b.Resize(2)
+	if b.Rows() != 2 || len(b.Col(1)) != 2 {
+		t.Fatalf("after Resize: rows=%d col=%d", b.Rows(), len(b.Col(1)))
+	}
+}
+
+func TestEvalBatchMatchesScalarRandomExprs(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	syms := []Expr{Symbol("x"), Symbol("y"), Symbol("z")}
+	const rows = 17
+	for trial := 0; trial < 200; trial++ {
+		expr := batchRandExpr(rng, syms, 4)
+		st := SymTabFor(expr)
+		prog := Compile(expr, st)
+
+		batch := st.NewBatch(rows)
+		slots := st.NewSlots()
+		want := make([]float64, rows)
+		envs := make([]Env, rows)
+		for r := 0; r < rows; r++ {
+			env := Env{}
+			for _, s := range syms {
+				env[string(s.(Symbol))] = batchRandVal(rng)
+			}
+			envs[r] = env
+			if err := st.BindRow(batch, r, env); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for r := 0; r < rows; r++ {
+			if err := st.Bind(slots, envs[r]); err != nil {
+				t.Fatal(err)
+			}
+			want[r] = prog.Eval(slots)
+		}
+		got := prog.EvalBatch(batch, nil)
+		for r := 0; r < rows; r++ {
+			if math.Float64bits(got[r]) != math.Float64bits(want[r]) {
+				t.Fatalf("trial %d row %d: EvalBatch %v (%#x) != Eval %v (%#x) for %s",
+					trial, r, got[r], math.Float64bits(got[r]), want[r], math.Float64bits(want[r]), expr)
+			}
+		}
+	}
+}
+
+func TestEvalAllBatchLayoutAndReuse(t *testing.T) {
+	x, y := Symbol("x"), Symbol("y")
+	exprs := []Expr{Add(x, y), Mul(x, y), Pow(x, Const(2))}
+	st := NewSymTab()
+	progs := CompileAll(exprs, st)
+
+	const rows = 5
+	b := st.NewBatch(rows)
+	for r := 0; r < rows; r++ {
+		if err := st.BindRow(b, r, Env{"x": float64(r + 1), "y": 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch BatchScratch
+	dst := EvalAllBatch(progs, b, nil, &scratch)
+	if len(dst) != len(progs)*rows {
+		t.Fatalf("dst len = %d", len(dst))
+	}
+	slots := st.NewSlots()
+	for i, p := range progs {
+		for r := 0; r < rows; r++ {
+			if err := st.Bind(slots, Env{"x": float64(r + 1), "y": 10}); err != nil {
+				t.Fatal(err)
+			}
+			if want := p.Eval(slots); dst[i*rows+r] != want {
+				t.Fatalf("prog %d row %d: %v != %v", i, r, dst[i*rows+r], want)
+			}
+		}
+	}
+	// A second call must reuse both dst and the scratch slab.
+	before := &dst[0]
+	dst2 := EvalAllBatch(progs, b, dst, &scratch)
+	if &dst2[0] != before {
+		t.Fatal("EvalAllBatch reallocated a sufficient dst")
+	}
+}
+
+func TestEvalBatchZeroRows(t *testing.T) {
+	st := NewSymTab("x")
+	p := Compile(Add(Symbol("x"), Const(1)), st)
+	if got := p.EvalBatch(st.NewBatch(0), nil); len(got) != 0 {
+		t.Fatalf("zero-row batch returned %v", got)
+	}
+}
+
+// TestEvalBatchDeepStack exercises a program whose operand stack exceeds
+// the scalar path's inline buffer, so both paths hit their grown-stack
+// branches.
+func TestEvalBatchDeepStack(t *testing.T) {
+	x := Symbol("x")
+	expr := Expr(x)
+	for i := 0; i < maxInlineStack+8; i++ {
+		expr = Max(Const(float64(i)), Mul(expr, Const(1)))
+	}
+	st := SymTabFor(expr)
+	p := Compile(expr, st)
+	if p.Depth() <= maxInlineStack {
+		t.Skipf("depth %d does not exceed inline stack", p.Depth())
+	}
+	slots := st.NewSlots()
+	slots[0] = 3.5
+	b := st.NewBatch(4)
+	b.Fill(0, 3.5)
+	want := p.Eval(slots)
+	for r, got := range p.EvalBatch(b, nil) {
+		if got != want {
+			t.Fatalf("row %d: %v != %v", r, got, want)
+		}
+	}
+}
+
+// batchRandExpr builds a random expression over syms with the full grammar the
+// compiler supports, including constant exponents that trigger every powc
+// fast path.
+func batchRandExpr(rng *rand.Rand, syms []Expr, depth int) Expr {
+	if depth == 0 || rng.Intn(5) == 0 {
+		if rng.Intn(2) == 0 {
+			return syms[rng.Intn(len(syms))]
+		}
+		return Const(batchRandVal(rng))
+	}
+	sub := func() Expr { return batchRandExpr(rng, syms, depth-1) }
+	switch rng.Intn(8) {
+	case 0:
+		return Add(sub(), sub(), sub())
+	case 1:
+		return Mul(sub(), sub())
+	case 2:
+		exps := []float64{-1, 0.5, 2, 3, 1.37}
+		return Pow(sub(), Const(exps[rng.Intn(len(exps))]))
+	case 3:
+		return Pow(sub(), sub())
+	case 4:
+		return Max(sub(), sub())
+	case 5:
+		return Min(sub(), sub())
+	case 6:
+		return Ceil(sub())
+	default:
+		return Log2(sub())
+	}
+}
+
+func batchRandVal(rng *rand.Rand) float64 {
+	// Positive, spanning many magnitudes: analysis expressions evaluate
+	// sizes, batches, and byte counts.
+	return math.Exp(rng.Float64()*20 - 4)
+}
+
+// FuzzEvalBatch drives the batched evaluator with fuzzer-chosen slot
+// values on a fixed expression menu and requires bit-for-bit agreement
+// with the scalar path.
+func FuzzEvalBatch(f *testing.F) {
+	x, y := Symbol("x"), Symbol("y")
+	exprs := []Expr{
+		Add(x, y, Const(3)),
+		Mul(Const(2.5), x, y),
+		Pow(x, Const(-1)), Pow(x, Const(0.5)), Pow(x, Const(2)),
+		Pow(x, Const(3)), Pow(x, Const(1.7)), Pow(x, y),
+		Max(x, Min(y, Const(128))),
+		Ceil(Log2(Add(x, Const(1)))),
+		Floor(Mul(x, Pow(y, Const(-1)))),
+	}
+	st := NewSymTab()
+	progs := CompileAll(exprs, st)
+
+	f.Add(1.0, 2.0, 3.0, 4.0)
+	f.Add(0.0, -1.0, math.Inf(1), math.NaN())
+	f.Add(1e300, 1e-300, -0.0, 65536.0)
+	f.Fuzz(func(t *testing.T, x0, y0, x1, y1 float64) {
+		b := st.NewBatch(2)
+		slots := st.NewSlots()
+		rows := [][2]float64{{x0, y0}, {x1, y1}}
+		for _, p := range progs {
+			got := p.EvalBatch(b, nil) // zero batch first: exercise dst reuse
+			for r, vals := range rows {
+				if err := st.BindRow(b, r, Env{"x": vals[0], "y": vals[1]}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got = p.EvalBatch(b, got)
+			for r, vals := range rows {
+				if err := st.Bind(slots, Env{"x": vals[0], "y": vals[1]}); err != nil {
+					t.Fatal(err)
+				}
+				want := p.Eval(slots)
+				if math.Float64bits(got[r]) != math.Float64bits(want) {
+					t.Fatalf("%s at x=%v y=%v: batch %v != scalar %v", p.Expr(), vals[0], vals[1], got[r], want)
+				}
+			}
+		}
+	})
+}
