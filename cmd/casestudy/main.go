@@ -7,21 +7,26 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	cat "catamount"
+	"catamount/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("casestudy: ")
 	accel := flag.String("accel", "",
 		"Roofline accelerator: catalog name (v100, a100, h100, tpuv3, cpu), @file.json, or empty for the paper's target")
 	costmodel := flag.String("costmodel", "",
 		"step-time cost model: graph (default, §5.2 graph-level roofline) or perop (per-op roofline, §4.1/§5.1)")
 	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
+	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
+	logFormat := flag.String("log-format", "text", "log format (text, json)")
 	flag.Parse()
+	if _, _, err := obs.SetupCLI(os.Stderr, "casestudy", *logLevel, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "casestudy:", err)
+		os.Exit(1)
+	}
 	if *listAccels {
 		cat.PrintAcceleratorCatalog(os.Stdout)
 		return
@@ -29,15 +34,15 @@ func main() {
 
 	acc, err := cat.ResolveAccelerator(*accel)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	cm, err := cat.ParseCostModel(*costmodel)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	cs, err := cat.DefaultEngine().WordLMCaseStudyOnWith(acc, cm)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if *accel != "" {
 		fmt.Printf("Replayed on %s (%.1f TFLOP/s, %.0f GB/s, %.0f GB)\n\n",
@@ -55,4 +60,9 @@ func main() {
 	fmt.Println("  - the cache-hierarchy-aware row models tiled-GEMM input re-streaming;")
 	fmt.Println("  - layer parallelism places {embedding, LSTM0, LSTM1, output} on a")
 	fmt.Println("    4-stage pipeline; sharding water-fills the embedding across stages.")
+}
+
+func fatal(err error) {
+	slog.Error(err.Error())
+	os.Exit(1)
 }

@@ -17,16 +17,15 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	cat "catamount"
+	"catamount/internal/obs"
 	"catamount/internal/sweep"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("catamount: ")
 	domain := flag.String("domain", "wordlm",
 		"domain: wordlm, charlm, nmt, speech, image")
 	params := flag.Float64("params", 1.03e9, "target trainable parameter count")
@@ -43,7 +42,13 @@ func main() {
 	costmodel := flag.String("costmodel", "",
 		"step-time cost model: graph (default, §5.2 graph-level roofline) or perop (per-op roofline, §4.1/§5.1)")
 	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
+	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
+	logFormat := flag.String("log-format", "text", "log format (text, json)")
 	flag.Parse()
+	if _, _, err := obs.SetupCLI(os.Stderr, "catamount", *logLevel, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "catamount:", err)
+		os.Exit(1)
+	}
 	if *listAccels {
 		cat.PrintAcceleratorCatalog(os.Stdout)
 		return
@@ -51,17 +56,17 @@ func main() {
 
 	acc, err := cat.ResolveAccelerator(*accel)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	cm, err := cat.ParseCostModel(*costmodel)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if *format != "table" && *format != "json" && *format != "csv" {
-		log.Fatalf("unknown -format %q (table, json, csv)", *format)
+		fatalf("unknown -format %q (table, json, csv)", *format)
 	}
 	if *format != "table" && !*profile {
-		log.Fatalf("-format %s applies to the -profile breakdown; add -profile", *format)
+		fatalf("-format %s applies to the -profile breakdown; add -profile", *format)
 	}
 
 	// One Engine session serves every query below; the model is built and
@@ -69,18 +74,18 @@ func main() {
 	eng := cat.DefaultEngine()
 	m, err := eng.Model(cat.Domain(*domain))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := cat.SaveCheckpoint(f, m); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println("checkpoint written to", *save)
 	}
@@ -94,18 +99,18 @@ func main() {
 	if *profile && *format != "table" {
 		p, err := eng.Profile(cat.Domain(*domain), *params, *batch)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		switch *format {
 		case "json":
 			for _, kp := range p.ByKind {
 				if err := sweep.WriteJSONLine(os.Stdout, kp); err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 			}
 		case "csv":
 			if err := p.WriteKindCSV(os.Stdout); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 		return
@@ -113,7 +118,7 @@ func main() {
 
 	r, est, err := eng.AnalyzeOn(cat.Domain(*domain), *params, *batch, acc, cm)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	cat.PrintRequirements(os.Stdout, r)
 
@@ -137,9 +142,19 @@ func main() {
 	if *profile {
 		p, err := eng.Profile(cat.Domain(*domain), *params, *batch)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println("\nPer-op profile (top 12 kinds by FLOPs):")
 		p.Print(os.Stdout, 12)
 	}
+}
+
+func fatal(err error) {
+	slog.Error(err.Error())
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...any) {
+	slog.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
 }

@@ -13,27 +13,36 @@
 //	curl -d '{"params":[1e8,1e9],"accelerators":["v100","a100"]}' localhost:8080/v1/sweep
 //	curl 'localhost:8080/metrics'
 //
-// See the README's "Serving: catamountd" section for the full API.
+// Observability:
+//
+//	catamountd -log-format json -log-level debug   # structured request + span logs
+//	catamountd -pprof-addr localhost:6060          # net/http/pprof on a second listener
+//	curl 'localhost:8080/metrics'                  # Prometheus text exposition
+//	curl 'localhost:8080/metrics.json'             # legacy JSON counters
+//
+// See the README's "Serving: catamountd" and "Observability" sections for
+// the full API.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	cat "catamount"
+	"catamount/internal/obs"
 	"catamount/internal/server"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("catamountd: ")
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheEntries := flag.Int("cache", 1024, "LRU response cache entries")
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent request limit (0 = 4x GOMAXPROCS)")
@@ -41,34 +50,74 @@ func main() {
 	maxSweep := flag.Int("max-sweep-points", 0, "largest grid POST /v1/sweep may stream (0 = 100000)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown drain window")
 	warm := flag.Bool("warm", false, "build and compile every domain model before listening")
+	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
+	logFormat := flag.String("log-format", "text", "log format (text, json)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (off when empty)")
 	flag.Parse()
 
+	if err := run(*addr, *cacheEntries, *maxInFlight, *timeout, *maxSweep,
+		*grace, *warm, *logLevel, *logFormat, *pprofAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "catamountd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cacheEntries, maxInFlight int, timeout time.Duration,
+	maxSweep int, grace time.Duration, warm bool, logLevel, logFormat, pprofAddr string) error {
+	_, logger, err := obs.SetupCLI(os.Stderr, "catamountd", logLevel, logFormat)
+	if err != nil {
+		return err
+	}
+
 	eng := cat.NewEngine()
-	if *warm {
+	if warm {
 		start := time.Now()
 		for _, d := range cat.Domains() {
 			if _, err := eng.Analyzer(d); err != nil {
-				log.Fatalf("warming %s: %v", d, err)
+				return fmt.Errorf("warming %s: %w", d, err)
 			}
 		}
-		log.Printf("warmed %d domain models in %v", len(cat.Domains()), time.Since(start).Round(time.Millisecond))
+		logger.Info("warmed domain models",
+			slog.Int("domains", len(cat.Domains())),
+			slog.Duration("took", time.Since(start).Round(time.Millisecond)))
 	}
 
 	srv := server.New(server.Config{
 		Engine:         eng,
-		CacheEntries:   *cacheEntries,
-		MaxInFlight:    *maxInFlight,
-		Timeout:        *timeout,
-		MaxSweepPoints: *maxSweep,
+		CacheEntries:   cacheEntries,
+		MaxInFlight:    maxInFlight,
+		Timeout:        timeout,
+		MaxSweepPoints: maxSweep,
+		Logger:         logger,
 	})
 	hs := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 		// Bound body reads too: checkpoint uploads stream through the
 		// handler, and a stalled upload should not hold a connection (and
 		// an admission slot) past the request deadline.
-		ReadTimeout: *timeout + 10*time.Second,
+		ReadTimeout: timeout + 10*time.Second,
+	}
+
+	// The profiling listener is separate from the API listener so pprof is
+	// never exposed on the serving port, skips the admission limiter and
+	// request deadline, and can be bound to localhost only.
+	if pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Addr: pprofAddr, Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof listening", slog.String("addr", pprofAddr))
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", slog.Any("err", err))
+			}
+		}()
+		defer ps.Close()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -77,19 +126,23 @@ func main() {
 	go func() {
 		defer close(done)
 		<-ctx.Done()
-		log.Printf("shutting down, draining for up to %v", *grace)
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		logger.Info("shutting down", slog.Duration("grace", grace))
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
-			log.Printf("forced shutdown: %v", err)
+			logger.Warn("forced shutdown", slog.Any("err", err))
 			hs.Close()
 		}
 	}()
 
-	log.Printf("listening on %s (cache %d entries, timeout %v)", *addr, *cacheEntries, *timeout)
+	logger.Info("listening",
+		slog.String("addr", addr),
+		slog.Int("cache_entries", cacheEntries),
+		slog.Duration("timeout", timeout))
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		return err
 	}
 	<-done
-	log.Printf("bye")
+	logger.Info("bye")
+	return nil
 }

@@ -9,16 +9,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 
 	cat "catamount"
+	"catamount/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("figures: ")
 	fig := flag.String("fig", "all", "figure to emit: 6, 7, 8, 9, 10, 11, 12 or all")
 	out := flag.String("out", "", "output directory (default stdout)")
 	accel := flag.String("accel", "",
@@ -26,7 +25,13 @@ func main() {
 	costmodel := flag.String("costmodel", "",
 		"step-time cost model for Figures 11 and 12: graph (default, §5.2 graph-level roofline) or perop (per-op roofline, §4.1/§5.1)")
 	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
+	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
+	logFormat := flag.String("log-format", "text", "log format (text, json)")
 	flag.Parse()
+	if _, _, err := obs.SetupCLI(os.Stderr, "figures", *logLevel, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
 	if *listAccels {
 		cat.PrintAcceleratorCatalog(os.Stdout)
 		return
@@ -34,11 +39,11 @@ func main() {
 
 	acc, err := cat.ResolveAccelerator(*accel)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	cm, err := cat.ParseCostModel(*costmodel)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	writer := func(name string) (io.Writer, func(), error) {
@@ -67,18 +72,18 @@ func main() {
 		var err error
 		sweeps, err = eng.FigureSweeps()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 
 	if want("6") {
 		w, done, err := writer("figure_6_learning_curve")
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		pts, err := cat.Figure6(cat.WordLM)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		cat.WriteFigure6CSV(w, pts)
 		done()
@@ -89,7 +94,7 @@ func main() {
 		}
 		w, done, err := writer("figure_" + n + "_sweep")
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		cat.WriteSweepCSV(w, sweeps)
 		done()
@@ -101,11 +106,11 @@ func main() {
 	if want("10") {
 		w, done, err := writer("figure_10_footprint")
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		series, err := eng.Figure10()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		cat.WriteFootprintCSV(w, series)
 		done()
@@ -113,11 +118,11 @@ func main() {
 	if want("11") {
 		w, done, err := writer("figure_11_subbatch")
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		data, err := eng.Figure11With(acc, cm)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		cat.WriteFigure11CSV(w, data)
 		done()
@@ -125,13 +130,18 @@ func main() {
 	if want("12") {
 		w, done, err := writer("figure_12_data_parallel")
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		data, err := eng.Figure12OnWith(acc, cm)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		cat.WriteFigure12CSV(w, data)
 		done()
 	}
+}
+
+func fatal(err error) {
+	slog.Error(err.Error())
+	os.Exit(1)
 }

@@ -10,22 +10,27 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	cat "catamount"
+	"catamount/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("frontier: ")
 	table := flag.String("table", "all", "table to print: 1, 2, 3, 4 or all")
 	accel := flag.String("accel", "",
 		"Roofline accelerator for Tables 3 and 4: catalog name (v100, a100, h100, tpuv3, cpu), @file.json, or empty for the paper's target")
 	costmodel := flag.String("costmodel", "",
 		"step-time cost model for Table 3: graph (default, §5.2 graph-level roofline) or perop (per-op roofline, §4.1/§5.1)")
 	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
+	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
+	logFormat := flag.String("log-format", "text", "log format (text, json)")
 	flag.Parse()
+	if _, _, err := obs.SetupCLI(os.Stderr, "frontier", *logLevel, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "frontier:", err)
+		os.Exit(1)
+	}
 	if *listAccels {
 		cat.PrintAcceleratorCatalog(os.Stdout)
 		return
@@ -33,11 +38,11 @@ func main() {
 
 	acc, err := cat.ResolveAccelerator(*accel)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	cm, err := cat.ParseCostModel(*costmodel)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	want := func(t string) bool { return *table == "all" || *table == t }
 
@@ -48,7 +53,7 @@ func main() {
 	if want("1") {
 		projs, err := cat.AccuracyProjections()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println("Table 1: learning-curve and model-size scaling projections")
 		cat.PrintTable1(os.Stdout, projs)
@@ -57,7 +62,7 @@ func main() {
 	if want("2") {
 		asyms, err := eng.AsymptoticTable()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println("Table 2: asymptotic application-level compute requirements")
 		cat.PrintTable2(os.Stdout, asyms)
@@ -66,7 +71,7 @@ func main() {
 	if want("3") {
 		rows, err := eng.FrontierTableWith(acc, cm)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		header := "Table 3: training requirements projected to target accuracy"
 		if *costmodel != "" {
@@ -80,4 +85,9 @@ func main() {
 		fmt.Println("Table 4: target accelerator configuration")
 		cat.PrintTable4(os.Stdout, acc)
 	}
+}
+
+func fatal(err error) {
+	slog.Error(err.Error())
+	os.Exit(1)
 }

@@ -16,7 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -25,13 +25,12 @@ import (
 	"text/tabwriter"
 
 	cat "catamount"
+	"catamount/internal/obs"
 	"catamount/internal/plan"
 	"catamount/internal/sweep"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("plan: ")
 	domain := flag.String("domain", "wordlm", "domain: wordlm, charlm, nmt, speech, image")
 	targetErr := flag.Float64("target-err", 0,
 		"desired accuracy in the domain's error metric (0 = the paper's Table 1 desired SOTA)")
@@ -53,14 +52,22 @@ func main() {
 	all := flag.Bool("all", false, "emit every candidate (annotated), not just the Pareto frontier")
 	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
 	bench := flag.String("bench", "", "run the reference bench harness and write its BENCH json to this path (\"-\" = stdout)")
+	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
+	logFormat := flag.String("log-format", "text", "log format (text, json)")
 	flag.Parse()
 
+	runCtx, _, err := obs.SetupCLI(os.Stderr, "plan", *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plan:", err)
+		os.Exit(1)
+	}
 	if *listAccels {
 		cat.PrintAcceleratorCatalog(os.Stdout)
 		return
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// The run ID rides the signal context into plan_evaluate stage spans.
+	ctx, stop := signal.NotifyContext(runCtx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if *bench != "" {
@@ -78,12 +85,11 @@ func main() {
 		CostModel:   *costmodel,
 		Workers:     *pool,
 	}
-	var err error
 	if spec.Subbatches, err = parseFloats(*subbatch); err != nil {
-		log.Fatalf("-subbatch: %v", err)
+		fatalf("-subbatch: %v", err)
 	}
 	if spec.WorkerCounts, err = parseInts(*workersList); err != nil {
-		log.Fatalf("-worker-counts: %v", err)
+		fatalf("-worker-counts: %v", err)
 	}
 	// The CLI resolves accelerators itself (for @file.json support) and
 	// hands the spec resolved devices, like cmd/sweep.
@@ -91,7 +97,7 @@ func main() {
 		for _, ref := range splitList(*accel) {
 			acc, err := cat.ResolveAccelerator(ref)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			spec.Custom = append(spec.Custom, acc)
 		}
@@ -99,7 +105,7 @@ func main() {
 
 	res, err := cat.DefaultEngine().PlanSearch(ctx, spec)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	switch *format {
@@ -110,13 +116,13 @@ func main() {
 		}
 		for _, p := range plans {
 			if err := sweep.WriteJSONLine(os.Stdout, p); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 	case "table":
 		printTable(res, *all)
 	default:
-		log.Fatalf("unknown -format %q (table, ndjson)", *format)
+		fatalf("unknown -format %q (table, ndjson)", *format)
 	}
 }
 
@@ -125,23 +131,27 @@ func main() {
 func runBench(ctx context.Context, path string) {
 	rep, err := plan.RunBench(ctx, plan.ReferenceSearch())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	out := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer f.Close()
 		out = f
 	}
 	if err := plan.WriteReport(out, rep); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	log.Printf("%d candidates: cold %.2fs (%.0f plans/s), warm %.3fs (%.0f plans/s, %.1fx)",
-		rep.Candidates, rep.ColdSeconds, rep.ColdPlansPerSec,
-		rep.WarmSeconds, rep.WarmPlansPerSec, rep.ColdOverWarm)
+	slog.Info("plan bench complete",
+		slog.Int("candidates", rep.Candidates),
+		slog.Float64("cold_s", rep.ColdSeconds),
+		slog.Float64("cold_plans_per_s", rep.ColdPlansPerSec),
+		slog.Float64("warm_s", rep.WarmSeconds),
+		slog.Float64("warm_plans_per_s", rep.WarmPlansPerSec),
+		slog.Float64("cold_over_warm", rep.ColdOverWarm))
 }
 
 func printTable(res *cat.PlanResult, all bool) {
@@ -243,4 +253,14 @@ func parseInts(list string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+func fatal(err error) {
+	slog.Error(err.Error())
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...any) {
+	slog.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
 }

@@ -26,7 +26,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -37,12 +37,11 @@ import (
 	"text/tabwriter"
 
 	cat "catamount"
+	"catamount/internal/obs"
 	"catamount/internal/sweep"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sweep: ")
 	domains := flag.String("domains", "", "comma-separated domains (wordlm,charlm,nmt,speech,image); empty or \"all\" = all five")
 	params := flag.String("params", "", "comma-separated parameter-count targets, e.g. 1e8,1e9")
 	paramMin := flag.Float64("param-min", 0, "log-spaced range: smallest parameter target")
@@ -65,7 +64,14 @@ func main() {
 	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
+	logFormat := flag.String("log-format", "text", "log format (text, json)")
 	flag.Parse()
+	runCtx, _, err := obs.SetupCLI(os.Stderr, "sweep", *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
 	if *listAccels {
 		cat.PrintAcceleratorCatalog(os.Stdout)
 		return
@@ -74,15 +80,15 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			log.Fatalf("-cpuprofile: %v", err)
+			fatalf("-cpuprofile: %v", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatalf("-cpuprofile: %v", err)
+			fatalf("-cpuprofile: %v", err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
 			if err := f.Close(); err != nil {
-				log.Fatalf("-cpuprofile: %v", err)
+				fatalf("-cpuprofile: %v", err)
 			}
 		}()
 	}
@@ -90,17 +96,17 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				log.Fatalf("-memprofile: %v", err)
+				fatalf("-memprofile: %v", err)
 			}
 			defer f.Close()
 			runtime.GC() // settle live heap so the profile reflects retained memory
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatalf("-memprofile: %v", err)
+				fatalf("-memprofile: %v", err)
 			}
 		}()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := signal.NotifyContext(runCtx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	eng := cat.DefaultEngine()
@@ -120,31 +126,31 @@ func main() {
 
 	accs, err := resolveAccelerators(*accel)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	cm, err := cat.ParseCostModel(*costmodel)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	switch {
 	case *table3:
 		if err := eng.WriteFrontierGridWith(os.Stdout, accs, cm); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return
 	case *figure == "11":
 		if err := eng.WriteFigure11GridWith(os.Stdout, accs, cm); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return
 	case *figure == "12":
 		if err := eng.WriteFigure12GridWith(os.Stdout, accs, cm); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return
 	case *figure != "":
-		log.Fatalf("unknown -figure %q (11 or 12)", *figure)
+		fatalf("unknown -figure %q (11 or 12)", *figure)
 	}
 
 	spec := cat.SweepSpec{
@@ -158,10 +164,10 @@ func main() {
 		spec.Domains = splitList(*domains)
 	}
 	if spec.Params, err = parseFloats(*params); err != nil {
-		log.Fatalf("-params: %v", err)
+		fatalf("-params: %v", err)
 	}
 	if spec.Subbatches, err = parseFloats(*subbatch); err != nil {
-		log.Fatalf("-subbatch: %v", err)
+		fatalf("-subbatch: %v", err)
 	}
 	// The CLI resolves accelerators itself (for @file.json support) and
 	// hands the spec resolved devices.
@@ -171,11 +177,11 @@ func main() {
 	// leave a bare CSV header in piped output.
 	runner, err := sweep.New(eng, spec)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	emit, finish := emitter(*format)
 	if err := runner.Run(ctx, emit); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	finish()
 }
@@ -192,7 +198,7 @@ func emitter(format string) (func(cat.SweepPoint) error, func()) {
 	case "csv":
 		enc := sweep.NewLineEncoder(os.Stdout)
 		if err := enc.CSVHeader(); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return func(p cat.SweepPoint) error {
 			return enc.CSVRecord(p)
@@ -215,7 +221,7 @@ func emitter(format string) (func(cat.SweepPoint) error, func()) {
 				tw.Flush()
 			}
 	default:
-		log.Fatalf("unknown -format %q (ndjson, csv, table)", format)
+		fatalf("unknown -format %q (ndjson, csv, table)", format)
 		return nil, nil
 	}
 }
@@ -225,23 +231,28 @@ func emitter(format string) (func(cat.SweepPoint) error, func()) {
 func runBench(ctx context.Context, path string) {
 	rep, err := sweep.RunBench(ctx, sweep.ReferenceSpec())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	out := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer f.Close()
 		out = f
 	}
 	if err := sweep.WriteReport(out, rep); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	log.Printf("%d points: cold %.2fs (%.0f pts/s), warm %.3fs (%.0f pts/s, %.1fx), %.1f allocs/pt",
-		rep.GridPoints, rep.ColdSeconds, rep.ColdPointsPerSec,
-		rep.WarmSeconds, rep.WarmPointsPerSec, rep.ColdOverWarm, rep.AllocsPerPoint)
+	slog.Info("bench complete",
+		slog.Int("points", rep.GridPoints),
+		slog.Float64("cold_s", rep.ColdSeconds),
+		slog.Float64("cold_pts_per_s", rep.ColdPointsPerSec),
+		slog.Float64("warm_s", rep.WarmSeconds),
+		slog.Float64("warm_pts_per_s", rep.WarmPointsPerSec),
+		slog.Float64("cold_over_warm", rep.ColdOverWarm),
+		slog.Float64("allocs_per_point", rep.AllocsPerPoint))
 }
 
 // runCostModelBench runs the reference grid under both step-time backends
@@ -250,23 +261,27 @@ func runBench(ctx context.Context, path string) {
 func runCostModelBench(ctx context.Context, path string) {
 	rep, err := sweep.RunCostModelBench(ctx)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	out := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer f.Close()
 		out = f
 	}
 	if err := sweep.WriteCostModelReport(out, rep); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	log.Printf("%d points: graph %.0f proj/s (%.1f allocs), perop %.0f proj/s (%.1f allocs), %.2fx overhead",
-		rep.GridPoints, rep.GraphProjectionsPerSec, rep.GraphAllocsPerProjection,
-		rep.PerOpProjectionsPerSec, rep.PerOpAllocsPerProjection, rep.PerOpOverGraph)
+	slog.Info("costmodel bench complete",
+		slog.Int("points", rep.GridPoints),
+		slog.Float64("graph_proj_per_s", rep.GraphProjectionsPerSec),
+		slog.Float64("graph_allocs", rep.GraphAllocsPerProjection),
+		slog.Float64("perop_proj_per_s", rep.PerOpProjectionsPerSec),
+		slog.Float64("perop_allocs", rep.PerOpAllocsPerProjection),
+		slog.Float64("perop_over_graph", rep.PerOpOverGraph))
 }
 
 // runBatchBench runs the reference grid batched and as a scalar per-point
@@ -275,23 +290,28 @@ func runCostModelBench(ctx context.Context, path string) {
 func runBatchBench(ctx context.Context, path string) {
 	rep, err := sweep.RunBatchBench(ctx)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	out := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer f.Close()
 		out = f
 	}
 	if err := sweep.WriteBatchBenchReport(out, rep); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	log.Printf("%d points: batched %.0f pts/s (%.0f B/pt), scalar %.0f pts/s, %.2fx speedup, perop/graph %.2fx, %.1fx bytes reduction vs pr3",
-		rep.GridPoints, rep.BatchedPointsPerSec, rep.BatchedBytesPerPoint,
-		rep.ScalarPointsPerSec, rep.BatchedOverScalar, rep.PerOpOverGraph, rep.BytesReduction)
+	slog.Info("batch bench complete",
+		slog.Int("points", rep.GridPoints),
+		slog.Float64("batched_pts_per_s", rep.BatchedPointsPerSec),
+		slog.Float64("batched_bytes_per_point", rep.BatchedBytesPerPoint),
+		slog.Float64("scalar_pts_per_s", rep.ScalarPointsPerSec),
+		slog.Float64("batched_over_scalar", rep.BatchedOverScalar),
+		slog.Float64("perop_over_graph", rep.PerOpOverGraph),
+		slog.Float64("bytes_reduction", rep.BytesReduction))
 }
 
 // resolveAccelerators parses the -accel list: names, aliases, @file.json,
@@ -335,4 +355,14 @@ func parseFloats(list string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+func fatal(err error) {
+	slog.Error(err.Error())
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...any) {
+	slog.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
 }

@@ -2,6 +2,7 @@ package catamount
 
 import (
 	"container/list"
+	"context"
 	"sync"
 
 	"catamount/internal/core"
@@ -9,6 +10,7 @@ import (
 	"catamount/internal/graph"
 	"catamount/internal/hw"
 	"catamount/internal/models"
+	"catamount/internal/obs"
 	"catamount/internal/parallel"
 	"catamount/internal/scaling"
 )
@@ -100,6 +102,10 @@ func (e *Engine) Analyzer(d Domain) (*core.Analyzer, error) {
 	}
 	e.mu.Unlock()
 	ent.once.Do(func() {
+		// The build-and-compile is the engine's coldest stage: its latency
+		// distribution (one observation per domain per process, ~100ms-1s)
+		// separates cold-start cost from steady-state serving in /metrics.
+		defer obs.Span(context.Background(), "model_build").End()
 		m, err := models.Build(d)
 		if err != nil {
 			ent.err = err
@@ -108,6 +114,30 @@ func (e *Engine) Analyzer(d Domain) (*core.Analyzer, error) {
 		ent.a, ent.err = core.NewAnalyzer(m)
 	})
 	return ent.a, ent.err
+}
+
+// CacheStats is a point-in-time view of the engine's memo occupancy: how
+// many domain models are built and compiled, and how many case-study and
+// planner results are retained. The serving layer reports it in /healthz.
+type CacheStats struct {
+	Domains     int `json:"domains"`
+	CaseStudies int `json:"case_studies"`
+	Plans       int `json:"plans"`
+}
+
+// CacheStats snapshots the engine's memo occupancy.
+func (e *Engine) CacheStats() CacheStats {
+	var s CacheStats
+	e.mu.Lock()
+	s.Domains = len(e.entries)
+	e.mu.Unlock()
+	e.csMu.Lock()
+	s.CaseStudies = len(e.caseStudies)
+	e.csMu.Unlock()
+	e.planMu.Lock()
+	s.Plans = len(e.plans)
+	e.planMu.Unlock()
+	return s
 }
 
 // Model returns the engine's memoized model for a domain. The model is

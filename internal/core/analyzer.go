@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -11,9 +12,20 @@ import (
 	"catamount/internal/graph"
 	"catamount/internal/hw"
 	"catamount/internal/models"
+	"catamount/internal/obs"
 	"catamount/internal/ops"
 	"catamount/internal/scaling"
 	"catamount/internal/symbolic"
+)
+
+// Stage histograms are resolved once at package init so hot-path spans
+// (per-point characterizations, per-task batches) cost two clock reads and
+// one lock-free Observe — nothing else. All record into obs.Default under
+// catamount_stage_duration_seconds{stage="..."}.
+var (
+	stageCharacterize      = obs.Stage("characterize")
+	stageCharacterizeBatch = obs.Stage("characterize_batch")
+	stageFootprint         = obs.Stage("footprint")
 )
 
 // Analyzer is a compiled characterization session for one model. It is built
@@ -115,6 +127,7 @@ func (a *Analyzer) Characterize(size, batch float64, policy graph.SchedulePolicy
 func (a *Analyzer) characterize(slots []float64, fp *graph.FootprintScratch, size, batch float64,
 	policy graph.SchedulePolicy) (Requirements, error) {
 
+	defer obs.StartSpan(context.Background(), "characterize", stageCharacterize).End()
 	a.bind(slots, size, batch)
 	r := Requirements{
 		Domain: a.Model.Domain,
@@ -133,7 +146,9 @@ func (a *Analyzer) characterize(slots []float64, fp *graph.FootprintScratch, siz
 	if r.BytesPerStep > 0 {
 		r.Intensity = r.FLOPsPerStep / r.BytesPerStep
 	}
+	fsp := obs.StartSpan(context.Background(), "footprint", stageFootprint)
 	res, err := a.Compiled.FootprintInto(slots, policy, fp)
+	fsp.End()
 	if err != nil {
 		return r, err
 	}
@@ -191,6 +206,10 @@ func (s *Session) CharacterizeBatch(sizes, batches []float64, policy graph.Sched
 	if len(sizes) != len(batches) {
 		return nil, nil, fmt.Errorf("core: %d sizes but %d batches", len(sizes), len(batches))
 	}
+	// One span per batch (≤ ~32 rows), not per row: the whole point of the
+	// batched path is that per-row work is a few array reads, so the timing
+	// granularity matches the unit of work the scheduler dispatches.
+	defer obs.StartSpan(context.Background(), "characterize_batch", stageCharacterizeBatch).End()
 	a := s.a
 	rows := len(sizes)
 	if cap(reqs) < rows {
@@ -215,6 +234,7 @@ func (s *Session) CharacterizeBatch(sizes, batches []float64, policy graph.Sched
 	v.bwd = a.bwdFLOPs.EvalBatchInto(s.batch, v.bwd, &s.eval)
 	v.tensUniq = a.Compiled.TensorBytesBatch(s.batch, v.tensUniq, &s.eval)
 
+	fsp := obs.StartSpan(context.Background(), "footprint", stageFootprint)
 	for r := 0; r < rows; r++ {
 		req := Requirements{
 			Domain: a.Model.Domain,
@@ -235,12 +255,14 @@ func (s *Session) CharacterizeBatch(sizes, batches []float64, policy graph.Sched
 		}
 		res, err := a.Compiled.FootprintFromBatch(v.tensUniq, rows, r, policy, &s.fp)
 		if err != nil {
+			fsp.End()
 			return reqs, nil, err
 		}
 		req.FootprintBytes = res.PeakBytes
 		req.PersistentBytes = res.PersistentBytes
 		reqs[r] = req
 	}
+	fsp.End()
 
 	s.costs = costmodel.CostsBatch{Rows: rows, FLOPs: v.flops, Bytes: v.bytes}
 	if withOps {

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Text-format grammar (Prometheus exposition version 0.0.4): every
+// non-empty line is a HELP/TYPE comment or a `name{labels} value` sample.
+var (
+	helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	typeRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[+-]?[0-9][^ ]*)( [0-9]+)?$`)
+)
+
+// ValidateExposition checks every line of a Prometheus text payload
+// against the format grammar, returning the first offending line. The
+// server's exposition tests and the CI scrape check both run payloads
+// through it.
+func ValidateExposition(payload string) error {
+	for i, line := range strings.Split(payload, "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP"):
+			if !helpRe.MatchString(line) {
+				return fmt.Errorf("line %d: malformed HELP: %q", i+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE"):
+			if !typeRe.MatchString(line) {
+				return fmt.Errorf("line %d: malformed TYPE: %q", i+1, line)
+			}
+		case strings.HasPrefix(line, "#"):
+			return fmt.Errorf("line %d: unknown comment form: %q", i+1, line)
+		default:
+			if !sampleRe.MatchString(line) {
+				return fmt.Errorf("line %d: malformed sample: %q", i+1, line)
+			}
+		}
+	}
+	return nil
+}

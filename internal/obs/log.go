@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLogLevel maps a -log-level flag value to a slog.Level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (debug, info, warn, error)", s)
+}
+
+// NewLogger builds a slog.Logger writing to w in the requested format
+// ("text" or "json") at the given level.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (text, json)", format)
+}
+
+// SetupCLI wires structured logging for a command-line tool: it builds a
+// logger tagged with the command name, installs it as the slog default,
+// enables span trace lines at debug level, and returns a context carrying
+// a fresh run ID so stage spans triggered by this invocation correlate.
+//
+// Every cmd/* main calls this once after flag parsing:
+//
+//	ctx, logger, err := obs.SetupCLI(os.Stderr, "sweep", *logLevel, *logFormat)
+func SetupCLI(w io.Writer, cmd, level, format string) (context.Context, *slog.Logger, error) {
+	lv, err := ParseLogLevel(level)
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := NewLogger(w, format, lv)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Tagged run_id, not request_id: server request logs add a per-request
+	// request_id attribute, and the two must not collide in one record.
+	id := NewRequestID()
+	logger := base.With(slog.String("cmd", cmd), slog.String("run_id", id))
+	slog.SetDefault(logger)
+	if lv <= slog.LevelDebug {
+		SetTraceLogger(logger)
+	}
+	return WithRequestID(context.Background(), id), logger, nil
+}

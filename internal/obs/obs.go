@@ -1,0 +1,347 @@
+// Package obs is the process-wide observability substrate: a dependency-
+// free metrics registry (counters, gauges, fixed-bucket latency histograms)
+// with Prometheus text exposition, plus a goroutine-safe, allocation-free
+// span API for per-stage engine timings and request-scoped structured
+// logging.
+//
+// The paper this repository reproduces is an argument for *measuring* where
+// deep learning compute time goes instead of guessing; obs applies the same
+// discipline to the reproduction itself. Every projection layer (engine
+// facade, core characterization, bulk sweeps, capacity planning) records
+// its stage latencies into the package-level Default registry, and the
+// serving layer exposes them — together with its own per-endpoint request
+// histograms — at GET /metrics in the Prometheus text format.
+//
+// Hot-path contract: Counter.Add, Gauge.Set and Histogram.Observe are
+// single atomic operations (Observe is one bucket increment plus a CAS-loop
+// float add) and never allocate; Span start/end allocates nothing either,
+// so instrumentation can ride inside the batched sweep loop without moving
+// the pinned bench floors.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind labels a metric family for exposition.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Label is one constant name="value" pair baked into a metric's identity at
+// registration time. Families with the same metric name and different label
+// values (per-endpoint, per-stage) group under one HELP/TYPE header.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// metric is one registered series: a family name, its constant labels, and
+// the instrument behind it (exactly one of counter/gauge/gaugeFn/hist).
+type metric struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []Label
+
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// Registry holds a set of metric families. Registration is idempotent per
+// (name, labels) identity: re-registering returns the existing instrument,
+// so package-level stage histograms can be resolved lazily from several
+// call sites without coordination. Safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric // keyed by name + rendered labels
+	order   []string           // registration order, for stable exposition
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Default is the process-wide registry the engine's stage spans record
+// into. The serving layer exposes it alongside its own registry; CLIs and
+// tests read it directly.
+var Default = NewRegistry()
+
+// seriesKey renders a metric's identity. Label order is significant and
+// callers registering one family use a consistent order, so no sort.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	key := name
+	for _, l := range labels {
+		key += "\x00" + l.Name + "\x01" + l.Value
+	}
+	return key
+}
+
+// register resolves or creates the series, enforcing that an existing
+// series keeps its kind. It returns the (possibly pre-existing) metric.
+func (r *Registry) register(name, help string, kind Kind, labels []Label, build func() *metric) *metric {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	m, ok := r.metrics[key]
+	r.mu.RUnlock()
+	if ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %s, was %s", name, kind, m.kind))
+		}
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok = r.metrics[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %s, was %s", name, kind, m.kind))
+		}
+		return m
+	}
+	m = build()
+	m.name, m.help, m.kind, m.labels = name, help, kind, labels
+	r.metrics[key] = m
+	r.order = append(r.order, key)
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing int64. The zero value is usable,
+// but an unregistered counter is invisible to exposition.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter; negative deltas are ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter registers (or resolves) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.register(name, help, KindCounter, labels, func() *metric {
+		return &metric{counter: &Counter{}}
+	})
+	return m.counter
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// Gauge is a float64 that can go up and down, stored as IEEE bits for
+// lock-free access.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by delta via CAS.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Gauge registers (or resolves) a settable gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.register(name, help, KindGauge, labels, func() *metric {
+		return &metric{gauge: &Gauge{}}
+	})
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at exposition
+// time — the right shape for occupancy numbers another structure already
+// tracks (cache entries, in-flight requests).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, KindGauge, labels, func() *metric {
+		return &metric{gaugeFn: fn}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// DefBuckets are the default latency buckets, log-spaced from 10µs to ~82s
+// (factor 4). Engine stages span from sub-millisecond batched
+// characterizations to multi-second cold sweeps, so the range is wider and
+// coarser than a web-service default.
+var DefBuckets = []float64{
+	1e-5, 4e-5, 1.6e-4, 6.4e-4, 2.56e-3, 1.024e-2,
+	4.096e-2, 0.16384, 0.65536, 2.62144, 10.48576, 41.94304,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free: one
+// atomic bucket increment plus a CAS float add to the sum. Snapshots are
+// read-stabilized so count/sum/buckets cohere even under concurrent
+// observation.
+type Histogram struct {
+	upper  []float64      // bucket upper bounds, ascending; +Inf implicit
+	counts []atomic.Int64 // len(upper)+1, last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// newHistogram validates and copies the bucket bounds.
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	up := make([]float64, len(buckets))
+	copy(up, buckets)
+	for i := 1; i < len(up); i++ {
+		if !(up[i] > up[i-1]) {
+			panic(fmt.Sprintf("obs: histogram buckets must be strictly increasing, got %v", buckets))
+		}
+	}
+	return &Histogram{upper: up, counts: make([]atomic.Int64, len(up)+1)}
+}
+
+// Observe records one value. Allocation-free.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket counts are small (≤ ~16) and the branch pattern
+	// is friendlier than binary search at this size.
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a coherent point-in-time view of a histogram.
+type HistogramSnapshot struct {
+	Count int64
+	Sum   float64
+	// Upper are the bucket upper bounds (excluding +Inf); Cumulative[i] is
+	// the count of observations ≤ Upper[i]. Cumulative has one extra final
+	// entry equal to Count (the +Inf bucket).
+	Upper      []float64
+	Cumulative []int64
+}
+
+// Snapshot captures the histogram. It re-reads until the total count is
+// stable across a pass, so the cumulative buckets sum to Count even while
+// observations race in.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Upper:      h.upper,
+		Cumulative: make([]int64, len(h.counts)),
+	}
+	for tries := 0; ; tries++ {
+		before := h.count.Load()
+		var cum int64
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			s.Cumulative[i] = cum
+		}
+		s.Sum = math.Float64frombits(h.sum.Load())
+		after := h.count.Load()
+		if before == after && cum == after {
+			s.Count = after
+			return s
+		}
+		if tries >= 8 {
+			// Contended beyond patience: surface the bucket total so the
+			// count/sum/bucket invariant holds within this snapshot.
+			s.Count = cum
+			return s
+		}
+	}
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the snapshot by
+// linear interpolation within the owning bucket, the standard Prometheus
+// histogram_quantile estimation. Returns NaN on an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	idx := sort.Search(len(s.Cumulative), func(i int) bool {
+		return float64(s.Cumulative[i]) >= rank
+	})
+	if idx >= len(s.Upper) {
+		// Rank falls in the +Inf bucket: the highest finite bound is the
+		// best available estimate.
+		return s.Upper[len(s.Upper)-1]
+	}
+	lo, hiCount := 0.0, s.Cumulative[idx]
+	loCount := int64(0)
+	if idx > 0 {
+		lo = s.Upper[idx-1]
+		loCount = s.Cumulative[idx-1]
+	}
+	hi := s.Upper[idx]
+	if hiCount == loCount {
+		return hi
+	}
+	return lo + (hi-lo)*(rank-float64(loCount))/float64(hiCount-loCount)
+}
+
+// Histogram registers (or resolves) a histogram series with the given
+// bucket upper bounds (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	m := r.register(name, help, KindHistogram, labels, func() *metric {
+		return &metric{hist: newHistogram(buckets)}
+	})
+	return m.hist
+}

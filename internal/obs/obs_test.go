@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "help"); again != c {
+		t.Fatal("re-registration did not resolve the existing counter")
+	}
+
+	g := r.Gauge("g", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs_total", "h", Label{Name: "endpoint", Value: "/a"})
+	b := r.Counter("reqs_total", "h", Label{Name: "endpoint", Value: "/b"})
+	if a == b {
+		t.Fatal("distinct label values resolved to one series")
+	}
+	a.Inc()
+	if b.Value() != 0 {
+		t.Fatal("label series share state")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "h")
+}
+
+func TestHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "h", []float64{0.01, 0.1, 1})
+	obsd := []float64{0.005, 0.02, 0.02, 0.5, 3, 100}
+	var sum float64
+	for _, v := range obsd {
+		h.Observe(v)
+		sum += v
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(obsd)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(obsd))
+	}
+	if math.Abs(s.Sum-sum) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", s.Sum, sum)
+	}
+	// Cumulative buckets are monotone nondecreasing and end at Count.
+	prev := int64(0)
+	for i, c := range s.Cumulative {
+		if c < prev {
+			t.Fatalf("bucket %d not monotone: %v", i, s.Cumulative)
+		}
+		prev = c
+	}
+	if s.Cumulative[len(s.Cumulative)-1] != s.Count {
+		t.Fatalf("+Inf bucket %d != count %d", s.Cumulative[len(s.Cumulative)-1], s.Count)
+	}
+	want := []int64{1, 3, 4, 6}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Fatalf("cumulative = %v, want %v", s.Cumulative, want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "h", []float64{1, 2, 4, 8})
+	if !math.IsNaN(h.Snapshot().Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	q := h.Snapshot().Quantile(0.5)
+	if q < 1 || q > 2 {
+		t.Fatalf("p50 = %v, want within owning bucket (1,2]", q)
+	}
+	// Quantiles are nondecreasing in q.
+	s := h.Snapshot()
+	if s.Quantile(0.99) < s.Quantile(0.5) {
+		t.Fatal("quantiles not monotone in q")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "h", nil)
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001)
+				h.Snapshot() // concurrent reads race against writes
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	if math.Abs(s.Sum-float64(workers*per)*0.001) > 1e-6 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestSpanRecordsIntoStageHistogram(t *testing.T) {
+	h := Stage("test_span_stage")
+	before := h.Snapshot().Count
+	sp := Span(context.Background(), "test_span_stage")
+	sp.End()
+	if got := h.Snapshot().Count - before; got != 1 {
+		t.Fatalf("span recorded %d observations, want 1", got)
+	}
+}
+
+func TestSpanHotPathDoesNotAllocate(t *testing.T) {
+	// The bench floors pin allocations on the sweep hot path with spans
+	// enabled; this is the unit-level version of that guarantee.
+	h := Stage("alloc_test_stage")
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		StartSpan(ctx, "alloc_test_stage", h).End()
+	})
+	if allocs != 0 {
+		t.Fatalf("span start/end allocates %v per op, want 0", allocs)
+	}
+	obsAllocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(0.001)
+	})
+	if obsAllocs != 0 {
+		t.Fatalf("Observe allocates %v per op, want 0", obsAllocs)
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	if RequestID(context.Background()) != "" {
+		t.Fatal("untagged context has a request ID")
+	}
+	id := NewRequestID()
+	if id == "" || id == NewRequestID() {
+		t.Fatal("request IDs must be unique and non-empty")
+	}
+	ctx := WithRequestID(context.Background(), id)
+	if got := RequestID(ctx); got != id {
+		t.Fatalf("RequestID = %q, want %q", got, id)
+	}
+}
+
+func TestSetupCLI(t *testing.T) {
+	var buf strings.Builder
+	ctx, logger, err := SetupCLI(&buf, "testcmd", "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RequestID(ctx) == "" {
+		t.Fatal("SetupCLI context is missing a run ID")
+	}
+	logger.Info("hello")
+	out := buf.String()
+	for _, want := range []string{`"cmd":"testcmd"`, `"run_id":"`, `"msg":"hello"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log line %q missing %q", out, want)
+		}
+	}
+	if _, _, err := SetupCLI(&buf, "x", "nope", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, _, err := SetupCLI(&buf, "x", "info", "nope"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}

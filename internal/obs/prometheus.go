@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4): one `# HELP` / `# TYPE` header per
+// family, then the samples, with histograms expanded into cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count`. Families render in
+// name order and series within a family in registration order, so scrapes
+// are deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	keys := make([]string, len(r.order))
+	copy(keys, r.order)
+	metrics := make([]*metric, len(keys))
+	for i, k := range keys {
+		metrics[i] = r.metrics[k]
+	}
+	r.mu.RUnlock()
+
+	// Group by family name, keeping registration order within a family.
+	byName := make(map[string][]*metric)
+	var names []string
+	for _, m := range metrics {
+		if _, ok := byName[m.name]; !ok {
+			names = append(names, m.name)
+		}
+		byName[m.name] = append(byName[m.name], m)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		fam := byName[name]
+		head := fam[0]
+		bw.WriteString("# HELP ")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(head.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(head.kind.String())
+		bw.WriteByte('\n')
+		for _, m := range fam {
+			writeSeries(bw, m)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSeries renders one registered series' samples.
+func writeSeries(bw *bufio.Writer, m *metric) {
+	switch m.kind {
+	case KindCounter:
+		writeSample(bw, m.name, m.labels, nil, float64(m.counter.Value()))
+	case KindGauge:
+		v := 0.0
+		if m.gaugeFn != nil {
+			v = m.gaugeFn()
+		} else {
+			v = m.gauge.Value()
+		}
+		writeSample(bw, m.name, m.labels, nil, v)
+	case KindHistogram:
+		s := m.hist.Snapshot()
+		for i, ub := range s.Upper {
+			writeSample(bw, m.name+"_bucket", m.labels,
+				&Label{Name: "le", Value: formatFloat(ub)}, float64(s.Cumulative[i]))
+		}
+		writeSample(bw, m.name+"_bucket", m.labels,
+			&Label{Name: "le", Value: "+Inf"}, float64(s.Count))
+		writeSample(bw, m.name+"_sum", m.labels, nil, s.Sum)
+		writeSample(bw, m.name+"_count", m.labels, nil, float64(s.Count))
+	}
+}
+
+// writeSample renders `name{labels,extra} value\n`.
+func writeSample(bw *bufio.Writer, name string, labels []Label, extra *Label, v float64) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extra != nil {
+		bw.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(l.Name)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		if extra != nil {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extra.Name)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(extra.Value))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest round-trippable decimal, with special-cases for ±Inf and NaN.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the text format: backslash, quote
+// and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusGrammar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_requests_total", "Requests served.").Add(3)
+	r.Gauge("demo_inflight", "In flight.").Set(2)
+	r.GaugeFunc("demo_occupancy", "Sampled occupancy.", func() float64 { return 7 })
+	h := r.Histogram("demo_duration_seconds", "Latency.", []float64{0.1, 1},
+		Label{Name: "endpoint", Value: `GET /v1/analyze`})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.Counter("demo_escaped_total", "With \"quotes\" and \\slashes\\.",
+		Label{Name: "path", Value: "a\"b\\c\nd"}).Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if err := ValidateExposition(out); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []string{
+		"# TYPE demo_requests_total counter",
+		"demo_requests_total 3",
+		"# TYPE demo_duration_seconds histogram",
+		`demo_duration_seconds_bucket{endpoint="GET /v1/analyze",le="0.1"} 1`,
+		`demo_duration_seconds_bucket{endpoint="GET /v1/analyze",le="+Inf"} 3`,
+		`demo_duration_seconds_count{endpoint="GET /v1/analyze"} 3`,
+		"demo_occupancy 7",
+		`path="a\"b\\c\nd"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// One HELP/TYPE header per family, even with multiple label series.
+	if strings.Count(out, "# TYPE demo_duration_seconds ") != 1 {
+		t.Fatalf("duplicate TYPE headers:\n%s", out)
+	}
+}
+
+// TestValidateScrapedExposition validates a scrape captured from a live
+// catamountd, when CI hands one over via SCRAPE_FILE. The CI scrape job
+// starts the daemon, drives a few requests, saves GET /metrics to a file,
+// and runs this test against it.
+func TestValidateScrapedExposition(t *testing.T) {
+	path := os.Getenv("SCRAPE_FILE")
+	if path == "" {
+		t.Skip("SCRAPE_FILE not set; this test validates a CI-captured scrape")
+	}
+	payload, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(string(payload)); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"catamount_http_request_duration_seconds_bucket",
+		"catamount_stage_duration_seconds_bucket",
+		"catamount_http_requests_total",
+	} {
+		if !strings.Contains(string(payload), want) {
+			t.Fatalf("scrape missing %q", want)
+		}
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"1bad_name 3",
+		`ok{label=unquoted} 1`,
+		"# TYPE x notatype",
+		"# WEIRD comment",
+		"name_only",
+	} {
+		if err := ValidateExposition(bad); err == nil {
+			t.Fatalf("ValidateExposition accepted %q", bad)
+		}
+	}
+	if err := ValidateExposition("good_total{a=\"b\"} 1\n# HELP good_total h\n"); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+}
+
+func TestHistogramExpositionInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("inv_seconds", "h", []float64{0.001, 0.01, 0.1, 1})
+	for i := 0; i < 50; i++ {
+		h.Observe(float64(i) * 0.004)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	assertHistogramInvariants(t, sb.String(), "inv_seconds")
+}
+
+// assertHistogramInvariants parses every histogram family in a payload and
+// checks bucket monotonicity and the bucket/count/sum relationships.
+func assertHistogramInvariants(t *testing.T, payload, family string) {
+	t.Helper()
+	var buckets []float64
+	var count, lastBucket float64
+	countSeen := false
+	for _, line := range strings.Split(payload, "\n") {
+		switch {
+		case strings.HasPrefix(line, family+"_bucket"):
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			buckets = append(buckets, v)
+			lastBucket = v
+		case strings.HasPrefix(line, family+"_count"):
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("bad count line %q: %v", line, err)
+			}
+			count = v
+			countSeen = true
+		}
+	}
+	if len(buckets) == 0 || !countSeen {
+		t.Fatalf("family %s missing from payload", family)
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] < buckets[i-1] {
+			t.Fatalf("%s buckets not cumulative-monotone: %v", family, buckets)
+		}
+	}
+	if lastBucket != count {
+		t.Fatalf("%s +Inf bucket %v != count %v", family, lastBucket, count)
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// StageDurationMetric is the family every stage span records into, labeled
+// by stage name: catamount_stage_duration_seconds{stage="characterize"}.
+const StageDurationMetric = "catamount_stage_duration_seconds"
+
+// Stage resolves (registering on first use) the Default-registry latency
+// histogram for one named engine stage. Callers on hot paths resolve once
+// into a package or struct field and start spans off the returned
+// histogram; the lookup itself is a read-locked map hit and safe anywhere.
+func Stage(name string) *Histogram {
+	return Default.Histogram(StageDurationMetric,
+		"Engine stage latency in seconds, by stage.", DefBuckets,
+		Label{Name: "stage", Value: name})
+}
+
+// ActiveSpan is one in-flight stage timing. It is a value type: starting
+// and ending a span performs no allocation, so spans can wrap the batched
+// sweep loop without disturbing the pinned allocation floors.
+type ActiveSpan struct {
+	h     *Histogram
+	ctx   context.Context
+	stage string
+	start time.Time
+}
+
+// Span starts a stage timing that records into the Default registry:
+//
+//	defer obs.Span(ctx, "characterize").End()
+//
+// ctx carries the request ID (if any) into the span's debug trace line.
+// Pass context.Background() on paths without a request.
+func Span(ctx context.Context, stage string) ActiveSpan {
+	return ActiveSpan{h: Stage(stage), ctx: ctx, stage: stage, start: time.Now()}
+}
+
+// StartSpan starts a timing against a pre-resolved histogram — the
+// zero-lookup variant for hot loops that cache the *Histogram.
+func StartSpan(ctx context.Context, stage string, h *Histogram) ActiveSpan {
+	return ActiveSpan{h: h, ctx: ctx, stage: stage, start: time.Now()}
+}
+
+// End records the elapsed time. When span tracing is enabled (see
+// SetTraceLogger) it also emits one debug line carrying the stage name,
+// elapsed seconds and the context's request ID.
+func (s ActiveSpan) End() {
+	if s.h == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	if lg := traceLogger.Load(); lg != nil {
+		ctx := s.ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		if id := RequestID(ctx); id != "" {
+			lg.LogAttrs(ctx, slog.LevelDebug, "stage",
+				slog.String("stage", s.stage),
+				slog.String("request_id", id),
+				slog.Duration("elapsed", d))
+		} else {
+			lg.LogAttrs(ctx, slog.LevelDebug, "stage",
+				slog.String("stage", s.stage),
+				slog.Duration("elapsed", d))
+		}
+	}
+}
+
+// traceLogger, when non-nil, receives one debug line per completed span.
+// Off by default: the nil check is the only hot-path cost.
+var traceLogger atomic.Pointer[slog.Logger]
+
+// SetTraceLogger enables (non-nil) or disables (nil) per-span debug trace
+// lines. catamountd turns this on at -log-level debug.
+func SetTraceLogger(l *slog.Logger) { traceLogger.Store(l) }
+
+// ---------------------------------------------------------------------------
+// Request IDs
+
+// ridKey is the context key request IDs travel under.
+type ridKey struct{}
+
+// WithRequestID tags a context with a request (or CLI run) ID, which stage
+// spans and request logs pick up downstream.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestID returns the context's request ID, or "" when untagged.
+func RequestID(ctx context.Context) string {
+	if id, ok := ctx.Value(ridKey{}).(string); ok {
+		return id
+	}
+	return ""
+}
+
+// ridNonce is a per-process random prefix so IDs from different processes
+// (or restarts) never collide; ridSeq disambiguates within the process.
+var (
+	ridNonce = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// Fallback: time-derived nonce. Uniqueness within a process is
+			// still guaranteed by ridSeq.
+			return fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff)
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	ridSeq atomic.Int64
+)
+
+// NewRequestID mints a process-unique request ID: an 8-hex-digit process
+// nonce plus a monotonic sequence number.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06d", ridNonce, ridSeq.Add(1))
+}

@@ -29,10 +29,15 @@ import (
 	"catamount/internal/costmodel"
 	"catamount/internal/hw"
 	"catamount/internal/models"
+	"catamount/internal/obs"
 	"catamount/internal/parallel"
 	"catamount/internal/scaling"
 	"catamount/internal/sweep"
 )
+
+// stagePlanEval times the per-search candidate-composition loop (the cheap
+// arithmetic after the sweep grid characterizes the search space).
+var stagePlanEval = obs.Stage("plan_evaluate")
 
 // Strategy names one §6 parallelization scheme the planner searches over.
 type Strategy string
@@ -468,6 +473,7 @@ func (p *Planner) Run(ctx context.Context) (*Result, error) {
 	}
 
 	cfg := p.config()
+	esp := obs.StartSpan(ctx, "plan_evaluate", stagePlanEval)
 	plans := make([]Plan, 0, p.Candidates())
 	for ai, acc := range p.accs {
 		for bi, b := range p.subbatches {
@@ -481,6 +487,7 @@ func (p *Planner) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 	markFrontier(plans, p.priced)
+	esp.End()
 	return &Result{
 		Target:     p.target,
 		CostModel:  p.model.Name(),

@@ -1,0 +1,308 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"catamount/internal/obs"
+)
+
+// TestPrometheusExposition drives traffic through several endpoints and
+// checks that GET /metrics serves a payload where every line matches the
+// text-format grammar, the per-endpoint duration histograms and engine
+// stage timings are present, and every histogram family satisfies the
+// bucket-monotonicity and count/sum invariants.
+func TestPrometheusExposition(t *testing.T) {
+	s := newTestServer(Config{})
+	get(t, s, "/v1/analyze?domain=wordlm&params=1e8&batch=64")
+	get(t, s, "/v1/analyze?domain=wordlm&params=1e8&batch=64")
+	get(t, s, "/healthz")
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want text exposition", ct)
+	}
+	body := rec.Body.String()
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("exposition format: %v", err)
+	}
+
+	for _, want := range []string{
+		"# TYPE catamount_http_request_duration_seconds histogram",
+		`catamount_http_request_duration_seconds_bucket{endpoint="GET /v1/analyze",le="+Inf"} 2`,
+		`catamount_http_request_duration_seconds_count{endpoint="GET /healthz"} 1`,
+		"# TYPE catamount_stage_duration_seconds histogram",
+		`catamount_stage_duration_seconds_count{stage="characterize"}`,
+		`catamount_stage_duration_seconds_count{stage="model_build"}`,
+		// Three prior requests plus the scrape itself.
+		"catamount_http_requests_total 4",
+		"catamount_cache_hits_total 1",
+		"catamount_cache_misses_total 1",
+		`catamount_costmodel_requests_total{backend="graph"} 2`,
+		`catamount_http_response_bytes_total{endpoint="GET /v1/analyze"}`,
+		"catamount_cache_limit 1024",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	assertAllHistogramInvariants(t, body)
+}
+
+// assertAllHistogramInvariants walks every *_bucket series in a payload,
+// grouped by (family, labels-without-le), and checks cumulative bucket
+// monotonicity, that the +Inf bucket equals the family's _count sample,
+// and that _sum is present.
+func assertAllHistogramInvariants(t *testing.T, payload string) {
+	t.Helper()
+	type series struct {
+		cumulative []float64
+		count      float64
+		hasCount   bool
+		hasSum     bool
+	}
+	families := make(map[string]*series)
+	at := func(key string) *series {
+		if families[key] == nil {
+			families[key] = &series{}
+		}
+		return families[key]
+	}
+	for _, line := range strings.Split(payload, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		name, valRaw := line[:sp], line[sp+1:]
+		switch {
+		case strings.Contains(name, "_bucket{"):
+			v, err := strconv.ParseFloat(valRaw, 64)
+			if err != nil {
+				t.Fatalf("bad bucket value in %q: %v", line, err)
+			}
+			// Key by the series identity minus the le label, so buckets of
+			// one histogram group together.
+			key := stripLE(name)
+			sr := at(key)
+			sr.cumulative = append(sr.cumulative, v)
+		case strings.Contains(name, "_count"):
+			v, _ := strconv.ParseFloat(valRaw, 64)
+			key := strings.Replace(name, "_count", "_bucket", 1)
+			sr := at(key)
+			sr.count, sr.hasCount = v, true
+		case strings.Contains(name, "_sum"):
+			key := strings.Replace(name, "_sum", "_bucket", 1)
+			at(key).hasSum = true
+		}
+	}
+	checked := 0
+	for key, sr := range families {
+		if len(sr.cumulative) == 0 {
+			continue
+		}
+		checked++
+		for i := 1; i < len(sr.cumulative); i++ {
+			if sr.cumulative[i] < sr.cumulative[i-1] {
+				t.Fatalf("%s: buckets not monotone: %v", key, sr.cumulative)
+			}
+		}
+		if !sr.hasCount || !sr.hasSum {
+			t.Fatalf("%s: missing _count or _sum", key)
+		}
+		if last := sr.cumulative[len(sr.cumulative)-1]; last != sr.count {
+			t.Fatalf("%s: +Inf bucket %v != count %v", key, last, sr.count)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no histogram families found in payload")
+	}
+}
+
+// stripLE removes the le="..." pair from a bucket series name.
+func stripLE(name string) string {
+	i := strings.Index(name, `le="`)
+	if i < 0 {
+		return name
+	}
+	j := strings.IndexByte(name[i+4:], '"')
+	end := i + 4 + j + 1
+	// Swallow a separating comma on whichever side has one.
+	if i > 0 && name[i-1] == ',' {
+		i--
+	} else if end < len(name) && name[end] == ',' {
+		end++
+	}
+	return name[:i] + name[end:]
+}
+
+// TestMetricsAcceptNegotiation pins the JSON compatibility contract:
+// GET /metrics with Accept: application/json and GET /metrics.json return
+// byte-identical payloads with the same schema the endpoint served before
+// the text exposition existed.
+func TestMetricsAcceptNegotiation(t *testing.T) {
+	s := newTestServer(Config{})
+	get(t, s, "/v1/analyze?domain=wordlm&params=1e8&batch=64")
+
+	reqJSON := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	reqJSON.Header.Set("Accept", "application/json")
+	recNeg := httptest.NewRecorder()
+	s.ServeHTTP(recNeg, reqJSON)
+	if ct := recNeg.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("negotiated content type %q", ct)
+	}
+
+	recJSON, _ := get(t, s, "/metrics.json")
+
+	// The two views must carry the same schema and counts. Each scrape is
+	// itself a request, so normalize the request counter before comparing.
+	var mNeg, m Metrics
+	if err := json.Unmarshal(recNeg.Body.Bytes(), &mNeg); err != nil {
+		t.Fatalf("negotiated body does not decode into Metrics: %v", err)
+	}
+	if err := json.Unmarshal(recJSON.Body.Bytes(), &m); err != nil {
+		t.Fatalf("metrics.json does not decode into Metrics: %v", err)
+	}
+	mNeg.Requests, m.Requests = 0, 0
+	if !reflect.DeepEqual(mNeg, m) {
+		t.Fatalf("Accept-negotiated metrics differ from /metrics.json:\n%+v\nvs\n%+v", mNeg, m)
+	}
+	if m.CacheMisses != 1 || m.CacheLimit != 1024 {
+		t.Fatalf("decoded metrics %+v", m)
+	}
+	if m.CostModelRequests["graph"] != 1 {
+		t.Fatalf("costmodel counters missing: %+v", m.CostModelRequests)
+	}
+}
+
+func TestHealthzReportsBuildAndOccupancy(t *testing.T) {
+	s := newTestServer(Config{})
+	get(t, s, "/v1/analyze?domain=wordlm&params=1e8&batch=64")
+	rec, body := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("status = %v", body["status"])
+	}
+	if _, ok := body["uptime_seconds"].(float64); !ok {
+		t.Fatalf("uptime missing: %s", rec.Body)
+	}
+	if gv, _ := body["go_version"].(string); !strings.HasPrefix(gv, "go") {
+		t.Fatalf("go_version = %q", gv)
+	}
+	ec, ok := body["engine_cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("engine_cache missing: %s", rec.Body)
+	}
+	if ec["domains"].(float64) < 1 {
+		t.Fatalf("engine cache should report the warmed wordlm model: %s", rec.Body)
+	}
+}
+
+func TestRequestIDHeader(t *testing.T) {
+	s := newTestServer(Config{})
+	rec, _ := get(t, s, "/healthz")
+	if rec.Header().Get("X-Request-Id") == "" {
+		t.Fatal("response missing generated X-Request-Id")
+	}
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.Header.Set("X-Request-Id", "client-supplied-7")
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, req)
+	if got := rec2.Header().Get("X-Request-Id"); got != "client-supplied-7" {
+		t.Fatalf("X-Request-Id = %q, want the client's ID echoed", got)
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := obs.NewLogger(&buf, "json", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(Config{Logger: logger})
+	get(t, s, "/healthz")
+	line := buf.String()
+	for _, want := range []string{`"msg":"request"`, `"endpoint":"GET /healthz"`,
+		`"status":200`, `"request_id":"`, `"duration"`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("request log %q missing %q", line, want)
+		}
+	}
+}
+
+// TestMetricsConsistentUnderSweepLoad hammers both metrics views while
+// sweep streams run, so the race detector crosses every snapshot path
+// against the hot counters, and checks cross-counter invariants that a
+// torn snapshot would violate.
+func TestMetricsConsistentUnderSweepLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep-load hammer is a -race soak; skipped in short mode")
+	}
+	s := newTestServer(Config{})
+	spec := []byte(`{"domains":["wordlm"],"params":[1e8,2e8,4e8],"subbatches":[32,64]}`)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/sweep", bytes.NewReader(spec))
+				s.ServeHTTP(httptest.NewRecorder(), req)
+			}
+		}()
+	}
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+				if err := obs.ValidateExposition(rec.Body.String()); err != nil {
+					errs <- err
+					return
+				}
+				var m Metrics
+				recJSON := httptest.NewRecorder()
+				s.ServeHTTP(recJSON, httptest.NewRequest(http.MethodGet, "/metrics.json", nil))
+				if err := json.Unmarshal(recJSON.Body.Bytes(), &m); err != nil {
+					errs <- err
+					return
+				}
+				if m.CacheHits < 0 || m.CacheMisses < 0 || m.Requests < 0 ||
+					m.SweepPoints < 0 || m.InFlight < 0 {
+					errs <- fmt.Errorf("negative counter in snapshot: %+v", m)
+					return
+				}
+				if m.CacheEntries > m.CacheLimit {
+					errs <- fmt.Errorf("cache entries %d over limit %d", m.CacheEntries, m.CacheLimit)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

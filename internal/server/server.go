@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/url"
@@ -30,6 +31,7 @@ import (
 	"catamount/internal/graph"
 	"catamount/internal/graphio"
 	"catamount/internal/hw"
+	"catamount/internal/obs"
 	"catamount/internal/parallel"
 )
 
@@ -47,6 +49,10 @@ type Config struct {
 	// MaxSweepPoints bounds the grid size a single POST /v1/sweep may
 	// stream (default 100000); larger grids belong on cmd/sweep.
 	MaxSweepPoints int
+	// Logger, when set, emits one structured line per request (method,
+	// endpoint, status, bytes, duration, request ID). nil disables request
+	// logging; metrics are recorded either way.
+	Logger *slog.Logger
 }
 
 // Metrics is a point-in-time snapshot of the serving counters.
@@ -87,6 +93,18 @@ type Server struct {
 	timeout        time.Duration
 	maxSweepPoints int
 	mux            *http.ServeMux
+	logger         *slog.Logger
+	start          time.Time
+
+	// reg holds this server's HTTP-layer series: the per-endpoint
+	// request-duration histograms and response-byte counters, plus sampled
+	// occupancy gauges. Engine stage histograms live in obs.Default; the
+	// /metrics exposition writes both.
+	reg        *obs.Registry
+	routeHist  map[string]*obs.Histogram
+	routeBytes map[string]*obs.Counter
+	otherHist  *obs.Histogram
+	otherBytes *obs.Counter
 
 	requests, inFlight, hits, misses atomic.Int64
 	coalesced, rejected, timeouts    atomic.Int64
@@ -126,49 +144,132 @@ func New(cfg Config) *Server {
 		timeout:        cfg.Timeout,
 		maxSweepPoints: cfg.MaxSweepPoints,
 		mux:            http.NewServeMux(),
+		logger:         cfg.Logger,
+		start:          time.Now(),
+		reg:            obs.NewRegistry(),
+		routeHist:      make(map[string]*obs.Histogram),
+		routeBytes:     make(map[string]*obs.Counter),
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /v1/domains", s.handleDomains)
-	s.mux.HandleFunc("GET /v1/accelerators", s.handleAccelerators)
-	s.mux.HandleFunc("GET /v1/costmodels", s.handleCostModels)
-	s.mux.HandleFunc("GET /v1/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("GET /v1/profile", s.handleProfile)
-	s.mux.HandleFunc("GET /v1/asymptotics", s.handleAsymptotics)
-	s.mux.HandleFunc("GET /v1/frontier", s.handleFrontier)
-	s.mux.HandleFunc("POST /v1/frontier", s.handleFrontier)
-	s.mux.HandleFunc("GET /v1/subbatch", s.handleSubbatch)
-	s.mux.HandleFunc("POST /v1/subbatch", s.handleSubbatch)
-	s.mux.HandleFunc("GET /v1/casestudy", s.handleCaseStudy)
-	s.mux.HandleFunc("POST /v1/casestudy", s.handleCaseStudy)
-	s.mux.HandleFunc("GET /v1/figures/{fig}", s.handleFigure)
-	s.mux.HandleFunc("POST /v1/figures/{fig}", s.handleFigure)
-	s.mux.HandleFunc("POST /v1/checkpoint/analyze", s.handleCheckpoint)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	// handle registers a route and its per-endpoint series: one request-
+	// duration histogram and one response-byte counter, labeled by the
+	// route pattern. Requests that match no route record under "other".
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, h)
+		lbl := obs.Label{Name: "endpoint", Value: pattern}
+		s.routeHist[pattern] = s.reg.Histogram(reqDurationMetric,
+			"HTTP request latency in seconds, by endpoint.", obs.DefBuckets, lbl)
+		s.routeBytes[pattern] = s.reg.Counter(respBytesMetric,
+			"HTTP response body bytes written, by endpoint.", lbl)
+	}
+	other := obs.Label{Name: "endpoint", Value: "other"}
+	s.otherHist = s.reg.Histogram(reqDurationMetric,
+		"HTTP request latency in seconds, by endpoint.", obs.DefBuckets, other)
+	s.otherBytes = s.reg.Counter(respBytesMetric,
+		"HTTP response body bytes written, by endpoint.", other)
+	s.reg.GaugeFunc("catamount_http_in_flight",
+		"Requests currently being served.", func() float64 { return float64(s.inFlight.Load()) })
+	s.reg.GaugeFunc("catamount_cache_entries",
+		"Response cache occupancy.", func() float64 { return float64(s.cache.len()) })
+	s.reg.GaugeFunc("catamount_cache_limit",
+		"Response cache capacity.", func() float64 { return float64(s.cache.capacity) })
+	s.reg.GaugeFunc("catamount_max_in_flight",
+		"Concurrency limiter capacity.", func() float64 { return float64(cap(s.sem)) })
+
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /metrics.json", s.handleMetricsJSON)
+	handle("GET /v1/domains", s.handleDomains)
+	handle("GET /v1/accelerators", s.handleAccelerators)
+	handle("GET /v1/costmodels", s.handleCostModels)
+	handle("GET /v1/analyze", s.handleAnalyze)
+	handle("POST /v1/analyze", s.handleAnalyze)
+	handle("GET /v1/profile", s.handleProfile)
+	handle("GET /v1/asymptotics", s.handleAsymptotics)
+	handle("GET /v1/frontier", s.handleFrontier)
+	handle("POST /v1/frontier", s.handleFrontier)
+	handle("GET /v1/subbatch", s.handleSubbatch)
+	handle("POST /v1/subbatch", s.handleSubbatch)
+	handle("GET /v1/casestudy", s.handleCaseStudy)
+	handle("POST /v1/casestudy", s.handleCaseStudy)
+	handle("GET /v1/figures/{fig}", s.handleFigure)
+	handle("POST /v1/figures/{fig}", s.handleFigure)
+	handle("POST /v1/checkpoint/analyze", s.handleCheckpoint)
+	handle("POST /v1/sweep", s.handleSweep)
+	handle("POST /v1/plan", s.handlePlan)
 	return s
 }
 
-// Metrics snapshots the serving counters.
+// counterSet is the comparable image of every serving counter, so one
+// stabilized read can feed both the JSON and Prometheus exposition paths.
+type counterSet struct {
+	requests, inFlight, hits, misses int64
+	coalesced, rejected, timeouts    int64
+	sweepStreams, sweepPoints        int64
+	planRuns, planPlans              int64
+	cmGraph, cmPerop                 int64
+	cacheEntries                     int
+}
+
+// readCounters loads every counter once, in a fixed order.
+func (s *Server) readCounters() counterSet {
+	return counterSet{
+		requests:     s.requests.Load(),
+		inFlight:     s.inFlight.Load(),
+		hits:         s.hits.Load(),
+		misses:       s.misses.Load(),
+		coalesced:    s.coalesced.Load(),
+		rejected:     s.rejected.Load(),
+		timeouts:     s.timeouts.Load(),
+		sweepStreams: s.sweepStreams.Load(),
+		sweepPoints:  s.sweepPoints.Load(),
+		planRuns:     s.planRuns.Load(),
+		planPlans:    s.planPlans.Load(),
+		cmGraph:      s.cmGraph.Load(),
+		cmPerop:      s.cmPerop.Load(),
+		cacheEntries: s.cache.len(),
+	}
+}
+
+// snapshot is the one consistent capture path every metrics consumer
+// shares. The counters are independent atomics (the hot paths must stay
+// lock-free), so a single pass can tear — e.g. a cache hit counted in
+// cache_hits but not yet in requests. Re-reading until two consecutive
+// passes agree yields a pass no increment interleaved with; under
+// relentless churn it settles for the freshest pass after a few tries
+// rather than spinning (in_flight may genuinely never sit still).
+func (s *Server) snapshot() counterSet {
+	cur := s.readCounters()
+	for tries := 0; tries < 4; tries++ {
+		again := s.readCounters()
+		if again == cur {
+			return cur
+		}
+		cur = again
+	}
+	return cur
+}
+
+// Metrics snapshots the serving counters through the consistent capture
+// path.
 func (s *Server) Metrics() Metrics {
+	c := s.snapshot()
 	return Metrics{
-		Requests:     s.requests.Load(),
-		InFlight:     s.inFlight.Load(),
-		CacheHits:    s.hits.Load(),
-		CacheMisses:  s.misses.Load(),
-		Coalesced:    s.coalesced.Load(),
-		Rejected:     s.rejected.Load(),
-		Timeouts:     s.timeouts.Load(),
-		SweepStreams: s.sweepStreams.Load(),
-		SweepPoints:  s.sweepPoints.Load(),
-		PlanRuns:     s.planRuns.Load(),
-		PlanPlans:    s.planPlans.Load(),
+		Requests:     c.requests,
+		InFlight:     c.inFlight,
+		CacheHits:    c.hits,
+		CacheMisses:  c.misses,
+		Coalesced:    c.coalesced,
+		Rejected:     c.rejected,
+		Timeouts:     c.timeouts,
+		SweepStreams: c.sweepStreams,
+		SweepPoints:  c.sweepPoints,
+		PlanRuns:     c.planRuns,
+		PlanPlans:    c.planPlans,
 		CostModelRequests: map[string]int64{
-			costmodel.GraphName: s.cmGraph.Load(),
-			costmodel.PerOpName: s.cmPerop.Load(),
+			costmodel.GraphName: c.cmGraph,
+			costmodel.PerOpName: c.cmPerop,
 		},
-		CacheEntries: s.cache.len(),
+		CacheEntries: c.cacheEntries,
 		CacheLimit:   s.cache.capacity,
 		MaxInFlight:  cap(s.sem),
 	}
@@ -199,24 +300,99 @@ func (s *Server) resolveCostModel(r *http.Request) (costmodel.Model, error) {
 // dispatches. Analysis endpoints (/v1/...) load-shed with 503 once
 // MaxInFlight requests are admitted; /healthz and /metrics always answer,
 // so probes keep working while the service is saturated.
+//
+// Every request is tagged with a request ID (the client's X-Request-Id, or
+// a freshly minted one) that rides the context into engine stage spans and
+// the structured request log, and is echoed back as a response header.
+// Duration and response bytes record into the per-endpoint series whatever
+// path the request takes — shed, timed out, or served.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	begin := time.Now()
+	rid := r.Header.Get("X-Request-Id")
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", rid)
+	ctx, cancel := context.WithTimeout(obs.WithRequestID(r.Context(), rid), s.timeout)
 	defer cancel()
 	r = r.WithContext(ctx)
+
+	_, pattern := s.mux.Handler(r)
+	cw := countingWriter{ResponseWriter: w}
+	defer func() {
+		elapsed := time.Since(begin)
+		hist, bytesCtr := s.otherHist, s.otherBytes
+		if h, ok := s.routeHist[pattern]; ok {
+			hist, bytesCtr = h, s.routeBytes[pattern]
+		}
+		hist.Observe(elapsed.Seconds())
+		bytesCtr.Add(cw.bytes)
+		if s.logger != nil {
+			s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("endpoint", pattern),
+				slog.Int("status", cw.statusOr200()),
+				slog.Int64("bytes", cw.bytes),
+				slog.Duration("duration", elapsed),
+				slog.String("request_id", rid))
+		}
+	}()
+
 	if strings.HasPrefix(r.URL.Path, "/v1/") {
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
 			s.rejected.Add(1)
-			writeError(w, http.StatusServiceUnavailable, "server at capacity")
+			writeError(&cw, http.StatusServiceUnavailable, "server at capacity")
 			return
 		}
 	}
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(&cw, r)
+}
+
+// countingWriter meters status and bytes while passing flushes and write
+// deadlines through: Flush keeps sweep streaming working and Unwrap keeps
+// http.NewResponseController able to reach the real connection.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (c *countingWriter) WriteHeader(code int) {
+	if c.status == 0 {
+		c.status = code
+	}
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *countingWriter) Write(b []byte) (int, error) {
+	if c.status == 0 {
+		c.status = http.StatusOK
+	}
+	n, err := c.ResponseWriter.Write(b)
+	c.bytes += int64(n)
+	return n, err
+}
+
+func (c *countingWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (c *countingWriter) Unwrap() http.ResponseWriter { return c.ResponseWriter }
+
+func (c *countingWriter) statusOr200() int {
+	if c.status == 0 {
+		return http.StatusOK
+	}
+	return c.status
 }
 
 // ---------------------------------------------------------------------------
@@ -276,11 +452,44 @@ func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, key strin
 // ---------------------------------------------------------------------------
 // Handlers
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]string{"status": "ok"})
+// healthResponse is the /healthz body: liveness plus enough build and
+// occupancy detail to tell *which* binary is alive and how warm it is.
+type healthResponse struct {
+	Status        string         `json:"status"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	GoVersion     string         `json:"go_version"`
+	Revision      string         `json:"vcs_revision,omitempty"`
+	Modified      bool           `json:"vcs_modified,omitempty"`
+	EngineCache   cat.CacheStats `json:"engine_cache"`
+	ResponseCache int            `json:"response_cache_entries"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	rev, modified := buildRevision()
+	writeJSON(w, healthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GoVersion:     runtime.Version(),
+		Revision:      rev,
+		Modified:      modified,
+		EngineCache:   s.eng.CacheStats(),
+		ResponseCache: s.cache.len(),
+	})
+}
+
+// handleMetrics negotiates the exposition format: Prometheus text by
+// default, the legacy JSON snapshot when the client asks for JSON.
+// /metrics.json always serves JSON, so dashboards that predate the text
+// exposition keep a stable URL.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		s.handleMetricsJSON(w, r)
+		return
+	}
+	s.writePrometheus(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.Metrics())
 }
 

@@ -535,7 +535,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	s := newTestServer(Config{})
 	get(t, s, "/v1/analyze?domain=wordlm&params=1e8&batch=64")
 	get(t, s, "/v1/analyze?domain=wordlm&params=1e8&batch=64")
-	rec, body := get(t, s, "/metrics")
+	rec, body := get(t, s, "/metrics.json")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("metrics = %d", rec.Code)
 	}

@@ -32,7 +32,12 @@ import (
 	"catamount/internal/graph"
 	"catamount/internal/hw"
 	"catamount/internal/models"
+	"catamount/internal/obs"
 )
+
+// stageChunk times one (domain, param-chunk) task — the sweep scheduler's
+// unit of work. Resolved once; spans off it are allocation-free.
+var stageChunk = obs.Stage("sweep_chunk")
 
 // SessionSource resolves a domain's compiled analysis session, building it
 // on first use. catamount.Engine satisfies this.
@@ -122,6 +127,12 @@ type Runner struct {
 	label      string
 	needsOps   bool
 
+	// stageStep times the batched step-time pricing, per backend
+	// ("steptime_graph" / "steptime_perop"), resolved once per Runner so
+	// the per-task span neither looks up nor builds the stage name.
+	stageStep     *obs.Histogram
+	stageStepName string
+
 	// pool recycles per-worker session maps across Run calls, so repeated
 	// runs (the server, the bench harness) keep their evaluation buffers.
 	pool sync.Pool
@@ -206,6 +217,8 @@ func New(src SessionSource, spec Spec) (*Runner, error) {
 	r.model = cm
 	r.batchModel = costmodel.AsBatch(cm)
 	r.needsOps = costmodel.NeedsOpCosts(cm)
+	r.stageStepName = "steptime_" + cm.Name()
+	r.stageStep = obs.Stage(r.stageStepName)
 	if spec.CostModel != "" {
 		r.label = cm.Name()
 	}
@@ -336,7 +349,7 @@ func (r *Runner) Run(ctx context.Context, yield func(Point) error) error {
 	numTasks := len(r.domains) * tasksPerDomain
 	results := make([]taskResult, numTasks)
 	evalTask := func(t int, ses *sessions) {
-		results[t] = r.evalTask(t, np, nb, chunkLen, tasksPerDomain, sizes, ses)
+		results[t] = r.evalTask(ctx, t, np, nb, chunkLen, tasksPerDomain, sizes, ses)
 	}
 
 	workers := r.workers
@@ -401,10 +414,13 @@ func (r *Runner) Run(ctx context.Context, yield func(Point) error) error {
 
 // evalTask characterizes one (domain, param-chunk) row batch. Rows whose
 // size solve failed carry their error; the rest run through one
-// CharacterizeBatch and one StepTimesBatch per accelerator.
-func (r *Runner) evalTask(t, np, nb, chunkLen, tasksPerDomain int,
+// CharacterizeBatch and one StepTimesBatch per accelerator. The chunk span
+// carries the caller's context, so a server-side sweep's request ID tags
+// its trace lines.
+func (r *Runner) evalTask(ctx context.Context, t, np, nb, chunkLen, tasksPerDomain int,
 	sizes []solvedSize, ses *sessions) taskResult {
 
+	defer obs.StartSpan(ctx, "sweep_chunk", stageChunk).End()
 	di := t / tasksPerDomain
 	lo := (t % tasksPerDomain) * chunkLen
 	hi := lo + chunkLen
@@ -469,10 +485,12 @@ func (r *Runner) evalTask(t, np, nb, chunkLen, tasksPerDomain int,
 	// bounds are copied out here because the batch aliases session buffers.
 	tr.steps = make([]float64, len(r.accs)*tr.nValid)
 	tr.bounds = make([]costmodel.Bound, len(r.accs)*tr.nValid)
+	ssp := obs.StartSpan(ctx, r.stageStepName, r.stageStep)
 	for ai, acc := range r.accs {
 		seg := tr.steps[ai*tr.nValid : (ai+1)*tr.nValid]
 		r.batchModel.StepTimesBatch(acc, costs, seg, tr.bounds[ai*tr.nValid:(ai+1)*tr.nValid])
 	}
+	ssp.End()
 	return tr
 }
 
