@@ -38,6 +38,7 @@ import (
 	"time"
 
 	cat "catamount"
+	"catamount/internal/jobs"
 	"catamount/internal/obs"
 	"catamount/internal/server"
 )
@@ -50,20 +51,23 @@ func main() {
 	maxSweep := flag.Int("max-sweep-points", 0, "largest grid POST /v1/sweep may stream (0 = 100000)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown drain window")
 	warm := flag.Bool("warm", false, "build and compile every domain model before listening")
+	jobsDir := flag.String("jobs-dir", "", "persist async jobs under this directory (empty = in-memory; jobs then do not survive restarts)")
+	jobWorkers := flag.Int("job-workers", 2, "concurrent async job executions")
 	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
 	logFormat := flag.String("log-format", "text", "log format (text, json)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (off when empty)")
 	flag.Parse()
 
 	if err := run(*addr, *cacheEntries, *maxInFlight, *timeout, *maxSweep,
-		*grace, *warm, *logLevel, *logFormat, *pprofAddr); err != nil {
+		*grace, *warm, *logLevel, *logFormat, *pprofAddr, *jobsDir, *jobWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "catamountd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, cacheEntries, maxInFlight int, timeout time.Duration,
-	maxSweep int, grace time.Duration, warm bool, logLevel, logFormat, pprofAddr string) error {
+	maxSweep int, grace time.Duration, warm bool, logLevel, logFormat, pprofAddr,
+	jobsDir string, jobWorkers int) error {
 	_, logger, err := obs.SetupCLI(os.Stderr, "catamountd", logLevel, logFormat)
 	if err != nil {
 		return err
@@ -82,6 +86,28 @@ func run(addr string, cacheEntries, maxInFlight int, timeout time.Duration,
 			slog.Duration("took", time.Since(start).Round(time.Millisecond)))
 	}
 
+	// The job service is file-backed when -jobs-dir is set: submitted jobs
+	// survive restarts, and jobs found mid-run resume from their last
+	// checkpoint before the listener even opens.
+	var jobStore jobs.Store
+	if jobsDir != "" {
+		fs, err := jobs.NewFileStore(jobsDir)
+		if err != nil {
+			return err
+		}
+		jobStore = fs
+	}
+	jobSvc, err := jobs.New(jobs.Config{
+		Source:  eng,
+		Store:   jobStore,
+		Workers: jobWorkers,
+		Logger:  logger,
+	})
+	if err != nil {
+		return fmt.Errorf("job service: %w", err)
+	}
+	defer jobSvc.Close()
+
 	srv := server.New(server.Config{
 		Engine:         eng,
 		CacheEntries:   cacheEntries,
@@ -89,6 +115,7 @@ func run(addr string, cacheEntries, maxInFlight int, timeout time.Duration,
 		Timeout:        timeout,
 		MaxSweepPoints: maxSweep,
 		Logger:         logger,
+		Jobs:           jobSvc,
 	})
 	hs := &http.Server{
 		Addr:              addr,
@@ -138,7 +165,9 @@ func run(addr string, cacheEntries, maxInFlight int, timeout time.Duration,
 	logger.Info("listening",
 		slog.String("addr", addr),
 		slog.Int("cache_entries", cacheEntries),
-		slog.Duration("timeout", timeout))
+		slog.Duration("timeout", timeout),
+		slog.String("jobs_dir", jobsDir),
+		slog.Int("job_workers", jobWorkers))
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

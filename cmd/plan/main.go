@@ -25,6 +25,7 @@ import (
 	"text/tabwriter"
 
 	cat "catamount"
+	"catamount/internal/api"
 	"catamount/internal/obs"
 	"catamount/internal/plan"
 	"catamount/internal/sweep"
@@ -75,7 +76,9 @@ func main() {
 		return
 	}
 
-	spec := cat.PlanSpec{
+	// The CLI builds the same versioned wire spec the server decodes —
+	// internal/api owns the schema; cat.PlanSpec is an alias of it.
+	spec := api.PlanSpec{
 		Domain:      *domain,
 		TargetErr:   *targetErr,
 		Epochs:      *epochs,

@@ -37,6 +37,7 @@ import (
 	"text/tabwriter"
 
 	cat "catamount"
+	"catamount/internal/api"
 	"catamount/internal/obs"
 	"catamount/internal/sweep"
 )
@@ -153,7 +154,9 @@ func main() {
 		fatalf("unknown -figure %q (11 or 12)", *figure)
 	}
 
-	spec := cat.SweepSpec{
+	// The CLI builds the same versioned wire spec the server decodes —
+	// internal/api owns the schema; cat.SweepSpec is an alias of it.
+	spec := api.SweepSpec{
 		ParamMin:   *paramMin,
 		ParamMax:   *paramMax,
 		ParamSteps: *paramSteps,

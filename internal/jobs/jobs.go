@@ -1,0 +1,865 @@
+// Package jobs is the durable async execution layer behind POST /v1/jobs:
+// a bounded worker pool draining a queue of sweep/plan specs, streaming
+// each sweep grid through the existing ≤32-row batched chunks, and
+// checkpointing progress to a pluggable Store (in-memory or file-backed)
+// so jobs survive catamountd restarts.
+//
+// Durability contract: result lines are appended (and synced) before the
+// checkpoint metadata that covers them is committed, so after a kill at
+// any instant the store holds a prefix of the deterministic sweep output
+// plus possibly a torn tail. Recovery truncates the tail back to the last
+// checkpoint and resumes the grid at the checkpointed point count via
+// sweep.Runner.RunFrom — re-evaluating nothing already persisted — which
+// makes an interrupted job's final results byte-identical to an
+// uninterrupted run.
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"catamount/internal/api"
+	"catamount/internal/obs"
+	"catamount/internal/plan"
+	"catamount/internal/sweep"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCancelled
+}
+
+// PlanSummary is the scalar half of a plan job's result — everything in
+// plan.Result except the per-candidate Plans, which stream through the
+// job's result lines (one candidate per line, search order).
+type PlanSummary struct {
+	Target     plan.Target `json:"target"`
+	CostModel  string      `json:"costmodel"`
+	Objectives []string    `json:"objectives"`
+	Candidates int         `json:"candidates"`
+}
+
+// Meta is a job's persisted metadata: the spec, the lifecycle state, and
+// the checkpoint (DonePoints result lines occupying ResultBytes bytes are
+// durable). It is the unit SaveMeta commits; everything a restart needs.
+type Meta struct {
+	ID   string      `json:"id"`
+	Spec api.JobSpec `json:"spec"`
+
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+
+	// CostModel is the canonical name of the resolved step-time backend
+	// the job runs with (spec field already folded with the request's
+	// costmodel query parameter at submission).
+	CostModel string `json:"costmodel,omitempty"`
+
+	CreatedAt  time.Time `json:"created_at"`
+	StartedAt  time.Time `json:"started_at"`
+	FinishedAt time.Time `json:"finished_at"`
+
+	// TotalPoints is the grid (or candidate-space) size, known at
+	// submission; DonePoints and ResultBytes are the checkpoint: how many
+	// deterministic-order result lines, spanning how many bytes, are
+	// durable.
+	TotalPoints int   `json:"total_points"`
+	DonePoints  int   `json:"done_points"`
+	ResultBytes int64 `json:"result_bytes"`
+
+	// Resumes counts recovery cycles: how many times a restart found this
+	// job mid-run and re-queued it from its checkpoint.
+	Resumes int `json:"resumes,omitempty"`
+
+	// PlanSummary carries a finished plan job's scalar result.
+	PlanSummary *PlanSummary `json:"plan_summary,omitempty"`
+}
+
+// Status is Meta plus derived progress: the GET /v1/jobs/{id} body.
+type Status struct {
+	Meta
+	// Progress is DonePoints/TotalPoints in [0,1].
+	Progress float64 `json:"progress"`
+	// ETASeconds estimates remaining run time for a running job: from
+	// this run's own throughput once points have flowed, else from the
+	// obs sweep_chunk stage histogram (mean chunk latency × remaining
+	// chunks). Zero when unknown or not running.
+	ETASeconds float64 `json:"eta_seconds,omitempty"`
+}
+
+// Page is one window of a job's checkpointed result stream.
+type Page struct {
+	JobID string
+	State State
+	// Start is the first line index of the page; Count the lines
+	// returned; Done the checkpointed lines available; Total the final
+	// line count the job will reach.
+	Start, Count, Done, Total int
+	// NextStart is the cursor for the following page (== Start+Count).
+	NextStart int
+	// Lines are the raw NDJSON lines, without trailing newlines.
+	Lines [][]byte
+}
+
+// Service errors beyond ErrNotFound (store.go).
+var (
+	ErrQueueFull   = errors.New("jobs: queue full")
+	ErrClosed      = errors.New("jobs: service closed")
+	ErrNotTerminal = errors.New("jobs: job still active")
+	ErrTerminal    = errors.New("jobs: job already finished")
+
+	// errCrash is the test hook's sentinel: abandon the job mid-protocol
+	// exactly as a process kill would, persisting nothing further.
+	errCrash = errors.New("jobs: simulated crash")
+)
+
+// Config configures a Service.
+type Config struct {
+	// Source resolves compiled per-domain sessions; catamount.Engine
+	// satisfies it.
+	Source sweep.SessionSource
+	// Store persists jobs. Nil means a fresh in-memory store.
+	Store Store
+	// Workers bounds concurrent jobs (default 2).
+	Workers int
+	// QueueDepth bounds jobs waiting to run (default 1024); Submit fails
+	// with ErrQueueFull beyond it.
+	QueueDepth int
+	// MaxPoints rejects sweep jobs whose grid exceeds it (default 10M).
+	MaxPoints int
+	// CheckpointEvery is the result-line flush granularity (default 256):
+	// the append-then-checkpoint cycle runs once per that many points.
+	CheckpointEvery int
+	// Logger receives job lifecycle lines; nil discards them.
+	Logger *slog.Logger
+
+	// crashAfterCheckpoints, when > 0, kills a job's run between the Nth
+	// result append and the checkpoint that would cover it — the torn-tail
+	// crash window — without persisting anything further. Durability tests
+	// only.
+	crashAfterCheckpoints int
+}
+
+// Service owns the queue, the worker pool, and the tracker map. Create
+// with New; Close drains it.
+type Service struct {
+	cfg   Config
+	src   sweep.SessionSource
+	store Store
+	log   *slog.Logger
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  chan string
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*tracker
+	closed bool
+}
+
+// tracker is the in-memory state of one job.
+type tracker struct {
+	mu         sync.Mutex
+	meta       Meta
+	cancel     context.CancelFunc // non-nil while running
+	userCancel bool               // DELETE-initiated, vs shutdown
+	runStart   time.Time          // this run's start (resets on resume)
+	runDone    int                // DonePoints when this run started
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: package-level and registered once — the obs Default registry is
+// idempotent per (name, labels), so per-Service closures would silently
+// bind gauges to the first Service ever built.
+
+var (
+	gaugeRunning atomic.Int64
+	gaugeQueued  atomic.Int64
+
+	metricsOnce  sync.Once
+	mSubmitted   *obs.Counter
+	mResumed     *obs.Counter
+	mPoints      *obs.Counter
+	mCheckpoints *obs.Counter
+	mCompleted   map[State]*obs.Counter
+
+	stageJobRun     *obs.Histogram
+	stageSweepChunk *obs.Histogram
+)
+
+func initMetrics() {
+	metricsOnce.Do(func() {
+		mSubmitted = obs.Default.Counter("catamount_job_submitted_total",
+			"Jobs accepted by POST /v1/jobs.")
+		mResumed = obs.Default.Counter("catamount_job_resumed_total",
+			"Jobs re-queued from a checkpoint after a restart.")
+		mPoints = obs.Default.Counter("catamount_job_points_total",
+			"Result points appended to job result streams.")
+		mCheckpoints = obs.Default.Counter("catamount_job_checkpoints_total",
+			"Append-then-checkpoint cycles committed.")
+		mCompleted = make(map[State]*obs.Counter)
+		for _, st := range []State{StateSucceeded, StateFailed, StateCancelled} {
+			mCompleted[st] = obs.Default.Counter("catamount_job_completed_total",
+				"Jobs reaching a terminal state, by state.",
+				obs.Label{Name: "state", Value: string(st)})
+		}
+		obs.Default.GaugeFunc("catamount_job_running",
+			"Jobs currently executing.", func() float64 { return float64(gaugeRunning.Load()) })
+		obs.Default.GaugeFunc("catamount_job_queued",
+			"Jobs waiting in the queue.", func() float64 { return float64(gaugeQueued.Load()) })
+		stageJobRun = obs.Stage("job_run")
+		stageSweepChunk = obs.Stage("sweep_chunk")
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Construction and recovery
+
+// New builds a Service over cfg, recovers every persisted job from the
+// store (re-queueing interrupted ones from their checkpoints), and starts
+// the worker pool.
+func New(cfg Config) (*Service, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("jobs: Config.Source is required")
+	}
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.MaxPoints <= 0 {
+		cfg.MaxPoints = 10_000_000
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 256
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	initMetrics()
+
+	metas, err := cfg.Store.LoadAll()
+	if err != nil {
+		return nil, fmt.Errorf("jobs: load store: %w", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:    cfg,
+		src:    cfg.Source,
+		store:  cfg.Store,
+		log:    cfg.Logger,
+		ctx:    ctx,
+		cancel: cancel,
+		queue:  make(chan string, cfg.QueueDepth+len(metas)),
+		jobs:   make(map[string]*tracker, len(metas)),
+	}
+
+	for _, m := range metas {
+		m := m
+		if m.State == StateRunning {
+			// Interrupted mid-run: drop any torn tail past the checkpoint
+			// and re-queue from it.
+			m.State = StateQueued
+			m.Resumes++
+			if err := s.store.TruncateResults(m.ID, m.ResultBytes); err != nil {
+				return nil, fmt.Errorf("jobs: recover %s: %w", m.ID, err)
+			}
+			if err := s.store.SaveMeta(m); err != nil {
+				return nil, fmt.Errorf("jobs: recover %s: %w", m.ID, err)
+			}
+			mResumed.Inc()
+			s.log.Info("job resumed from checkpoint", "job", m.ID,
+				"done_points", m.DonePoints, "total_points", m.TotalPoints,
+				"resumes", m.Resumes)
+		}
+		s.jobs[m.ID] = &tracker{meta: m}
+		if m.State == StateQueued {
+			s.queue <- m.ID
+			gaugeQueued.Add(1)
+		}
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Close stops accepting work, cancels running jobs (persisting them back
+// to queued, resumable on the next boot), and waits for the pool.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.cancel()
+	s.wg.Wait()
+
+	// Jobs still waiting in the queue keep state=queued in the store;
+	// release their gauge slots since no live service owns them now.
+	s.mu.Lock()
+	for _, t := range s.jobs {
+		t.mu.Lock()
+		if t.meta.State == StateQueued {
+			gaugeQueued.Add(-1)
+		}
+		t.mu.Unlock()
+	}
+	s.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Submission and lifecycle
+
+// newID mints a job ID: 16 random hex digits under a "j" prefix.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("j%016x", time.Now().UnixNano())
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// Submit validates spec (type pairing plus full grid/search validation, so
+// every rejection here is a 400), persists it as a queued job, and
+// enqueues it. The returned Meta carries the assigned ID.
+func (s *Service) Submit(spec api.JobSpec) (Meta, error) {
+	if err := spec.Validate(); err != nil {
+		return Meta{}, err
+	}
+	m := Meta{
+		ID:        newID(),
+		Spec:      spec,
+		State:     StateQueued,
+		CreatedAt: time.Now().UTC(),
+	}
+	switch spec.Type {
+	case api.JobTypeSweep:
+		r, err := sweep.New(s.src, *spec.Sweep)
+		if err != nil {
+			return Meta{}, err
+		}
+		m.TotalPoints = r.Points()
+		m.CostModel = r.CostModel().Name()
+		if m.TotalPoints > s.cfg.MaxPoints {
+			return Meta{}, fmt.Errorf("jobs: grid has %d points, exceeding the %d-point job cap",
+				m.TotalPoints, s.cfg.MaxPoints)
+		}
+	case api.JobTypePlan:
+		p, err := plan.New(s.src, *spec.Plan)
+		if err != nil {
+			return Meta{}, err
+		}
+		m.TotalPoints = p.Candidates()
+		m.CostModel = p.CostModel().Name()
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Meta{}, ErrClosed
+	}
+	if err := s.store.SaveMeta(m); err != nil {
+		s.mu.Unlock()
+		return Meta{}, fmt.Errorf("jobs: persist: %w", err)
+	}
+	t := &tracker{meta: m}
+	s.jobs[m.ID] = t
+	select {
+	case s.queue <- m.ID:
+	default:
+		delete(s.jobs, m.ID)
+		s.store.Delete(m.ID)
+		s.mu.Unlock()
+		return Meta{}, ErrQueueFull
+	}
+	s.mu.Unlock()
+
+	gaugeQueued.Add(1)
+	mSubmitted.Inc()
+	s.log.Info("job submitted", "job", m.ID, "type", spec.Type,
+		"total_points", m.TotalPoints, "costmodel", m.CostModel)
+	return m, nil
+}
+
+func (s *Service) tracker(id string) (*tracker, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return t, nil
+}
+
+// Get returns a job's metadata.
+func (s *Service) Get(id string) (Meta, error) {
+	t, err := s.tracker(id)
+	if err != nil {
+		return Meta{}, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.meta, nil
+}
+
+// List returns every job's metadata, oldest first.
+func (s *Service) List() []Meta {
+	s.mu.Lock()
+	out := make([]Meta, 0, len(s.jobs))
+	for _, t := range s.jobs {
+		t.mu.Lock()
+		out = append(out, t.meta)
+		t.mu.Unlock()
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.Before(out[j].CreatedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// StatusOf returns a job's metadata with derived progress and ETA.
+func (s *Service) StatusOf(id string) (Status, error) {
+	t, err := s.tracker(id)
+	if err != nil {
+		return Status{}, err
+	}
+	t.mu.Lock()
+	m, runStart, runDone := t.meta, t.runStart, t.runDone
+	t.mu.Unlock()
+
+	st := Status{Meta: m}
+	if m.TotalPoints > 0 {
+		st.Progress = float64(m.DonePoints) / float64(m.TotalPoints)
+	}
+	if m.State.Terminal() {
+		st.Progress = 1
+		return st, nil
+	}
+	if m.State == StateRunning && m.TotalPoints > m.DonePoints {
+		rem := m.TotalPoints - m.DonePoints
+		if d := m.DonePoints - runDone; d > 0 && !runStart.IsZero() {
+			st.ETASeconds = time.Since(runStart).Seconds() / float64(d) * float64(rem)
+		} else if snap := stageSweepChunk.Snapshot(); snap.Count > 0 {
+			// No points this run yet: estimate from the fleet-wide chunk
+			// latency histogram. A chunk is ≤32 grid rows; this is a rough
+			// upper bound, refined as soon as points flow.
+			mean := snap.Sum / float64(snap.Count)
+			st.ETASeconds = mean * float64((rem+31)/32)
+		}
+	}
+	return st, nil
+}
+
+// Cancel stops a queued or running job; ErrTerminal if already finished.
+// The returned Meta reflects the state at return (a running job transitions
+// to cancelled asynchronously once its context unwinds).
+func (s *Service) Cancel(id string) (Meta, error) {
+	t, err := s.tracker(id)
+	if err != nil {
+		return Meta{}, err
+	}
+	t.mu.Lock()
+	switch {
+	case t.meta.State == StateQueued:
+		t.meta.State = StateCancelled
+		t.meta.FinishedAt = time.Now().UTC()
+		m := t.meta
+		t.mu.Unlock()
+		gaugeQueued.Add(-1)
+		mCompleted[StateCancelled].Inc()
+		if err := s.store.SaveMeta(m); err != nil {
+			return m, fmt.Errorf("jobs: persist cancel: %w", err)
+		}
+		s.log.Info("job cancelled", "job", id, "was", "queued")
+		return m, nil
+	case t.meta.State == StateRunning:
+		t.userCancel = true
+		if t.cancel != nil {
+			t.cancel()
+		}
+		m := t.meta
+		t.mu.Unlock()
+		s.log.Info("job cancel requested", "job", id)
+		return m, nil
+	default:
+		m := t.meta
+		t.mu.Unlock()
+		return m, fmt.Errorf("%w: %s is %s", ErrTerminal, id, m.State)
+	}
+}
+
+// Delete removes a terminal job's metadata and results; ErrNotTerminal
+// while it is queued or running (cancel first).
+func (s *Service) Delete(id string) error {
+	t, err := s.tracker(id)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	terminal := t.meta.State.Terminal()
+	t.mu.Unlock()
+	if !terminal {
+		return fmt.Errorf("%w: %s", ErrNotTerminal, id)
+	}
+	s.mu.Lock()
+	delete(s.jobs, id)
+	s.mu.Unlock()
+	if err := s.store.Delete(id); err != nil && !errors.Is(err, ErrNotFound) {
+		return err
+	}
+	s.log.Info("job deleted", "job", id)
+	return nil
+}
+
+// Results reads one page of a job's checkpointed result lines: up to limit
+// lines starting at line index start. Reads never cross the checkpoint, so
+// a page is always a durable, deterministic prefix window.
+func (s *Service) Results(id string, start, limit int) (Page, error) {
+	t, err := s.tracker(id)
+	if err != nil {
+		return Page{}, err
+	}
+	t.mu.Lock()
+	m := t.meta
+	t.mu.Unlock()
+
+	if start < 0 {
+		start = 0
+	}
+	if start > m.DonePoints {
+		start = m.DonePoints
+	}
+	if limit <= 0 {
+		limit = 1000
+	}
+
+	pg := Page{JobID: id, State: m.State, Start: start,
+		Done: m.DonePoints, Total: m.TotalPoints, NextStart: start}
+	if start >= m.DonePoints {
+		return pg, nil
+	}
+
+	rc, err := s.store.OpenResults(id, 0)
+	if err != nil {
+		return Page{}, err
+	}
+	defer rc.Close()
+	// Clamp to the checkpointed byte range: anything beyond it is either
+	// in-flight or a torn tail.
+	br := bufio.NewReaderSize(io.LimitReader(rc, m.ResultBytes), 64<<10)
+	for i := 0; i < start; i++ {
+		if err := skipLine(br); err != nil {
+			return Page{}, fmt.Errorf("jobs: results %s: %w", id, err)
+		}
+	}
+	for len(pg.Lines) < limit && pg.Start+len(pg.Lines) < m.DonePoints {
+		line, err := readLine(br)
+		if err != nil {
+			return Page{}, fmt.Errorf("jobs: results %s: %w", id, err)
+		}
+		pg.Lines = append(pg.Lines, line)
+	}
+	pg.Count = len(pg.Lines)
+	pg.NextStart = pg.Start + pg.Count
+	return pg, nil
+}
+
+func skipLine(br *bufio.Reader) error {
+	for {
+		_, isPrefix, err := br.ReadLine()
+		if err != nil {
+			return err
+		}
+		if !isPrefix {
+			return nil
+		}
+	}
+}
+
+func readLine(br *bufio.Reader) ([]byte, error) {
+	var out []byte
+	for {
+		frag, isPrefix, err := br.ReadLine()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frag...)
+		if !isPrefix {
+			return out, nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case id := <-s.queue:
+			s.runJob(id)
+		}
+	}
+}
+
+// runJob drives one job from queued to a terminal state (or back to queued
+// on shutdown).
+func (s *Service) runJob(id string) {
+	t, err := s.tracker(id)
+	if err != nil {
+		return // deleted while queued
+	}
+	t.mu.Lock()
+	if t.meta.State != StateQueued {
+		t.mu.Unlock()
+		return // cancelled while queued
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	t.cancel = cancel
+	t.meta.State = StateRunning
+	if t.meta.StartedAt.IsZero() {
+		t.meta.StartedAt = time.Now().UTC()
+	}
+	t.runStart = time.Now()
+	t.runDone = t.meta.DonePoints
+	m := t.meta
+	t.mu.Unlock()
+
+	gaugeQueued.Add(-1)
+	gaugeRunning.Add(1)
+	if err := s.store.SaveMeta(m); err != nil {
+		s.finish(t, StateFailed, fmt.Errorf("persist running state: %w", err))
+		return
+	}
+	s.log.Info("job started", "job", id, "type", m.Spec.Type,
+		"from_point", m.DonePoints, "total_points", m.TotalPoints)
+
+	ctx = obs.WithRequestID(ctx, "job-"+id)
+	span := obs.StartSpan(ctx, "job_run", stageJobRun)
+	var runErr error
+	switch m.Spec.Type {
+	case api.JobTypeSweep:
+		runErr = s.runSweep(ctx, t)
+	case api.JobTypePlan:
+		runErr = s.runPlan(ctx, t)
+	default:
+		runErr = fmt.Errorf("unknown job type %q", m.Spec.Type)
+	}
+	span.End()
+
+	if errors.Is(runErr, errCrash) {
+		// Simulated kill: the process is "gone" — no final persist, no
+		// terminal transition. The store holds the last checkpoint plus a
+		// torn tail, exactly the recovery input.
+		gaugeRunning.Add(-1)
+		return
+	}
+
+	switch {
+	case runErr == nil:
+		s.finish(t, StateSucceeded, nil)
+	case ctx.Err() != nil && s.ctx.Err() != nil && !t.isUserCancel():
+		// Shutdown, not cancellation: persist back to queued so the next
+		// boot resumes from the checkpoint.
+		t.mu.Lock()
+		t.meta.State = StateQueued
+		t.cancel = nil
+		m := t.meta
+		t.mu.Unlock()
+		gaugeRunning.Add(-1)
+		s.store.SaveMeta(m)
+		s.log.Info("job parked for restart", "job", id, "done_points", m.DonePoints)
+	case t.isUserCancel():
+		s.finish(t, StateCancelled, nil)
+	default:
+		s.finish(t, StateFailed, runErr)
+	}
+}
+
+func (t *tracker) isUserCancel() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.userCancel
+}
+
+// finish moves a running job to a terminal state and persists it.
+func (s *Service) finish(t *tracker, st State, cause error) {
+	t.mu.Lock()
+	t.meta.State = st
+	t.meta.FinishedAt = time.Now().UTC()
+	if cause != nil {
+		t.meta.Error = cause.Error()
+	}
+	t.cancel = nil
+	m := t.meta
+	t.mu.Unlock()
+
+	gaugeRunning.Add(-1)
+	mCompleted[st].Inc()
+	if err := s.store.SaveMeta(m); err != nil {
+		s.log.Error("job final persist failed", "job", m.ID, "err", err)
+	}
+	s.log.Info("job finished", "job", m.ID, "state", st,
+		"done_points", m.DonePoints, "error", m.Error)
+}
+
+// runSweep streams the grid from the job's checkpoint, appending result
+// lines and committing a checkpoint every CheckpointEvery points. Lines
+// are json.Marshal(point)+"\n" — the same bytes the synchronous NDJSON
+// path emits, which is what makes resume byte-identity testable.
+func (s *Service) runSweep(ctx context.Context, t *tracker) error {
+	t.mu.Lock()
+	m := t.meta
+	t.mu.Unlock()
+
+	r, err := sweep.New(s.src, *m.Spec.Sweep)
+	if err != nil {
+		return err
+	}
+
+	var buf bytes.Buffer
+	pending := 0
+	checkpoints := 0
+	flush := func() error {
+		if pending == 0 {
+			return nil
+		}
+		n := int64(buf.Len())
+		if err := s.store.AppendResults(m.ID, buf.Bytes()); err != nil {
+			return fmt.Errorf("append results: %w", err)
+		}
+		checkpoints++
+		if s.cfg.crashAfterCheckpoints > 0 && checkpoints >= s.cfg.crashAfterCheckpoints {
+			return errCrash // died after the append, before the checkpoint
+		}
+		t.mu.Lock()
+		t.meta.DonePoints += pending
+		t.meta.ResultBytes += n
+		cp := t.meta
+		t.mu.Unlock()
+		if err := s.store.SaveMeta(cp); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		mPoints.Add(int64(pending))
+		mCheckpoints.Inc()
+		buf.Reset()
+		pending = 0
+		return nil
+	}
+
+	runErr := r.RunFrom(ctx, m.DonePoints, func(p sweep.Point) error {
+		line, err := json.Marshal(p)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+		pending++
+		if pending >= s.cfg.CheckpointEvery {
+			return flush()
+		}
+		return nil
+	})
+	if errors.Is(runErr, errCrash) {
+		return runErr
+	}
+	// Checkpoint whatever completed — on cancellation or shutdown this is
+	// what the resume (or the reader of a cancelled job) picks up.
+	if ferr := flush(); ferr != nil {
+		if errors.Is(ferr, errCrash) || runErr == nil {
+			return ferr
+		}
+	}
+	return runErr
+}
+
+// runPlan runs the search and appends one line per candidate (search
+// order), then records the scalar summary in the job metadata. Plans are
+// small relative to sweeps; the append is one cycle at the end.
+func (s *Service) runPlan(ctx context.Context, t *tracker) error {
+	t.mu.Lock()
+	m := t.meta
+	t.mu.Unlock()
+
+	p, err := plan.New(s.src, *m.Spec.Plan)
+	if err != nil {
+		return err
+	}
+	res, err := p.Run(ctx)
+	if err != nil {
+		return err
+	}
+
+	var buf bytes.Buffer
+	for i := range res.Plans {
+		line, err := json.Marshal(&res.Plans[i])
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if err := s.store.AppendResults(m.ID, buf.Bytes()); err != nil {
+		return fmt.Errorf("append results: %w", err)
+	}
+	t.mu.Lock()
+	t.meta.DonePoints = len(res.Plans)
+	t.meta.TotalPoints = len(res.Plans)
+	t.meta.ResultBytes += int64(buf.Len())
+	t.meta.PlanSummary = &PlanSummary{
+		Target:     res.Target,
+		CostModel:  res.CostModel,
+		Objectives: res.Objectives,
+		Candidates: res.Candidates,
+	}
+	cp := t.meta
+	t.mu.Unlock()
+	if err := s.store.SaveMeta(cp); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	mPoints.Add(int64(len(res.Plans)))
+	mCheckpoints.Inc()
+	return nil
+}

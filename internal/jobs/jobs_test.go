@@ -1,0 +1,420 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	cat "catamount"
+	"catamount/internal/api"
+	"catamount/internal/sweep"
+)
+
+// sharedEngine keeps model build+compile cost to once per test binary; it
+// satisfies sweep.SessionSource the same way catamountd's engine does.
+var sharedEngine = cat.NewEngine()
+
+// testSweepSpec is a 20-point single-domain grid: big enough to span
+// several small checkpoints, small enough to finish in well under a second.
+func testSweepSpec() api.SweepSpec {
+	return api.SweepSpec{
+		Domains:      []string{"wordlm"},
+		ParamMin:     1e7,
+		ParamMax:     1e9,
+		ParamSteps:   20,
+		Subbatches:   []float64{32},
+		Accelerators: []string{"v100"},
+	}
+}
+
+// syncSweepLines runs spec synchronously through the sweep runner — the
+// exact path POST /v1/sweep streams — and returns the NDJSON lines
+// (json.Marshal(point)+"\n" each), the byte-identity reference for jobs.
+func syncSweepLines(t *testing.T, spec api.SweepSpec) [][]byte {
+	t.Helper()
+	r, err := sweep.New(sharedEngine, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines [][]byte
+	err = r.Run(context.Background(), func(p sweep.Point) error {
+		b, err := json.Marshal(p)
+		if err != nil {
+			return err
+		}
+		lines = append(lines, append(b, '\n'))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+func joinLines(lines [][]byte) []byte {
+	return bytes.Join(lines, nil)
+}
+
+// waitState polls a job until pred holds or the deadline passes.
+func waitState(t *testing.T, s *Service, id string, pred func(Status) bool) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := s.StatusOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred(st) {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st, _ := s.StatusOf(id)
+	t.Fatalf("job %s never reached wanted state; last: %+v", id, st.Meta)
+	return Status{}
+}
+
+// readAll pages through a job's results with a deliberately small limit,
+// exercising the pagination path, and returns the concatenated stream.
+func readAll(t *testing.T, s *Service, id string, limit int) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	start := 0
+	for {
+		pg, err := s.Results(id, start, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range pg.Lines {
+			out.Write(line)
+			out.WriteByte('\n')
+		}
+		if pg.Count == 0 || pg.NextStart >= pg.Done {
+			return out.Bytes()
+		}
+		start = pg.NextStart
+	}
+}
+
+func TestFileStoreProtocol(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bad := range []string{"", "a/b", `a\b`, "..", "j.1"} {
+		if err := fs.SaveMeta(Meta{ID: bad}); err == nil {
+			t.Fatalf("SaveMeta accepted invalid id %q", bad)
+		}
+	}
+
+	m := Meta{ID: "jdeadbeef", State: StateQueued,
+		Spec:      api.JobSpec{Type: api.JobTypeSweep, Sweep: &api.SweepSpec{Params: []float64{1e8}}},
+		CreatedAt: time.Now().UTC().Truncate(time.Microsecond), TotalPoints: 7}
+	if err := fs.SaveMeta(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AppendResults(m.ID, []byte("one\ntwo\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AppendResults(m.ID, []byte("torn-tai")); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := fs.ResultSize(m.ID); n != 16 {
+		t.Fatalf("ResultSize = %d, want 16", n)
+	}
+	if err := fs.TruncateResults(m.ID, 8); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := fs.OpenResults(m.ID, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 16)
+	n, _ := rc.Read(b)
+	rc.Close()
+	if string(b[:n]) != "two\n" {
+		t.Fatalf("OpenResults after truncate read %q, want \"two\\n\"", b[:n])
+	}
+
+	// A junk entry (no committed meta.json) and a mismatched meta must both
+	// be skipped by recovery.
+	os.MkdirAll(filepath.Join(dir, "jabandoned"), 0o755)
+	os.MkdirAll(filepath.Join(dir, "jmismatch"), 0o755)
+	os.WriteFile(filepath.Join(dir, "jmismatch", metaFile), []byte(`{"id":"other"}`), 0o644)
+	metas, err := fs.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 || metas[0].ID != m.ID || metas[0].TotalPoints != 7 {
+		t.Fatalf("LoadAll = %+v, want exactly the committed job", metas)
+	}
+
+	if err := fs.Delete(m.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(m.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second Delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSweepJobMatchesSynchronousSweep(t *testing.T) {
+	spec := testSweepSpec()
+	want := joinLines(syncSweepLines(t, spec))
+
+	svc, err := New(Config{Source: sharedEngine, Workers: 1, CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	m, err := svc.Submit(api.JobSpec{Type: api.JobTypeSweep, Sweep: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalPoints != 20 {
+		t.Fatalf("TotalPoints = %d, want 20", m.TotalPoints)
+	}
+	st := waitState(t, svc, m.ID, func(st Status) bool { return st.State.Terminal() })
+	if st.State != StateSucceeded || st.DonePoints != 20 || st.Progress != 1 {
+		t.Fatalf("terminal status = %+v", st)
+	}
+
+	got := readAll(t, svc, m.ID, 3)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("job results differ from synchronous sweep:\njob:  %d bytes\nsync: %d bytes", len(got), len(want))
+	}
+
+	// Page windows are stable and never cross the checkpoint.
+	pg, err := svc.Results(m.ID, 18, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Start != 18 || pg.Count != 2 || pg.NextStart != 20 || pg.Done != 20 {
+		t.Fatalf("tail page = %+v", pg)
+	}
+
+	// Lifecycle edges on a terminal job: Cancel conflicts, Delete removes.
+	if _, err := svc.Cancel(m.ID); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("Cancel(terminal) = %v, want ErrTerminal", err)
+	}
+	if err := svc.Delete(m.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Get(m.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPlanJob(t *testing.T) {
+	svc, err := New(Config{Source: sharedEngine, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	m, err := svc.Submit(api.JobSpec{Type: api.JobTypePlan, Plan: &api.PlanSpec{
+		Domain:       "wordlm",
+		Accelerators: []string{"v100"},
+		WorkerCounts: []int{1, 2, 4},
+		Subbatches:   []float64{32},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, svc, m.ID, func(st Status) bool { return st.State.Terminal() })
+	if st.State != StateSucceeded {
+		t.Fatalf("plan job state = %s (%s)", st.State, st.Error)
+	}
+	if st.PlanSummary == nil || st.PlanSummary.Candidates != st.DonePoints || st.DonePoints == 0 {
+		t.Fatalf("plan summary = %+v, done = %d", st.PlanSummary, st.DonePoints)
+	}
+	got := readAll(t, svc, m.ID, 2)
+	if n := bytes.Count(got, []byte("\n")); n != st.DonePoints {
+		t.Fatalf("result lines = %d, want %d", n, st.DonePoints)
+	}
+}
+
+func TestSubmitRejections(t *testing.T) {
+	svc, err := New(Config{Source: sharedEngine, MaxPoints: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	cases := []api.JobSpec{
+		{},
+		{Type: "bogus"},
+		{Type: api.JobTypeSweep},
+		{Type: api.JobTypeSweep, Sweep: &api.SweepSpec{}, Plan: &api.PlanSpec{}},
+		{Type: api.JobTypeSweep, Sweep: &api.SweepSpec{Domains: []string{"nope"}, Params: []float64{1e8}}},
+		{Type: api.JobTypePlan, Plan: &api.PlanSpec{Domain: "nope"}},
+		// 20 points over a 5-point cap.
+		{Type: api.JobTypeSweep, Sweep: &api.SweepSpec{
+			Domains: []string{"wordlm"}, ParamMin: 1e7, ParamMax: 1e9, ParamSteps: 20,
+			Subbatches: []float64{32}, Accelerators: []string{"v100"}}},
+	}
+	for i, spec := range cases {
+		if _, err := svc.Submit(spec); err == nil {
+			t.Fatalf("case %d: Submit accepted invalid spec %+v", i, spec)
+		}
+	}
+	if got := len(svc.List()); got != 0 {
+		t.Fatalf("rejected submissions left %d jobs behind", got)
+	}
+}
+
+// TestKillAndRestartResumesByteIdentical is the durability acceptance test:
+// a file-backed job killed between a result append and its checkpoint (the
+// torn-tail window) resumes after "restart" (a fresh Service over the same
+// directory) and finishes with results byte-identical to the same spec run
+// synchronously through the sweep runner.
+func TestKillAndRestartResumesByteIdentical(t *testing.T) {
+	spec := testSweepSpec()
+	lines := syncSweepLines(t, spec)
+	want := joinLines(lines)
+
+	dir := t.TempDir()
+	fs1, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CheckpointEvery=4, crash at the 2nd append: the process "dies" with 8
+	// result lines on disk but only 4 covered by the committed checkpoint.
+	svc1, err := New(Config{Source: sharedEngine, Store: fs1, Workers: 1,
+		CheckpointEvery: 4, crashAfterCheckpoints: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := svc1.Submit(api.JobSpec{Type: api.JobTypeSweep, Sweep: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash point is deterministic: exactly the first 8 lines are
+	// appended, then the worker abandons the job without another persist.
+	crashSize := int64(len(joinLines(lines[:8])))
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if n, _ := fs1.ResultSize(m.ID); n == crashSize {
+			break
+		}
+		if time.Now().After(deadline) {
+			n, _ := fs1.ResultSize(m.ID)
+			t.Fatalf("results never reached the crash point: %d bytes, want %d", n, crashSize)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The dead job is still "running" as far as svc1 knows: its checkpoint
+	// serves exactly the 4 committed lines, and Delete refuses.
+	if err := svc1.Delete(m.ID); !errors.Is(err, ErrNotTerminal) {
+		t.Fatalf("Delete(active) = %v, want ErrNotTerminal", err)
+	}
+	if got := readAll(t, svc1, m.ID, 100); !bytes.Equal(got, joinLines(lines[:4])) {
+		t.Fatalf("checkpoint window serves %d bytes, want the 4 committed lines (%d bytes)",
+			len(got), len(joinLines(lines[:4])))
+	}
+	svc1.Close()
+
+	// Make the torn tail worse: a partial line a kill mid-write would leave.
+	f, err := os.OpenFile(filepath.Join(dir, m.ID, resultsFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":999,"torn`)
+	f.Close()
+
+	// On-disk state before recovery: meta says running with a 4-line
+	// checkpoint, results file holds 8 lines plus garbage.
+	fs2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, err := fs2.LoadAll()
+	if err != nil || len(metas) != 1 {
+		t.Fatalf("LoadAll = %v, %v", metas, err)
+	}
+	if metas[0].State != StateRunning || metas[0].DonePoints != 4 {
+		t.Fatalf("pre-recovery meta = state %s, done %d; want running/4", metas[0].State, metas[0].DonePoints)
+	}
+
+	// "Restart": recovery truncates the torn tail to the checkpoint and
+	// re-queues the job, which resumes at point 4 and runs to completion.
+	svc2, err := New(Config{Source: sharedEngine, Store: fs2, Workers: 1, CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+
+	st := waitState(t, svc2, m.ID, func(st Status) bool { return st.State.Terminal() })
+	if st.State != StateSucceeded {
+		t.Fatalf("resumed job state = %s (%s)", st.State, st.Error)
+	}
+	if st.Resumes != 1 {
+		t.Fatalf("Resumes = %d, want 1", st.Resumes)
+	}
+	if st.DonePoints != st.TotalPoints || st.TotalPoints != 20 {
+		t.Fatalf("resumed job done %d / total %d, want 20/20", st.DonePoints, st.TotalPoints)
+	}
+
+	got := readAll(t, svc2, m.ID, 3)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed results are not byte-identical to the synchronous sweep:\ngot %d bytes, want %d", len(got), len(want))
+	}
+	// And the file itself holds exactly the synchronous stream: the torn
+	// tail is gone, nothing was double-appended.
+	onDisk, err := os.ReadFile(filepath.Join(dir, m.ID, resultsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, want) {
+		t.Fatalf("results.ndjson differs from the synchronous stream: %d bytes, want %d", len(onDisk), len(want))
+	}
+}
+
+// TestCloseParksRunningJob: shutting the service down mid-run persists the
+// job back to queued (resumable), not cancelled or failed.
+func TestCloseParksRunningJob(t *testing.T) {
+	spec := api.SweepSpec{
+		Domains:      []string{"wordlm", "charlm", "nmt", "speech", "image"},
+		ParamMin:     1e7,
+		ParamMax:     1e9,
+		ParamSteps:   400,
+		Subbatches:   []float64{32},
+		Accelerators: []string{"v100"},
+	}
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{Source: sharedEngine, Store: fs, Workers: 1, CheckpointEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := svc.Submit(api.JobSpec{Type: api.JobTypeSweep, Sweep: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, svc, m.ID, func(st Status) bool { return st.State == StateRunning })
+	svc.Close()
+
+	metas, err := fs.LoadAll()
+	if err != nil || len(metas) != 1 {
+		t.Fatalf("LoadAll = %v, %v", metas, err)
+	}
+	got := metas[0]
+	if got.State != StateQueued && got.State != StateSucceeded {
+		t.Fatalf("state after shutdown = %s, want queued (parked) or succeeded (finished first)", got.State)
+	}
+	if got.State == StateQueued && got.DonePoints >= got.TotalPoints {
+		t.Fatalf("parked job claims completion: %+v", got)
+	}
+}

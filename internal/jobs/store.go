@@ -1,0 +1,343 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file holds the pluggable durability layer behind the job service: a
+// Store persists job metadata (the checkpoint) and the append-only result
+// stream. Two implementations ship — MemStore for tests and servers that
+// accept losing jobs on restart, and FileStore, whose write protocol makes
+// a process kill at any instant recoverable:
+//
+//  1. result lines are appended (and synced) to results.ndjson first,
+//  2. then the checkpoint meta (done-point count + result byte offset) is
+//     written via tmp-file + rename.
+//
+// A crash between (1) and (2) leaves the results file longer than the last
+// durable checkpoint; recovery truncates the torn tail back to the
+// checkpointed offset and resumes the sweep from the checkpointed point
+// count, which the sweep's deterministic emission order makes exact.
+
+// ErrNotFound reports an unknown job ID.
+var ErrNotFound = errors.New("jobs: no such job")
+
+// Store persists job metadata and append-only result streams. Every method
+// must be safe for concurrent use; the service serializes writes per job.
+type Store interface {
+	// SaveMeta durably records a job's metadata — its spec, state, and
+	// checkpoint. For FileStore this is the commit point of a checkpoint.
+	SaveMeta(m Meta) error
+	// LoadAll returns every persisted job's metadata, for startup
+	// recovery. Order is unspecified.
+	LoadAll() ([]Meta, error)
+	// AppendResults appends a raw chunk of NDJSON result lines to the
+	// job's result stream. Durability is append-then-checkpoint: the
+	// chunk must be on stable storage before the SaveMeta that covers it.
+	AppendResults(id string, chunk []byte) error
+	// TruncateResults cuts the job's result stream back to size bytes —
+	// recovery's tool for dropping a torn tail past the last checkpoint.
+	TruncateResults(id string, size int64) error
+	// ResultSize reports the current byte length of the result stream.
+	ResultSize(id string) (int64, error)
+	// OpenResults opens the job's result stream for reading from the
+	// given byte offset.
+	OpenResults(id string, offset int64) (io.ReadCloser, error)
+	// Delete removes the job's metadata and results.
+	Delete(id string) error
+}
+
+// ---------------------------------------------------------------------------
+// MemStore
+
+// MemStore is the in-memory Store: jobs survive for the life of the
+// process. It is the default when catamountd runs without -jobs-dir.
+type MemStore struct {
+	mu   sync.RWMutex
+	meta map[string]Meta
+	res  map[string]*bytes.Buffer
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{meta: make(map[string]Meta), res: make(map[string]*bytes.Buffer)}
+}
+
+func (s *MemStore) SaveMeta(m Meta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.meta[m.ID] = m
+	if _, ok := s.res[m.ID]; !ok {
+		s.res[m.ID] = &bytes.Buffer{}
+	}
+	return nil
+}
+
+func (s *MemStore) LoadAll() ([]Meta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Meta, 0, len(s.meta))
+	for _, m := range s.meta {
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func (s *MemStore) AppendResults(id string, chunk []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf, ok := s.res[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	buf.Write(chunk)
+	return nil
+}
+
+func (s *MemStore) TruncateResults(id string, size int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf, ok := s.res[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if int64(buf.Len()) > size {
+		buf.Truncate(int(size))
+	}
+	return nil
+}
+
+func (s *MemStore) ResultSize(id string) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	buf, ok := s.res[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return int64(buf.Len()), nil
+}
+
+func (s *MemStore) OpenResults(id string, offset int64) (io.ReadCloser, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	buf, ok := s.res[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	// Copy under the lock: the worker may append while a page is read.
+	b := buf.Bytes()
+	if offset > int64(len(b)) {
+		offset = int64(len(b))
+	}
+	cp := make([]byte, len(b)-int(offset))
+	copy(cp, b[offset:])
+	return io.NopCloser(bytes.NewReader(cp)), nil
+}
+
+func (s *MemStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.meta[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(s.meta, id)
+	delete(s.res, id)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// FileStore
+
+// metaFile and resultsFile are the two files of one job's directory.
+const (
+	metaFile    = "meta.json"
+	resultsFile = "results.ndjson"
+)
+
+// FileStore persists each job as a directory under root:
+//
+//	<root>/<job-id>/meta.json       checkpointed metadata (tmp+rename)
+//	<root>/<job-id>/results.ndjson  append-only result lines (synced)
+//
+// It is the durable Store behind catamountd -jobs-dir.
+type FileStore struct {
+	root string
+	mu   sync.Mutex // serializes meta renames; appends are per-job anyway
+}
+
+// NewFileStore opens (creating if needed) a file-backed store rooted at
+// dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: create store dir: %w", err)
+	}
+	return &FileStore{root: dir}, nil
+}
+
+// Root returns the store's directory.
+func (s *FileStore) Root() string { return s.root }
+
+// jobDir validates the ID (it becomes a path segment) and returns its
+// directory.
+func (s *FileStore) jobDir(id string) (string, error) {
+	if id == "" || strings.ContainsAny(id, "/\\.") {
+		return "", fmt.Errorf("jobs: invalid job id %q", id)
+	}
+	return filepath.Join(s.root, id), nil
+}
+
+func (s *FileStore) SaveMeta(m Meta) error {
+	dir, err := s.jobDir(m.ID)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := filepath.Join(dir, metaFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, metaFile))
+}
+
+func (s *FileStore) LoadAll() ([]Meta, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, err
+	}
+	var out []Meta
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(s.root, e.Name(), metaFile))
+		if err != nil {
+			// A job directory without committed metadata (crash before the
+			// first SaveMeta rename) holds nothing recoverable; skip it.
+			continue
+		}
+		var m Meta
+		if err := json.Unmarshal(b, &m); err != nil || m.ID != e.Name() {
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CreatedAt.Before(out[j].CreatedAt) })
+	return out, nil
+}
+
+func (s *FileStore) AppendResults(id string, chunk []byte) error {
+	dir, err := s.jobDir(id)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, resultsFile), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(chunk); err != nil {
+		return err
+	}
+	// Sync before the caller checkpoints: the append-then-checkpoint
+	// ordering is the whole durability argument.
+	return f.Sync()
+}
+
+func (s *FileStore) TruncateResults(id string, size int64) error {
+	dir, err := s.jobDir(id)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, resultsFile)
+	st, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		if size == 0 {
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if err != nil {
+		return err
+	}
+	if st.Size() <= size {
+		return nil
+	}
+	return os.Truncate(path, size)
+}
+
+func (s *FileStore) ResultSize(id string) (int64, error) {
+	dir, err := s.jobDir(id)
+	if err != nil {
+		return 0, err
+	}
+	st, err := os.Stat(filepath.Join(dir, resultsFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (s *FileStore) OpenResults(id string, offset int64) (io.ReadCloser, error) {
+	dir, err := s.jobDir(id)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, resultsFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return io.NopCloser(bytes.NewReader(nil)), nil
+		}
+		return nil, err
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func (s *FileStore) Delete(id string) error {
+	dir, err := s.jobDir(id)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return os.RemoveAll(dir)
+}

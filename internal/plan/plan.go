@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 
+	"catamount/internal/api"
 	"catamount/internal/core"
 	"catamount/internal/costmodel"
 	"catamount/internal/hw"
@@ -80,56 +81,11 @@ func ParseStrategy(name string) (Strategy, error) {
 	return "", fmt.Errorf("plan: unknown strategy %q (allreduce, overlap, sharded)", name)
 }
 
-// Spec describes one inverse query: the target and the search space. The
-// zero value of each search-space field means "the default grid". This is
-// the JSON schema of POST /v1/plan and the flag schema of cmd/plan.
-type Spec struct {
-	// Domain names the Table 1 domain ("wordlm", "charlm", "nmt",
-	// "speech", "image"). Required.
-	Domain string `json:"domain"`
-	// TargetErr is the desired accuracy in the domain's error-like metric
-	// (lower is better). Zero means the domain's Table 1 desired SOTA.
-	// Values below the domain's irreducible error are rejected.
-	TargetErr float64 `json:"target_err,omitempty"`
-	// Epochs is the number of passes over the target dataset (default 1,
-	// matching the paper's epoch accounting).
-	Epochs float64 `json:"epochs,omitempty"`
-	// BudgetHours / BudgetUSD bound time-to-train and total cost; zero
-	// means unbounded. Plans over budget are annotated infeasible.
-	BudgetHours float64 `json:"budget_hours,omitempty"`
-	BudgetUSD   float64 `json:"budget_usd,omitempty"`
-
-	// Accelerators names catalog entries or aliases to search; Custom adds
-	// inline devices in the catalog interchange schema. Both empty means
-	// the whole catalog.
-	Accelerators []string         `json:"accelerators,omitempty"`
-	Custom       []hw.Accelerator `json:"custom_accelerators,omitempty"`
-	// WorkerCounts lists data-parallel worker counts; empty means powers
-	// of two from 1 to 16384 (the Figure 12 sweep domain).
-	WorkerCounts []int `json:"worker_counts,omitempty"`
-	// Subbatches lists per-worker subbatch sizes; empty means powers of
-	// two from 8 to 512 (bracketing every domain's §5.2.1 choice).
-	Subbatches []float64 `json:"subbatches,omitempty"`
-	// Strategies lists parallelism strategies; empty means all.
-	Strategies []string `json:"strategies,omitempty"`
-
-	// CostModel selects the step-time backend ("graph", "perop", or an
-	// alias; empty means the default graph-level Roofline). Every
-	// candidate's compute time — and therefore train hours, cost, and the
-	// Pareto frontier — routes through it.
-	CostModel string `json:"costmodel,omitempty"`
-
-	// MinSubbatch is the smallest admissible per-worker subbatch (default
-	// 1); candidates below it are annotated infeasible, reflecting
-	// kernel-occupancy limits the Roofline cannot see.
-	MinSubbatch float64 `json:"min_subbatch,omitempty"`
-	// OverlapBuckets is the gradient bucket count of StrategyOverlap
-	// (default 16).
-	OverlapBuckets int `json:"overlap_buckets,omitempty"`
-	// Workers bounds the candidate-evaluation pool (default GOMAXPROCS),
-	// forwarded to the internal/sweep runner.
-	Workers int `json:"workers,omitempty"`
-}
+// Spec describes one inverse query: the target and the search space. It
+// is an alias of the versioned wire type in internal/api — the canonical
+// JSON schema of POST /v1/plan, the plan half of POST /v1/jobs, and the
+// flag schema of cmd/plan.
+type Spec = api.PlanSpec
 
 // Target is the resolved inverse query: the §3 learning-curve inversion of
 // the requested accuracy into data and model size.

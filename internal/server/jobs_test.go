@@ -1,0 +1,432 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"catamount/internal/api"
+)
+
+// jobSweepBody is an 8-point grid shared by the lifecycle tests; identical
+// to a spec the synchronous /v1/sweep tests use, so job output can be
+// compared against the streaming endpoint byte for byte.
+const jobSweepBody = `{"type": "sweep", "sweep": {
+	"domains": ["wordlm", "nmt"],
+	"params": [1e8, 2e8],
+	"subbatches": [64],
+	"accelerators": ["v100", "a100"]
+}}`
+
+// jobRequest performs one request against the server and decodes the JSON
+// object body (nil when the body is not a JSON object).
+func jobRequest(t *testing.T, s *Server, method, path, body string, hdr map[string]string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var decoded map[string]any
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+			decoded = nil
+		}
+	}
+	return rec, decoded
+}
+
+// waitJobState polls GET /v1/jobs/{id} until the job reaches state, failing
+// the test on timeout or a terminal detour.
+func waitJobState(t *testing.T, s *Server, id, state string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, body := get(t, s, "/v1/jobs/"+id)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s = %d %s", id, rec.Code, rec.Body)
+		}
+		if body["state"] == state {
+			return body
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %q", id, state)
+	return nil
+}
+
+func TestJobLifecycle(t *testing.T) {
+	s := newTestServer(Config{})
+	defer s.Close()
+
+	// Submit: 202, Location header, queued-or-beyond status body.
+	rec, body := jobRequest(t, s, http.MethodPost, "/v1/jobs", jobSweepBody, nil)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", rec.Code, rec.Body)
+	}
+	id, _ := body["id"].(string)
+	if id == "" {
+		t.Fatalf("submit body has no id: %s", rec.Body)
+	}
+	if loc := rec.Header().Get("Location"); loc != "/v1/jobs/"+id {
+		t.Fatalf("Location = %q", loc)
+	}
+	if body["total_points"].(float64) != 8 {
+		t.Fatalf("total_points = %v, want 8", body["total_points"])
+	}
+
+	// List includes it.
+	rec, body = get(t, s, "/v1/jobs")
+	if rec.Code != http.StatusOK || body["count"].(float64) < 1 {
+		t.Fatalf("list = %d %s", rec.Code, rec.Body)
+	}
+
+	final := waitJobState(t, s, id, "succeeded")
+	if final["progress"].(float64) != 1 || final["done_points"].(float64) != 8 {
+		t.Fatalf("final status = %v", final)
+	}
+
+	// The job's NDJSON results are byte-identical to the synchronous
+	// streaming endpoint fed the same spec.
+	sweepRec := postSweep(t, s, `{
+		"domains": ["wordlm", "nmt"],
+		"params": [1e8, 2e8],
+		"subbatches": [64],
+		"accelerators": ["v100", "a100"]
+	}`, nil)
+	if sweepRec.Code != http.StatusOK {
+		t.Fatalf("sync sweep = %d", sweepRec.Code)
+	}
+	resRec, _ := jobRequest(t, s, http.MethodGet, "/v1/jobs/"+id+"/results", "", nil)
+	if resRec.Code != http.StatusOK {
+		t.Fatalf("results = %d %s", resRec.Code, resRec.Body)
+	}
+	if ct := resRec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("results content type = %q", ct)
+	}
+	if !bytes.Equal(resRec.Body.Bytes(), sweepRec.Body.Bytes()) {
+		t.Fatalf("job results differ from synchronous sweep stream:\njob:  %q\nsync: %q", resRec.Body, sweepRec.Body)
+	}
+	if resRec.Header().Get("X-Job-State") != "succeeded" ||
+		resRec.Header().Get("X-Total-Points") != "8" ||
+		resRec.Header().Get("X-Done-Points") != "8" {
+		t.Fatalf("results headers = %v", resRec.Header())
+	}
+	// A fully-served page of a terminal job has no next cursor.
+	if c := resRec.Header().Get("X-Next-Cursor"); c != "" {
+		t.Fatalf("complete terminal page still advertises cursor %q", c)
+	}
+
+	// Pagination: limit=3 pages chained by X-Next-Cursor reproduce the
+	// stream, and the last page stops advertising a cursor.
+	var paged bytes.Buffer
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > 8 {
+			t.Fatal("pagination never terminated")
+		}
+		url := "/v1/jobs/" + id + "/results?limit=3"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		pr, _ := jobRequest(t, s, http.MethodGet, url, "", nil)
+		if pr.Code != http.StatusOK {
+			t.Fatalf("page = %d %s", pr.Code, pr.Body)
+		}
+		paged.Write(pr.Body.Bytes())
+		cursor = pr.Header().Get("X-Next-Cursor")
+		if cursor == "" {
+			break
+		}
+	}
+	if !bytes.Equal(paged.Bytes(), sweepRec.Body.Bytes()) {
+		t.Fatal("concatenated pages differ from the synchronous stream")
+	}
+
+	// ETag: replaying a page with If-None-Match answers 304 with no body.
+	pr, _ := jobRequest(t, s, http.MethodGet, "/v1/jobs/"+id+"/results?limit=3", "", nil)
+	etag := pr.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("results page has no ETag")
+	}
+	pr304, _ := jobRequest(t, s, http.MethodGet, "/v1/jobs/"+id+"/results?limit=3", "",
+		map[string]string{"If-None-Match": etag})
+	if pr304.Code != http.StatusNotModified || pr304.Body.Len() != 0 {
+		t.Fatalf("If-None-Match replay = %d with %d body bytes, want 304 empty", pr304.Code, pr304.Body.Len())
+	}
+
+	// format=json envelope.
+	jr, jbody := jobRequest(t, s, http.MethodGet, "/v1/jobs/"+id+"/results?format=json&limit=5", "", nil)
+	if jr.Code != http.StatusOK {
+		t.Fatalf("json page = %d", jr.Code)
+	}
+	pts := jbody["points"].([]any)
+	if len(pts) != 5 || jbody["next_cursor"].(string) == "" {
+		t.Fatalf("json page = %v", jbody)
+	}
+
+	// format=csv: header row plus one record per point.
+	cr, _ := jobRequest(t, s, http.MethodGet, "/v1/jobs/"+id+"/results?format=csv", "", nil)
+	if cr.Code != http.StatusOK || cr.Header().Get("Content-Type") != "text/csv" {
+		t.Fatalf("csv page = %d %q", cr.Code, cr.Header().Get("Content-Type"))
+	}
+	if n := strings.Count(cr.Body.String(), "\n"); n != 9 {
+		t.Fatalf("csv has %d lines, want header + 8 records", n)
+	}
+
+	// DELETE a terminal job removes it; the ID then 404s.
+	dr, dbody := jobRequest(t, s, http.MethodDelete, "/v1/jobs/"+id, "", nil)
+	if dr.Code != http.StatusOK || dbody["deleted"] != true {
+		t.Fatalf("delete = %d %s", dr.Code, dr.Body)
+	}
+	gr, _ := get(t, s, "/v1/jobs/"+id)
+	if gr.Code != http.StatusNotFound {
+		t.Fatalf("GET after delete = %d", gr.Code)
+	}
+}
+
+func TestJobCostModelQueryParamWins(t *testing.T) {
+	s := newTestServer(Config{})
+	defer s.Close()
+
+	// Spec says graph; the query parameter overrides to perop, and the
+	// recorded job spec carries the folded value.
+	body := `{"type": "sweep", "sweep": {"domains": ["wordlm"], "params": [1e8], "costmodel": "graph"}}`
+	rec, st := jobRequest(t, s, http.MethodPost, "/v1/jobs?costmodel=perop", body, nil)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", rec.Code, rec.Body)
+	}
+	if st["costmodel"] != "perop" {
+		t.Fatalf("resolved costmodel = %v, want perop", st["costmodel"])
+	}
+	spec := st["spec"].(map[string]any)["sweep"].(map[string]any)
+	if spec["costmodel"] != "perop" {
+		t.Fatalf("persisted spec costmodel = %v, want perop", spec["costmodel"])
+	}
+}
+
+// TestErrorEnvelopeEverywhere pins the one error shape of the v1 surface:
+// every failure — any endpoint, any method, matched or not — answers
+// {"error": {"code", "message", "request_id"}} with the code derived from
+// the status, including 400-before-stream on the streaming endpoints and
+// enveloped 404/405 for unmatched routes.
+func TestErrorEnvelopeEverywhere(t *testing.T) {
+	s := newTestServer(Config{})
+	defer s.Close()
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+	}{
+		{"unmatched path", http.MethodGet, "/v1/nope", "", http.StatusNotFound},
+		{"unmatched method", http.MethodDelete, "/v1/domains", "", http.StatusMethodNotAllowed},
+		{"analyze bad domain", http.MethodGet, "/v1/analyze?domain=bogus", "", http.StatusBadRequest},
+		{"analyze bad param", http.MethodGet, "/v1/analyze?domain=wordlm&params=zap", "", http.StatusBadRequest},
+		{"profile bad domain", http.MethodGet, "/v1/profile?domain=bogus", "", http.StatusBadRequest},
+		{"frontier bad body", http.MethodPost, "/v1/frontier", "{", http.StatusBadRequest},
+		{"sweep bad json", http.MethodPost, "/v1/sweep", "{", http.StatusBadRequest},
+		{"sweep unknown field", http.MethodPost, "/v1/sweep", `{"zap": 1}`, http.StatusBadRequest},
+		{"sweep bad spec", http.MethodPost, "/v1/sweep", `{"domains": ["bogus"]}`, http.StatusBadRequest},
+		{"sweep oversized grid", http.MethodPost, "/v1/sweep",
+			`{"domains": ["wordlm"], "param_min": 1e7, "param_max": 1e9, "param_steps": 2000000}`,
+			http.StatusBadRequest},
+		{"plan bad json", http.MethodPost, "/v1/plan", "{", http.StatusBadRequest},
+		{"plan bad spec", http.MethodPost, "/v1/plan", `{"domain": "bogus"}`, http.StatusBadRequest},
+		{"checkpoint bad body", http.MethodPost, "/v1/checkpoint/analyze", "not json", http.StatusBadRequest},
+		{"figures unknown", http.MethodGet, "/v1/figures/fig99", "", http.StatusBadRequest},
+		{"job submit bad json", http.MethodPost, "/v1/jobs", "{", http.StatusBadRequest},
+		{"job submit no type", http.MethodPost, "/v1/jobs", `{}`, http.StatusBadRequest},
+		{"job submit type mismatch", http.MethodPost, "/v1/jobs",
+			`{"type": "plan", "sweep": {"params": [1e8]}}`, http.StatusBadRequest},
+		{"job submit bad grid", http.MethodPost, "/v1/jobs",
+			`{"type": "sweep", "sweep": {"domains": ["bogus"]}}`, http.StatusBadRequest},
+		{"job get unknown", http.MethodGet, "/v1/jobs/jdoesnotexist", "", http.StatusNotFound},
+		{"job results unknown", http.MethodGet, "/v1/jobs/jdoesnotexist/results", "", http.StatusNotFound},
+		{"job delete unknown", http.MethodDelete, "/v1/jobs/jdoesnotexist", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, _ := jobRequest(t, s, tc.method, tc.path, tc.body, nil)
+			if rec.Code != tc.status {
+				t.Fatalf("%s %s = %d, want %d: %s", tc.method, tc.path, rec.Code, tc.status, rec.Body)
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("error content type = %q", ct)
+			}
+			var env api.ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+				t.Fatalf("error body is not the envelope: %v: %s", err, rec.Body)
+			}
+			if want := api.CodeForStatus(tc.status); env.Error.Code != want {
+				t.Fatalf("code = %q, want %q", env.Error.Code, want)
+			}
+			if env.Error.Message == "" {
+				t.Fatal("empty error message")
+			}
+			if env.Error.RequestID == "" || env.Error.RequestID != rec.Header().Get("X-Request-Id") {
+				t.Fatalf("request_id %q does not echo X-Request-Id %q",
+					env.Error.RequestID, rec.Header().Get("X-Request-Id"))
+			}
+		})
+	}
+
+	// The enveloped 405 still carries the Allow header the mux computed.
+	rec, _ := jobRequest(t, s, http.MethodDelete, "/v1/domains", "", nil)
+	if allow := rec.Header().Get("Allow"); !strings.Contains(allow, http.MethodGet) {
+		t.Fatalf("405 Allow = %q, want GET listed", allow)
+	}
+}
+
+// TestResultsParamRejections covers the results-endpoint parameter space:
+// each bad value is a 400 with the envelope, before any read.
+func TestResultsParamRejections(t *testing.T) {
+	s := newTestServer(Config{})
+	defer s.Close()
+
+	rec, body := jobRequest(t, s, http.MethodPost, "/v1/jobs", jobSweepBody, nil)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d", rec.Code)
+	}
+	id := body["id"].(string)
+	waitJobState(t, s, id, "succeeded")
+
+	// A cursor minted for one job must not replay against another.
+	rec2, body2 := jobRequest(t, s, http.MethodPost, "/v1/jobs", jobSweepBody, nil)
+	if rec2.Code != http.StatusAccepted {
+		t.Fatalf("second submit = %d", rec2.Code)
+	}
+	otherID := body2["id"].(string)
+	pr, _ := jobRequest(t, s, http.MethodGet, "/v1/jobs/"+id+"/results?limit=3", "", nil)
+	otherCursor := pr.Header().Get("X-Next-Cursor")
+
+	for _, q := range []string{
+		"limit=0", "limit=-1", "limit=zap",
+		"start=-1", "start=zap",
+		"cursor=!!!", "cursor=bm9wZQ", "format=yaml",
+	} {
+		r, _ := jobRequest(t, s, http.MethodGet, "/v1/jobs/"+id+"/results?"+q, "", nil)
+		if r.Code != http.StatusBadRequest {
+			t.Fatalf("?%s = %d, want 400: %s", q, r.Code, r.Body)
+		}
+	}
+	r, _ := jobRequest(t, s, http.MethodGet, "/v1/jobs/"+otherID+"/results?cursor="+otherCursor, "", nil)
+	if r.Code != http.StatusBadRequest {
+		t.Fatalf("cross-job cursor = %d, want 400: %s", r.Code, r.Body)
+	}
+
+	// csv applies to sweep jobs only.
+	pRec, pBody := jobRequest(t, s, http.MethodPost, "/v1/jobs",
+		`{"type": "plan", "plan": {"domain": "wordlm", "accelerators": ["v100"],
+		  "worker_counts": [1, 2], "subbatches": [32]}}`, nil)
+	if pRec.Code != http.StatusAccepted {
+		t.Fatalf("plan submit = %d %s", pRec.Code, pRec.Body)
+	}
+	planID := pBody["id"].(string)
+	waitJobState(t, s, planID, "succeeded")
+	cr, _ := jobRequest(t, s, http.MethodGet, "/v1/jobs/"+planID+"/results?format=csv", "", nil)
+	if cr.Code != http.StatusBadRequest {
+		t.Fatalf("csv on plan job = %d, want 400", cr.Code)
+	}
+}
+
+// TestOpenAPICoversLiveRoutes is the drift gate: the generated document
+// must describe exactly the patterns registered on the live mux — an
+// undocumented route or a documented ghost fails the build.
+func TestOpenAPICoversLiveRoutes(t *testing.T) {
+	s := newTestServer(Config{})
+	defer s.Close()
+
+	doc := documentedPatterns()
+	live := s.registeredPatterns()
+	sort.Strings(doc)
+	sort.Strings(live)
+	if !reflect.DeepEqual(doc, live) {
+		t.Fatalf("OpenAPI drift:\ndocumented: %v\nlive mux:   %v", doc, live)
+	}
+}
+
+func TestOpenAPIDocument(t *testing.T) {
+	s := newTestServer(Config{})
+	defer s.Close()
+
+	rec, body := get(t, s, "/v1/openapi.json")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("openapi = %d %s", rec.Code, rec.Body)
+	}
+	if v, _ := body["openapi"].(string); !strings.HasPrefix(v, "3.0") {
+		t.Fatalf("openapi version = %v", body["openapi"])
+	}
+	paths := body["paths"].(map[string]any)
+	for _, p := range []string{"/v1/jobs", "/v1/jobs/{id}", "/v1/jobs/{id}/results", "/v1/sweep", "/v1/openapi.json"} {
+		if _, ok := paths[p]; !ok {
+			t.Fatalf("document missing path %s (has %d paths)", p, len(paths))
+		}
+	}
+	// One path per documented pattern (method+path pairs collapse).
+	want := map[string]bool{}
+	for _, pat := range documentedPatterns() {
+		_, path, _ := strings.Cut(pat, " ")
+		want[path] = true
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("document has %d paths, want %d", len(paths), len(want))
+	}
+	// Schemas referenced by operations must resolve.
+	comps := body["components"].(map[string]any)["schemas"].(map[string]any)
+	raw, _ := json.Marshal(body["paths"])
+	for _, m := range refPattern.FindAllStringSubmatch(string(raw), -1) {
+		if _, ok := comps[m[1]]; !ok {
+			t.Fatalf("dangling $ref %q", m[1])
+		}
+	}
+	if _, ok := comps["api.ErrorResponse"]; !ok {
+		t.Fatal("components missing the error envelope schema")
+	}
+}
+
+// refPattern extracts component names from "$ref" values.
+var refPattern = regexp.MustCompile(`"\$ref":"#/components/schemas/([^"]+)"`)
+
+func TestJobMetricsExposed(t *testing.T) {
+	s := newTestServer(Config{})
+	defer s.Close()
+
+	rec, body := jobRequest(t, s, http.MethodPost, "/v1/jobs", jobSweepBody, nil)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d", rec.Code)
+	}
+	waitJobState(t, s, body["id"].(string), "succeeded")
+
+	mRec, _ := get(t, s, "/metrics")
+	if mRec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", mRec.Code)
+	}
+	text := mRec.Body.String()
+	for _, metric := range []string{
+		"catamount_job_submitted_total",
+		"catamount_job_points_total",
+		"catamount_job_checkpoints_total",
+		`catamount_job_completed_total{state="succeeded"}`,
+		"catamount_job_running",
+		"catamount_job_queued",
+	} {
+		if !strings.Contains(text, metric) {
+			t.Fatalf("/metrics missing %s", metric)
+		}
+	}
+	if !strings.Contains(text, fmt.Sprintf("catamount_stage_duration_seconds_count{stage=%q}", "job_run")) {
+		t.Fatal("/metrics missing the job_run stage histogram")
+	}
+}

@@ -1,0 +1,377 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	cat "catamount"
+	"catamount/internal/api"
+	"catamount/internal/hw"
+	"catamount/internal/jobs"
+	"catamount/internal/plan"
+	"catamount/internal/sweep"
+)
+
+// This file generates GET /v1/openapi.json: an OpenAPI 3 document derived
+// by reflection from the same Go types the handlers decode and encode, so
+// the document cannot drift from the structs. The route table below is the
+// second half of the contract — a CI test asserts it matches the live mux
+// registrations exactly (both directions), so adding an endpoint without
+// documenting it, or documenting one that does not exist, fails the build.
+
+// paramDoc documents one query parameter.
+type paramDoc struct {
+	name, typ, desc string
+}
+
+// routeDoc documents one registered route pattern.
+type routeDoc struct {
+	pattern  string // exactly as registered: "GET /v1/jobs/{id}"
+	summary  string
+	params   []paramDoc
+	reqBody  any    // zero value of the request body type; nil = no body
+	respBody any    // zero value of the response body type; nil = unspecified object
+	respCT   string // response content type; "" = application/json
+	status   int    // success status; 0 = 200
+}
+
+// costmodelParam is shared by every backend-routed endpoint.
+var costmodelParam = paramDoc{"costmodel", "string",
+	"Step-time backend (graph, perop, or an alias). Overrides any costmodel spec field."}
+
+// accelParam is shared by every device-routed endpoint.
+var accelParam = paramDoc{"accel", "string",
+	"Catalog accelerator name or alias; absent means the paper's Table 4 target."}
+
+// routeDocs is the documented surface. Every entry must correspond to a
+// route registered in New, and vice versa — TestOpenAPICoversLiveRoutes
+// pins the equivalence.
+func routeDocs() []routeDoc {
+	modelPoint := []paramDoc{
+		{"domain", "string", "Table 1 domain: wordlm, charlm, nmt, speech, image."},
+		{"params", "number", "Model parameter-count target (required)."},
+		{"batch", "number", "Subbatch size; absent means the domain's profiling default."},
+	}
+	accBody := hw.Accelerator{}
+	return []routeDoc{
+		{pattern: "GET /healthz", summary: "Liveness, build identity, and cache warmth.",
+			respBody: healthResponse{}},
+		{pattern: "GET /metrics", summary: "Prometheus text exposition (JSON via Accept: application/json).",
+			respCT: "text/plain"},
+		{pattern: "GET /metrics.json", summary: "Legacy JSON metrics snapshot.",
+			respBody: Metrics{}},
+		{pattern: "GET /v1/domains", summary: "List the Table 1 domains."},
+		{pattern: "GET /v1/accelerators", summary: "List the accelerator catalog and aliases."},
+		{pattern: "GET /v1/costmodels", summary: "List the step-time backends and aliases."},
+		{pattern: "GET /v1/analyze", summary: "Characterize one (domain, params, batch) point and price it.",
+			params:   append(append([]paramDoc{}, modelPoint...), accelParam, costmodelParam),
+			respBody: analyzeResponse{}},
+		{pattern: "POST /v1/analyze", summary: "Analyze against a custom accelerator (catalog interchange JSON body).",
+			params:  append(append([]paramDoc{}, modelPoint...), costmodelParam),
+			reqBody: accBody, respBody: analyzeResponse{}},
+		{pattern: "GET /v1/profile", summary: "Per-layer profile of one model point.",
+			params: modelPoint},
+		{pattern: "GET /v1/asymptotics", summary: "Asymptotic scaling table across domains."},
+		{pattern: "GET /v1/frontier", summary: "Accuracy-frontier cost table (Table 4).",
+			params: []paramDoc{accelParam, costmodelParam}},
+		{pattern: "POST /v1/frontier", summary: "Frontier table against a custom accelerator.",
+			params: []paramDoc{costmodelParam}, reqBody: accBody},
+		{pattern: "GET /v1/subbatch", summary: "Subbatch sweep with the §5.2.1 policy choices marked.",
+			params: []paramDoc{
+				{"domain", "string", "Table 1 domain."},
+				{"params", "number", "Model size; absent means the accuracy-frontier size."},
+				{"policy", "string", "Subbatch policy: min-time-per-sample, ridge-point-match, intensity-saturation, all."},
+				{"tol", "number", "Policy tolerance (default 0.05)."},
+				accelParam, costmodelParam},
+			respBody: subbatchResponse{}},
+		{pattern: "POST /v1/subbatch", summary: "Subbatch sweep against a custom accelerator.",
+			reqBody: accBody, respBody: subbatchResponse{}},
+		{pattern: "GET /v1/casestudy", summary: "Word-LM case study (Table 5).",
+			params: []paramDoc{accelParam, costmodelParam}, respBody: caseStudyResponse{}},
+		{pattern: "POST /v1/casestudy", summary: "Case study against a custom accelerator.",
+			reqBody: accBody, respBody: caseStudyResponse{}},
+		{pattern: "GET /v1/figures/{fig}", summary: "Paper figure data (6..12 or a name alias).",
+			params: []paramDoc{accelParam, costmodelParam}},
+		{pattern: "POST /v1/figures/{fig}", summary: "Figure data against a custom accelerator.",
+			reqBody: accBody},
+		{pattern: "POST /v1/checkpoint/analyze", summary: "Characterize an uploaded compute-graph checkpoint.",
+			params: []paramDoc{
+				{"policy", "string", "Footprint schedule policy: fifo, mem-greedy."},
+				{"<symbol>", "number", "One binding per free graph symbol (e.g. b=128)."}},
+			respBody: checkpointResponse{}},
+		{pattern: "POST /v1/sweep", summary: "Stream a sweep grid synchronously as NDJSON (CSV via Accept: text/csv).",
+			params: []paramDoc{costmodelParam}, reqBody: api.SweepSpec{},
+			respBody: sweep.Point{}, respCT: "application/x-ndjson"},
+		{pattern: "POST /v1/plan", summary: "Run an inverse capacity-planning search.",
+			params: []paramDoc{costmodelParam}, reqBody: api.PlanSpec{}, respBody: plan.Result{}},
+		{pattern: "POST /v1/jobs", summary: "Submit an async sweep or plan job; returns 202 with the job status.",
+			params: []paramDoc{costmodelParam}, reqBody: api.JobSpec{},
+			respBody: jobs.Status{}, status: http.StatusAccepted},
+		{pattern: "GET /v1/jobs", summary: "List jobs, oldest first."},
+		{pattern: "GET /v1/jobs/{id}", summary: "Job status: state, progress, ETA, checkpoint counters.",
+			respBody: jobs.Status{}},
+		{pattern: "GET /v1/jobs/{id}/results", summary: "One page of a job's checkpointed results.",
+			params: []paramDoc{
+				{"cursor", "string", "Opaque page token from a previous page (or X-Next-Cursor)."},
+				{"start", "integer", "Explicit first line index (alternative to cursor)."},
+				{"limit", "integer", "Max lines per page (default 1000, max 10000)."},
+				{"format", "string", "ndjson (default), json, csv (sweep jobs only)."}},
+			respCT: "application/x-ndjson"},
+		{pattern: "DELETE /v1/jobs/{id}", summary: "Cancel an active job, or delete a terminal one.",
+			respBody: jobs.Status{}},
+		{pattern: "GET /v1/openapi.json", summary: "This document.",
+			respCT: "application/json"},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Reflection schema generation
+
+var (
+	timeType = reflect.TypeOf(time.Time{})
+	rawType  = reflect.TypeOf(json.RawMessage{})
+)
+
+// schemaGen accumulates named component schemas while resolving types.
+type schemaGen struct {
+	comps    map[string]any
+	visiting map[reflect.Type]bool
+}
+
+// schemaName keys a named type into components/schemas ("api.JobSpec").
+func schemaName(t reflect.Type) string {
+	s := t.String()
+	return strings.ReplaceAll(s, "[", "_") // defensive: generics in keys
+}
+
+// schemaFor resolves t to an inline schema or a $ref, registering named
+// struct components as it goes.
+func (g *schemaGen) schemaFor(t reflect.Type) map[string]any {
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	switch {
+	case t == timeType:
+		return map[string]any{"type": "string", "format": "date-time"}
+	case t == rawType:
+		return map[string]any{} // any JSON value
+	}
+	switch t.Kind() {
+	case reflect.Bool:
+		return map[string]any{"type": "boolean"}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return map[string]any{"type": "integer"}
+	case reflect.Float32, reflect.Float64:
+		return map[string]any{"type": "number"}
+	case reflect.String:
+		return map[string]any{"type": "string"}
+	case reflect.Slice, reflect.Array:
+		return map[string]any{"type": "array", "items": g.schemaFor(t.Elem())}
+	case reflect.Map:
+		return map[string]any{"type": "object", "additionalProperties": g.schemaFor(t.Elem())}
+	case reflect.Interface:
+		return map[string]any{}
+	case reflect.Struct:
+		if t.Name() == "" {
+			props := map[string]any{}
+			g.structProps(t, props)
+			return map[string]any{"type": "object", "properties": props}
+		}
+		name := schemaName(t)
+		if _, done := g.comps[name]; !done && !g.visiting[t] {
+			g.visiting[t] = true
+			props := map[string]any{}
+			g.structProps(t, props)
+			g.comps[name] = map[string]any{"type": "object", "properties": props}
+			delete(g.visiting, t)
+		}
+		return map[string]any{"$ref": "#/components/schemas/" + name}
+	default:
+		return map[string]any{}
+	}
+}
+
+// structProps fills props with t's JSON-visible fields, inlining anonymous
+// embeds the way encoding/json does.
+func (g *schemaGen) structProps(t reflect.Type, props map[string]any) {
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		tag := f.Tag.Get("json")
+		if tag == "-" || !f.IsExported() {
+			continue
+		}
+		name, _, _ := strings.Cut(tag, ",")
+		if f.Anonymous && name == "" {
+			ft := f.Type
+			for ft.Kind() == reflect.Pointer {
+				ft = ft.Elem()
+			}
+			if ft.Kind() == reflect.Struct {
+				g.structProps(ft, props)
+				continue
+			}
+		}
+		if name == "" {
+			name = f.Name
+		}
+		props[name] = g.schemaFor(f.Type)
+	}
+}
+
+// buildOpenAPI assembles the full document from routeDocs.
+func buildOpenAPI() ([]byte, error) {
+	g := &schemaGen{comps: map[string]any{}, visiting: map[reflect.Type]bool{}}
+	// The error envelope is part of every operation's contract.
+	errRef := g.schemaFor(reflect.TypeOf(api.ErrorResponse{}))
+
+	paths := map[string]map[string]any{}
+	for _, d := range routeDocs() {
+		method, path, ok := strings.Cut(d.pattern, " ")
+		if !ok {
+			return nil, fmt.Errorf("openapi: malformed pattern %q", d.pattern)
+		}
+		op := map[string]any{
+			"summary":     d.summary,
+			"operationId": opID(method, path),
+		}
+		var params []any
+		for _, seg := range strings.Split(path, "/") {
+			if strings.HasPrefix(seg, "{") && strings.HasSuffix(seg, "}") {
+				params = append(params, map[string]any{
+					"name": strings.Trim(seg, "{}"), "in": "path", "required": true,
+					"schema": map[string]any{"type": "string"},
+				})
+			}
+		}
+		for _, p := range d.params {
+			params = append(params, map[string]any{
+				"name": p.name, "in": "query", "required": false,
+				"description": p.desc,
+				"schema":      map[string]any{"type": p.typ},
+			})
+		}
+		if params != nil {
+			op["parameters"] = params
+		}
+		if d.reqBody != nil {
+			op["requestBody"] = map[string]any{
+				"required": true,
+				"content": map[string]any{
+					"application/json": map[string]any{
+						"schema": g.schemaFor(reflect.TypeOf(d.reqBody)),
+					},
+				},
+			}
+		}
+		ct := d.respCT
+		if ct == "" {
+			ct = "application/json"
+		}
+		var respSchema map[string]any
+		if d.respBody != nil {
+			respSchema = g.schemaFor(reflect.TypeOf(d.respBody))
+			if ct == "application/x-ndjson" {
+				// A stream is a sequence of these, one per line.
+				respSchema = map[string]any{"type": "array", "items": respSchema}
+			}
+		} else {
+			respSchema = map[string]any{"type": "object"}
+		}
+		status := d.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		op["responses"] = map[string]any{
+			fmt.Sprintf("%d", status): map[string]any{
+				"description": http.StatusText(status),
+				"content":     map[string]any{ct: map[string]any{"schema": respSchema}},
+			},
+			"default": map[string]any{
+				"description": "Error envelope: {\"error\": {\"code\", \"message\", \"request_id\"}}.",
+				"content":     map[string]any{"application/json": map[string]any{"schema": errRef}},
+			},
+		}
+		if paths[path] == nil {
+			paths[path] = map[string]any{}
+		}
+		paths[path][strings.ToLower(method)] = op
+	}
+
+	doc := map[string]any{
+		"openapi": "3.0.3",
+		"info": map[string]any{
+			"title":       "catamount v1",
+			"description": "Deep-learning scaling / hardware-projection analysis service (Hestness et al., PPoPP 2019 reproduction).",
+			"version":     "1.0.0",
+		},
+		"paths":      paths,
+		"components": map[string]any{"schemas": g.comps},
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// opID derives a stable operationId: "GET /v1/jobs/{id}" → "getV1JobsId".
+func opID(method, path string) string {
+	var b strings.Builder
+	b.WriteString(strings.ToLower(method))
+	for _, seg := range strings.Split(path, "/") {
+		seg = strings.Trim(seg, "{}")
+		seg = strings.NewReplacer(".", " ", "-", " ", "_", " ").Replace(seg)
+		for _, word := range strings.Fields(seg) {
+			b.WriteString(strings.ToUpper(word[:1]) + word[1:])
+		}
+	}
+	return b.String()
+}
+
+// openAPIDoc caches the generated document: the surface is fixed at
+// compile time, so one build serves every request.
+var openAPIDoc struct {
+	once sync.Once
+	body []byte
+	err  error
+}
+
+func (s *Server) handleOpenAPI(w http.ResponseWriter, r *http.Request) {
+	openAPIDoc.once.Do(func() {
+		openAPIDoc.body, openAPIDoc.err = buildOpenAPI()
+	})
+	if openAPIDoc.err != nil {
+		apiError(w, r, http.StatusInternalServerError, openAPIDoc.err.Error())
+		return
+	}
+	writeJSONBytes(w, openAPIDoc.body)
+}
+
+// documentedPatterns returns the routeDocs patterns, sorted — the drift
+// test compares this against the live mux registrations.
+func documentedPatterns() []string {
+	docs := routeDocs()
+	out := make([]string, 0, len(docs))
+	for _, d := range docs {
+		out = append(out, d.pattern)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// registeredPatterns returns every pattern registered on the live mux,
+// sorted (the per-route metric series are keyed by exactly these).
+func (s *Server) registeredPatterns() []string {
+	out := make([]string, 0, len(s.routeHist))
+	for p := range s.routeHist {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The cat import anchors the response types that reference engine structs.
+var _ = cat.Domains

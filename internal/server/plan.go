@@ -1,7 +1,7 @@
 package server
 
 import (
-	"encoding/json"
+	"catamount/internal/api"
 	"fmt"
 	"net/http"
 
@@ -25,21 +25,22 @@ import (
 // evicted key recomputes only the JSON, not the search.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var spec plan.Spec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid plan spec: "+err.Error())
+	if err := api.DecodeJSON(w, r.Body, 1<<20, &spec); err != nil {
+		apiError(w, r, http.StatusBadRequest, "invalid plan spec: "+err.Error())
 		return
 	}
+	// The "costmodel" query parameter wins over the spec field — the one
+	// precedence rule, owned by internal/api.
+	api.OverrideCostModel(&spec.CostModel, r.URL.Query().Get("costmodel"))
 	p, err := plan.New(s.eng, spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	if n := p.Candidates(); n > s.maxSweepPoints {
 		// Same guard, same reasoning as /v1/sweep: the limit protects the
 		// serving process; huge searches belong on cmd/plan.
-		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+		apiError(w, r, http.StatusBadRequest, fmt.Sprintf(
 			"plan search has %d candidates, server limit is %d (shrink the grid or use cmd/plan)",
 			n, s.maxSweepPoints))
 		return

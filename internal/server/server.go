@@ -27,10 +27,12 @@ import (
 	"time"
 
 	cat "catamount"
+	"catamount/internal/api"
 	"catamount/internal/costmodel"
 	"catamount/internal/graph"
 	"catamount/internal/graphio"
 	"catamount/internal/hw"
+	"catamount/internal/jobs"
 	"catamount/internal/obs"
 	"catamount/internal/parallel"
 )
@@ -53,6 +55,10 @@ type Config struct {
 	// endpoint, status, bytes, duration, request ID). nil disables request
 	// logging; metrics are recorded either way.
 	Logger *slog.Logger
+	// Jobs is the async job service behind /v1/jobs. Nil creates an
+	// in-memory one over Engine (jobs then do not survive restarts);
+	// catamountd passes a file-backed service when -jobs-dir is set.
+	Jobs *jobs.Service
 }
 
 // Metrics is a point-in-time snapshot of the serving counters.
@@ -95,6 +101,7 @@ type Server struct {
 	mux            *http.ServeMux
 	logger         *slog.Logger
 	start          time.Time
+	jobsSvc        *jobs.Service
 
 	// reg holds this server's HTTP-layer series: the per-endpoint
 	// request-duration histograms and response-byte counters, plus sampled
@@ -135,6 +142,11 @@ func New(cfg Config) *Server {
 	if cfg.MaxSweepPoints <= 0 {
 		cfg.MaxSweepPoints = 100000
 	}
+	if cfg.Jobs == nil {
+		// An in-memory job service cannot fail to construct: the store
+		// needs no I/O and the engine is already in hand.
+		cfg.Jobs, _ = jobs.New(jobs.Config{Source: cfg.Engine, Logger: cfg.Logger})
+	}
 	s := &Server{
 		eng:            cfg.Engine,
 		cache:          newLRU(cfg.CacheEntries),
@@ -143,6 +155,7 @@ func New(cfg Config) *Server {
 		computeSem:     make(chan struct{}, cfg.MaxInFlight),
 		timeout:        cfg.Timeout,
 		maxSweepPoints: cfg.MaxSweepPoints,
+		jobsSvc:        cfg.Jobs,
 		mux:            http.NewServeMux(),
 		logger:         cfg.Logger,
 		start:          time.Now(),
@@ -196,8 +209,19 @@ func New(cfg Config) *Server {
 	handle("POST /v1/checkpoint/analyze", s.handleCheckpoint)
 	handle("POST /v1/sweep", s.handleSweep)
 	handle("POST /v1/plan", s.handlePlan)
+	handle("POST /v1/jobs", s.handleJobSubmit)
+	handle("GET /v1/jobs", s.handleJobList)
+	handle("GET /v1/jobs/{id}", s.handleJobGet)
+	handle("GET /v1/jobs/{id}/results", s.handleJobResults)
+	handle("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	handle("GET /v1/openapi.json", s.handleOpenAPI)
 	return s
 }
+
+// Close drains the job service: running jobs checkpoint and park back to
+// queued (file-backed stores resume them on the next boot). The HTTP layer
+// itself holds no other background state.
+func (s *Server) Close() { s.jobsSvc.Close() }
 
 // counterSet is the comparable image of every serving counter, so one
 // stabilized read can feed both the JSON and Prometheus exposition paths.
@@ -318,7 +342,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	r = r.WithContext(ctx)
 
-	_, pattern := s.mux.Handler(r)
+	muxHandler, pattern := s.mux.Handler(r)
 	cw := countingWriter{ResponseWriter: w}
 	defer func() {
 		elapsed := time.Since(begin)
@@ -340,13 +364,35 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
+	if pattern == "" {
+		// No route matched: the mux's fallback would write a plain-text
+		// 404 or 405. Replay its verdict through a body-discarding recorder
+		// to learn the status (and the Allow header a 405 carries), then
+		// emit the v1 error envelope with it instead.
+		rec := &verdictRecorder{hdr: make(http.Header)}
+		muxHandler.ServeHTTP(rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusNotFound
+		}
+		msg := "no such endpoint"
+		if status == http.StatusMethodNotAllowed {
+			msg = "method not allowed"
+			if allow := rec.hdr.Get("Allow"); allow != "" {
+				cw.Header().Set("Allow", allow)
+			}
+		}
+		apiError(&cw, r, status, msg)
+		return
+	}
+
 	if strings.HasPrefix(r.URL.Path, "/v1/") {
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
 			s.rejected.Add(1)
-			writeError(&cw, http.StatusServiceUnavailable, "server at capacity")
+			apiError(&cw, r, http.StatusServiceUnavailable, "server at capacity")
 			return
 		}
 	}
@@ -395,6 +441,29 @@ func (c *countingWriter) statusOr200() int {
 	return c.status
 }
 
+// verdictRecorder captures a handler's status and headers while discarding
+// the body — how ServeHTTP learns the mux fallback's 404-vs-405 verdict
+// before writing the enveloped version itself.
+type verdictRecorder struct {
+	hdr    http.Header
+	status int
+}
+
+func (v *verdictRecorder) Header() http.Header { return v.hdr }
+
+func (v *verdictRecorder) WriteHeader(code int) {
+	if v.status == 0 {
+		v.status = code
+	}
+}
+
+func (v *verdictRecorder) Write(b []byte) (int, error) {
+	if v.status == 0 {
+		v.status = http.StatusOK
+	}
+	return len(b), nil
+}
+
 // ---------------------------------------------------------------------------
 // Cached single-flight dispatch
 
@@ -439,13 +508,13 @@ func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, key strin
 			if errors.Is(call.err, errComputePanic) {
 				status = http.StatusInternalServerError
 			}
-			writeError(w, status, call.err.Error())
+			apiError(w, r, status, call.err.Error())
 			return
 		}
 		writeJSONBytes(w, call.val)
 	case <-r.Context().Done():
 		s.timeouts.Add(1)
-		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		apiError(w, r, http.StatusGatewayTimeout, "request deadline exceeded")
 	}
 }
 
@@ -526,30 +595,31 @@ type analyzeResponse struct {
 // analyze and profile endpoints, resolving an omitted batch to the
 // domain's default. On failure it writes the error response and reports
 // ok=false.
-func (s *Server) parseModelPoint(w http.ResponseWriter, q url.Values) (d cat.Domain, params, batch float64, ok bool) {
+func (s *Server) parseModelPoint(w http.ResponseWriter, r *http.Request) (d cat.Domain, params, batch float64, ok bool) {
+	q := r.URL.Query()
 	d, err := parseDomain(q)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return d, 0, 0, false
 	}
 	params, err = parsePositiveFloat(q, "params", 0)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return d, 0, 0, false
 	}
 	if params == 0 {
-		writeError(w, http.StatusBadRequest, "missing required parameter \"params\"")
+		apiError(w, r, http.StatusBadRequest, "missing required parameter \"params\"")
 		return d, 0, 0, false
 	}
 	batch, err = parsePositiveFloat(q, "batch", 0)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return d, 0, 0, false
 	}
 	if batch == 0 {
 		m, err := s.eng.Model(d)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
+			apiError(w, r, http.StatusInternalServerError, err.Error())
 			return d, 0, 0, false
 		}
 		batch = m.DefaultBatch
@@ -558,18 +628,18 @@ func (s *Server) parseModelPoint(w http.ResponseWriter, q url.Values) (d cat.Dom
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	d, params, batch, ok := s.parseModelPoint(w, r.URL.Query())
+	d, params, batch, ok := s.parseModelPoint(w, r)
 	if !ok {
 		return
 	}
 	acc, err := s.resolveAccelerator(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	cm, err := s.resolveCostModel(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	// The backend enters the key by canonical name, so alias spellings
@@ -592,7 +662,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	d, params, batch, ok := s.parseModelPoint(w, r.URL.Query())
+	d, params, batch, ok := s.parseModelPoint(w, r)
 	if !ok {
 		return
 	}
@@ -611,12 +681,12 @@ func (s *Server) handleAsymptotics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 	acc, err := s.resolveAccelerator(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	cm, err := s.resolveCostModel(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	key := "frontier|" + cm.Name() + "|" + accKey(acc)
@@ -640,32 +710,32 @@ func (s *Server) handleSubbatch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	d, err := parseDomain(q)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	acc, err := s.resolveAccelerator(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	tol, err := parsePositiveFloat(q, "tol", 0.05)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	params, err := parsePositiveFloat(q, "params", 0)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	policies, err := parsePolicies(q.Get("policy"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	cm, err := s.resolveCostModel(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	// Key on the canonical parsed policies and backend name, so aliases
@@ -705,12 +775,12 @@ type caseStudyResponse struct {
 func (s *Server) handleCaseStudy(w http.ResponseWriter, r *http.Request) {
 	acc, err := s.resolveAccelerator(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	cm, err := s.resolveCostModel(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	key := "casestudy|" + cm.Name() + "|" + accKey(acc)
@@ -741,7 +811,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	case "6", "curve":
 		d, err := parseDomain(q)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			apiError(w, r, http.StatusBadRequest, err.Error())
 			return
 		}
 		s.respondCached(w, r, "figure6|"+string(d), func() (any, error) {
@@ -758,12 +828,12 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	case "11", "subbatch":
 		acc, err := s.resolveAccelerator(r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			apiError(w, r, http.StatusBadRequest, err.Error())
 			return
 		}
 		cm, err := s.resolveCostModel(r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			apiError(w, r, http.StatusBadRequest, err.Error())
 			return
 		}
 		s.respondCached(w, r, "figure11|"+cm.Name()+"|"+accKey(acc), func() (any, error) {
@@ -772,19 +842,19 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	case "12", "dataparallel":
 		acc, err := s.resolveAccelerator(r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			apiError(w, r, http.StatusBadRequest, err.Error())
 			return
 		}
 		cm, err := s.resolveCostModel(r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			apiError(w, r, http.StatusBadRequest, err.Error())
 			return
 		}
 		s.respondCached(w, r, "figure12|"+cm.Name()+"|"+accKey(acc), func() (any, error) {
 			return s.eng.Figure12OnWith(acc, cm)
 		})
 	default:
-		writeError(w, http.StatusBadRequest,
+		apiError(w, r, http.StatusBadRequest,
 			fmt.Sprintf("unknown figure %q (one of: 6..12, curve, sweeps, footprint, subbatch, dataparallel)", fig))
 	}
 }
@@ -813,12 +883,12 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	policy, err := parseSchedulePolicy(q.Get("policy"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	g, err := graphio.Load(http.MaxBytesReader(w, r.Body, 32<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	// Everything past the body read (compiling an arbitrary uploaded
@@ -832,7 +902,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	case s.computeSem <- struct{}{}:
 	case <-r.Context().Done():
 		s.timeouts.Add(1)
-		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		apiError(w, r, http.StatusGatewayTimeout, "request deadline exceeded")
 		return
 	}
 	type outcome struct {
@@ -905,13 +975,13 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	select {
 	case res := <-done:
 		if res.status != 0 {
-			writeError(w, res.status, res.errMsg)
+			apiError(w, r, res.status, res.errMsg)
 			return
 		}
 		writeJSON(w, res.resp)
 	case <-r.Context().Done():
 		s.timeouts.Add(1)
-		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		apiError(w, r, http.StatusGatewayTimeout, "request deadline exceeded")
 	}
 }
 
@@ -1007,7 +1077,7 @@ func parseSchedulePolicy(raw string) (graph.SchedulePolicy, error) {
 func writeJSON(w http.ResponseWriter, v any) {
 	b, err := json.Marshal(v)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		apiError(w, nil, http.StatusInternalServerError, err.Error())
 		return
 	}
 	writeJSONBytes(w, b)
@@ -1021,9 +1091,25 @@ func writeJSONBytes(w http.ResponseWriter, b []byte) {
 	}
 }
 
-// writeError emits the JSON error envelope every non-2xx response uses.
-func writeError(w http.ResponseWriter, code int, msg string) {
+// apiError emits the one v1 error envelope every non-2xx response uses:
+//
+//	{"error": {"code": "...", "message": "...", "request_id": "..."}}
+//
+// The code derives from the status (api.CodeForStatus) and the request ID
+// from r's context (ServeHTTP tags it before dispatch), so a client error
+// body alone is enough to find the matching server trace. r may be nil on
+// the rare paths without a request in hand; the envelope then simply omits
+// request_id.
+func apiError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	var rid string
+	if r != nil {
+		rid = obs.RequestID(r.Context())
+	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(api.ErrorResponse{Error: api.Error{
+		Code:      api.CodeForStatus(status),
+		Message:   msg,
+		RequestID: rid,
+	}})
 }

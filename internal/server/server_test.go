@@ -26,6 +26,14 @@ func newTestServer(cfg Config) *Server {
 	return New(cfg)
 }
 
+// errMessage digs the human-readable message out of the v1 error envelope
+// {"error": {"code", "message", "request_id"}}.
+func errMessage(body map[string]any) string {
+	env, _ := body["error"].(map[string]any)
+	msg, _ := env["message"].(string)
+	return msg
+}
+
 func get(t *testing.T, s *Server, path string) (*httptest.ResponseRecorder, map[string]any) {
 	t.Helper()
 	return request(t, s, http.MethodGet, path, nil)
@@ -225,7 +233,7 @@ func TestMalformedRequests(t *testing.T) {
 			t.Errorf("%s: code = %d, want %d (%s)", tc.name, rec.Code, tc.want, rec.Body)
 			continue
 		}
-		if tc.want == http.StatusBadRequest && (body == nil || body["error"] == "") {
+		if tc.want == http.StatusBadRequest && (body == nil || errMessage(body) == "") {
 			t.Errorf("%s: missing error envelope: %s", tc.name, rec.Body)
 		}
 	}
@@ -248,7 +256,7 @@ func TestUnservableRequestIs422(t *testing.T) {
 	if rec.Code != http.StatusUnprocessableEntity {
 		t.Fatalf("unreachable params = %d, want 422 (%s)", rec.Code, rec.Body)
 	}
-	if body["error"] == "" {
+	if errMessage(body) == "" {
 		t.Fatalf("missing error envelope: %s", rec.Body)
 	}
 }
@@ -352,7 +360,7 @@ func TestCheckpointUploadAnalyze(t *testing.T) {
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("unbound checkpoint = %d, want 400 (%s)", rec.Code, rec.Body)
 	}
-	if msg := body["error"].(string); !strings.Contains(msg, m.SizeSymbol) {
+	if msg := errMessage(body); !strings.Contains(msg, m.SizeSymbol) {
 		t.Fatalf("error %q does not name symbol %q", msg, m.SizeSymbol)
 	}
 
@@ -398,7 +406,7 @@ func TestCheckpointSymbolNamedPolicy(t *testing.T) {
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("unbound = %d, want 400 (%s)", rec.Code, rec.Body)
 	}
-	if msg, _ := body["error"].(string); !strings.Contains(msg, "bind.policy") {
+	if msg := errMessage(body); !strings.Contains(msg, "bind.policy") {
 		t.Fatalf("error %q does not point at the escape prefix", msg)
 	}
 	rec, body = request(t, s, http.MethodPost,
@@ -425,7 +433,7 @@ func TestHostileCheckpointDoesNotCrashServer(t *testing.T) {
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("hostile checkpoint = %d, want 400 (%s)", rec.Code, rec.Body)
 	}
-	if msg, _ := body["error"].(string); !strings.Contains(msg, "invalid checkpoint graph") {
+	if msg := errMessage(body); !strings.Contains(msg, "invalid checkpoint graph") {
 		t.Fatalf("error envelope %q", msg)
 	}
 	// The server is still alive and serving.
@@ -441,7 +449,7 @@ func TestComputePanicContained(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("panicking compute = %d, want 500 (%s)", rec.Code, rec.Body)
 	}
-	if msg, _ := body["error"].(string); !strings.Contains(msg, "internal computation failure") {
+	if msg := errMessage(body); !strings.Contains(msg, "internal computation failure") {
 		t.Fatalf("error envelope %q", msg)
 	}
 	// The flight key was unregistered and the process survived: the same

@@ -1,7 +1,7 @@
 package server
 
 import (
-	"encoding/json"
+	"catamount/internal/api"
 	"errors"
 	"fmt"
 	"net/http"
@@ -34,12 +34,13 @@ const sweepWriteTimeout = 15 * time.Second
 // status line is already on the wire.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var spec sweep.Spec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid sweep spec: "+err.Error())
+	if err := api.DecodeJSON(w, r.Body, 1<<20, &spec); err != nil {
+		apiError(w, r, http.StatusBadRequest, "invalid sweep spec: "+err.Error())
 		return
 	}
+	// The "costmodel" query parameter wins over the spec field — the one
+	// precedence rule, owned by internal/api.
+	api.OverrideCostModel(&spec.CostModel, r.URL.Query().Get("costmodel"))
 	// A stream is admitted as one compute-semaphore token, so its worker
 	// pool must stay one machine share wide: the spec's workers knob may
 	// shrink the pool but never exceed GOMAXPROCS, or K admitted streams
@@ -50,13 +51,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	runner, err := sweep.New(s.eng, spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	if n := runner.Points(); n > s.maxSweepPoints {
 		// The limit guards the serving process, not the analysis: huge
 		// grids belong on cmd/sweep, where no request deadline applies.
-		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+		apiError(w, r, http.StatusBadRequest, fmt.Sprintf(
 			"sweep grid has %d points, server limit is %d (split the grid or use cmd/sweep)",
 			n, s.maxSweepPoints))
 		return
@@ -69,7 +70,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	case s.computeSem <- struct{}{}:
 	case <-r.Context().Done():
 		s.timeouts.Add(1)
-		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		apiError(w, r, http.StatusGatewayTimeout, "request deadline exceeded")
 		return
 	}
 	defer func() { <-s.computeSem }()
@@ -132,7 +133,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if !streaming {
 		// Nothing on the wire yet: a clean error response is still possible.
-		writeError(w, http.StatusGatewayTimeout, runErr.Error())
+		apiError(w, r, http.StatusGatewayTimeout, runErr.Error())
 		return
 	}
 	// Mid-stream: the status is committed, so append the error in-band. A

@@ -136,8 +136,12 @@ func TestSweepMalformedSpecs(t *testing.T) {
 			t.Errorf("%s: code = %d, want 400 (%s)", tc.name, rec.Code, rec.Body)
 			continue
 		}
-		var env map[string]string
-		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || !strings.Contains(env["error"], tc.wantSub) {
+		var env struct {
+			Error struct {
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || !strings.Contains(env.Error.Message, tc.wantSub) {
 			t.Errorf("%s: error envelope %q missing %q", tc.name, rec.Body, tc.wantSub)
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"sync"
 
+	"catamount/internal/api"
 	"catamount/internal/core"
 	"catamount/internal/costmodel"
 	"catamount/internal/graph"
@@ -45,38 +46,11 @@ type SessionSource interface {
 	Analyzer(models.Domain) (*core.Analyzer, error)
 }
 
-// Spec describes a sweep grid. The zero value of each field means "the
-// paper's default": all five domains, each domain's profiling subbatch, the
-// Table 4 target accelerator. Parameter targets are the one mandatory axis,
-// either explicit (Params) or as a log-spaced range (ParamMin/ParamMax/
-// ParamSteps). This is the JSON schema of POST /v1/sweep and the flag
-// schema of cmd/sweep.
-type Spec struct {
-	// Domains lists domain names ("wordlm", "charlm", "nmt", "speech",
-	// "image"); empty means all five in Table 1 order.
-	Domains []string `json:"domains,omitempty"`
-	// Params are explicit parameter-count targets.
-	Params []float64 `json:"params,omitempty"`
-	// ParamMin/ParamMax/ParamSteps describe a log-spaced target range,
-	// mutually exclusive with Params.
-	ParamMin   float64 `json:"param_min,omitempty"`
-	ParamMax   float64 `json:"param_max,omitempty"`
-	ParamSteps int     `json:"param_steps,omitempty"`
-	// Subbatches lists subbatch sizes; empty means each domain's paper
-	// profiling subbatch (Model.DefaultBatch).
-	Subbatches []float64 `json:"subbatches,omitempty"`
-	// Accelerators names catalog entries or aliases; Custom adds inline
-	// devices in the catalog interchange schema. Both empty means the
-	// paper's Table 4 target.
-	Accelerators []string         `json:"accelerators,omitempty"`
-	Custom       []hw.Accelerator `json:"custom_accelerators,omitempty"`
-	// CostModel selects the step-time backend ("graph", "perop", or an
-	// alias; empty means the default graph-level Roofline). Every point's
-	// StepSeconds/Utilization/ComputeBound route through it.
-	CostModel string `json:"costmodel,omitempty"`
-	// Workers bounds the evaluation pool (default GOMAXPROCS).
-	Workers int `json:"workers,omitempty"`
-}
+// Spec describes a sweep grid. It is an alias of the versioned wire type
+// in internal/api — the canonical JSON schema of POST /v1/sweep, the sweep
+// half of POST /v1/jobs, and the flag schema of cmd/sweep — so the server,
+// the CLIs, and this evaluator provably share one contract.
+type Spec = api.SweepSpec
 
 // Point is one grid evaluation result. Requirements is nil when the point
 // failed, with Error carrying the cause; the grid streams on either way.
@@ -313,15 +287,59 @@ func (r *Runner) putSessions(s *sessions) { r.pool.Put(s) }
 // nil otherwise — per-point failures are carried in Point.Error, never
 // returned.
 func (r *Runner) Run(ctx context.Context, yield func(Point) error) error {
+	return r.RunFrom(ctx, 0, yield)
+}
+
+// taskSeqEnd returns one past the last Seq that task t emits. Because the
+// output order is deterministic, each task owns a contiguous Seq range;
+// this is what makes checkpointed resume exact.
+func (r *Runner) taskSeqEnd(t, np, nb, chunkLen, tasksPerDomain int) int {
+	di := t / tasksPerDomain
+	hi := (t%tasksPerDomain)*chunkLen + chunkLen
+	if hi > np {
+		hi = np
+	}
+	return (di*np + hi) * nb * len(r.accs)
+}
+
+// RunFrom is Run resuming mid-grid: it yields only points with
+// Seq >= startSeq, and — because the deterministic order assigns each
+// batched task a contiguous Seq range — skips the evaluation of every task
+// wholly before the resume point, so restarting a checkpointed job does
+// not re-pay for work already persisted. RunFrom(ctx, 0, yield) is exactly
+// Run.
+func (r *Runner) RunFrom(ctx context.Context, startSeq int, yield func(Point) error) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	if startSeq < 0 {
+		startSeq = 0
+	}
 
 	np, nb := len(r.params), r.cellsPerPair()
 
+	// Task geometry first: the resume point is expressed in tasks, and
+	// phase 1 wants to skip size solves no surviving task will read.
+	chunkLen := maxRowsPerTask / nb
+	if chunkLen < 1 {
+		chunkLen = 1
+	}
+	if chunkLen > np {
+		chunkLen = np
+	}
+	tasksPerDomain := (np + chunkLen - 1) / chunkLen
+	numTasks := len(r.domains) * tasksPerDomain
+
 	// Phase 1: solve each unique (domain, params) size once, shared by
-	// every subbatch and accelerator of the pair.
+	// every subbatch and accelerator of the pair. Pairs belonging entirely
+	// to skipped tasks are left unsolved.
 	sizes := make([]solvedSize, len(r.domains)*np)
 	r.forEach(ctx, len(sizes), func(i int, ses *sessions) {
+		if startSeq > 0 {
+			task := (i/np)*tasksPerDomain + (i%np)/chunkLen
+			if r.taskSeqEnd(task, np, nb, chunkLen, tasksPerDomain) <= startSeq {
+				return
+			}
+		}
 		s, err := ses.at(r.domains[i/np])
 		if err != nil {
 			sizes[i] = solvedSize{err: err}
@@ -338,17 +356,11 @@ func (r *Runner) Run(ctx context.Context, yield func(Point) error) error {
 	// order. One task is every subbatch of a chunk of parameter targets for
 	// one domain — a whole grid row fed through a single batched
 	// characterization and one batched step-time call per accelerator.
-	chunkLen := maxRowsPerTask / nb
-	if chunkLen < 1 {
-		chunkLen = 1
-	}
-	if chunkLen > np {
-		chunkLen = np
-	}
-	tasksPerDomain := (np + chunkLen - 1) / chunkLen
-	numTasks := len(r.domains) * tasksPerDomain
 	results := make([]taskResult, numTasks)
 	evalTask := func(t int, ses *sessions) {
+		if r.taskSeqEnd(t, np, nb, chunkLen, tasksPerDomain) <= startSeq {
+			return // wholly before the resume point; emits nothing
+		}
 		results[t] = r.evalTask(ctx, t, np, nb, chunkLen, tasksPerDomain, sizes, ses)
 	}
 
@@ -395,7 +407,7 @@ func (r *Runner) Run(ctx context.Context, yield func(Point) error) error {
 	for idx := range completed {
 		ready[idx] = true
 		for nextEmit < numTasks && ready[nextEmit] {
-			if err := r.emitTask(nextEmit, np, nb, chunkLen, tasksPerDomain, &results[nextEmit], yield); err != nil {
+			if err := r.emitTask(nextEmit, np, nb, chunkLen, tasksPerDomain, startSeq, &results[nextEmit], yield); err != nil {
 				cancel()
 				for range completed { // unblock workers until the pool drains
 				}
@@ -497,9 +509,14 @@ func (r *Runner) evalTask(ctx context.Context, t, np, nb, chunkLen, tasksPerDoma
 // emitTask expands one evaluated row batch into its per-point stream, in
 // (param, subbatch, accelerator) order. The Requirements are
 // accelerator-independent; only the Roofline numbers differ per device.
-func (r *Runner) emitTask(t, np, nb, chunkLen, tasksPerDomain int,
+// Points with Seq < startSeq are suppressed (resumed runs); a zero-value
+// taskResult marks a task skipped entirely.
+func (r *Runner) emitTask(t, np, nb, chunkLen, tasksPerDomain, startSeq int,
 	tr *taskResult, yield func(Point) error) error {
 
+	if tr.subbatch == nil {
+		return nil
+	}
 	di := t / tasksPerDomain
 	lo := (t % tasksPerDomain) * chunkLen
 	hi := lo + chunkLen
@@ -510,7 +527,13 @@ func (r *Runner) emitTask(t, np, nb, chunkLen, tasksPerDomain int,
 		for bi := 0; bi < nb; bi++ {
 			row := (pi-lo)*nb + bi
 			cell := (di*np+pi)*nb + bi
+			if (cell+1)*len(r.accs) <= startSeq {
+				continue
+			}
 			for ai, acc := range r.accs {
+				if cell*len(r.accs)+ai < startSeq {
+					continue
+				}
 				p := Point{
 					Seq:         cell*len(r.accs) + ai,
 					Domain:      r.domains[di],
