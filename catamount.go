@@ -27,6 +27,7 @@
 package catamount
 
 import (
+	"context"
 	"io"
 	"os"
 
@@ -135,7 +136,7 @@ func AnalyzeModel(m *Model, paramCount, subbatch float64) (Requirements, error) 
 	if err != nil {
 		return Requirements{}, err
 	}
-	return a.Characterize(size, subbatch, graph.PolicyMemGreedy)
+	return a.Characterize(context.Background(), size, subbatch, graph.PolicyMemGreedy)
 }
 
 // AccuracyProjections computes Table 1: the data and model growth required

@@ -44,11 +44,20 @@ func main() {
 	listAccels := flag.Bool("list-accels", false, "list the accelerator catalog with aliases and exit")
 	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
 	logFormat := flag.String("log-format", "text", "log format (text, json)")
+	traceOut := flag.String("trace-out", "",
+		"write a Chrome trace-event (Perfetto) JSON trace of this run to this file")
 	flag.Parse()
-	if _, _, err := obs.SetupCLI(os.Stderr, "catamount", *logLevel, *logFormat); err != nil {
+	runCtx, _, err := obs.SetupCLI(os.Stderr, "catamount", *logLevel, *logFormat)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "catamount:", err)
 		os.Exit(1)
 	}
+	runCtx, finishTrace := obs.StartCLITrace(runCtx, "catamount", *traceOut)
+	defer func() {
+		if err := finishTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "catamount: -trace-out:", err)
+		}
+	}()
 	if *listAccels {
 		cat.PrintAcceleratorCatalog(os.Stdout)
 		return
@@ -116,7 +125,7 @@ func main() {
 		return
 	}
 
-	r, est, err := eng.AnalyzeOn(cat.Domain(*domain), *params, *batch, acc, cm)
+	r, est, err := eng.AnalyzeOn(runCtx, cat.Domain(*domain), *params, *batch, acc, cm)
 	if err != nil {
 		fatal(err)
 	}

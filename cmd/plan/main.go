@@ -55,6 +55,8 @@ func main() {
 	bench := flag.String("bench", "", "run the reference bench harness and write its BENCH json to this path (\"-\" = stdout)")
 	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
 	logFormat := flag.String("log-format", "text", "log format (text, json)")
+	traceOut := flag.String("trace-out", "",
+		"write a Chrome trace-event (Perfetto) JSON trace of this run to this file")
 	flag.Parse()
 
 	runCtx, _, err := obs.SetupCLI(os.Stderr, "plan", *logLevel, *logFormat)
@@ -70,6 +72,13 @@ func main() {
 	// The run ID rides the signal context into plan_evaluate stage spans.
 	ctx, stop := signal.NotifyContext(runCtx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	ctx, finishTrace := obs.StartCLITrace(ctx, "plan", *traceOut)
+	defer func() {
+		if err := finishTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "plan: -trace-out:", err)
+		}
+	}()
 
 	if *bench != "" {
 		runBench(ctx, *bench)

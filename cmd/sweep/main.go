@@ -67,6 +67,8 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
 	logFormat := flag.String("log-format", "text", "log format (text, json)")
+	traceOut := flag.String("trace-out", "",
+		"write a Chrome trace-event (Perfetto) JSON trace of this run to this file")
 	flag.Parse()
 	runCtx, _, err := obs.SetupCLI(os.Stderr, "sweep", *logLevel, *logFormat)
 	if err != nil {
@@ -109,6 +111,13 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(runCtx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	ctx, finishTrace := obs.StartCLITrace(ctx, "sweep", *traceOut)
+	defer func() {
+		if err := finishTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep: -trace-out:", err)
+		}
+	}()
 
 	eng := cat.DefaultEngine()
 

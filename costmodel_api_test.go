@@ -1,6 +1,7 @@
 package catamount_test
 
 import (
+	"context"
 	"testing"
 
 	cat "catamount"
@@ -147,11 +148,11 @@ func TestFrontierTablePerOpDominates(t *testing.T) {
 func TestAnalyzeOnBackends(t *testing.T) {
 	eng := sharedCMEngine
 	acc := cat.TargetAccelerator()
-	req, g, err := eng.AnalyzeOn(cat.ImageCl, 5e7, 32, acc, nil)
+	req, g, err := eng.AnalyzeOn(context.Background(), cat.ImageCl, 5e7, 32, acc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, p, err := eng.AnalyzeOn(cat.ImageCl, 5e7, 32, acc, mustParseCM(t, "perop"))
+	_, p, err := eng.AnalyzeOn(context.Background(), cat.ImageCl, 5e7, 32, acc, mustParseCM(t, "perop"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -171,7 +171,7 @@ func (e *Engine) Analyze(d Domain, paramCount, subbatch float64) (Requirements, 
 	if err != nil {
 		return Requirements{}, err
 	}
-	return a.Characterize(size, subbatch, graph.PolicyMemGreedy)
+	return a.Characterize(context.Background(), size, subbatch, graph.PolicyMemGreedy)
 }
 
 // RooflineEstimate is one step-time backend's view of a characterization:
@@ -188,9 +188,10 @@ type RooflineEstimate struct {
 // subbatch, and projects the step time on a validated accelerator under
 // the given cost-model backend (nil means the default graph-level
 // Roofline). This is the shared path behind cmd/catamount and the
-// catamountd /v1/analyze endpoint.
-func (e *Engine) AnalyzeOn(d Domain, paramCount, subbatch float64, acc Accelerator,
-	cm costmodel.Model) (Requirements, RooflineEstimate, error) {
+// catamountd /v1/analyze endpoint; ctx carries the caller's request trace
+// into the characterization stage spans.
+func (e *Engine) AnalyzeOn(ctx context.Context, d Domain, paramCount, subbatch float64,
+	acc Accelerator, cm costmodel.Model) (Requirements, RooflineEstimate, error) {
 
 	if cm == nil {
 		cm = costmodel.Default()
@@ -202,7 +203,7 @@ func (e *Engine) AnalyzeOn(d Domain, paramCount, subbatch float64, acc Accelerat
 	if err != nil {
 		return Requirements{}, RooflineEstimate{}, err
 	}
-	req, err := a.Characterize(size, subbatch, graph.PolicyMemGreedy)
+	req, err := a.Characterize(ctx, size, subbatch, graph.PolicyMemGreedy)
 	if err != nil {
 		return req, RooflineEstimate{}, err
 	}

@@ -117,17 +117,21 @@ func (a *Analyzer) SizeForParams(target float64) (float64, error) {
 }
 
 // Characterize evaluates one (size, batch) point, including the footprint
-// traversal, entirely through compiled programs.
-func (a *Analyzer) Characterize(size, batch float64, policy graph.SchedulePolicy) (Requirements, error) {
-	return a.characterize(a.newSlots(), &graph.FootprintScratch{}, size, batch, policy)
+// traversal, entirely through compiled programs. ctx threads the caller's
+// trace (if any) into the stage spans; pass context.Background() outside a
+// request.
+func (a *Analyzer) Characterize(ctx context.Context, size, batch float64, policy graph.SchedulePolicy) (Requirements, error) {
+	return a.characterize(ctx, a.newSlots(), &graph.FootprintScratch{}, size, batch, policy)
 }
 
 // characterize is Characterize with caller-owned scratch, so sweep workers
 // reuse their buffers across points.
-func (a *Analyzer) characterize(slots []float64, fp *graph.FootprintScratch, size, batch float64,
-	policy graph.SchedulePolicy) (Requirements, error) {
+func (a *Analyzer) characterize(ctx context.Context, slots []float64, fp *graph.FootprintScratch,
+	size, batch float64, policy graph.SchedulePolicy) (Requirements, error) {
 
-	defer obs.StartSpan(context.Background(), "characterize", stageCharacterize).End()
+	sp := obs.StartSpan(ctx, "characterize", stageCharacterize)
+	ctx = sp.Attach(ctx)
+	defer sp.End()
 	a.bind(slots, size, batch)
 	r := Requirements{
 		Domain: a.Model.Domain,
@@ -146,7 +150,7 @@ func (a *Analyzer) characterize(slots []float64, fp *graph.FootprintScratch, siz
 	if r.BytesPerStep > 0 {
 		r.Intensity = r.FLOPsPerStep / r.BytesPerStep
 	}
-	fsp := obs.StartSpan(context.Background(), "footprint", stageFootprint)
+	fsp := obs.StartSpan(ctx, "footprint", stageFootprint)
 	res, err := a.Compiled.FootprintInto(slots, policy, fp)
 	fsp.End()
 	if err != nil {
@@ -187,8 +191,8 @@ func (a *Analyzer) NewSession() *Session {
 func (s *Session) Analyzer() *Analyzer { return s.a }
 
 // Characterize is Analyzer.Characterize over the session's reused buffers.
-func (s *Session) Characterize(size, batch float64, policy graph.SchedulePolicy) (Requirements, error) {
-	return s.a.characterize(s.slots, &s.fp, size, batch, policy)
+func (s *Session) Characterize(ctx context.Context, size, batch float64, policy graph.SchedulePolicy) (Requirements, error) {
+	return s.a.characterize(ctx, s.slots, &s.fp, size, batch, policy)
 }
 
 // CharacterizeBatch evaluates a whole batch of (size, batch) points in one
@@ -200,7 +204,7 @@ func (s *Session) Characterize(size, batch float64, policy graph.SchedulePolicy)
 //
 // reqs is grown as needed and returned. The returned CostsBatch aliases
 // session buffers and is valid until the next call on this session.
-func (s *Session) CharacterizeBatch(sizes, batches []float64, policy graph.SchedulePolicy,
+func (s *Session) CharacterizeBatch(ctx context.Context, sizes, batches []float64, policy graph.SchedulePolicy,
 	withOps bool, reqs []Requirements) ([]Requirements, *costmodel.CostsBatch, error) {
 
 	if len(sizes) != len(batches) {
@@ -209,7 +213,9 @@ func (s *Session) CharacterizeBatch(sizes, batches []float64, policy graph.Sched
 	// One span per batch (≤ ~32 rows), not per row: the whole point of the
 	// batched path is that per-row work is a few array reads, so the timing
 	// granularity matches the unit of work the scheduler dispatches.
-	defer obs.StartSpan(context.Background(), "characterize_batch", stageCharacterizeBatch).End()
+	sp := obs.StartSpan(ctx, "characterize_batch", stageCharacterizeBatch)
+	ctx = sp.Attach(ctx)
+	defer sp.End()
 	a := s.a
 	rows := len(sizes)
 	if cap(reqs) < rows {
@@ -234,7 +240,7 @@ func (s *Session) CharacterizeBatch(sizes, batches []float64, policy graph.Sched
 	v.bwd = a.bwdFLOPs.EvalBatchInto(s.batch, v.bwd, &s.eval)
 	v.tensUniq = a.Compiled.TensorBytesBatch(s.batch, v.tensUniq, &s.eval)
 
-	fsp := obs.StartSpan(context.Background(), "footprint", stageFootprint)
+	fsp := obs.StartSpan(ctx, "footprint", stageFootprint)
 	for r := 0; r < rows; r++ {
 		req := Requirements{
 			Domain: a.Model.Domain,
@@ -308,7 +314,7 @@ func (a *Analyzer) SweepParams(paramTargets []float64, batch float64,
 			sizes[i-lo] = size
 			batches[i-lo] = batch
 		}
-		reqs, _, err := s.CharacterizeBatch(sizes, batches, policy, false, out[lo:hi:hi])
+		reqs, _, err := s.CharacterizeBatch(context.Background(), sizes, batches, policy, false, out[lo:hi:hi])
 		if err != nil {
 			return err
 		}
@@ -634,7 +640,7 @@ func (a *Analyzer) ProjectFrontierWith(proj scaling.Projection, acc hw.Accelerat
 	// reflects kernel-occupancy needs the Roofline cannot see.
 	f.Subbatch = math.Max(chosen.Subbatch, a.Model.DefaultBatch)
 
-	r, err := a.Characterize(size, f.Subbatch, policy)
+	r, err := a.Characterize(context.Background(), size, f.Subbatch, policy)
 	if err != nil {
 		return f, err
 	}

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -59,7 +60,7 @@ func Characterize(m *models.Model, size, batch float64, policy graph.SchedulePol
 	if err != nil {
 		return Requirements{Domain: m.Domain, Name: m.Name, Size: size, Batch: batch}, err
 	}
-	return a.Characterize(size, batch, policy)
+	return a.Characterize(context.Background(), size, batch, policy)
 }
 
 // SweepParams characterizes the model at a list of target parameter counts

@@ -1,0 +1,99 @@
+package jobs
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"catamount/internal/obs"
+)
+
+// chunkSnapshot builds a sweep_chunk-shaped histogram snapshot with the
+// given observations, isolated from the process-global stage series.
+func chunkSnapshot(obsv ...float64) obs.HistogramSnapshot {
+	h := obs.NewRegistry().Histogram("chunk", "h", nil)
+	for _, v := range obsv {
+		h.Observe(v)
+	}
+	return h.Snapshot()
+}
+
+func TestETAZeroHistory(t *testing.T) {
+	// Fresh running job: no points this run, empty chunk histogram. The
+	// honest answer is "no estimate", i.e. 0.
+	now := time.Now()
+	if got := etaSeconds(now, 100, 0, 0, now, chunkSnapshot()); got != 0 {
+		t.Fatalf("eta with zero history = %v, want 0", got)
+	}
+	// Also with a zero runStart (job never started a run).
+	if got := etaSeconds(now, 100, 0, 0, time.Time{}, chunkSnapshot()); got != 0 {
+		t.Fatalf("eta with zero runStart = %v, want 0", got)
+	}
+}
+
+func TestETAFromRunThroughput(t *testing.T) {
+	// 25 of 100 points in 10s → 2.5 pts/s → 75 remaining at 0.4 s/pt = 30s.
+	start := time.Now()
+	now := start.Add(10 * time.Second)
+	got := etaSeconds(now, 100, 25, 0, start, chunkSnapshot())
+	if math.Abs(got-30) > 1e-9 {
+		t.Fatalf("eta = %v, want 30", got)
+	}
+	// Throughput wins even when the chunk histogram has (slower) history.
+	got = etaSeconds(now, 100, 25, 0, start, chunkSnapshot(500))
+	if math.Abs(got-30) > 1e-9 {
+		t.Fatalf("eta ignored run throughput for the fallback: %v", got)
+	}
+}
+
+func TestETAResumedJobUsesOnlyThisRun(t *testing.T) {
+	// A resumed job restarts with checkpoint credit: 60 points predate
+	// this run (runDone=60). 10s into the run it has 80 done, so this
+	// run's throughput is (80-60)/10 = 2 pts/s → 20 remaining → 10s.
+	// Naively dividing by all 80 done points would claim 2.5s.
+	start := time.Now()
+	now := start.Add(10 * time.Second)
+	got := etaSeconds(now, 100, 80, 60, start, chunkSnapshot())
+	if math.Abs(got-10) > 1e-9 {
+		t.Fatalf("resumed eta = %v, want 10 (this run's throughput only)", got)
+	}
+
+	// Resumed but no points yet this run: fall through to the histogram,
+	// not a division by the stale checkpoint credit.
+	got = etaSeconds(now, 100, 60, 60, start, chunkSnapshot(2, 4))
+	// 40 points remaining → 2 chunks of ≤32 rows at mean 3s each.
+	if math.Abs(got-6) > 1e-9 {
+		t.Fatalf("resumed zero-progress eta = %v, want 6 (chunk fallback)", got)
+	}
+}
+
+func TestETAChunkFallbackRounding(t *testing.T) {
+	start := time.Now()
+	now := start.Add(time.Second)
+	snap := chunkSnapshot(1, 3) // mean 2s per chunk
+	for _, tc := range []struct {
+		total, done int
+		want        float64
+	}{
+		{32, 0, 2},   // exactly one chunk
+		{33, 0, 4},   // 33 points → 2 chunks
+		{100, 90, 2}, // 10 left → 1 chunk
+		{64, 0, 4},
+	} {
+		got := etaSeconds(now, tc.total, tc.done, tc.done, start, snap)
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("eta(total=%d done=%d) = %v, want %v", tc.total, tc.done, got, tc.want)
+		}
+	}
+}
+
+func TestETACompleteOrOverdone(t *testing.T) {
+	start := time.Now()
+	now := start.Add(time.Second)
+	if got := etaSeconds(now, 50, 50, 0, start, chunkSnapshot(1)); got != 0 {
+		t.Fatalf("eta at completion = %v, want 0", got)
+	}
+	if got := etaSeconds(now, 50, 60, 0, start, chunkSnapshot(1)); got != 0 {
+		t.Fatalf("eta past completion = %v, want 0", got)
+	}
+}

@@ -206,8 +206,9 @@ var (
 	mCheckpoints *obs.Counter
 	mCompleted   map[State]*obs.Counter
 
-	stageJobRun     *obs.Histogram
-	stageSweepChunk *obs.Histogram
+	stageJobRun        *obs.Histogram
+	stageJobCheckpoint *obs.Histogram
+	stageSweepChunk    *obs.Histogram
 )
 
 func initMetrics() {
@@ -231,6 +232,7 @@ func initMetrics() {
 		obs.Default.GaugeFunc("catamount_job_queued",
 			"Jobs waiting in the queue.", func() float64 { return float64(gaugeQueued.Load()) })
 		stageJobRun = obs.Stage("job_run")
+		stageJobCheckpoint = obs.Stage("job_checkpoint")
 		stageSweepChunk = obs.Stage("sweep_chunk")
 	})
 }
@@ -474,18 +476,38 @@ func (s *Service) StatusOf(id string) (Status, error) {
 		return st, nil
 	}
 	if m.State == StateRunning && m.TotalPoints > m.DonePoints {
-		rem := m.TotalPoints - m.DonePoints
-		if d := m.DonePoints - runDone; d > 0 && !runStart.IsZero() {
-			st.ETASeconds = time.Since(runStart).Seconds() / float64(d) * float64(rem)
-		} else if snap := stageSweepChunk.Snapshot(); snap.Count > 0 {
-			// No points this run yet: estimate from the fleet-wide chunk
-			// latency histogram. A chunk is ≤32 grid rows; this is a rough
-			// upper bound, refined as soon as points flow.
-			mean := snap.Sum / float64(snap.Count)
-			st.ETASeconds = mean * float64((rem+31)/32)
-		}
+		st.ETASeconds = etaSeconds(time.Now(), m.TotalPoints, m.DonePoints,
+			runDone, runStart, stageSweepChunk.Snapshot())
 	}
 	return st, nil
+}
+
+// etaChunkRows is the grid-row granularity the histogram-fallback ETA
+// assumes per sweep chunk, matching the sweep scheduler's chunking.
+const etaChunkRows = 32
+
+// etaSeconds estimates the remaining run time for a job that has completed
+// done of total points, where runDone points predate the current run
+// (resume credit). Preferred signal: this run's own throughput. Before any
+// point lands this run, it falls back to the fleet-wide sweep_chunk latency
+// snapshot — a rough upper bound (a chunk is ≤ etaChunkRows grid rows),
+// refined as soon as points flow. Zero history on both paths yields 0.
+// Pure: every input is a parameter, so both paths unit-test directly.
+func etaSeconds(now time.Time, total, done, runDone int, runStart time.Time,
+	chunk obs.HistogramSnapshot) float64 {
+
+	rem := total - done
+	if rem <= 0 {
+		return 0
+	}
+	if d := done - runDone; d > 0 && !runStart.IsZero() {
+		return now.Sub(runStart).Seconds() / float64(d) * float64(rem)
+	}
+	if chunk.Count > 0 {
+		mean := chunk.Sum / float64(chunk.Count)
+		return mean * float64((rem+etaChunkRows-1)/etaChunkRows)
+	}
+	return 0
 }
 
 // Cancel stops a queued or running job; ErrTerminal if already finished.
@@ -676,8 +698,16 @@ func (s *Service) runJob(id string) {
 	s.log.Info("job started", "job", id, "type", m.Spec.Type,
 		"from_point", m.DonePoints, "total_points", m.TotalPoints)
 
+	// Root one trace per job run. Workers run detached from the submitting
+	// request, so the job ID is the identity everything downstream sees:
+	// it tags the worker context (request-ID plumbing for span debug lines
+	// and slog), names the trace in the flight recorder, and a resumed job
+	// records a fresh trace per run (the recorder disambiguates repeats).
 	ctx = obs.WithRequestID(ctx, "job-"+id)
+	tr := obs.NewTrace("job-"+id, "job")
+	ctx = tr.Context(ctx)
 	span := obs.StartSpan(ctx, "job_run", stageJobRun)
+	ctx = span.Attach(ctx)
 	var runErr error
 	switch m.Spec.Type {
 	case api.JobTypeSweep:
@@ -692,10 +722,15 @@ func (s *Service) runJob(id string) {
 	if errors.Is(runErr, errCrash) {
 		// Simulated kill: the process is "gone" — no final persist, no
 		// terminal transition. The store holds the last checkpoint plus a
-		// torn tail, exactly the recovery input.
+		// torn tail, exactly the recovery input. The trace dies with the
+		// "process": a real kill -9 would never reach the recorder.
 		gaugeRunning.Add(-1)
 		return
 	}
+	tr.Finish(runErr != nil && ctx.Err() == nil)
+	obs.Flight.Add(tr)
+	s.log.Info("job trace recorded", "job", id, "trace_id", tr.ID(),
+		"spans", tr.SpanCount(), "duration", tr.Duration())
 
 	switch {
 	case runErr == nil:
@@ -766,6 +801,11 @@ func (s *Service) runSweep(ctx context.Context, t *tracker) error {
 		if pending == 0 {
 			return nil
 		}
+		// A checkpoint span per durable commit: in the job's trace, the
+		// sweep reads as chunk spans punctuated by append+persist spans,
+		// which is exactly the checkpoint-to-checkpoint cadence resume
+		// depends on.
+		defer obs.StartSpan(ctx, "job_checkpoint", stageJobCheckpoint).End()
 		n := int64(buf.Len())
 		if err := s.store.AppendResults(m.ID, buf.Bytes()); err != nil {
 			return fmt.Errorf("append results: %w", err)

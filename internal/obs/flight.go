@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder is the in-process flight recorder: a bounded retention set of
+// completed traces with a tail-biased keep policy — always the slowest N
+// per route, every recent errored trace, and a ring of the most recent
+// traces — so the *interesting* traces survive without any sampling
+// configuration. An operator who sees a stage histogram's p99 regress
+// asks the recorder which trace owned that tail and gets the causal tree,
+// not another aggregate.
+//
+// Adds happen once per completed request/job (off every hot path) under
+// one mutex; memory is bounded by the retention knobs times the per-trace
+// span cap.
+type Recorder struct {
+	mu sync.Mutex
+
+	perRoute    int // slowest traces kept per route
+	keepErrored int // recent errored traces kept
+	keepRecent  int // most recent traces kept regardless of duration
+
+	byID    map[string]*retained
+	routes  map[string][]*retained // sorted ascending by duration
+	errored []*retained            // FIFO
+	recent  []*retained            // FIFO
+	seq     int64                  // collision suffix counter
+}
+
+// retained is one kept trace with its bucket pin count: a trace may sit
+// in several retention buckets at once and is forgotten only when the
+// last bucket evicts it.
+type retained struct {
+	tr   *Trace
+	pins int
+}
+
+// NewRecorder builds a flight recorder. Non-positive knobs take the
+// defaults (8 slowest per route, 64 errored, 64 recent).
+func NewRecorder(perRoute, keepErrored, keepRecent int) *Recorder {
+	if perRoute <= 0 {
+		perRoute = 8
+	}
+	if keepErrored <= 0 {
+		keepErrored = 64
+	}
+	if keepRecent <= 0 {
+		keepRecent = 64
+	}
+	return &Recorder{
+		perRoute:    perRoute,
+		keepErrored: keepErrored,
+		keepRecent:  keepRecent,
+		byID:        make(map[string]*retained),
+		routes:      make(map[string][]*retained),
+	}
+}
+
+// Flight is the process-wide flight recorder: the server middleware and
+// the jobs service add completed traces here, and GET /v1/traces reads it.
+var Flight = NewRecorder(0, 0, 0)
+
+// Add retains a finished trace under the keep policy. Unfinished traces
+// are sealed (non-errored) first as a defensive measure. If the trace's
+// ID collides with a retained one (a client replaying X-Request-Id), the
+// newcomer's ID gains a "~n" suffix so both stay addressable.
+func (r *Recorder) Add(tr *Trace) {
+	if tr == nil {
+		return
+	}
+	if !tr.Finished() {
+		tr.Finish(false)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.byID[tr.id]; taken {
+		r.seq++
+		tr.id = fmt.Sprintf("%s~%d", tr.id, r.seq)
+	}
+	ret := &retained{tr: tr}
+
+	// Recent ring: everything passes through, oldest falls out first.
+	r.pin(ret)
+	r.recent = append(r.recent, ret)
+	if len(r.recent) > r.keepRecent {
+		r.unpin(r.recent[0])
+		r.recent = r.recent[1:]
+	}
+
+	// Errored ring.
+	if tr.err {
+		r.pin(ret)
+		r.errored = append(r.errored, ret)
+		if len(r.errored) > r.keepErrored {
+			r.unpin(r.errored[0])
+			r.errored = r.errored[1:]
+		}
+	}
+
+	// Slowest-per-route: a sorted (ascending) fixed-size bucket; a new
+	// trace displaces the fastest member once the bucket is full.
+	bucket := r.routes[tr.route]
+	if len(bucket) < r.perRoute {
+		r.pin(ret)
+		r.routes[tr.route] = insertByDuration(bucket, ret)
+	} else if tr.Duration() > bucket[0].tr.Duration() {
+		r.unpin(bucket[0])
+		r.pin(ret)
+		r.routes[tr.route] = insertByDuration(bucket[1:], ret)
+	}
+}
+
+func insertByDuration(bucket []*retained, ret *retained) []*retained {
+	i := sort.Search(len(bucket), func(i int) bool {
+		return bucket[i].tr.Duration() > ret.tr.Duration()
+	})
+	bucket = append(bucket, nil)
+	copy(bucket[i+1:], bucket[i:])
+	bucket[i] = ret
+	return bucket
+}
+
+func (r *Recorder) pin(ret *retained) {
+	if ret.pins == 0 {
+		r.byID[ret.tr.id] = ret
+	}
+	ret.pins++
+}
+
+func (r *Recorder) unpin(ret *retained) {
+	ret.pins--
+	if ret.pins == 0 {
+		delete(r.byID, ret.tr.id)
+	}
+}
+
+// Get returns the retained trace with the given ID.
+func (r *Recorder) Get(id string) (*Trace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ret, ok := r.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return ret.tr, true
+}
+
+// List returns summaries of retained traces, slowest first, filtered by
+// route (exact match, "" = all) and minimum duration. limit <= 0 means
+// every retained trace.
+func (r *Recorder) List(route string, minDur time.Duration, limit int) []TraceSummary {
+	r.mu.Lock()
+	out := make([]TraceSummary, 0, len(r.byID))
+	for _, ret := range r.byID {
+		tr := ret.tr
+		if route != "" && tr.route != route {
+			continue
+		}
+		if tr.Duration() < minDur {
+			continue
+		}
+		out = append(out, tr.Summary())
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DurationSeconds != out[j].DurationSeconds {
+			return out[i].DurationSeconds > out[j].DurationSeconds
+		}
+		return out[i].ID < out[j].ID
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Len reports how many traces are currently retained.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}
+
+// Reset forgets every retained trace (tests).
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byID = make(map[string]*retained)
+	r.routes = make(map[string][]*retained)
+	r.errored = nil
+	r.recent = nil
+}

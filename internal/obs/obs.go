@@ -225,6 +225,11 @@ type Histogram struct {
 	counts []atomic.Int64 // len(upper)+1, last is the +Inf bucket
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits
+
+	// slowest links this series to the slowest traced span that observed
+	// into it (see SlowestTrace in trace.go) — the histogram→trace
+	// exemplar. Nil until a traced span records.
+	slowest atomic.Pointer[traceExemplar]
 }
 
 // newHistogram validates and copies the bucket bounds.
@@ -344,4 +349,22 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 		return &metric{hist: newHistogram(buckets)}
 	})
 	return m.hist
+}
+
+// EachHistogram visits every histogram series in registration order —
+// how the trace layer collects per-stage exemplars without the registry
+// leaking its internals.
+func (r *Registry) EachHistogram(fn func(name string, labels []Label, h *Histogram)) {
+	r.mu.RLock()
+	keys := make([]string, len(r.order))
+	copy(keys, r.order)
+	r.mu.RUnlock()
+	for _, key := range keys {
+		r.mu.RLock()
+		m := r.metrics[key]
+		r.mu.RUnlock()
+		if m != nil && m.kind == KindHistogram && m.hist != nil {
+			fn(m.name, m.labels, m.hist)
+		}
+	}
 }

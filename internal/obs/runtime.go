@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// This file registers the standard Go runtime series into the Default
+// registry, sampled at exposition time through GaugeFunc hooks: scrapers
+// get goroutine counts, heap occupancy, and a GC pause latency histogram
+// next to the engine stage timings, plus a catamount_build_info gauge
+// whose labels identify the binary the same way /healthz does.
+
+// gcPauseBuckets spans GC stop-the-world pauses: log-spaced (factor 4)
+// from 1µs to ~262ms — Go pauses sit at the low end; anything in the top
+// buckets is a problem worth seeing.
+var gcPauseBuckets = []float64{
+	1e-6, 4e-6, 1.6e-5, 6.4e-5, 2.56e-4,
+	1.024e-3, 4.096e-3, 1.6384e-2, 6.5536e-2, 0.262144,
+}
+
+// runtimeSampler drains runtime.MemStats into the registered series. The
+// heap gauge's GaugeFunc is the sampling hook: every scrape reads
+// MemStats once and feeds any GC pauses completed since the previous
+// scrape into the pause histogram (MemStats keeps the last 256 pauses in
+// a circular buffer keyed by NumGC, so scrape-time draining loses nothing
+// at sane scrape intervals).
+type runtimeSampler struct {
+	mu     sync.Mutex
+	lastGC uint32
+	pauses *Histogram
+}
+
+func (s *runtimeSampler) heapAlloc() float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	from := s.lastGC
+	if ms.NumGC > from+256 {
+		from = ms.NumGC - 256 // older pauses fell out of the ring
+	}
+	for n := from + 1; n <= ms.NumGC; n++ {
+		s.pauses.Observe(float64(ms.PauseNs[(n+255)%256]) / 1e9)
+	}
+	s.lastGC = ms.NumGC
+	return float64(ms.HeapAlloc)
+}
+
+// RegisterRuntimeMetrics installs the Go runtime series into r. Default
+// gets them automatically at package init; tests with scratch registries
+// call it explicitly when they want the families present.
+func RegisterRuntimeMetrics(r *Registry) {
+	s := &runtimeSampler{
+		pauses: r.Histogram("go_gc_pause_seconds",
+			"Garbage collection stop-the-world pause latency, drained from MemStats at scrape time.",
+			gcPauseBuckets),
+	}
+	r.GaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects.", s.heapAlloc)
+}
+
+// BuildInfo identifies the running binary: the Go toolchain version plus
+// the VCS revision stamped at build time (empty outside a stamped build).
+// The values match what /healthz reports.
+type BuildInfo struct {
+	GoVersion string
+	Revision  string
+	Modified  bool
+}
+
+// ReadBuildInfo reads the binary's build identity, once.
+var ReadBuildInfo = sync.OnceValue(func() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+})
+
+// RegisterBuildInfo installs the constant catamount_build_info gauge
+// (value 1) whose labels carry the binary identity — the standard
+// "join metrics to a deploy" series.
+func RegisterBuildInfo(r *Registry) {
+	bi := ReadBuildInfo()
+	rev := bi.Revision
+	if rev == "" {
+		rev = "unknown"
+	}
+	modified := "false"
+	if bi.Modified {
+		modified = "true"
+	}
+	r.Gauge("catamount_build_info",
+		"Build identity of the running binary; value is always 1.",
+		Label{Name: "go_version", Value: bi.GoVersion},
+		Label{Name: "revision", Value: rev},
+		Label{Name: "modified", Value: modified},
+	).Set(1)
+}
+
+func init() {
+	RegisterRuntimeMetrics(Default)
+	RegisterBuildInfo(Default)
+}

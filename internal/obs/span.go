@@ -26,12 +26,17 @@ func Stage(name string) *Histogram {
 
 // ActiveSpan is one in-flight stage timing. It is a value type: starting
 // and ending a span performs no allocation, so spans can wrap the batched
-// sweep loop without disturbing the pinned allocation floors.
+// sweep loop without disturbing the pinned allocation floors. When the
+// context carries an active Trace, the span additionally claims one
+// record in the trace's preallocated buffer — still allocation-free —
+// and becomes a node of the request/job tree (parented to the span whose
+// Attach produced the context).
 type ActiveSpan struct {
 	h     *Histogram
 	ctx   context.Context
 	stage string
 	start time.Time
+	rec   *SpanRecord // non-nil when recording into a trace
 }
 
 // Span starts a stage timing that records into the Default registry:
@@ -41,23 +46,51 @@ type ActiveSpan struct {
 // ctx carries the request ID (if any) into the span's debug trace line.
 // Pass context.Background() on paths without a request.
 func Span(ctx context.Context, stage string) ActiveSpan {
-	return ActiveSpan{h: Stage(stage), ctx: ctx, stage: stage, start: time.Now()}
+	return StartSpan(ctx, stage, Stage(stage))
 }
 
 // StartSpan starts a timing against a pre-resolved histogram — the
-// zero-lookup variant for hot loops that cache the *Histogram.
+// zero-lookup variant for hot loops that cache the *Histogram. h may be
+// nil for spans that exist only as trace-tree nodes (a server request
+// root, whose latency the per-endpoint histograms already record).
 func StartSpan(ctx context.Context, stage string, h *Histogram) ActiveSpan {
-	return ActiveSpan{h: h, ctx: ctx, stage: stage, start: time.Now()}
+	s := ActiveSpan{h: h, ctx: ctx, stage: stage, start: time.Now()}
+	if ctx != nil {
+		if ref, ok := ctx.Value(traceKey{}).(*traceRef); ok {
+			s.rec = ref.tr.claim(stage, ref.parent, s.start)
+		}
+	}
+	return s
+}
+
+// Attach returns a context under which new spans become children of s in
+// its trace. Outside a trace (or for a capacity-dropped span) it returns
+// ctx unchanged at zero cost, so hot paths pay the one context allocation
+// only when a trace is actually being recorded.
+func (s ActiveSpan) Attach(ctx context.Context) context.Context {
+	if s.rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, &s.rec.ref)
 }
 
 // End records the elapsed time. When span tracing is enabled (see
 // SetTraceLogger) it also emits one debug line carrying the stage name,
 // elapsed seconds and the context's request ID.
 func (s ActiveSpan) End() {
-	if s.h == nil {
+	if s.h == nil && s.rec == nil {
 		return
 	}
 	d := time.Since(s.start)
+	if s.rec != nil {
+		s.rec.DurNs = d.Nanoseconds()
+		if s.h != nil {
+			s.h.noteSlowest(s.rec.ref.tr.id, d.Seconds())
+		}
+	}
+	if s.h == nil {
+		return
+	}
 	s.h.Observe(d.Seconds())
 	if lg := traceLogger.Load(); lg != nil {
 		ctx := s.ctx

@@ -1,0 +1,528 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file grows the flat span API into hierarchical request/job tracing:
+// a Trace is a bounded, append-only buffer of SpanRecords with parent
+// links, carried through context so every layer's existing StartSpan call
+// sites become tree nodes without new plumbing. The paper's method is
+// decomposing *where the time goes* per op; a trace decomposes where a
+// request's time went per stage — request → sweep_chunk →
+// characterize_batch → steptime_perop — instead of only feeding flat
+// histograms.
+//
+// Hot-path contract: starting and ending a span inside an active trace
+// claims one preallocated record slot with a single atomic add and writes
+// a few fields — no locks, no allocation (segments of 64 records are
+// materialized lazily, so the amortized cost of a growing trace is one
+// small allocation per 64 spans, and an *untraced* context costs exactly
+// what it did before: one context value lookup). Traces past the span
+// capacity drop the tail and count it rather than blocking or growing.
+
+// spanSegSize is the record granularity of a trace's lazy buffer; a trace
+// holds at most maxSpanSegs segments (2048 spans), after which further
+// spans are dropped and counted in DroppedSpans.
+const (
+	spanSegSize = 64
+	maxSpanSegs = 32
+	maxSpans    = spanSegSize * maxSpanSegs
+)
+
+// SpanRecord is one completed (or in-flight) span of a trace. ID is the
+// 1-based claim order; Parent is the ID of the enclosing span, 0 for a
+// root. Offsets are monotonic nanoseconds from the trace start.
+type SpanRecord struct {
+	Stage   string
+	Parent  int32
+	StartNs int64
+	DurNs   int64
+
+	// ref is the stable context value Attach hands to child calls: a
+	// pointer into this preallocated record, so attaching a span to a
+	// context costs one context.WithValue and nothing else.
+	ref traceRef
+}
+
+type spanSeg [spanSegSize]SpanRecord
+
+// traceRef is what rides the context: the owning trace plus the span ID
+// new child spans should link to (0 at the trace root, before any span).
+type traceRef struct {
+	tr     *Trace
+	parent int32
+}
+
+// traceKey is the context key trace refs travel under.
+type traceKey struct{}
+
+// Trace is one bounded, append-only span buffer for a single request, job
+// run, or CLI invocation. Create with NewTrace, root it into a context
+// with Context, Finish it when the causal unit completes, and hand it to
+// a Recorder for retention. Span claims are safe from any number of
+// goroutines; readers (Export, Summary, WriteTraceEvents) must only run
+// after Finish.
+type Trace struct {
+	id    string
+	route string
+	wall  time.Time // wall-clock start, for Perfetto timestamps
+	start time.Time // monotonic base for span offsets
+
+	next    atomic.Int32
+	dropped atomic.Int32
+	segs    [maxSpanSegs]atomic.Pointer[spanSeg]
+	segMu   sync.Mutex
+
+	rootRef traceRef
+
+	finished atomic.Bool
+	durNs    int64
+	err      bool
+}
+
+// NewTrace starts a trace. id is the correlation handle clients use to
+// fetch it back (the server passes the request ID, honoring an inbound
+// X-Request-Id; jobs pass "job-<id>"); route groups traces for the flight
+// recorder's per-route keep policy (an HTTP route pattern, "job", or
+// "cli:<cmd>").
+func NewTrace(id, route string) *Trace {
+	t := &Trace{id: id, route: route, wall: time.Now(), start: time.Now()}
+	t.rootRef = traceRef{tr: t}
+	return t
+}
+
+// ID returns the trace's correlation ID.
+func (t *Trace) ID() string { return t.id }
+
+// Route returns the trace's grouping route.
+func (t *Trace) Route() string { return t.route }
+
+// Context roots the trace into ctx: spans started under the returned
+// context record into the trace, with spans attached via ActiveSpan.Attach
+// forming the tree below them.
+func (t *Trace) Context(ctx context.Context) context.Context {
+	return context.WithValue(ctx, traceKey{}, &t.rootRef)
+}
+
+// TraceFromContext returns the context's active trace, or nil.
+func TraceFromContext(ctx context.Context) *Trace {
+	if ref, ok := ctx.Value(traceKey{}).(*traceRef); ok {
+		return ref.tr
+	}
+	return nil
+}
+
+// seg returns segment i, materializing it on first use. The fast path is
+// one atomic load; the slow path (once per 64 spans) takes a mutex.
+func (t *Trace) seg(i int) *spanSeg {
+	if s := t.segs[i].Load(); s != nil {
+		return s
+	}
+	t.segMu.Lock()
+	defer t.segMu.Unlock()
+	if s := t.segs[i].Load(); s != nil {
+		return s
+	}
+	s := new(spanSeg)
+	t.segs[i].Store(s)
+	return s
+}
+
+// claim reserves the next span record, filling its start fields. Returns
+// nil once the trace is at span capacity (the drop is counted).
+func (t *Trace) claim(stage string, parent int32, start time.Time) *SpanRecord {
+	idx := t.next.Add(1) - 1
+	if idx >= maxSpans {
+		t.dropped.Add(1)
+		return nil
+	}
+	rec := &t.seg(int(idx) / spanSegSize)[int(idx)%spanSegSize]
+	rec.Stage = stage
+	rec.Parent = parent
+	rec.StartNs = start.Sub(t.start).Nanoseconds()
+	rec.DurNs = 0
+	rec.ref = traceRef{tr: t, parent: idx + 1}
+	return rec
+}
+
+// Finish seals the trace: records the end-to-end duration and the error
+// flag, after which readers may safely walk the span buffer. Callers must
+// ensure every goroutine that could claim spans has completed first (the
+// sweep/plan runners and the jobs service all join their workers before
+// returning).
+func (t *Trace) Finish(errored bool) {
+	if t.finished.Swap(true) {
+		return
+	}
+	t.durNs = time.Since(t.start).Nanoseconds()
+	t.err = errored
+}
+
+// Finished reports whether Finish has run.
+func (t *Trace) Finished() bool { return t.finished.Load() }
+
+// Duration is the traced unit's end-to-end time (zero before Finish).
+func (t *Trace) Duration() time.Duration { return time.Duration(t.durNs) }
+
+// Err reports the error flag recorded at Finish.
+func (t *Trace) Err() bool { return t.err }
+
+// SpanCount is the number of retained span records.
+func (t *Trace) SpanCount() int {
+	n := int(t.next.Load())
+	if n > maxSpans {
+		n = maxSpans
+	}
+	return n
+}
+
+// DroppedSpans counts spans that arrived past the buffer capacity.
+func (t *Trace) DroppedSpans() int { return int(t.dropped.Load()) }
+
+// Spans copies out the retained span records in claim order.
+func (t *Trace) Spans() []SpanRecord {
+	n := t.SpanCount()
+	out := make([]SpanRecord, n)
+	for i := 0; i < n; i++ {
+		out[i] = t.seg(i / spanSegSize)[i%spanSegSize]
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Views
+
+// TraceSummary is the list-view row of a retained trace.
+type TraceSummary struct {
+	ID              string    `json:"id"`
+	Route           string    `json:"route"`
+	Start           time.Time `json:"start"`
+	DurationSeconds float64   `json:"duration_seconds"`
+	Spans           int       `json:"spans"`
+	DroppedSpans    int       `json:"dropped_spans,omitempty"`
+	Error           bool      `json:"error"`
+}
+
+// Summary builds the trace's list-view row.
+func (t *Trace) Summary() TraceSummary {
+	return TraceSummary{
+		ID:              t.id,
+		Route:           t.route,
+		Start:           t.wall,
+		DurationSeconds: t.Duration().Seconds(),
+		Spans:           t.SpanCount(),
+		DroppedSpans:    t.DroppedSpans(),
+		Error:           t.err,
+	}
+}
+
+// SpanNode is one node of the exported span tree.
+type SpanNode struct {
+	ID       int32       `json:"id"`
+	Stage    string      `json:"stage"`
+	StartUs  int64       `json:"start_us"`
+	DurUs    int64       `json:"duration_us"`
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// TraceExport is the JSON tree view of one trace: GET /v1/traces/{id}.
+type TraceExport struct {
+	TraceSummary
+	Root *SpanNode `json:"root,omitempty"`
+}
+
+// Export builds the span tree. The root is the first root-parented span
+// (the request or job span); any later parentless spans nest under it, so
+// the export is always a single tree.
+func (t *Trace) Export() TraceExport {
+	spans := t.Spans()
+	ex := TraceExport{TraceSummary: t.Summary()}
+	if len(spans) == 0 {
+		return ex
+	}
+	nodes := make([]*SpanNode, len(spans))
+	for i, sp := range spans {
+		nodes[i] = &SpanNode{
+			ID:      int32(i + 1),
+			Stage:   sp.Stage,
+			StartUs: sp.StartNs / 1e3,
+			DurUs:   sp.DurNs / 1e3,
+		}
+	}
+	ex.Root = nodes[0]
+	for i, sp := range spans {
+		if i == 0 {
+			continue
+		}
+		parent := ex.Root
+		if p := int(sp.Parent); p >= 1 && p <= len(nodes) && p != i+1 {
+			parent = nodes[p-1]
+		}
+		parent.Children = append(parent.Children, nodes[i])
+	}
+	return ex
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event (Perfetto) export
+
+// traceEvent is one entry of the Chrome trace-event JSON array, the
+// format ui.perfetto.dev and chrome://tracing load directly.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TsUs  int64          `json:"ts"`
+	DurUs int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type traceEventFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents renders the trace as Chrome trace-event JSON. Spans are
+// complete ("X") events; each top-level subtree (one sweep chunk, one
+// checkpoint cycle) gets its own track (tid), so concurrent chunks render
+// as parallel lanes with their children nested inside, while the root span
+// spans lane 0.
+func (t *Trace) WriteTraceEvents(w io.Writer) error {
+	spans := t.Spans()
+	base := t.wall.UnixMicro()
+	// lane[i] is the tid of span i+1: the root rides lane 0; every other
+	// span inherits the lane of its depth-1 ancestor (its own ID if it is
+	// a direct child of the root), so sibling subtrees never interleave
+	// "X" events on one track.
+	lane := make([]int, len(spans))
+	for i, sp := range spans {
+		switch {
+		case i == 0 || sp.Parent == 0:
+			lane[i] = 0
+			if i != 0 {
+				lane[i] = i + 1
+			}
+		case int(sp.Parent) == 1:
+			lane[i] = i + 1
+		default:
+			lane[i] = lane[sp.Parent-1]
+		}
+	}
+	f := traceEventFile{DisplayTimeUnit: "ms",
+		TraceEvents: make([]traceEvent, 0, len(spans)+1)}
+	f.TraceEvents = append(f.TraceEvents, traceEvent{
+		Name: "process_name", Phase: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "catamount " + t.route},
+	})
+	for i, sp := range spans {
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name:  sp.Stage,
+			Cat:   "stage",
+			Phase: "X",
+			TsUs:  base + sp.StartNs/1e3,
+			DurUs: sp.DurNs / 1e3,
+			PID:   1,
+			TID:   lane[i],
+			Args:  map[string]any{"trace_id": t.id, "span": i + 1, "parent": sp.Parent},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// ValidateTraceEvents checks data against the Chrome trace-event schema
+// Perfetto loads: a traceEvents array of objects each carrying a name, a
+// known phase, integer pid/tid, and (for complete events) non-negative
+// ts/dur. Shared by the unit tests and the CI scrape job's gated check.
+func ValidateTraceEvents(data []byte) error {
+	var f struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("trace-event: not a JSON object: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("trace-event: empty or missing traceEvents array")
+	}
+	str := func(ev map[string]json.RawMessage, key string) (string, error) {
+		raw, ok := ev[key]
+		if !ok {
+			return "", fmt.Errorf("missing %q", key)
+		}
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return "", fmt.Errorf("%q not a string", key)
+		}
+		return s, nil
+	}
+	num := func(ev map[string]json.RawMessage, key string, required bool) (float64, error) {
+		raw, ok := ev[key]
+		if !ok {
+			if required {
+				return 0, fmt.Errorf("missing %q", key)
+			}
+			return 0, nil
+		}
+		var v float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return 0, fmt.Errorf("%q not a number", key)
+		}
+		return v, nil
+	}
+	for i, ev := range f.TraceEvents {
+		fail := func(err error) error { return fmt.Errorf("trace-event %d: %w", i, err) }
+		name, err := str(ev, "name")
+		if err != nil {
+			return fail(err)
+		}
+		if name == "" {
+			return fail(fmt.Errorf("empty name"))
+		}
+		ph, err := str(ev, "ph")
+		if err != nil {
+			return fail(err)
+		}
+		for _, key := range []string{"pid", "tid"} {
+			v, err := num(ev, key, true)
+			if err != nil {
+				return fail(err)
+			}
+			if v != float64(int64(v)) {
+				return fail(fmt.Errorf("%q not an integer", key))
+			}
+		}
+		switch ph {
+		case "M":
+			// Metadata events carry no timing.
+		case "X":
+			ts, err := num(ev, "ts", true)
+			if err != nil {
+				return fail(err)
+			}
+			dur, err := num(ev, "dur", false)
+			if err != nil {
+				return fail(err)
+			}
+			if ts < 0 || dur < 0 {
+				return fail(fmt.Errorf("negative ts/dur"))
+			}
+		default:
+			return fail(fmt.Errorf("unsupported phase %q", ph))
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Stage exemplars: histogram → trace linkage
+
+// traceExemplar links a stage histogram series to the slowest traced
+// observation it has seen.
+type traceExemplar struct {
+	ID      string
+	Seconds float64
+}
+
+// noteSlowest CAS-publishes a new slowest-trace exemplar when the traced
+// observation beats the current one. Lock-free; allocates only on a new
+// maximum of a traced span, never on the untraced hot path.
+func (h *Histogram) noteSlowest(id string, secs float64) {
+	for {
+		cur := h.slowest.Load()
+		if cur != nil && cur.Seconds >= secs {
+			return
+		}
+		if h.slowest.CompareAndSwap(cur, &traceExemplar{ID: id, Seconds: secs}) {
+			return
+		}
+	}
+}
+
+// SlowestTrace returns the ID and duration of the slowest traced
+// observation recorded into this histogram, linking the aggregate series
+// back to a retained causal trace. ok is false when no traced span has
+// observed into it yet.
+func (h *Histogram) SlowestTrace() (id string, seconds float64, ok bool) {
+	e := h.slowest.Load()
+	if e == nil {
+		return "", 0, false
+	}
+	return e.ID, e.Seconds, true
+}
+
+// StageExemplar is one stage series' slowest-trace linkage row.
+type StageExemplar struct {
+	Stage   string  `json:"stage"`
+	TraceID string  `json:"trace_id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// StageSlowestTraces collects, for every stage-duration series in the
+// registry, the slowest traced observation's trace ID — the answer to
+// "which trace do I open for this histogram's tail?". Sorted by stage.
+func (r *Registry) StageSlowestTraces() []StageExemplar {
+	var out []StageExemplar
+	r.EachHistogram(func(name string, labels []Label, h *Histogram) {
+		if name != StageDurationMetric {
+			return
+		}
+		id, secs, ok := h.SlowestTrace()
+		if !ok {
+			return
+		}
+		for _, l := range labels {
+			if l.Name == "stage" {
+				out = append(out, StageExemplar{Stage: l.Value, TraceID: id, Seconds: secs})
+			}
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// CLI tracing
+
+// StartCLITrace roots a trace for one CLI invocation — the -trace-out
+// plumbing shared by the sweep, plan and catamount commands. With an empty
+// path it is free: ctx returns unchanged and done is a no-op. Otherwise the
+// returned context carries a fresh trace rooted at a span named after the
+// command (reusing the SetupCLI run ID as the trace ID), and done seals the
+// trace and writes it as Chrome trace-event JSON — the file ui.perfetto.dev
+// and chrome://tracing open directly — to path.
+func StartCLITrace(ctx context.Context, cmd, path string) (context.Context, func() error) {
+	if path == "" {
+		return ctx, func() error { return nil }
+	}
+	id := RequestID(ctx)
+	if id == "" {
+		id = NewRequestID()
+	}
+	tr := NewTrace(id, cmd)
+	tctx := tr.Context(ctx)
+	root := StartSpan(tctx, cmd, nil)
+	return root.Attach(tctx), func() error {
+		root.End()
+		tr.Finish(false)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteTraceEvents(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+}

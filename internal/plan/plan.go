@@ -40,6 +40,10 @@ import (
 // arithmetic after the sweep grid characterizes the search space).
 var stagePlanEval = obs.Stage("plan_evaluate")
 
+// stagePlanRun times a whole plan search — sweep grid plus composition —
+// and roots the plan subtree inside a request or CLI trace.
+var stagePlanRun = obs.Stage("plan_run")
+
 // Strategy names one §6 parallelization scheme the planner searches over.
 type Strategy string
 
@@ -404,6 +408,9 @@ func (p *Planner) config() evalConfig {
 // every accelerator); the remaining per-candidate composition is cheap
 // arithmetic. The context cancels the underlying sweep.
 func (p *Planner) Run(ctx context.Context) (*Result, error) {
+	rsp := obs.StartSpan(ctx, "plan_run", stagePlanRun)
+	ctx = rsp.Attach(ctx)
+	defer rsp.End()
 	na, nb := len(p.accs), len(p.subbatches)
 
 	// One sweep grid characterizes every (subbatch, accelerator) cell of

@@ -86,7 +86,7 @@ func bruteForce(t *testing.T, spec Spec) *Result {
 	var plans []Plan
 	for _, acc := range accs {
 		for _, b := range spec.Subbatches {
-			req, cerr := a.Characterize(size, b, graph.PolicyMemGreedy)
+			req, cerr := a.Characterize(context.Background(), size, b, graph.PolicyMemGreedy)
 			for _, w := range spec.WorkerCounts {
 				for _, st := range strategies {
 					if cerr != nil {

@@ -100,12 +100,10 @@ func assertAllHistogramInvariants(t *testing.T, payload string) {
 			sr.cumulative = append(sr.cumulative, v)
 		case strings.Contains(name, "_count"):
 			v, _ := strconv.ParseFloat(valRaw, 64)
-			key := strings.Replace(name, "_count", "_bucket", 1)
-			sr := at(key)
+			sr := at(countSumKey(name, "_count"))
 			sr.count, sr.hasCount = v, true
 		case strings.Contains(name, "_sum"):
-			key := strings.Replace(name, "_sum", "_bucket", 1)
-			at(key).hasSum = true
+			at(countSumKey(name, "_sum")).hasSum = true
 		}
 	}
 	checked := 0
@@ -129,6 +127,17 @@ func assertAllHistogramInvariants(t *testing.T, payload string) {
 	if checked == 0 {
 		t.Fatal("no histogram families found in payload")
 	}
+}
+
+// countSumKey maps a _count/_sum series name onto the key its buckets group
+// under: the suffix becomes _bucket, and a label-less series gains the empty
+// brace set stripLE leaves behind on its buckets.
+func countSumKey(name, suffix string) string {
+	key := strings.Replace(name, suffix, "_bucket", 1)
+	if !strings.Contains(key, "{") {
+		key += "{}"
+	}
+	return key
 }
 
 // stripLE removes the le="..." pair from a bucket series name.

@@ -14,6 +14,7 @@ import (
 	"catamount/internal/api"
 	"catamount/internal/hw"
 	"catamount/internal/jobs"
+	"catamount/internal/obs"
 	"catamount/internal/plan"
 	"catamount/internal/sweep"
 )
@@ -125,6 +126,18 @@ func routeDocs() []routeDoc {
 			respCT: "application/x-ndjson"},
 		{pattern: "DELETE /v1/jobs/{id}", summary: "Cancel an active job, or delete a terminal one.",
 			respBody: jobs.Status{}},
+		{pattern: "GET /v1/traces", summary: "List flight-recorder traces (slowest first) with per-stage slowest-trace exemplars.",
+			params: []paramDoc{
+				{"route", "string", "Exact route pattern filter, e.g. \"POST /v1/sweep\" or \"job\"."},
+				{"min_ms", "number", "Keep only traces at least this many milliseconds long."},
+				{"limit", "integer", "Max traces returned; 0 or absent means all retained."},
+			},
+			respBody: tracesResponse{}},
+		{pattern: "GET /v1/traces/{id}", summary: "One trace as a span tree, or Chrome trace-event JSON via ?format=perfetto.",
+			params: []paramDoc{
+				{"format", "string", "tree (default) or perfetto (Chrome trace-event array for ui.perfetto.dev)."},
+			},
+			respBody: obs.TraceExport{}},
 		{pattern: "GET /v1/openapi.json", summary: "This document.",
 			respCT: "application/json"},
 	}

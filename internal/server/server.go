@@ -214,6 +214,8 @@ func New(cfg Config) *Server {
 	handle("GET /v1/jobs/{id}", s.handleJobGet)
 	handle("GET /v1/jobs/{id}/results", s.handleJobResults)
 	handle("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	handle("GET /v1/traces", s.handleTraces)
+	handle("GET /v1/traces/{id}", s.handleTraceGet)
 	handle("GET /v1/openapi.json", s.handleOpenAPI)
 	return s
 }
@@ -344,6 +346,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	muxHandler, pattern := s.mux.Handler(r)
 	cw := countingWriter{ResponseWriter: w}
+
+	// Root a trace per analysis request: the request ID is the trace ID
+	// (a client-supplied X-Request-Id names its trace directly), the route
+	// pattern is the retention bucket, and engine stages nest under the
+	// "request" root via the context. Trace reads themselves are exempt so
+	// inspecting the flight recorder never evicts the traces under study.
+	if pattern != "" && strings.HasPrefix(r.URL.Path, "/v1/") &&
+		pattern != "GET /v1/traces" && pattern != "GET /v1/traces/{id}" {
+		tr := obs.NewTrace(rid, pattern)
+		tctx := tr.Context(ctx)
+		root := obs.StartSpan(tctx, "request", nil)
+		r = r.WithContext(root.Attach(tctx))
+		defer func() {
+			root.End()
+			tr.Finish(cw.statusOr200() >= 400)
+			obs.Flight.Add(tr)
+		}()
+	}
+
 	defer func() {
 		elapsed := time.Since(begin)
 		hist, bytesCtr := s.otherHist, s.otherBytes
@@ -646,7 +667,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// ("perop", "per-op-roofline") share one cache entry.
 	key := fmt.Sprintf("analyze|%s|%g|%g|%s|%s", d, params, batch, cm.Name(), accKey(acc))
 	s.respondCached(w, r, key, func() (any, error) {
-		req, est, err := s.eng.AnalyzeOn(d, params, batch, acc, cm)
+		req, est, err := s.eng.AnalyzeOn(r.Context(), d, params, batch, acc, cm)
 		if err != nil {
 			return nil, err
 		}

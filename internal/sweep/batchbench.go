@@ -109,7 +109,7 @@ func (r *Runner) runScalarBaseline(ctx context.Context) error {
 		if len(r.subbatches) > 0 {
 			batch = r.subbatches[bi]
 		}
-		req, err := s.Characterize(sol.size, batch, graph.PolicyMemGreedy)
+		req, err := s.Characterize(ctx, sol.size, batch, graph.PolicyMemGreedy)
 		if err != nil {
 			return
 		}

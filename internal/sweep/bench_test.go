@@ -73,7 +73,7 @@ func BenchmarkPerPointEquivalent(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := a.Characterize(size, a.Model.DefaultBatch, graph.PolicyMemGreedy); err != nil {
+				if _, err := a.Characterize(context.Background(), size, a.Model.DefaultBatch, graph.PolicyMemGreedy); err != nil {
 					b.Fatal(err)
 				}
 			}

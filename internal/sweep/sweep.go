@@ -432,7 +432,9 @@ func (r *Runner) RunFrom(ctx context.Context, startSeq int, yield func(Point) er
 func (r *Runner) evalTask(ctx context.Context, t, np, nb, chunkLen, tasksPerDomain int,
 	sizes []solvedSize, ses *sessions) taskResult {
 
-	defer obs.StartSpan(ctx, "sweep_chunk", stageChunk).End()
+	csp := obs.StartSpan(ctx, "sweep_chunk", stageChunk)
+	ctx = csp.Attach(ctx)
+	defer csp.End()
 	di := t / tasksPerDomain
 	lo := (t % tasksPerDomain) * chunkLen
 	hi := lo + chunkLen
@@ -481,7 +483,7 @@ func (r *Runner) evalTask(ctx context.Context, t, np, nb, chunkLen, tasksPerDoma
 		return tr
 	}
 
-	reqs, costs, err := s.CharacterizeBatch(sizeCol, batchCol, graph.PolicyMemGreedy, r.needsOps, nil)
+	reqs, costs, err := s.CharacterizeBatch(ctx, sizeCol, batchCol, graph.PolicyMemGreedy, r.needsOps, nil)
 	if err != nil {
 		for row := range tr.errs {
 			if tr.validIdx[row] >= 0 {
