@@ -51,6 +51,8 @@ func main() {
 	maxSweep := flag.Int("max-sweep-points", 0, "largest grid POST /v1/sweep may stream (0 = 100000)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown drain window")
 	warm := flag.Bool("warm", false, "build and compile every domain model before listening")
+	cacheSnapshot := flag.String("cache-snapshot", "", "persist the response cache to this file (loaded at boot, saved on shutdown)")
+	snapshotEvery := flag.Duration("snapshot-every", 0, "also save the cache snapshot at this interval (0 = only on shutdown)")
 	jobsDir := flag.String("jobs-dir", "", "persist async jobs under this directory (empty = in-memory; jobs then do not survive restarts)")
 	jobWorkers := flag.Int("job-workers", 2, "concurrent async job executions")
 	logLevel := flag.String("log-level", "info", "log level (debug, info, warn, error)")
@@ -59,14 +61,16 @@ func main() {
 	flag.Parse()
 
 	if err := run(*addr, *cacheEntries, *maxInFlight, *timeout, *maxSweep,
-		*grace, *warm, *logLevel, *logFormat, *pprofAddr, *jobsDir, *jobWorkers); err != nil {
+		*grace, *warm, *cacheSnapshot, *snapshotEvery,
+		*logLevel, *logFormat, *pprofAddr, *jobsDir, *jobWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "catamountd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, cacheEntries, maxInFlight int, timeout time.Duration,
-	maxSweep int, grace time.Duration, warm bool, logLevel, logFormat, pprofAddr,
+	maxSweep int, grace time.Duration, warm bool, cacheSnapshot string,
+	snapshotEvery time.Duration, logLevel, logFormat, pprofAddr,
 	jobsDir string, jobWorkers int) error {
 	_, logger, err := obs.SetupCLI(os.Stderr, "catamountd", logLevel, logFormat)
 	if err != nil {
@@ -117,6 +121,35 @@ func run(addr string, cacheEntries, maxInFlight int, timeout time.Duration,
 		Logger:         logger,
 		Jobs:           jobSvc,
 	})
+	// Cache persistence: reload the previous run's working set before the
+	// listener opens (a stale or missing snapshot just means a cold start),
+	// save periodically when asked, and always save on shutdown — after the
+	// drain, so in-flight responses land in the saved set.
+	if cacheSnapshot != "" {
+		if n, err := srv.LoadSnapshotFile(cacheSnapshot); err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				logger.Info("no cache snapshot; starting cold", slog.String("path", cacheSnapshot))
+			} else {
+				logger.Warn("cache snapshot rejected; starting cold",
+					slog.String("path", cacheSnapshot), slog.Any("err", err))
+			}
+		} else {
+			logger.Info("cache snapshot restored",
+				slog.String("path", cacheSnapshot), slog.Int("entries", n))
+		}
+		if snapshotEvery > 0 {
+			ticker := time.NewTicker(snapshotEvery)
+			defer ticker.Stop()
+			go func() {
+				for range ticker.C {
+					if err := srv.SaveSnapshotFile(cacheSnapshot); err != nil {
+						logger.Warn("periodic cache snapshot failed", slog.Any("err", err))
+					}
+				}
+			}()
+		}
+	}
+
 	hs := &http.Server{
 		Addr:              addr,
 		Handler:           srv,
@@ -172,6 +205,15 @@ func run(addr string, cacheEntries, maxInFlight int, timeout time.Duration,
 		return err
 	}
 	<-done
+	if cacheSnapshot != "" {
+		if err := srv.SaveSnapshotFile(cacheSnapshot); err != nil {
+			logger.Warn("cache snapshot save failed", slog.Any("err", err))
+		} else {
+			logger.Info("cache snapshot saved",
+				slog.String("path", cacheSnapshot),
+				slog.Int("entries", srv.Metrics().CacheEntries))
+		}
+	}
 	logger.Info("bye")
 	return nil
 }

@@ -89,6 +89,108 @@ func TestEngineCaseStudyMemoizedPerAccelerator(t *testing.T) {
 	}
 }
 
+// TestEngineCacheStatsShape pins the extended memo telemetry: occupancy,
+// capacity, shard fan-out, and eviction counters for both sharded memos,
+// and that concurrent lock-free domain reads observe a consistent count.
+func TestEngineCacheStatsShape(t *testing.T) {
+	eng := NewEngine()
+	if _, err := eng.Analyzer(Domains()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.WordLMCaseStudy(); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.CacheStats()
+	if st.Domains != 1 {
+		t.Fatalf("Domains = %d after one domain build, want 1", st.Domains)
+	}
+	if st.CaseStudies != 1 {
+		t.Fatalf("CaseStudies = %d, want 1", st.CaseStudies)
+	}
+	if st.CaseStudyCapacity <= 0 || st.PlanCapacity <= 0 {
+		t.Fatalf("capacities not reported: %+v", st)
+	}
+	if st.CaseStudyShards < 1 || st.PlanShards < 1 {
+		t.Fatalf("shard fan-out not reported: %+v", st)
+	}
+	if st.CaseStudyEvictions != 0 || st.PlanEvictions != 0 {
+		t.Fatalf("fresh engine reports evictions: %+v", st)
+	}
+}
+
+// TestEngineAnalyzerLockFreeReads checks the copy-on-write domain map:
+// readers racing a writer publishing a new domain always get the same
+// analyzer instance per domain and never a torn map. Run under -race this
+// is the regression test for the atomic-snapshot publish.
+func TestEngineAnalyzerLockFreeReads(t *testing.T) {
+	eng := NewEngine()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				for _, d := range Domains() {
+					a, err := eng.Analyzer(d)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					b, err := eng.Analyzer(d)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if a != b {
+						t.Errorf("%s: repeated Analyzer calls returned distinct instances", d)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := eng.CacheStats(); st.Domains != len(Domains()) {
+		t.Fatalf("Domains = %d, want %d", st.Domains, len(Domains()))
+	}
+}
+
+// TestPlanMemoBounded fills the planner memo past its capacity with
+// distinct single-candidate searches and checks the LRU bound holds and
+// evictions are counted — the memo can no longer grow without bound under
+// a scan of distinct queries. (The case-study memo shares the identical
+// shard.LRU GetOrCreate wiring; its bound is covered by the shard package
+// capacity tests.)
+func TestPlanMemoBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fills the planner memo past capacity")
+	}
+	eng := NewEngine()
+	st0 := eng.CacheStats()
+	overfill := st0.PlanCapacity + 8
+	for i := 0; i < overfill; i++ {
+		// Distinct budget per iteration → distinct canonical search key;
+		// the one-candidate space keeps each search cheap.
+		if _, err := eng.Plan(PlanSpec{
+			Domain:       "wordlm",
+			Accelerators: []string{"v100"},
+			WorkerCounts: []int{8},
+			Subbatches:   []float64{128},
+			Strategies:   []string{"allreduce"},
+			BudgetHours:  1e6 + float64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.CacheStats()
+	if st.Plans > st.PlanCapacity {
+		t.Fatalf("planner memo %d entries exceeds capacity %d", st.Plans, st.PlanCapacity)
+	}
+	if st.PlanEvictions == 0 {
+		t.Fatalf("overfilling by %d produced no evictions: %+v", overfill, st)
+	}
+}
+
 // TestCatalogAcceleratorsAcrossAnalyses runs FrontierTable, Figure11, and
 // the word-LM case study against every named catalog accelerator — the
 // scenario-diversity axis the catalog exists for.

@@ -1,9 +1,9 @@
 package catamount
 
 import (
-	"container/list"
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"catamount/internal/core"
 	"catamount/internal/costmodel"
@@ -13,6 +13,7 @@ import (
 	"catamount/internal/obs"
 	"catamount/internal/parallel"
 	"catamount/internal/scaling"
+	"catamount/internal/shard"
 )
 
 // Engine is a reusable analysis session. It memoizes each domain's built
@@ -20,58 +21,54 @@ import (
 // table regenerations, figure sweeps, interactive what-ifs — pay the graph
 // construction and expression compilation cost exactly once per domain.
 //
+// Every memo is built for contention-free concurrent serving: the domain
+// set is tiny and build-once, so lookups read an atomic snapshot map with
+// no lock at all; the case-study and planner memos are sharded LRUs whose
+// operations take one per-shard mutex only.
+//
 // An Engine is safe for concurrent use. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
-	mu      sync.Mutex
-	entries map[Domain]*engineEntry
+	// domains is the copy-on-write snapshot of the per-domain analyzer
+	// entries: reads are a single atomic load plus a map lookup (the map
+	// is never mutated after publication), and only the rare first-use of
+	// a new domain takes domainsMu to publish an extended copy.
+	domainsMu sync.Mutex
+	domains   atomic.Pointer[map[Domain]*engineEntry]
 
 	// caseStudies memoizes the §6 parallelization plan per (accelerator,
 	// cost-model backend): the case study is deterministic for a given
 	// device and backend, and several figures and endpoints reuse it.
-	// Accelerator is a comparable value type and the backend is keyed by
-	// its canonical name, so alias spellings share one entry while two
-	// configs differing in any device field memoize separately. csOrder
-	// tracks recency (front = most recent) so long-tail custom devices
-	// evict instead of pinning the memo or disabling it for later devices.
-	csMu        sync.Mutex
-	caseStudies map[caseStudyKey]*caseStudyEntry
-	csOrder     *list.List // of caseStudyKey
+	// Keys combine the canonical backend name with the device fingerprint
+	// (every projection-relevant field), so alias spellings share one
+	// entry while two configs differing in any device field memoize
+	// separately. The sharded LRU bounds long-tail custom devices without
+	// a memo-wide lock.
+	caseStudies *shard.LRU[*caseStudyEntry]
 
 	// plans memoizes capacity-planner searches by their canonical key
 	// (plan.Planner.Key): a search is deterministic, and the serving layer
-	// replays popular targets. Same LRU discipline as caseStudies.
-	planMu    sync.Mutex
-	plans     map[string]*planEntry
-	planOrder *list.List // of string (plan keys)
+	// replays popular targets. Same sharded LRU discipline as caseStudies.
+	plans *shard.LRU[*planEntry]
 }
 
-// planEntry runs one planner search at most once, outside the map lock.
+// planEntry runs one planner search at most once, outside the memo lock.
 type planEntry struct {
 	once sync.Once
 	res  *PlanResult
 	err  error
-	elem *list.Element
-}
-
-// caseStudyKey identifies one memoized case study: the device plus the
-// canonical step-time backend name.
-type caseStudyKey struct {
-	acc   Accelerator
-	model string
 }
 
 // caseStudyEntry runs one accelerator's case study at most once, outside
-// the map lock.
+// the memo lock.
 type caseStudyEntry struct {
 	once sync.Once
 	cs   *CaseStudy
 	err  error
-	elem *list.Element
 }
 
 // engineEntry builds one domain's analyzer at most once. Builds run outside
-// the engine-wide lock, so a slow first build of one domain never blocks
+// the snapshot lock, so a slow first build of one domain never blocks
 // memoized lookups of another.
 type engineEntry struct {
 	once sync.Once
@@ -83,24 +80,46 @@ type engineEntry struct {
 // lazily, on first use of each domain.
 func NewEngine() *Engine {
 	return &Engine{
-		entries:     make(map[Domain]*engineEntry),
-		caseStudies: make(map[caseStudyKey]*caseStudyEntry),
-		csOrder:     list.New(),
-		plans:       make(map[string]*planEntry),
-		planOrder:   list.New(),
+		caseStudies: shard.NewLRU[*caseStudyEntry](maxCaseStudyEntries, 0),
+		plans:       shard.NewLRU[*planEntry](maxPlanEntries, 0),
 	}
 }
 
-// Analyzer returns the domain's compiled analysis session, building and
-// compiling the model on first use.
-func (e *Engine) Analyzer(d Domain) (*core.Analyzer, error) {
-	e.mu.Lock()
-	ent, ok := e.entries[d]
-	if !ok {
-		ent = &engineEntry{}
-		e.entries[d] = ent
+// domainEntry returns the build-once entry for d, publishing an extended
+// snapshot map on first use. The published maps are immutable, so the
+// Analyzer fast path never takes this lock.
+func (e *Engine) domainEntry(d Domain) *engineEntry {
+	e.domainsMu.Lock()
+	defer e.domainsMu.Unlock()
+	old := e.domains.Load()
+	if old != nil {
+		if ent, ok := (*old)[d]; ok {
+			return ent
+		}
 	}
-	e.mu.Unlock()
+	next := make(map[Domain]*engineEntry, len(models.AllDomains))
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	ent := &engineEntry{}
+	next[d] = ent
+	e.domains.Store(&next)
+	return ent
+}
+
+// Analyzer returns the domain's compiled analysis session, building and
+// compiling the model on first use. The memoized path is lock-free: an
+// atomic snapshot load, a map lookup, and a completed sync.Once.
+func (e *Engine) Analyzer(d Domain) (*core.Analyzer, error) {
+	ent, ok := (*engineEntry)(nil), false
+	if m := e.domains.Load(); m != nil {
+		ent, ok = (*m)[d]
+	}
+	if !ok {
+		ent = e.domainEntry(d)
+	}
 	ent.once.Do(func() {
 		// The build-and-compile is the engine's coldest stage: its latency
 		// distribution (one observation per domain per process, ~100ms-1s)
@@ -116,27 +135,37 @@ func (e *Engine) Analyzer(d Domain) (*core.Analyzer, error) {
 	return ent.a, ent.err
 }
 
-// CacheStats is a point-in-time view of the engine's memo occupancy: how
-// many domain models are built and compiled, and how many case-study and
-// planner results are retained. The serving layer reports it in /healthz.
+// CacheStats is a point-in-time view of the engine's memo layer: how many
+// domain models are built and compiled, occupancy/capacity/shard fan-out
+// of the case-study and planner memos, and their lifetime eviction counts.
+// The serving layer reports it in /healthz.
 type CacheStats struct {
-	Domains     int `json:"domains"`
-	CaseStudies int `json:"case_studies"`
-	Plans       int `json:"plans"`
+	Domains            int   `json:"domains"`
+	CaseStudies        int   `json:"case_studies"`
+	Plans              int   `json:"plans"`
+	CaseStudyCapacity  int   `json:"case_study_capacity"`
+	PlanCapacity       int   `json:"plan_capacity"`
+	CaseStudyShards    int   `json:"case_study_shards"`
+	PlanShards         int   `json:"plan_shards"`
+	CaseStudyEvictions int64 `json:"case_study_evictions"`
+	PlanEvictions      int64 `json:"plan_evictions"`
 }
 
 // CacheStats snapshots the engine's memo occupancy.
 func (e *Engine) CacheStats() CacheStats {
-	var s CacheStats
-	e.mu.Lock()
-	s.Domains = len(e.entries)
-	e.mu.Unlock()
-	e.csMu.Lock()
-	s.CaseStudies = len(e.caseStudies)
-	e.csMu.Unlock()
-	e.planMu.Lock()
-	s.Plans = len(e.plans)
-	e.planMu.Unlock()
+	s := CacheStats{
+		CaseStudies:       e.caseStudies.Len(),
+		Plans:             e.plans.Len(),
+		CaseStudyCapacity: e.caseStudies.Capacity(),
+		PlanCapacity:      e.plans.Capacity(),
+		CaseStudyShards:   e.caseStudies.ShardCount(),
+		PlanShards:        e.plans.ShardCount(),
+	}
+	if m := e.domains.Load(); m != nil {
+		s.Domains = len(*m)
+	}
+	s.CaseStudyEvictions = e.caseStudies.Stats().Evictions
+	s.PlanEvictions = e.plans.Stats().Evictions
 	return s
 }
 
@@ -304,7 +333,9 @@ func (e *Engine) WordLMCaseStudyOn(acc Accelerator) (*CaseStudy, error) {
 
 // WordLMCaseStudyOnWith is WordLMCaseStudyOn under a pluggable step-time
 // backend (nil means the default). Results memoize per (device, canonical
-// backend name), so alias spellings of one backend share an entry.
+// backend name), so alias spellings of one backend share an entry. The
+// memo is a sharded LRU: lookups lock only the key's shard, and concurrent
+// callers for one (device, backend) pair share a single computation.
 func (e *Engine) WordLMCaseStudyOnWith(acc Accelerator, cm costmodel.Model) (*CaseStudy, error) {
 	if cm == nil {
 		cm = costmodel.Default()
@@ -312,22 +343,10 @@ func (e *Engine) WordLMCaseStudyOnWith(acc Accelerator, cm costmodel.Model) (*Ca
 	if err := acc.Validate(); err != nil {
 		return nil, err
 	}
-	key := caseStudyKey{acc: acc, model: cm.Name()}
-	e.csMu.Lock()
-	ent, ok := e.caseStudies[key]
-	if ok {
-		e.csOrder.MoveToFront(ent.elem)
-	} else {
-		for len(e.caseStudies) >= maxCaseStudyEntries {
-			oldest := e.csOrder.Back()
-			e.csOrder.Remove(oldest)
-			delete(e.caseStudies, oldest.Value.(caseStudyKey))
-		}
-		ent = &caseStudyEntry{}
-		ent.elem = e.csOrder.PushFront(key)
-		e.caseStudies[key] = ent
-	}
-	e.csMu.Unlock()
+	key := cm.Name() + "|" + acc.Fingerprint()
+	ent, _ := e.caseStudies.GetOrCreate(key, func() *caseStudyEntry {
+		return &caseStudyEntry{}
+	})
 	ent.once.Do(func() {
 		cfg := parallel.CaseStudyConfigFor(acc)
 		cfg.Cost = cm

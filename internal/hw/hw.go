@@ -45,6 +45,18 @@ type Accelerator struct {
 // eligible for cost-objective ranking in the capacity planner.
 func (a Accelerator) Priced() bool { return a.CostPerHourUSD > 0 }
 
+// Fingerprint canonically identifies a device configuration for cache
+// keys: every projection-relevant field enters, so two devices sharing a
+// name but differing anywhere memoize separately. The name is the one
+// user-controlled component (custom uploads), so %q confines it to an
+// escaped, quoted segment — a crafted name cannot forge other key
+// components and poison a shared cache.
+func (a Accelerator) Fingerprint() string {
+	return fmt.Sprintf("%q/%g/%g/%g/%g/%g/%g/%g/%g/%g", a.Name, a.PeakFLOPS, a.CacheBytes,
+		a.MemBandwidth, a.MemCapacity, a.InterconnectBW, a.AchievableCompute, a.AchievableMemBW,
+		a.CostPerHourUSD, a.TDPWatts)
+}
+
 // Validate rejects configurations that would poison the Roofline and
 // case-study math with NaN or Inf: non-positive peaks, bandwidths,
 // capacities, caches or links (cache_bytes and interconnect_bw are

@@ -5,9 +5,13 @@ import (
 	"sync"
 )
 
-// lruCache is a bounded, thread-safe LRU response cache keyed on canonical
-// request strings. Values are fully marshaled JSON payloads, so a hit is a
-// map lookup plus a write — no recomputation, no re-encoding.
+// lruCache is the original single-mutex LRU response cache, kept as the
+// reference implementation: the sharded-cache property tests use it as the
+// behavioral oracle, and the serve bench harness measures the sharded
+// cache's lock-scaling ratio against a single-lock configuration. The
+// serving hot path itself runs on shard.LRU (see server.go), whose
+// single-shard configuration reproduces exactly this cache's observable
+// behavior.
 type lruCache struct {
 	mu       sync.Mutex
 	capacity int

@@ -138,6 +138,8 @@ func routeDocs() []routeDoc {
 				{"format", "string", "tree (default) or perfetto (Chrome trace-event array for ui.perfetto.dev)."},
 			},
 			respBody: obs.TraceExport{}},
+		{pattern: "POST /v1/admin/warmup", summary: "Replay a list of GET paths internally to populate the response cache.",
+			reqBody: warmupRequest{}, respBody: warmupResponse{}},
 		{pattern: "GET /v1/openapi.json", summary: "This document.",
 			respCT: "application/json"},
 	}

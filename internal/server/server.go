@@ -35,6 +35,7 @@ import (
 	"catamount/internal/jobs"
 	"catamount/internal/obs"
 	"catamount/internal/parallel"
+	"catamount/internal/shard"
 )
 
 // Config parameterizes a Server. The zero value gets sensible defaults.
@@ -43,6 +44,11 @@ type Config struct {
 	Engine *cat.Engine
 	// CacheEntries bounds the LRU response cache (default 1024).
 	CacheEntries int
+	// CacheShards overrides the response cache's shard fan-out (default:
+	// a power of two derived from GOMAXPROCS). 1 forces the single-mutex
+	// layout — the contention baseline the serve bench harness measures
+	// the sharded layout against.
+	CacheShards int
 	// MaxInFlight bounds concurrently admitted requests
 	// (default 4×GOMAXPROCS).
 	MaxInFlight int
@@ -79,14 +85,19 @@ type Metrics struct {
 	CostModelRequests map[string]int64 `json:"costmodel_requests"`
 	CacheEntries      int              `json:"cache_entries"`
 	CacheLimit        int              `json:"cache_limit"`
+	CacheShards       int              `json:"cache_shards"`
+	CacheEvictions    int64            `json:"cache_evictions"`
 	MaxInFlight       int              `json:"max_in_flight"`
 }
 
 // Server is the HTTP analysis service. Create with New; safe for
 // concurrent use.
 type Server struct {
-	eng     *cat.Engine
-	cache   *lruCache
+	eng *cat.Engine
+	// cache is the sharded response LRU: a hot request locks only the
+	// shard its canonical key hashes to, so the fully cached read path
+	// scales with cores instead of serializing on one cache-wide mutex.
+	cache   *shard.LRU[[]byte]
 	flights *flightGroup
 	sem     chan struct{}
 	// computeSem bounds concurrently *running* upstream computations.
@@ -149,7 +160,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		eng:            cfg.Engine,
-		cache:          newLRU(cfg.CacheEntries),
+		cache:          shard.NewLRU[[]byte](cfg.CacheEntries, cfg.CacheShards),
 		flights:        newFlightGroup(),
 		sem:            make(chan struct{}, cfg.MaxInFlight),
 		computeSem:     make(chan struct{}, cfg.MaxInFlight),
@@ -182,9 +193,20 @@ func New(cfg Config) *Server {
 	s.reg.GaugeFunc("catamount_http_in_flight",
 		"Requests currently being served.", func() float64 { return float64(s.inFlight.Load()) })
 	s.reg.GaugeFunc("catamount_cache_entries",
-		"Response cache occupancy.", func() float64 { return float64(s.cache.len()) })
+		"Response cache occupancy.", func() float64 { return float64(s.cache.Len()) })
 	s.reg.GaugeFunc("catamount_cache_limit",
-		"Response cache capacity.", func() float64 { return float64(s.cache.capacity) })
+		"Response cache capacity.", func() float64 { return float64(s.cache.Capacity()) })
+	s.reg.GaugeFunc("catamount_cache_shards",
+		"Response cache shard fan-out.", func() float64 { return float64(s.cache.ShardCount()) })
+	// One occupancy gauge per shard: a skewed key distribution (one shard
+	// full, others idle) shows up directly instead of hiding in the total.
+	for i := 0; i < s.cache.ShardCount(); i++ {
+		i := i
+		s.reg.GaugeFunc("catamount_cache_shard_entries",
+			"Response cache occupancy, by shard.",
+			func() float64 { return float64(s.cache.ShardLen(i)) },
+			obs.Label{Name: "shard", Value: strconv.Itoa(i)})
+	}
 	s.reg.GaugeFunc("catamount_max_in_flight",
 		"Concurrency limiter capacity.", func() float64 { return float64(cap(s.sem)) })
 
@@ -216,6 +238,7 @@ func New(cfg Config) *Server {
 	handle("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	handle("GET /v1/traces", s.handleTraces)
 	handle("GET /v1/traces/{id}", s.handleTraceGet)
+	handle("POST /v1/admin/warmup", s.handleWarmup)
 	handle("GET /v1/openapi.json", s.handleOpenAPI)
 	return s
 }
@@ -234,25 +257,32 @@ type counterSet struct {
 	planRuns, planPlans              int64
 	cmGraph, cmPerop                 int64
 	cacheEntries                     int
+	cacheEvictions                   int64
 }
 
 // readCounters loads every counter once, in a fixed order.
 func (s *Server) readCounters() counterSet {
+	cs := s.cache.Stats()
+	entries := 0
+	for _, n := range cs.ShardEntries {
+		entries += n
+	}
 	return counterSet{
-		requests:     s.requests.Load(),
-		inFlight:     s.inFlight.Load(),
-		hits:         s.hits.Load(),
-		misses:       s.misses.Load(),
-		coalesced:    s.coalesced.Load(),
-		rejected:     s.rejected.Load(),
-		timeouts:     s.timeouts.Load(),
-		sweepStreams: s.sweepStreams.Load(),
-		sweepPoints:  s.sweepPoints.Load(),
-		planRuns:     s.planRuns.Load(),
-		planPlans:    s.planPlans.Load(),
-		cmGraph:      s.cmGraph.Load(),
-		cmPerop:      s.cmPerop.Load(),
-		cacheEntries: s.cache.len(),
+		requests:       s.requests.Load(),
+		inFlight:       s.inFlight.Load(),
+		hits:           s.hits.Load(),
+		misses:         s.misses.Load(),
+		coalesced:      s.coalesced.Load(),
+		rejected:       s.rejected.Load(),
+		timeouts:       s.timeouts.Load(),
+		sweepStreams:   s.sweepStreams.Load(),
+		sweepPoints:    s.sweepPoints.Load(),
+		planRuns:       s.planRuns.Load(),
+		planPlans:      s.planPlans.Load(),
+		cmGraph:        s.cmGraph.Load(),
+		cmPerop:        s.cmPerop.Load(),
+		cacheEntries:   entries,
+		cacheEvictions: cs.Evictions,
 	}
 }
 
@@ -295,9 +325,11 @@ func (s *Server) Metrics() Metrics {
 			costmodel.GraphName: c.cmGraph,
 			costmodel.PerOpName: c.cmPerop,
 		},
-		CacheEntries: c.cacheEntries,
-		CacheLimit:   s.cache.capacity,
-		MaxInFlight:  cap(s.sem),
+		CacheEntries:   c.cacheEntries,
+		CacheLimit:     s.cache.Capacity(),
+		CacheShards:    s.cache.ShardCount(),
+		CacheEvictions: c.cacheEvictions,
+		MaxInFlight:    cap(s.sem),
 	}
 }
 
@@ -491,7 +523,7 @@ func (v *verdictRecorder) Write(b []byte) (int, error) {
 // respondCached serves key from the LRU, coalescing concurrent misses into
 // one upstream computation whose marshaled response backfills the cache.
 func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, key string, compute func() (any, error)) {
-	if b, ok := s.cache.get(key); ok {
+	if b, ok := s.cache.Get(key); ok {
 		s.hits.Add(1)
 		writeJSONBytes(w, b)
 		return
@@ -511,7 +543,7 @@ func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, key strin
 		if err != nil {
 			return nil, err
 		}
-		s.cache.add(key, b)
+		s.cache.Add(key, b)
 		return b, nil
 	})
 	if !leader {
@@ -545,25 +577,27 @@ func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, key strin
 // healthResponse is the /healthz body: liveness plus enough build and
 // occupancy detail to tell *which* binary is alive and how warm it is.
 type healthResponse struct {
-	Status        string         `json:"status"`
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	GoVersion     string         `json:"go_version"`
-	Revision      string         `json:"vcs_revision,omitempty"`
-	Modified      bool           `json:"vcs_modified,omitempty"`
-	EngineCache   cat.CacheStats `json:"engine_cache"`
-	ResponseCache int            `json:"response_cache_entries"`
+	Status              string         `json:"status"`
+	UptimeSeconds       float64        `json:"uptime_seconds"`
+	GoVersion           string         `json:"go_version"`
+	Revision            string         `json:"vcs_revision,omitempty"`
+	Modified            bool           `json:"vcs_modified,omitempty"`
+	EngineCache         cat.CacheStats `json:"engine_cache"`
+	ResponseCache       int            `json:"response_cache_entries"`
+	ResponseCacheShards int            `json:"response_cache_shards"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	rev, modified := buildRevision()
 	writeJSON(w, healthResponse{
-		Status:        "ok",
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		GoVersion:     runtime.Version(),
-		Revision:      rev,
-		Modified:      modified,
-		EngineCache:   s.eng.CacheStats(),
-		ResponseCache: s.cache.len(),
+		Status:              "ok",
+		UptimeSeconds:       time.Since(s.start).Seconds(),
+		GoVersion:           runtime.Version(),
+		Revision:            rev,
+		Modified:            modified,
+		EngineCache:         s.eng.CacheStats(),
+		ResponseCache:       s.cache.Len(),
+		ResponseCacheShards: s.cache.ShardCount(),
 	})
 }
 

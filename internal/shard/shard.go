@@ -1,0 +1,308 @@
+// Package shard provides the contention-free building blocks the serving
+// layer's hot read path is built on: an FNV-1a key hash, a shard-count
+// heuristic derived from GOMAXPROCS, and a sharded LRU cache whose reads
+// take one per-shard mutex only — no global ordering, no shared lock.
+//
+// The motivating workload (paper §1, ROADMAP "millions of users") is
+// dominated by repeated projections over a small set of hot configurations:
+// nearly every request is a cache hit, so on a many-core box the hit path
+// must scale with cores instead of serializing on one cache-wide mutex.
+package shard
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MinPerShard is the smallest per-shard capacity worth splitting for: a
+// cache smaller than 2*MinPerShard stays single-sharded, where it behaves
+// exactly like a classic global-mutex LRU (one lock, one recency order).
+// That keeps tiny caches — and tests pinning exact global LRU eviction —
+// byte-for-byte compatible with the pre-sharded implementation.
+const MinPerShard = 8
+
+// maxShards bounds the shard fan-out: beyond 64 ways the mutexes stop
+// being the bottleneck long before the extra shards pay for their memory.
+const maxShards = 64
+
+// Hash is FNV-1a over the key bytes — cheap, allocation-free, and
+// well-distributed for the canonical request-key strings it shards.
+func Hash(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+// Count is the default shard fan-out: the smallest power of two covering
+// GOMAXPROCS, clamped to [1, 64]. One shard per logical CPU is enough to
+// make lock collisions on uniformly hashed keys rare.
+func Count() int {
+	return ceilPow2(runtime.GOMAXPROCS(0))
+}
+
+// ceilPow2 rounds n up to the next power of two, clamped to [1, maxShards].
+func ceilPow2(n int) int {
+	p := 1
+	for p < n && p < maxShards {
+		p <<= 1
+	}
+	return p
+}
+
+// Entry is one key/value pair from a cache dump.
+type Entry[V any] struct {
+	Key string
+	Val V
+}
+
+// Stats is a point-in-time view of a sharded LRU's traffic and occupancy.
+type Stats struct {
+	Hits, Misses, Evictions int64
+	// ShardEntries is the live entry count per shard.
+	ShardEntries []int
+}
+
+// node is one intrusive doubly-linked recency-list element. The list is
+// embedded directly in the cache entries (no container/list interface
+// boxing): head side = most recent, tail side = least recent.
+type node[V any] struct {
+	key        string
+	val        V
+	prev, next *node[V]
+}
+
+// lruShard is one independently locked slice of the key space: its own
+// mutex, map, recency list, and counters. The trailing pad keeps adjacent
+// shards' hot fields off one cache line so uncontended shards do not
+// false-share.
+type lruShard[V any] struct {
+	mu         sync.Mutex
+	capacity   int
+	items      map[string]*node[V]
+	head, tail node[V] // list sentinels: head.next = MRU, tail.prev = LRU
+
+	hits, misses, evictions int64
+
+	_ [64]byte
+}
+
+func (s *lruShard[V]) init(capacity int) {
+	s.capacity = capacity
+	s.items = make(map[string]*node[V], capacity)
+	s.head.next = &s.tail
+	s.tail.prev = &s.head
+}
+
+func (s *lruShard[V]) unlink(n *node[V]) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+}
+
+func (s *lruShard[V]) pushFront(n *node[V]) {
+	n.prev = &s.head
+	n.next = s.head.next
+	s.head.next.prev = n
+	s.head.next = n
+}
+
+// evictOver drops least-recent entries until the shard fits its capacity.
+func (s *lruShard[V]) evictOver() {
+	for len(s.items) > s.capacity {
+		oldest := s.tail.prev
+		s.unlink(oldest)
+		delete(s.items, oldest.key)
+		s.evictions++
+	}
+}
+
+// LRU is a bounded, sharded LRU cache. Keys hash to one of N power-of-two
+// shards (FNV-1a), and every operation locks only that shard, so disjoint
+// keys proceed in parallel. Capacity is partitioned across shards and
+// recency is tracked per shard: the cache behaves as N independent LRUs
+// over a hashed split of the key space (and exactly as one classic LRU
+// when N == 1).
+type LRU[V any] struct {
+	shards   []lruShard[V]
+	mask     uint32
+	capacity int
+}
+
+// NewLRU builds a sharded LRU holding at most capacity entries. shards
+// <= 0 picks the default fan-out (Count); any explicit value rounds up to
+// a power of two. The fan-out then shrinks until every shard holds at
+// least MinPerShard entries, so small caches degrade to the exact
+// single-lock LRU rather than to N useless one-entry shards.
+func NewLRU[V any](capacity, shards int) *LRU[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	n := shards
+	if n <= 0 {
+		n = Count()
+	}
+	n = ceilPow2(n)
+	for n > 1 && capacity/n < MinPerShard {
+		n >>= 1
+	}
+	l := &LRU[V]{shards: make([]lruShard[V], n), mask: uint32(n - 1), capacity: capacity}
+	// Distribute capacity exactly: the first capacity%n shards hold one
+	// extra entry, so the shard capacities always sum to capacity.
+	per, extra := capacity/n, capacity%n
+	for i := range l.shards {
+		c := per
+		if i < extra {
+			c++
+		}
+		l.shards[i].init(c)
+	}
+	return l
+}
+
+func (l *LRU[V]) shardFor(key string) *lruShard[V] {
+	return &l.shards[Hash(key)&l.mask]
+}
+
+// Get returns the cached value and refreshes its recency, locking only the
+// key's shard.
+func (l *LRU[V]) Get(key string) (V, bool) {
+	s := l.shardFor(key)
+	s.mu.Lock()
+	n, ok := s.items[key]
+	if !ok {
+		s.misses++
+		s.mu.Unlock()
+		var zero V
+		return zero, false
+	}
+	s.hits++
+	s.unlink(n)
+	s.pushFront(n)
+	v := n.val
+	s.mu.Unlock()
+	return v, true
+}
+
+// Add inserts (or refreshes) a value, evicting the shard's least-recently-
+// used entries beyond its capacity share.
+func (l *LRU[V]) Add(key string, val V) {
+	s := l.shardFor(key)
+	s.mu.Lock()
+	if n, ok := s.items[key]; ok {
+		n.val = val
+		s.unlink(n)
+		s.pushFront(n)
+		s.mu.Unlock()
+		return
+	}
+	n := &node[V]{key: key, val: val}
+	s.items[key] = n
+	s.pushFront(n)
+	s.evictOver()
+	s.mu.Unlock()
+}
+
+// GetOrCreate returns the value for key, calling create under the shard
+// lock to insert one on a miss. Concurrent callers for the same key are
+// guaranteed the same value — the memoization contract the Engine's
+// build-once entries rely on. created reports whether this call inserted.
+// create must be cheap (allocate a handle, not compute a result): it runs
+// with the shard locked.
+func (l *LRU[V]) GetOrCreate(key string, create func() V) (v V, created bool) {
+	s := l.shardFor(key)
+	s.mu.Lock()
+	if n, ok := s.items[key]; ok {
+		s.hits++
+		s.unlink(n)
+		s.pushFront(n)
+		v = n.val
+		s.mu.Unlock()
+		return v, false
+	}
+	s.misses++
+	v = create()
+	n := &node[V]{key: key, val: v}
+	s.items[key] = n
+	s.pushFront(n)
+	s.evictOver()
+	s.mu.Unlock()
+	return v, true
+}
+
+// Len reports the live entry count across every shard.
+func (l *LRU[V]) Len() int {
+	total := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		total += len(s.items)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Capacity is the total entry bound the cache was built with.
+func (l *LRU[V]) Capacity() int { return l.capacity }
+
+// ShardCount is the shard fan-out the capacity is partitioned across.
+func (l *LRU[V]) ShardCount() int { return len(l.shards) }
+
+// ShardLen reports one shard's live entry count (occupancy gauges).
+func (l *LRU[V]) ShardLen(i int) int {
+	s := &l.shards[i]
+	s.mu.Lock()
+	n := len(s.items)
+	s.mu.Unlock()
+	return n
+}
+
+// Stats sums the per-shard counters into one traffic snapshot.
+func (l *LRU[V]) Stats() Stats {
+	st := Stats{ShardEntries: make([]int, len(l.shards))}
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.ShardEntries[i] = len(s.items)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Dump returns every entry ordered approximately least-recent first: each
+// shard is walked LRU→MRU and the shards are merged round-robin by recency
+// rank. Re-adding the dump in order into an empty cache reproduces the
+// per-shard recency relation whatever the target's shard fan-out — the
+// snapshot-persistence contract.
+func (l *LRU[V]) Dump() []Entry[V] {
+	perShard := make([][]Entry[V], len(l.shards))
+	total := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		es := make([]Entry[V], 0, len(s.items))
+		for n := s.tail.prev; n != &s.head; n = n.prev {
+			es = append(es, Entry[V]{Key: n.key, Val: n.val})
+		}
+		s.mu.Unlock()
+		perShard[i] = es
+		total += len(es)
+	}
+	out := make([]Entry[V], 0, total)
+	for rank := 0; len(out) < total; rank++ {
+		for _, es := range perShard {
+			if rank < len(es) {
+				out = append(out, es[rank])
+			}
+		}
+	}
+	return out
+}

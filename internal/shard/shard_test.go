@@ -1,0 +1,228 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCountIsPowerOfTwo(t *testing.T) {
+	n := Count()
+	if n < 1 || n > maxShards || n&(n-1) != 0 {
+		t.Fatalf("Count() = %d, want a power of two in [1, %d]", n, maxShards)
+	}
+}
+
+func TestSmallCapacityStaysSingleSharded(t *testing.T) {
+	for _, capacity := range []int{1, 2, MinPerShard, 2*MinPerShard - 1} {
+		l := NewLRU[int](capacity, 8)
+		if got := l.ShardCount(); got != 1 {
+			t.Fatalf("capacity %d: %d shards, want 1 (exact global LRU)", capacity, got)
+		}
+	}
+}
+
+func TestShardCapacitiesSumExactly(t *testing.T) {
+	for _, tc := range []struct{ capacity, shards int }{
+		{1024, 8}, {100, 4}, {67, 4}, {1000, 0}, {64, 8},
+	} {
+		l := NewLRU[int](tc.capacity, tc.shards)
+		sum := 0
+		for i := range l.shards {
+			sum += l.shards[i].capacity
+		}
+		if sum != tc.capacity {
+			t.Fatalf("capacity %d/%d shards: shard capacities sum to %d",
+				tc.capacity, tc.shards, sum)
+		}
+		if n := l.ShardCount(); n&(n-1) != 0 {
+			t.Fatalf("shard count %d not a power of two", n)
+		}
+	}
+}
+
+func TestSingleShardExactLRU(t *testing.T) {
+	l := NewLRU[string](2, 1)
+	l.Add("a", "1")
+	l.Add("b", "2")
+	if v, ok := l.Get("a"); !ok || v != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	l.Add("c", "3") // "b" is now least recent and must go
+	if _, ok := l.Get("b"); ok {
+		t.Fatal("b survived eviction at capacity 2")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := l.Get(k); !ok {
+			t.Fatalf("%s missing after eviction of b", k)
+		}
+	}
+	st := l.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len = %d, want 2", l.Len())
+	}
+}
+
+func TestAddRefreshesExisting(t *testing.T) {
+	l := NewLRU[int](2, 1)
+	l.Add("a", 1)
+	l.Add("b", 2)
+	l.Add("a", 10) // refresh, not insert: "a" becomes most recent
+	l.Add("c", 3)  // evicts "b"
+	if v, ok := l.Get("a"); !ok || v != 10 {
+		t.Fatalf("Get(a) = %d, %v, want refreshed 10", v, ok)
+	}
+	if _, ok := l.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestBoundedAcrossShards(t *testing.T) {
+	const capacity = 64
+	l := NewLRU[int](capacity, 4)
+	for i := 0; i < 10*capacity; i++ {
+		l.Add(fmt.Sprintf("key-%d", i), i)
+	}
+	if n := l.Len(); n > capacity {
+		t.Fatalf("len = %d exceeds capacity %d", n, capacity)
+	}
+	st := l.Stats()
+	if st.Evictions < int64(9*capacity) {
+		t.Fatalf("evictions = %d, want >= %d", st.Evictions, 9*capacity)
+	}
+	sum := 0
+	for i, n := range st.ShardEntries {
+		if n > l.shards[i].capacity {
+			t.Fatalf("shard %d holds %d > its capacity %d", i, n, l.shards[i].capacity)
+		}
+		sum += n
+	}
+	if sum != l.Len() {
+		t.Fatalf("shard entries sum %d != Len %d", sum, l.Len())
+	}
+}
+
+// TestGetOrCreateSharesOneValue pins the memoization contract: concurrent
+// callers for one key must all receive the same created value.
+func TestGetOrCreateSharesOneValue(t *testing.T) {
+	l := NewLRU[*int](64, 4)
+	const goroutines = 16
+	got := make([]*int, goroutines)
+	var created int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, madeIt := l.GetOrCreate("the-key", func() *int {
+				mu.Lock()
+				created++
+				mu.Unlock()
+				return new(int)
+			})
+			_ = madeIt
+			got[g] = v
+		}(g)
+	}
+	wg.Wait()
+	if created != 1 {
+		t.Fatalf("create ran %d times, want once", created)
+	}
+	for g := 1; g < goroutines; g++ {
+		if got[g] != got[0] {
+			t.Fatalf("goroutine %d received a different value", g)
+		}
+	}
+}
+
+func TestDumpOrderSingleShard(t *testing.T) {
+	l := NewLRU[int](4, 1)
+	for i, k := range []string{"a", "b", "c", "d"} {
+		l.Add(k, i)
+	}
+	l.Get("a") // a becomes most recent: order is now b, c, d, a
+	dump := l.Dump()
+	want := []string{"b", "c", "d", "a"}
+	if len(dump) != len(want) {
+		t.Fatalf("dump has %d entries, want %d", len(dump), len(want))
+	}
+	for i, e := range dump {
+		if e.Key != want[i] {
+			t.Fatalf("dump[%d] = %s, want %s (least-recent first)", i, e.Key, want[i])
+		}
+	}
+}
+
+// TestDumpReloadRoundTrip checks the snapshot contract: re-adding a dump in
+// order into a fresh cache (any fan-out) keeps every entry and leaves the
+// most recently used keys most recent in their shards.
+func TestDumpReloadRoundTrip(t *testing.T) {
+	src := NewLRU[int](128, 4)
+	for i := 0; i < 100; i++ {
+		src.Add(fmt.Sprintf("key-%d", i), i)
+	}
+	dump := src.Dump()
+	if len(dump) != 100 {
+		t.Fatalf("dump has %d entries, want 100", len(dump))
+	}
+	dst := NewLRU[int](128, 1)
+	for _, e := range dump {
+		dst.Add(e.Key, e.Val)
+	}
+	if dst.Len() != 100 {
+		t.Fatalf("reloaded %d entries, want 100", dst.Len())
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if v, ok := dst.Get(k); !ok || v != i {
+			t.Fatalf("reloaded %s = %d, %v", k, v, ok)
+		}
+	}
+}
+
+func TestHashMatchesFNV1a(t *testing.T) {
+	// Reference vectors for 32-bit FNV-1a.
+	cases := map[string]uint32{
+		"":    2166136261,
+		"a":   0xe40c292c,
+		"foo": 0xa9f37ed7,
+	}
+	for in, want := range cases {
+		if got := Hash(in); got != want {
+			t.Fatalf("Hash(%q) = %#x, want %#x", in, got, want)
+		}
+	}
+}
+
+// TestConcurrentChurn hammers all operations from many goroutines under a
+// tight capacity so eviction churn races with reads; run with -race.
+func TestConcurrentChurn(t *testing.T) {
+	l := NewLRU[int](128, 0)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("key-%d", (g*31+i)%512)
+				switch i % 3 {
+				case 0:
+					l.Add(k, i)
+				case 1:
+					l.Get(k)
+				default:
+					l.GetOrCreate(k, func() int { return i })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := l.Len(); n > 128 {
+		t.Fatalf("len = %d exceeds capacity under churn", n)
+	}
+}

@@ -31,30 +31,15 @@ const maxPlanEntries = 64
 // Plan answers the inverse query: what cluster configurations reach the
 // target, and which are Pareto-optimal over {time, devices, cost}? The
 // search composes the session's compiled models through the sweep worker
-// pool, and results are memoized by canonical search key (LRU-bounded) —
-// repeated queries for the same target cost a map lookup.
+// pool, and results are memoized by canonical search key in a sharded LRU
+// — repeated queries for the same target cost one per-shard lock and a map
+// lookup, and concurrent callers for one key share a single search.
 func (e *Engine) Plan(spec PlanSpec) (*PlanResult, error) {
 	p, err := plan.New(e, spec)
 	if err != nil {
 		return nil, err
 	}
-	key := p.Key()
-
-	e.planMu.Lock()
-	ent, ok := e.plans[key]
-	if ok {
-		e.planOrder.MoveToFront(ent.elem)
-	} else {
-		for len(e.plans) >= maxPlanEntries {
-			oldest := e.planOrder.Back()
-			e.planOrder.Remove(oldest)
-			delete(e.plans, oldest.Value.(string))
-		}
-		ent = &planEntry{}
-		ent.elem = e.planOrder.PushFront(key)
-		e.plans[key] = ent
-	}
-	e.planMu.Unlock()
+	ent, _ := e.plans.GetOrCreate(p.Key(), func() *planEntry { return &planEntry{} })
 	ent.once.Do(func() {
 		// Detached context: the memoized result outlives any one caller,
 		// so one caller's cancellation must not poison the entry.
